@@ -1,0 +1,53 @@
+//! Figure 11: ablation of LlamaTune's components on YCSB-A, YCSB-B, TPC-C:
+//! SMAC baseline vs HeSBO-16 only vs +SVB vs the full pipeline.
+use llamatune::pipeline::{IdentityAdapter, LlamaTuneConfig, LlamaTunePipeline, ProjectionKind};
+use llamatune_bench::{print_curve_table, print_header, run_tuning_arm, ExpScale, OptimizerKind};
+use llamatune_space::catalog::postgres_v9_6;
+use llamatune_workloads::{workload_by_name, WorkloadRunner};
+
+fn main() {
+    let scale = ExpScale::from_env();
+    let catalog = postgres_v9_6();
+    let variants: [(&str, Option<LlamaTuneConfig>); 4] = [
+        ("SMAC", None),
+        ("Low-Dim", Some(LlamaTuneConfig {
+            target_dim: 16,
+            projection: ProjectionKind::Hesbo,
+            special_value_bias: None,
+            bucket_count: None,
+        })),
+        ("Low-Dim+SVB", Some(LlamaTuneConfig {
+            target_dim: 16,
+            projection: ProjectionKind::Hesbo,
+            special_value_bias: Some(0.2),
+            bucket_count: None,
+        })),
+        ("LlamaTune", Some(LlamaTuneConfig::default())),
+    ];
+    for wl in ["ycsb_a", "ycsb_b", "tpcc"] {
+        let runner = WorkloadRunner::new(workload_by_name(wl).unwrap(), catalog.clone());
+        print_header(
+            &format!("Figure 11: ablation study on {wl}"),
+            &format!("{} seeds x {} iterations (SMAC)", scale.seeds, scale.iterations),
+        );
+        let mut labels = Vec::new();
+        let mut curves = Vec::new();
+        for (label, cfg) in &variants {
+            let arm = run_tuning_arm(
+                label,
+                &runner,
+                &catalog,
+                |seed| match cfg {
+                    None => Box::new(IdentityAdapter::new(&catalog)),
+                    Some(c) => Box::new(LlamaTunePipeline::new(&catalog, c, seed)),
+                },
+                OptimizerKind::Smac,
+                scale,
+            );
+            labels.push(label.to_string());
+            curves.push(arm.mean_curve());
+        }
+        let label_refs: Vec<&str> = labels.iter().map(String::as_str).collect();
+        print_curve_table(&label_refs, &curves, 10);
+    }
+}

@@ -1,0 +1,96 @@
+//! Figure 2: (a) tuning SHAP's top-8 knobs vs hand-picked top-8 vs all 90
+//! knobs on YCSB-A; (b) transferring YCSB-A's top-8 sets to TPC-C.
+use llamatune::pipeline::IdentityAdapter;
+use llamatune_analysis::{rank_knobs, shap_importance};
+use llamatune_bench::{print_curve_table, print_header, run_tuning_arm, ExpScale, OptimizerKind};
+use llamatune_math::latin_hypercube;
+use llamatune_optim::{ParamKind, RandomForest, RandomForestConfig, SearchSpec};
+use llamatune_space::catalog::{postgres_v9_6, HAND_PICKED_TOP8_YCSB_A};
+use llamatune_space::Domain;
+use llamatune_workloads::{tpcc, ycsb_a, WorkloadRunner};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Ranks knobs for YCSB-A with SHAP over an LHS sample (small budget — the
+/// unreliability of cheap rankings is part of the point of this figure).
+fn shap_top8(catalog: &llamatune_space::ConfigSpace, quick: bool) -> Vec<&'static str> {
+    let n = if quick { 200 } else { 800 };
+    let runner = WorkloadRunner::new(ycsb_a(), catalog.clone());
+    let spec = SearchSpec {
+        params: catalog
+            .knobs()
+            .iter()
+            .map(|k| match &k.domain {
+                Domain::Categorical { choices } => ParamKind::Categorical { n: choices.len() },
+                _ => ParamKind::Continuous { buckets: None },
+            })
+            .collect(),
+    };
+    let mut rng = StdRng::seed_from_u64(2);
+    let points = latin_hypercube(n, catalog.len(), &mut rng);
+    let mut xs = Vec::new();
+    let mut ys = Vec::new();
+    let mut worst = f64::INFINITY;
+    for (i, p) in points.iter().enumerate() {
+        let cfg = catalog.config_from_unit(p);
+        let out = runner.evaluate(catalog, &cfg, i as u64);
+        let y = match out.score {
+            Some(v) => {
+                worst = worst.min(v);
+                v
+            }
+            None => worst.min(1_000.0) / 4.0,
+        };
+        xs.push(p.clone());
+        ys.push(y);
+    }
+    let forest = RandomForest::fit(&spec, &xs, &ys, &RandomForestConfig::default(), 3);
+    let importance = shap_importance(&forest, &xs[..xs.len().min(300)]);
+    let names: Vec<&str> = catalog.knobs().iter().map(|k| k.name).collect();
+    rank_knobs(&names, &importance)
+        .into_iter()
+        .take(8)
+        .map(|(n, _)| catalog.knob(n).unwrap().name)
+        .collect()
+}
+
+fn main() {
+    let scale = ExpScale::from_env();
+    let catalog = postgres_v9_6();
+    let shap8 = shap_top8(&catalog, scale.quick);
+    println!("SHAP top-8 for YCSB-A: {shap8:?}");
+
+    for (wl_label, spec) in [("YCSB-A (Fig 2a)", ycsb_a()), ("TPC-C with YCSB-A's top-8 (Fig 2b)", tpcc())] {
+        let runner = WorkloadRunner::new(spec, catalog.clone());
+        print_header(
+            &format!("Figure 2: knob-subset tuning on {wl_label}"),
+            &format!("{} seeds x {} iterations (SMAC)", scale.seeds, scale.iterations),
+        );
+        let mut labels = Vec::new();
+        let mut curves = Vec::new();
+        let hand: Vec<&str> = HAND_PICKED_TOP8_YCSB_A.to_vec();
+        let arms: [(&str, Option<&[&str]>); 3] = [
+            ("All knobs", None),
+            ("SHAP top-8", Some(&shap8)),
+            ("Hand-picked top-8", Some(&hand)),
+        ];
+        for (label, subset) in arms {
+            let tuned_space = match subset {
+                None => catalog.clone(),
+                Some(names) => catalog.subspace(names),
+            };
+            let arm = run_tuning_arm(
+                label,
+                &runner,
+                &tuned_space,
+                |_| Box::new(IdentityAdapter::new(&tuned_space)),
+                OptimizerKind::Smac,
+                scale,
+            );
+            labels.push(label.to_string());
+            curves.push(arm.mean_curve());
+        }
+        let label_refs: Vec<&str> = labels.iter().map(String::as_str).collect();
+        print_curve_table(&label_refs, &curves, 10);
+    }
+}

@@ -1,0 +1,55 @@
+//! Figure 3: HeSBO vs REMBO low-dimensional projections (d = 8, 16, 24)
+//! against the high-dimensional SMAC baseline on YCSB-A.
+use llamatune::pipeline::{IdentityAdapter, LlamaTuneConfig, LlamaTunePipeline, ProjectionKind};
+use llamatune_bench::{print_curve_table, print_header, run_tuning_arm, ExpScale, OptimizerKind};
+use llamatune_space::catalog::postgres_v9_6;
+use llamatune_workloads::{ycsb_a, WorkloadRunner};
+
+fn main() {
+    let scale = ExpScale::from_env();
+    let catalog = postgres_v9_6();
+    let runner = WorkloadRunner::new(ycsb_a(), catalog.clone());
+    print_header(
+        "Figure 3: Best throughput on YCSB-A with REMBO/HeSBO projections (SMAC)",
+        &format!("{} seeds x {} iterations; projection only (no SVB / bucketization)", scale.seeds, scale.iterations),
+    );
+
+    let mut labels: Vec<String> = vec!["High-Dim".into()];
+    let mut curves = vec![run_tuning_arm(
+        "High-Dim",
+        &runner,
+        &catalog,
+        |_| Box::new(IdentityAdapter::new(&catalog)),
+        OptimizerKind::Smac,
+        scale,
+    )
+    .mean_curve()];
+
+    for kind in [ProjectionKind::Hesbo, ProjectionKind::Rembo] {
+        for d in [8usize, 16, 24] {
+            let name = format!("{}-{d}", if kind == ProjectionKind::Hesbo { "HeSBO" } else { "REMBO" });
+            let cfg = LlamaTuneConfig {
+                target_dim: d,
+                projection: kind,
+                special_value_bias: None,
+                bucket_count: None,
+            };
+            let arm = run_tuning_arm(
+                &name,
+                &runner,
+                &catalog,
+                |seed| Box::new(LlamaTunePipeline::new(&catalog, &cfg, seed)),
+                OptimizerKind::Smac,
+                scale,
+            );
+            labels.push(name);
+            curves.push(arm.mean_curve());
+        }
+    }
+    let label_refs: Vec<&str> = labels.iter().map(String::as_str).collect();
+    print_curve_table(&label_refs, &curves, 10);
+    println!("\nFinal bests:");
+    for (l, c) in labels.iter().zip(&curves) {
+        println!("  {l:<10} {:.0} tps", c.last().unwrap());
+    }
+}

@@ -1,0 +1,27 @@
+//! Figure 4: effect of backend_flush_after's special value "0" on YCSB-B
+//! throughput (single-knob sweep, defaults elsewhere).
+use llamatune_bench::print_header;
+use llamatune_space::catalog::postgres_v9_6;
+use llamatune_space::KnobValue;
+use llamatune_workloads::{ycsb_b, WorkloadRunner};
+
+fn main() {
+    let catalog = postgres_v9_6();
+    let runner = WorkloadRunner::new(ycsb_b(), catalog.clone());
+    let idx = catalog.index_of("backend_flush_after").unwrap();
+    print_header(
+        "Figure 4: Effect on perf. of special value \"0\" (backend_flush_after, YCSB-B)",
+        "value 0 disables forced writeback entirely; small values defeat write coalescing",
+    );
+    println!("{:>8} {:>14}", "value", "tput (tps)");
+    for v in [0i64, 1, 2, 5, 10, 20, 40, 80, 120, 160, 200, 256] {
+        let mut tputs = Vec::new();
+        for seed in 0..3 {
+            let mut cfg = catalog.default_config();
+            cfg.values_mut()[idx] = KnobValue::Int(v);
+            tputs.push(runner.evaluate(&catalog, &cfg, seed).score.unwrap_or(0.0));
+        }
+        let mark = if v == 0 { "  <- special value (writeback disabled)" } else { "" };
+        println!("{v:>8} {:>14.0}{mark}", llamatune_math::mean(&tputs));
+    }
+}

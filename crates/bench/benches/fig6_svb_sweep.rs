@@ -1,0 +1,38 @@
+//! Figure 6: special-value biasing sweep (0/5/10/20/30%) on YCSB-A and
+//! YCSB-B, applied to the full knob space with SMAC (Section 4.1 setup).
+use llamatune::pipeline::IdentityAdapter;
+use llamatune_bench::{print_curve_table, print_header, run_tuning_arm, ExpScale, OptimizerKind};
+use llamatune_space::catalog::postgres_v9_6;
+use llamatune_workloads::{workload_by_name, WorkloadRunner};
+
+fn main() {
+    let scale = ExpScale::from_env();
+    let catalog = postgres_v9_6();
+    for wl in ["ycsb_a", "ycsb_b"] {
+        let runner = WorkloadRunner::new(workload_by_name(wl).unwrap(), catalog.clone());
+        print_header(
+            &format!("Figure 6: special value biasing sweep on {wl} (SMAC, full space)"),
+            &format!("{} seeds x {} iterations", scale.seeds, scale.iterations),
+        );
+        let mut labels = Vec::new();
+        let mut curves = Vec::new();
+        for bias in [None, Some(0.05), Some(0.10), Some(0.20), Some(0.30)] {
+            let label = match bias {
+                None => "No SVB".to_string(),
+                Some(p) => format!("SVB={}%", (p * 100.0) as u32),
+            };
+            let arm = run_tuning_arm(
+                &label,
+                &runner,
+                &catalog,
+                |_| Box::new(IdentityAdapter::with_options(&catalog, bias, None)),
+                OptimizerKind::Smac,
+                scale,
+            );
+            labels.push(label);
+            curves.push(arm.mean_curve());
+        }
+        let label_refs: Vec<&str> = labels.iter().map(String::as_str).collect();
+        print_curve_table(&label_refs, &curves, 10);
+    }
+}

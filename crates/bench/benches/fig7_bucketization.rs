@@ -1,0 +1,38 @@
+//! Figure 7: bucketized space (K = 1k/5k/10k/20k unique values per knob)
+//! vs the original space on YCSB-A and YCSB-B (SMAC, Section 4.2 setup).
+use llamatune::pipeline::IdentityAdapter;
+use llamatune_bench::{print_curve_table, print_header, run_tuning_arm, ExpScale, OptimizerKind};
+use llamatune_space::catalog::postgres_v9_6;
+use llamatune_workloads::{workload_by_name, WorkloadRunner};
+
+fn main() {
+    let scale = ExpScale::from_env();
+    let catalog = postgres_v9_6();
+    for wl in ["ycsb_a", "ycsb_b"] {
+        let runner = WorkloadRunner::new(workload_by_name(wl).unwrap(), catalog.clone());
+        print_header(
+            &format!("Figure 7: bucketized vs original space on {wl} (SMAC)"),
+            &format!("{} seeds x {} iterations", scale.seeds, scale.iterations),
+        );
+        let mut labels = Vec::new();
+        let mut curves = Vec::new();
+        for k in [None, Some(1_000u64), Some(5_000), Some(10_000), Some(20_000)] {
+            let label = match k {
+                None => "No bucketization".to_string(),
+                Some(k) => format!("K={k}"),
+            };
+            let arm = run_tuning_arm(
+                &label,
+                &runner,
+                &catalog,
+                |_| Box::new(IdentityAdapter::with_options(&catalog, None, k)),
+                OptimizerKind::Smac,
+                scale,
+            );
+            labels.push(label);
+            curves.push(arm.mean_curve());
+        }
+        let label_refs: Vec<&str> = labels.iter().map(String::as_str).collect();
+        print_curve_table(&label_refs, &curves, 10);
+    }
+}

@@ -1,0 +1,51 @@
+//! Table 10: optimizer suggestion-time overhead, vanilla (90-dim space)
+//! vs LlamaTune (16-dim projected space), measured with Criterion.
+use criterion::{criterion_group, criterion_main, Criterion};
+use llamatune::pipeline::{IdentityAdapter, LlamaTuneConfig, LlamaTunePipeline, SearchSpaceAdapter};
+use llamatune_bench::OptimizerKind;
+use llamatune_optim::Observation;
+use llamatune_space::catalog::postgres_v9_6;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Pre-fills an optimizer with `n` synthetic observations so the measured
+/// suggest() reflects mid-session model sizes (the paper measures the
+/// whole 100-iteration session; per-suggestion time is the comparable
+/// unit).
+fn prefilled(kind: OptimizerKind, spec: &llamatune_optim::SearchSpec, n: usize) -> Box<dyn llamatune_optim::Optimizer> {
+    let mut opt = kind.build(spec, 7);
+    let mut rng = StdRng::seed_from_u64(1);
+    for i in 0..n {
+        let x: Vec<f64> = (0..spec.len()).map(|_| rng.random::<f64>()).collect();
+        let metrics: Vec<f64> = (0..27).map(|_| rng.random::<f64>()).collect();
+        opt.observe(Observation { x, y: i as f64, metrics });
+    }
+    opt
+}
+
+fn bench_overhead(c: &mut Criterion) {
+    let catalog = postgres_v9_6();
+    let baseline = IdentityAdapter::new(&catalog);
+    let llama = LlamaTunePipeline::new(&catalog, &LlamaTuneConfig::default(), 1);
+    let mut group = c.benchmark_group("table10_optimizer_overhead");
+    group.sample_size(10);
+    for (opt_name, kind) in [
+        ("smac", OptimizerKind::Smac),
+        ("gp_bo", OptimizerKind::GpBo),
+        ("ddpg", OptimizerKind::Ddpg),
+    ] {
+        for (space_name, spec) in [
+            ("baseline_90d", baseline.optimizer_spec()),
+            ("llamatune_16d", llama.optimizer_spec()),
+        ] {
+            group.bench_function(format!("{opt_name}/{space_name}/suggest"), |b| {
+                let mut opt = prefilled(kind, spec, 60);
+                b.iter(|| std::hint::black_box(opt.suggest()));
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_overhead);
+criterion_main!(benches);

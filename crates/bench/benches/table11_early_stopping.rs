@@ -1,0 +1,70 @@
+//! Table 11 (Appendix A): early-stopping policies applied to
+//! LlamaTune(SMAC) sessions — final improvement over full-budget vanilla
+//! SMAC and the iteration at which each session stopped.
+use llamatune::early_stop::EarlyStopPolicy;
+use llamatune::pipeline::{IdentityAdapter, LlamaTuneConfig, LlamaTunePipeline};
+use llamatune::report::final_improvement_pct;
+use llamatune_bench::{print_header, run_tuning_arm, ExpScale, OptimizerKind};
+use llamatune_space::catalog::postgres_v9_6;
+use llamatune_workloads::{workload_by_name, WorkloadRunner, WORKLOAD_NAMES};
+
+fn main() {
+    let scale = ExpScale::from_env();
+    let catalog = postgres_v9_6();
+    let policies = [
+        ("(0.5%, 10)", EarlyStopPolicy::HALF_PCT_10),
+        ("(1%, 10)", EarlyStopPolicy::ONE_PCT_10),
+        ("(1%, 20)", EarlyStopPolicy::ONE_PCT_20),
+    ];
+    print_header(
+        "Table 11: early-stopping policies (min-improvement %, patience)",
+        "Policies applied post-hoc to LlamaTune(SMAC) histories; improvement is \
+         vs full-budget vanilla SMAC",
+    );
+    println!(
+        "{:<18} {:>14} {:>8} {:>14} {:>8} {:>14} {:>8}",
+        "Workload", "(0.5%,10)", "iters", "(1%,10)", "iters", "(1%,20)", "iters"
+    );
+    for name in WORKLOAD_NAMES {
+        let spec = workload_by_name(name).unwrap();
+        let runner = WorkloadRunner::new(spec, catalog.clone());
+        let base = run_tuning_arm(
+            "SMAC",
+            &runner,
+            &catalog,
+            |_| Box::new(IdentityAdapter::new(&catalog)),
+            OptimizerKind::Smac,
+            scale,
+        );
+        let llama = run_tuning_arm(
+            "LlamaTune",
+            &runner,
+            &catalog,
+            |seed| Box::new(LlamaTunePipeline::new(&catalog, &LlamaTuneConfig::default(), seed)),
+            OptimizerKind::Smac,
+            scale,
+        );
+        let base_final = base.mean_final_best();
+        print!("{name:<18}");
+        for (_, policy) in &policies {
+            let mut improvements = Vec::new();
+            let mut stop_iters = Vec::new();
+            for h in &llama.histories {
+                let curve = &h.best_curve[1..];
+                let stop = policy.stop_index(curve).unwrap_or(curve.len());
+                let best_at_stop = curve[..stop.min(curve.len())]
+                    .iter()
+                    .cloned()
+                    .fold(f64::NEG_INFINITY, f64::max);
+                improvements.push(final_improvement_pct(base_final, best_at_stop));
+                stop_iters.push(stop as f64);
+            }
+            print!(
+                " {:>13.2}% {:>8.0}",
+                llamatune_math::mean(&improvements),
+                llamatune_math::mean(&stop_iters)
+            );
+        }
+        println!();
+    }
+}

@@ -1,0 +1,72 @@
+//! Table 1: SHAP's top-8 knobs for YCSB-A vs the hand-picked expert set
+//! (Section 2.3 methodology: LHS-evaluate configurations, fit a random
+//! forest, rank knobs by mean |SHAP|).
+use llamatune_analysis::{rank_knobs, shap_importance};
+use llamatune_bench::{print_header, ExpScale};
+use llamatune_math::latin_hypercube;
+use llamatune_optim::{RandomForest, RandomForestConfig, SearchSpec, ParamKind};
+use llamatune_space::catalog::{postgres_v9_6, HAND_PICKED_TOP8_YCSB_A};
+use llamatune_space::Domain;
+use llamatune_workloads::{ycsb_a, WorkloadRunner};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let scale = ExpScale::from_env();
+    // The paper evaluates 2,500 LHS configurations.
+    let n = if scale.quick { 300 } else { 2_500 };
+    let catalog = postgres_v9_6();
+    let runner = WorkloadRunner::new(ycsb_a(), catalog.clone());
+    print_header(
+        "Table 1: SHAP top-8 knobs vs hand-picked (YCSB-A)",
+        &format!("{n} LHS samples over 90 knobs; RF + path-dependent TreeSHAP"),
+    );
+
+    let spec = SearchSpec {
+        params: catalog
+            .knobs()
+            .iter()
+            .map(|k| match &k.domain {
+                Domain::Categorical { choices } => ParamKind::Categorical { n: choices.len() },
+                _ => ParamKind::Continuous { buckets: None },
+            })
+            .collect(),
+    };
+    let mut rng = StdRng::seed_from_u64(1);
+    let points = latin_hypercube(n, catalog.len(), &mut rng);
+    let mut xs = Vec::with_capacity(n);
+    let mut ys = Vec::with_capacity(n);
+    let mut worst = f64::INFINITY;
+    for (i, p) in points.iter().enumerate() {
+        let cfg = catalog.config_from_unit(p);
+        let out = runner.evaluate(&catalog, &cfg, i as u64);
+        let y = match out.score {
+            Some(v) => {
+                worst = worst.min(v);
+                v
+            }
+            None => worst.min(1_000.0) / 4.0, // crash penalty
+        };
+        xs.push(p.clone());
+        ys.push(y);
+    }
+    let forest = RandomForest::fit(&spec, &xs, &ys, &RandomForestConfig::default(), 7);
+    let importance = shap_importance(&forest, &xs[..xs.len().min(400)]);
+    let names: Vec<&str> = catalog.knobs().iter().map(|k| k.name).collect();
+    let ranked = rank_knobs(&names, &importance);
+
+    println!("{:<40} {}", "SHAP (top-8)", "Hand-picked (top-8)");
+    let mut hand: Vec<&str> = HAND_PICKED_TOP8_YCSB_A.to_vec();
+    hand.sort_unstable();
+    let mut shap_top: Vec<&str> = ranked.iter().take(8).map(|(n, _)| *n).collect();
+    shap_top.sort_unstable();
+    for i in 0..8 {
+        println!("{:<40} {}", shap_top[i], hand[i]);
+    }
+    println!("\nFull top-16 SHAP ranking (mean |SHAP| in tps):");
+    for (name, imp) in ranked.iter().take(16) {
+        println!("  {name:<36} {imp:>10.1}");
+    }
+    let overlap = shap_top.iter().filter(|n| hand.contains(n)).count();
+    println!("\nOverlap between SHAP top-8 and hand-picked: {overlap}/8");
+}

@@ -1,0 +1,25 @@
+//! Table 3: discrete knobs with very large value ranges (static catalog
+//! data), the motivation for search-space bucketization.
+use llamatune_bench::print_header;
+use llamatune_space::catalog::postgres_v9_6;
+
+fn main() {
+    let space = postgres_v9_6();
+    print_header(
+        "Table 3: discrete knobs with large value ranges (PostgreSQL v9.6)",
+        "Knobs with more than K = 10,000 unique values get bucketized",
+    );
+    println!("{:<32} {:>16} {:>12}  {}", "Knob", "Unique values", "Unit", "Description");
+    let mut rows: Vec<_> = space
+        .knobs()
+        .iter()
+        .filter_map(|k| k.domain.cardinality().map(|c| (k, c)))
+        .filter(|(_, c)| *c > 10_000)
+        .collect();
+    rows.sort_by_key(|(_, c)| std::cmp::Reverse(*c));
+    for (k, card) in &rows {
+        println!("{:<32} {:>16} {:>12?}  {}", k.name, card, k.unit, k.description);
+    }
+    let pct = rows.len() as f64 / space.len() as f64 * 100.0;
+    println!("\n{} of {} knobs ({pct:.0}%) exceed K = 10,000 unique values", rows.len(), space.len());
+}

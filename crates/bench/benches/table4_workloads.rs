@@ -1,0 +1,19 @@
+//! Table 4: workload properties (tables, columns, read-only fraction).
+use llamatune_bench::print_header;
+use llamatune_workloads::all_workloads;
+
+fn main() {
+    print_header("Table 4: Workload Properties", "");
+    println!("{:<20} {:>10} {:>10} {:>9} {:>10}", "Workload", "# Tables", "# Columns", "RO Txns", "DB size");
+    for spec in all_workloads() {
+        let columns: u32 = spec.tables.iter().map(|t| t.columns).sum();
+        println!(
+            "{:<20} {:>10} {:>10} {:>8.0}% {:>8.1}GB",
+            spec.name,
+            spec.tables.len(),
+            columns,
+            spec.read_only_fraction() * 100.0,
+            spec.total_bytes() as f64 / (1u64 << 30) as f64,
+        );
+    }
+}

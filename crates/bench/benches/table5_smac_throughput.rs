@@ -1,0 +1,90 @@
+//! Table 5 + Figures 9 and 10: LlamaTune (SMAC) vs vanilla SMAC, optimizing
+//! throughput on all six workloads.
+
+use llamatune::pipeline::{IdentityAdapter, LlamaTuneConfig, LlamaTunePipeline};
+use llamatune::report::convergence_map;
+use llamatune_bench::{
+    paired_rows, print_curve_table, print_header, print_row, run_tuning_arm, ExpScale,
+    OptimizerKind,
+};
+use llamatune_space::catalog::postgres_v9_6;
+use llamatune_workloads::{workload_by_name, WorkloadRunner, WORKLOAD_NAMES};
+
+fn main() {
+    let scale = ExpScale::from_env();
+    let catalog = postgres_v9_6();
+    print_header(
+        "Table 5: Perf. gains of LlamaTune when coupled with SMAC",
+        &format!(
+            "{} seeds x {} iterations; throughput objective; PostgreSQL v9.6 (simulated)",
+            scale.seeds, scale.iterations
+        ),
+    );
+    println!(
+        "{:<18} {:>9} {:<19} {:>8} {:<14} {}",
+        "Workload", "FinalImp", " [5%,95%] CI", "Speedup", "(catch-up)", "[5%,95%] CI"
+    );
+
+    let mut curves: Vec<(String, Vec<f64>, Vec<f64>)> = Vec::new();
+    for name in WORKLOAD_NAMES {
+        let spec = workload_by_name(name).expect("workload");
+        let runner = WorkloadRunner::new(spec, catalog.clone());
+        let base = run_tuning_arm(
+            "SMAC",
+            &runner,
+            &catalog,
+            |_| Box::new(IdentityAdapter::new(&catalog)),
+            OptimizerKind::Smac,
+            scale,
+        );
+        let llama = run_tuning_arm(
+            "LlamaTune (SMAC)",
+            &runner,
+            &catalog,
+            |seed| Box::new(LlamaTunePipeline::new(&catalog, &LlamaTuneConfig::default(), seed)),
+            OptimizerKind::Smac,
+            scale,
+        );
+        let row = paired_rows(name, &base, &llama);
+        print_row(&row, "throughput");
+        curves.push((name.to_string(), base.mean_curve(), llama.mean_curve()));
+    }
+
+    print_header(
+        "Figure 9: Best throughput convergence (mean over seeds)",
+        "Columns: vanilla SMAC vs LlamaTune(SMAC); YCSB-A, TPC-C, Twitter",
+    );
+    for name in ["ycsb_a", "tpcc", "twitter"] {
+        let (_, base, llama) = curves.iter().find(|(n, _, _)| n == name).unwrap();
+        println!("\n--- {name} ---");
+        print_curve_table(&["SMAC", "LlamaTune"], &[base.clone(), llama.clone()], 10);
+    }
+
+    print_header(
+        "Figure 10: LlamaTune convergence gains vs SMAC",
+        "For each LlamaTune iteration: earliest SMAC iteration with the same best perf \
+         ('-' = SMAC never reaches it; diamond = LlamaTune surpasses SMAC's final best)",
+    );
+    print!("{:>6}", "iter");
+    for (name, _, _) in &curves {
+        print!(" {name:>18}");
+    }
+    println!();
+    let maps: Vec<Vec<Option<usize>>> = curves
+        .iter()
+        .map(|(_, base, llama)| convergence_map(&llama[1..], &base[1..]))
+        .collect();
+    let len = maps.iter().map(Vec::len).max().unwrap_or(0);
+    let mut i = 0;
+    while i < len {
+        print!("{:>6}", i + 1);
+        for m in &maps {
+            match m.get(i) {
+                Some(Some(b)) => print!(" {b:>18}"),
+                _ => print!(" {:>18}", "-"),
+            }
+        }
+        println!();
+        i += 10;
+    }
+}

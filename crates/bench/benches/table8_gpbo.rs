@@ -1,0 +1,40 @@
+//! Table 8: LlamaTune coupled with GP-BO (Gaussian-process surrogate)
+//! instead of SMAC, on all six workloads.
+use llamatune::pipeline::{IdentityAdapter, LlamaTuneConfig, LlamaTunePipeline};
+use llamatune_bench::{paired_rows, print_header, print_row, run_tuning_arm, ExpScale, OptimizerKind};
+use llamatune_space::catalog::postgres_v9_6;
+use llamatune_workloads::{workload_by_name, WorkloadRunner, WORKLOAD_NAMES};
+
+fn main() {
+    let scale = ExpScale::from_env();
+    let catalog = postgres_v9_6();
+    print_header(
+        "Table 8: Performance gains of LlamaTune when coupled with GP-BO",
+        &format!("{} seeds x {} iterations; throughput objective", scale.seeds, scale.iterations),
+    );
+    println!(
+        "{:<18} {:>9} {:<19} {:>8} {:<14} {}",
+        "Workload", "FinalImp", " [5%,95%] CI", "Speedup", "(catch-up)", "[5%,95%] CI"
+    );
+    for name in WORKLOAD_NAMES {
+        let spec = workload_by_name(name).unwrap();
+        let runner = WorkloadRunner::new(spec, catalog.clone());
+        let base = run_tuning_arm(
+            "GP-BO",
+            &runner,
+            &catalog,
+            |_| Box::new(IdentityAdapter::new(&catalog)),
+            OptimizerKind::GpBo,
+            scale,
+        );
+        let llama = run_tuning_arm(
+            "LlamaTune (GP-BO)",
+            &runner,
+            &catalog,
+            |seed| Box::new(LlamaTunePipeline::new(&catalog, &LlamaTuneConfig::default(), seed)),
+            OptimizerKind::GpBo,
+            scale,
+        );
+        print_row(&paired_rows(name, &base, &llama), "throughput");
+    }
+}

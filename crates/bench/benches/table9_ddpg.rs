@@ -1,0 +1,43 @@
+//! Table 9: LlamaTune coupled with the DDPG reinforcement-learning
+//! optimizer (CDBTune-style), on the paper's four workloads.
+use llamatune::pipeline::{IdentityAdapter, LlamaTuneConfig, LlamaTunePipeline};
+use llamatune_bench::{paired_rows, print_header, print_row, run_tuning_arm, ExpScale, OptimizerKind};
+use llamatune_space::catalog::postgres_v9_6;
+use llamatune_workloads::{workload_by_name, WorkloadRunner};
+
+fn main() {
+    let scale = ExpScale::from_env();
+    let catalog = postgres_v9_6();
+    print_header(
+        "Table 9: Perf. gains of LlamaTune when coupled with DDPG",
+        &format!(
+            "{} seeds x {} iterations; state = 27 internal DBMS metrics",
+            scale.seeds, scale.iterations
+        ),
+    );
+    println!(
+        "{:<18} {:>9} {:<19} {:>8} {:<14} {}",
+        "Workload", "FinalImp", " [5%,95%] CI", "Speedup", "(catch-up)", "[5%,95%] CI"
+    );
+    for name in ["ycsb_b", "tpcc", "twitter", "resource_stresser"] {
+        let spec = workload_by_name(name).unwrap();
+        let runner = WorkloadRunner::new(spec, catalog.clone());
+        let base = run_tuning_arm(
+            "DDPG",
+            &runner,
+            &catalog,
+            |_| Box::new(IdentityAdapter::new(&catalog)),
+            OptimizerKind::Ddpg,
+            scale,
+        );
+        let llama = run_tuning_arm(
+            "LlamaTune (DDPG)",
+            &runner,
+            &catalog,
+            |seed| Box::new(LlamaTunePipeline::new(&catalog, &LlamaTuneConfig::default(), seed)),
+            OptimizerKind::Ddpg,
+            scale,
+        );
+        print_row(&paired_rows(name, &base, &llama), "throughput");
+    }
+}

@@ -1,0 +1,49 @@
+//! Single-knob sweeps around the default config, plus best-config diffs.
+use llamatune_space::catalog::postgres_v9_6;
+use llamatune_space::KnobValue;
+use llamatune_workloads::{workload_by_name, WorkloadRunner};
+
+fn main() {
+    let catalog = postgres_v9_6();
+    let wl = std::env::args().nth(1).unwrap_or_else(|| "ycsb_a".into());
+    let spec = workload_by_name(&wl).expect("workload");
+    let runner = WorkloadRunner::new(spec, catalog.clone());
+    let base_cfg = catalog.default_config();
+    let base = runner.evaluate(&catalog, &base_cfg, 1).score.unwrap();
+    println!("default: {base:.0} tps");
+
+    let sweeps: Vec<(&str, Vec<KnobValue>)> = vec![
+        ("shared_buffers", vec![KnobValue::Int(2048), KnobValue::Int(131072), KnobValue::Int(524288), KnobValue::Int(1048576)]),
+        ("synchronous_commit", vec![KnobValue::Cat(1)]),
+        ("fsync", vec![KnobValue::Cat(0)]),
+        ("commit_delay", vec![KnobValue::Int(2000), KnobValue::Int(20000)]),
+        ("wal_buffers", vec![KnobValue::Int(8), KnobValue::Int(2048)]),
+        ("max_wal_size", vec![KnobValue::Int(2), KnobValue::Int(16), KnobValue::Int(4096)]),
+        ("checkpoint_timeout", vec![KnobValue::Int(30), KnobValue::Int(3600)]),
+        ("full_page_writes", vec![KnobValue::Cat(0)]),
+        ("autovacuum", vec![KnobValue::Cat(0)]),
+        ("autovacuum_vacuum_scale_factor", vec![KnobValue::Float(0.01), KnobValue::Float(0.9)]),
+        ("backend_flush_after", vec![KnobValue::Int(2), KnobValue::Int(64), KnobValue::Int(256)]),
+        ("bgwriter_lru_maxpages", vec![KnobValue::Int(0), KnobValue::Int(1000)]),
+        ("wal_writer_flush_after", vec![KnobValue::Int(0), KnobValue::Int(8), KnobValue::Int(100000)]),
+        ("work_mem", vec![KnobValue::Int(64), KnobValue::Int(1048576)]),
+        ("effective_io_concurrency", vec![KnobValue::Int(0), KnobValue::Int(200)]),
+        ("random_page_cost", vec![KnobValue::Float(1.0), KnobValue::Float(50.0)]),
+        ("enable_seqscan", vec![KnobValue::Cat(0)]),
+        ("enable_indexscan", vec![KnobValue::Cat(0)]),
+        ("deadlock_timeout", vec![KnobValue::Int(10), KnobValue::Int(600000)]),
+        ("max_connections", vec![KnobValue::Int(45), KnobValue::Int(1000)]),
+    ];
+    for (name, values) in sweeps {
+        let idx = catalog.index_of(name).unwrap();
+        for v in values {
+            let mut cfg = base_cfg.clone();
+            cfg.values_mut()[idx] = v;
+            let out = runner.evaluate(&catalog, &cfg, 1);
+            match out.score {
+                Some(s) => println!("{name:>32} = {v:>10} -> {s:>8.0} tps ({:+.1}%)", (s - base) / base * 100.0),
+                None => println!("{name:>32} = {v:>10} -> CRASH"),
+            }
+        }
+    }
+}

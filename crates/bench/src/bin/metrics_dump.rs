@@ -1,0 +1,23 @@
+//! Dump the 27 metrics for a workload's default config.
+use llamatune_engine::METRIC_NAMES;
+use llamatune_space::catalog::postgres_v9_6;
+use llamatune_space::KnobValue;
+use llamatune_workloads::{workload_by_name, WorkloadRunner};
+
+fn main() {
+    let catalog = postgres_v9_6();
+    let wl = std::env::args().nth(1).unwrap_or_else(|| "ycsb_b".into());
+    let spec = workload_by_name(&wl).expect("workload");
+    let runner = WorkloadRunner::new(spec, catalog.clone());
+    let mut cfg = catalog.default_config();
+    if let Some(knob) = std::env::args().nth(2) {
+        let val: i64 = std::env::args().nth(3).unwrap().parse().unwrap();
+        let idx = catalog.index_of(&knob).unwrap();
+        cfg.values_mut()[idx] = KnobValue::Int(val);
+    }
+    let out = runner.run(&catalog, &cfg, 1);
+    println!("tput={:.0} p50={:.2}ms p95={:.2}ms", out.throughput_tps, out.p50_latency_ms, out.p95_latency_ms);
+    for (n, v) in METRIC_NAMES.iter().zip(&out.metrics) {
+        println!("{n:>28} = {v:.2}");
+    }
+}

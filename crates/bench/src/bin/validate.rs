@@ -1,0 +1,41 @@
+//! Quick headline validation: LlamaTune (SMAC) vs vanilla SMAC on YCSB-A.
+use llamatune::pipeline::{IdentityAdapter, LlamaTuneConfig, LlamaTunePipeline};
+use llamatune_bench::{paired_rows, print_curve_table, run_tuning_arm, ExpScale, OptimizerKind};
+use llamatune_space::catalog::postgres_v9_6;
+use llamatune_workloads::{workload_by_name, WorkloadRunner};
+use std::time::Instant;
+
+fn main() {
+    let scale = ExpScale { seeds: 3, iterations: 60, quick: true };
+    let catalog = postgres_v9_6();
+    let wl = std::env::args().nth(1).unwrap_or_else(|| "ycsb_a".into());
+    let spec = workload_by_name(&wl).expect("workload");
+    let runner = WorkloadRunner::new(spec, catalog.clone());
+
+    let t0 = Instant::now();
+    let base = run_tuning_arm(
+        "SMAC",
+        &runner,
+        &catalog,
+        |_seed| Box::new(IdentityAdapter::new(&catalog)),
+        OptimizerKind::Smac,
+        scale,
+    );
+    println!("baseline done in {:?}", t0.elapsed());
+    let t1 = Instant::now();
+    let llama = run_tuning_arm(
+        "LlamaTune",
+        &runner,
+        &catalog,
+        |seed| Box::new(LlamaTunePipeline::new(&catalog, &LlamaTuneConfig::default(), seed)),
+        OptimizerKind::Smac,
+        scale,
+    );
+    println!("llamatune done in {:?}", t1.elapsed());
+
+    let row = paired_rows(&wl, &base, &llama);
+    println!("\n{wl}: improvement {:+.2}% [{:+.1}%, {:+.1}%], speedup {:.2}x (catch-up at {:?})",
+        row.improvement.mean, row.improvement.ci_lo, row.improvement.ci_hi,
+        row.speedup.mean, row.catch_up_iter);
+    print_curve_table(&["SMAC", "LlamaTune"], &[base.mean_curve(), llama.mean_curve()], 5);
+}

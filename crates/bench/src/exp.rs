@@ -1,0 +1,289 @@
+//! Shared experiment machinery: arm runners (parallel over seeds),
+//! aggregation, and the paper's summary statistics.
+
+use llamatune::pipeline::SearchSpaceAdapter;
+use llamatune::report::{final_improvement_pct, time_to_optimal};
+use llamatune::session::{run_session, EvalResult, SessionHistory, SessionOptions};
+use llamatune_math::Summary;
+use llamatune_optim::{
+    Ddpg, DdpgConfig, GpBo, GpConfig, Optimizer, SearchSpec, Smac, SmacConfig,
+};
+use llamatune_space::ConfigSpace;
+use llamatune_workloads::WorkloadRunner;
+
+/// Experiment scale, read from the environment.
+#[derive(Debug, Clone, Copy)]
+pub struct ExpScale {
+    pub seeds: u64,
+    pub iterations: usize,
+    pub quick: bool,
+}
+
+impl ExpScale {
+    /// Reads `LLAMATUNE_SEEDS` / `LLAMATUNE_ITERS` / `LLAMATUNE_QUICK`.
+    pub fn from_env() -> Self {
+        let quick = std::env::var("LLAMATUNE_QUICK").is_ok_and(|v| v == "1");
+        let seeds = std::env::var("LLAMATUNE_SEEDS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(if quick { 3 } else { 5 });
+        let iterations = std::env::var("LLAMATUNE_ITERS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(if quick { 50 } else { 100 });
+        ExpScale { seeds, iterations, quick }
+    }
+}
+
+/// The three optimizer families of the evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OptimizerKind {
+    Smac,
+    GpBo,
+    Ddpg,
+}
+
+impl OptimizerKind {
+    /// Builds a fresh optimizer instance over `spec`.
+    pub fn build(self, spec: &SearchSpec, seed: u64) -> Box<dyn Optimizer> {
+        match self {
+            OptimizerKind::Smac => {
+                Box::new(Smac::new(spec.clone(), SmacConfig::default(), seed))
+            }
+            OptimizerKind::GpBo => Box::new(GpBo::new(spec.clone(), GpConfig::default(), seed)),
+            OptimizerKind::Ddpg => {
+                Box::new(Ddpg::new(spec.clone(), 27, DdpgConfig::default(), seed))
+            }
+        }
+    }
+}
+
+/// All sessions of one experiment arm (one per seed).
+#[derive(Debug, Clone)]
+pub struct ArmResult {
+    pub label: String,
+    pub histories: Vec<SessionHistory>,
+}
+
+impl ArmResult {
+    /// Best final score per seed.
+    pub fn final_bests(&self) -> Vec<f64> {
+        self.histories.iter().filter_map(SessionHistory::best_score).collect()
+    }
+
+    /// Mean final best across seeds.
+    pub fn mean_final_best(&self) -> f64 {
+        llamatune_math::mean(&self.final_bests())
+    }
+
+    /// Mean best-so-far curve across seeds.
+    pub fn mean_curve(&self) -> Vec<f64> {
+        aggregate_curves(&self.histories)
+    }
+}
+
+/// Runs one tuning arm: `seeds` sessions of `iterations` each, in parallel
+/// across seeds. The `adapter_for` and `optimizer_for` factories receive
+/// the seed so that projections and optimizers vary per session (the
+/// paper repeats each experiment "five times with different random seeds").
+pub fn run_tuning_arm(
+    label: &str,
+    runner: &WorkloadRunner,
+    tuned_space: &ConfigSpace,
+    adapter_for: impl Fn(u64) -> Box<dyn SearchSpaceAdapter> + Sync,
+    optimizer: OptimizerKind,
+    scale: ExpScale,
+) -> ArmResult {
+    let mut histories: Vec<Option<SessionHistory>> = (0..scale.seeds).map(|_| None).collect();
+    let threads = std::thread::available_parallelism().map_or(2, |n| n.get()).min(8);
+    let chunk = histories.len().div_ceil(threads);
+
+    crossbeam::thread::scope(|scope| {
+        for (t, slot_chunk) in histories.chunks_mut(chunk).enumerate() {
+            let adapter_for = &adapter_for;
+            scope.spawn(move |_| {
+                for (off, slot) in slot_chunk.iter_mut().enumerate() {
+                    let seed = (t * chunk + off) as u64;
+                    let adapter = adapter_for(seed);
+                    let opt = optimizer.build(adapter.optimizer_spec(), seed ^ 0x0BB5);
+                    let opts = SessionOptions {
+                        iterations: scale.iterations,
+                        n_init: 10.min(scale.iterations / 2).max(1),
+                        seed,
+                        early_stop: None,
+                    };
+                    let objective = |cfg: &llamatune_space::Config| {
+                        let out = runner.evaluate(tuned_space, cfg, seed ^ 0x5EED);
+                        EvalResult { score: out.score, metrics: out.result.metrics }
+                    };
+                    *slot = Some(run_session(adapter.as_ref(), opt, objective, &opts));
+                }
+            });
+        }
+    })
+    .expect("experiment threads");
+
+    ArmResult {
+        label: label.to_string(),
+        histories: histories.into_iter().map(|h| h.expect("session ran")).collect(),
+    }
+}
+
+/// Mean best-so-far curve across sessions (curves may differ in length
+/// when early stopping fires; shorter curves extend with their last value).
+pub fn aggregate_curves(histories: &[SessionHistory]) -> Vec<f64> {
+    let len = histories.iter().map(|h| h.best_curve.len()).max().unwrap_or(0);
+    let mut out = vec![0.0; len];
+    for h in histories {
+        for (i, slot) in out.iter_mut().enumerate() {
+            let v = h
+                .best_curve
+                .get(i)
+                .or(h.best_curve.last())
+                .copied()
+                .unwrap_or(0.0);
+            *slot += v;
+        }
+    }
+    for v in out.iter_mut() {
+        *v /= histories.len().max(1) as f64;
+    }
+    out
+}
+
+/// One row of a Table 5/6/7/8/9-style comparison.
+#[derive(Debug, Clone)]
+pub struct PairedRow {
+    pub workload: String,
+    /// Final-improvement % of candidate over baseline: mean and CI.
+    pub improvement: Summary,
+    /// Time-to-optimal speedup (candidate vs baseline-final): mean and CI,
+    /// plus the candidate iteration at which the mean curve catches up.
+    pub speedup: Summary,
+    pub catch_up_iter: Option<usize>,
+}
+
+/// Builds the paired comparison row between a baseline arm and a candidate
+/// arm, seed-by-seed (matching seeds are paired).
+pub fn paired_rows(workload: &str, baseline: &ArmResult, candidate: &ArmResult) -> PairedRow {
+    let base_bests = baseline.final_bests();
+    let cand_bests = candidate.final_bests();
+    let base_mean_final = llamatune_math::mean(&base_bests);
+
+    let improvements: Vec<f64> = cand_bests
+        .iter()
+        .zip(&base_bests)
+        .map(|(c, b)| final_improvement_pct(*b, *c))
+        .collect();
+
+    let total_iters = baseline
+        .histories
+        .iter()
+        .map(|h| h.best_curve.len().saturating_sub(1))
+        .max()
+        .unwrap_or(0)
+        .max(1);
+    let speedups: Vec<f64> = candidate
+        .histories
+        .iter()
+        .map(|h| {
+            // Skip the iteration-0 default entry.
+            match time_to_optimal(&h.best_curve[1..], base_mean_final) {
+                Some(iter) => total_iters as f64 / iter as f64,
+                None => 1.0, // never caught up within the budget
+            }
+        })
+        .collect();
+    let catch_up_iter = time_to_optimal(&candidate.mean_curve()[1..], base_mean_final);
+
+    PairedRow {
+        workload: workload.to_string(),
+        improvement: Summary::from_samples(&improvements),
+        speedup: Summary::from_samples(&speedups),
+        catch_up_iter,
+    }
+}
+
+/// Convenience: summary of one arm's final bests.
+pub fn arm_summary(arm: &ArmResult) -> Summary {
+    Summary::from_samples(&arm.final_bests())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use llamatune::session::SessionHistory;
+
+    fn history(curve: Vec<f64>) -> SessionHistory {
+        SessionHistory {
+            configs: Vec::new(),
+            points: Vec::new(),
+            scores: Vec::new(),
+            raw_scores: Vec::new(),
+            best_curve: curve,
+            stopped_at: None,
+        }
+    }
+
+    #[test]
+    fn aggregate_extends_short_curves() {
+        let h1 = history(vec![1.0, 2.0, 3.0]);
+        let h2 = history(vec![2.0, 4.0]);
+        let mean = aggregate_curves(&[h1, h2]);
+        assert_eq!(mean, vec![1.5, 3.0, 3.5]);
+    }
+
+    #[test]
+    fn paired_rows_compute_improvement_and_speedup() {
+        // Baseline reaches 100 at the end of 10 iterations.
+        let base = ArmResult {
+            label: "base".into(),
+            histories: vec![history(
+                std::iter::once(0.0)
+                    .chain((1..=10).map(|i| 10.0 * i as f64))
+                    .collect(),
+            )],
+        };
+        // Candidate hits 110 from iteration 2 onward.
+        let cand = ArmResult {
+            label: "cand".into(),
+            histories: vec![history(
+                std::iter::once(0.0)
+                    .chain((1..=10).map(|i| if i >= 2 { 110.0 } else { 50.0 }))
+                    .collect(),
+            )],
+        };
+        let row = paired_rows("test", &base, &cand);
+        assert!((row.improvement.mean - 10.0).abs() < 1e-9);
+        assert_eq!(row.catch_up_iter, Some(2));
+        assert!((row.speedup.mean - 5.0).abs() < 1e-9, "10 iters / 2 = 5x");
+    }
+
+    #[test]
+    fn never_catching_up_counts_as_1x() {
+        let base = ArmResult {
+            label: "base".into(),
+            histories: vec![history(vec![0.0, 100.0, 100.0])],
+        };
+        let cand = ArmResult {
+            label: "cand".into(),
+            histories: vec![history(vec![0.0, 50.0, 60.0])],
+        };
+        let row = paired_rows("t", &base, &cand);
+        assert_eq!(row.speedup.mean, 1.0);
+        assert_eq!(row.catch_up_iter, None);
+        assert!(row.improvement.mean < 0.0);
+    }
+
+    #[test]
+    fn scale_from_env_defaults() {
+        // Without env vars: paper scale.
+        std::env::remove_var("LLAMATUNE_SEEDS");
+        std::env::remove_var("LLAMATUNE_ITERS");
+        std::env::remove_var("LLAMATUNE_QUICK");
+        let s = ExpScale::from_env();
+        assert_eq!(s.seeds, 5);
+        assert_eq!(s.iterations, 100);
+        assert!(!s.quick);
+    }
+}

@@ -1,0 +1,70 @@
+//! Text rendering of tables and figure series (the harness prints the
+//! same rows the paper reports).
+
+use crate::exp::PairedRow;
+
+/// Prints an experiment header banner.
+pub fn print_header(title: &str, detail: &str) {
+    println!();
+    println!("================================================================");
+    println!("{title}");
+    if !detail.is_empty() {
+        println!("{detail}");
+    }
+    println!("================================================================");
+}
+
+/// Prints one paired-comparison row in the style of Tables 5-9.
+pub fn print_row(row: &PairedRow, _metric: &str) {
+    let catch = match row.catch_up_iter {
+        Some(i) => format!("[{i} iter]"),
+        None => "[not reached]".to_string(),
+    };
+    println!(
+        "{:<18} {:>8.2}% [{:>6.1}%, {:>6.1}%]   {:>6.2}x {:<14} [{:.1}x, {:.1}x]",
+        row.workload,
+        row.improvement.mean,
+        row.improvement.ci_lo,
+        row.improvement.ci_hi,
+        row.speedup.mean,
+        catch,
+        row.speedup.ci_lo,
+        row.speedup.ci_hi,
+    );
+}
+
+/// Prints best-so-far curves as an iteration-indexed table (one column per
+/// labelled series), sampled every `step` iterations.
+pub fn print_curve_table(labels: &[&str], curves: &[Vec<f64>], step: usize) {
+    assert_eq!(labels.len(), curves.len());
+    print!("{:>6}", "iter");
+    for l in labels {
+        print!(" {l:>18}");
+    }
+    println!();
+    let len = curves.iter().map(Vec::len).max().unwrap_or(0);
+    let mut i = 0;
+    while i < len {
+        print!("{i:>6}");
+        for c in curves {
+            match c.get(i).or(c.last()) {
+                Some(v) => print!(" {v:>18.1}"),
+                None => print!(" {:>18}", "-"),
+            }
+        }
+        println!();
+        i += step.max(1);
+    }
+    // Always close with the final iteration.
+    if (len > 0) && (len - 1) % step.max(1) != 0 {
+        let i = len - 1;
+        print!("{i:>6}");
+        for c in curves {
+            match c.get(i).or(c.last()) {
+                Some(v) => print!(" {v:>18.1}"),
+                None => print!(" {:>18}", "-"),
+            }
+        }
+        println!();
+    }
+}

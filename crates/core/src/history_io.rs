@@ -1,0 +1,154 @@
+//! Plain-text persistence of tuning sessions (the knowledge base of
+//! Figure 1): a tab-separated transcript that survives process restarts
+//! and feeds post-hoc analysis such as the Table 11 early-stopping study.
+//!
+//! Format: one header line, then one line per iteration with the
+//! iteration index, raw score (`crash` for crashed runs), penalized
+//! score, and the optimizer-space point.
+
+use crate::session::SessionHistory;
+use llamatune_space::{Config, ConfigSpace};
+
+/// Serializes a history (scores + optimizer points + knob configs) as TSV.
+pub fn to_tsv(space: &ConfigSpace, history: &SessionHistory) -> String {
+    let mut out = String::from("iter\traw_score\tscore\tpoint\tconfig\n");
+    for i in 0..history.scores.len() {
+        let raw = match history.raw_scores[i] {
+            Some(v) => format!("{v}"),
+            None => "crash".to_string(),
+        };
+        let point = history.points[i]
+            .iter()
+            .map(|v| format!("{v}"))
+            .collect::<Vec<_>>()
+            .join(",");
+        let config = history.configs[i]
+            .values()
+            .iter()
+            .map(|v| v.to_string())
+            .collect::<Vec<_>>()
+            .join(",");
+        out.push_str(&format!("{i}\t{raw}\t{}\t{point}\t{config}\n", history.scores[i]));
+    }
+    debug_assert_eq!(space.len(), history.configs[0].values().len());
+    out
+}
+
+/// Restores the score curves (not the configs) from a TSV transcript —
+/// enough for every post-hoc analysis in the paper (best curves,
+/// improvements, early-stopping replay).
+pub fn curves_from_tsv(text: &str) -> Result<(Vec<f64>, Vec<Option<f64>>), String> {
+    let mut scores = Vec::new();
+    let mut raw = Vec::new();
+    for (i, line) in text.lines().enumerate().skip(1) {
+        let mut fields = line.split('\t');
+        let _iter = fields.next().ok_or_else(|| format!("line {}: empty", i + 1))?;
+        let raw_s = fields.next().ok_or_else(|| format!("line {}: missing raw", i + 1))?;
+        let score_s = fields.next().ok_or_else(|| format!("line {}: missing score", i + 1))?;
+        raw.push(if raw_s == "crash" {
+            None
+        } else {
+            Some(raw_s.parse().map_err(|e| format!("line {}: {e}", i + 1))?)
+        });
+        scores.push(score_s.parse().map_err(|e| format!("line {}: {e}", i + 1))?);
+    }
+    if scores.is_empty() {
+        return Err("empty transcript".into());
+    }
+    Ok((scores, raw))
+}
+
+/// Rebuilds the best-so-far curve from penalized scores (iteration 0 is
+/// the default-config run, excluded from the tuner's best as in the
+/// paper's plots).
+pub fn best_curve_from_scores(scores: &[f64]) -> Vec<f64> {
+    let mut out = Vec::with_capacity(scores.len());
+    let mut best = f64::NEG_INFINITY;
+    for (i, &s) in scores.iter().enumerate() {
+        if i == 0 {
+            out.push(s);
+        } else {
+            best = best.max(s);
+            out.push(best);
+        }
+    }
+    out
+}
+
+/// Renders the best configuration as a `postgresql.conf` fragment — the
+/// deliverable a tuning session hands to the operator.
+pub fn best_config_conf(space: &ConfigSpace, history: &SessionHistory) -> Option<String> {
+    history
+        .best_config()
+        .map(|cfg: &Config| llamatune_space::conf_file::to_conf(space, cfg, true))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::{IdentityAdapter, SearchSpaceAdapter};
+    use crate::session::{run_session, EvalResult, SessionOptions};
+    use llamatune_optim::RandomSearch;
+    use llamatune_space::catalog::postgres_v9_6;
+
+    fn tiny_history() -> (ConfigSpace, SessionHistory) {
+        let space = postgres_v9_6();
+        let adapter = IdentityAdapter::new(&space);
+        let opt = RandomSearch::new(adapter.optimizer_spec().clone(), 1);
+        let sb = space.index_of("shared_buffers").unwrap();
+        let mut calls = 0;
+        let h = run_session(
+            &adapter,
+            Box::new(opt),
+            move |cfg| {
+                calls += 1;
+                if calls == 3 {
+                    EvalResult { score: None, metrics: vec![] } // one crash
+                } else {
+                    EvalResult {
+                        score: Some(cfg.values()[sb].as_float() / 1e4),
+                        metrics: vec![],
+                    }
+                }
+            },
+            &SessionOptions { iterations: 6, n_init: 2, ..Default::default() },
+        );
+        (space, h)
+    }
+
+    #[test]
+    fn tsv_roundtrip_restores_curves() {
+        let (space, h) = tiny_history();
+        let tsv = to_tsv(&space, &h);
+        let (scores, raw) = curves_from_tsv(&tsv).unwrap();
+        assert_eq!(scores, h.scores);
+        assert_eq!(raw, h.raw_scores);
+        let rebuilt = best_curve_from_scores(&scores);
+        assert_eq!(rebuilt, h.best_curve);
+    }
+
+    #[test]
+    fn crash_markers_survive() {
+        let (space, h) = tiny_history();
+        let tsv = to_tsv(&space, &h);
+        assert!(tsv.contains("\tcrash\t"), "crash marker missing:\n{tsv}");
+        let (_, raw) = curves_from_tsv(&tsv).unwrap();
+        assert_eq!(raw.iter().filter(|r| r.is_none()).count(), 1);
+    }
+
+    #[test]
+    fn malformed_transcripts_are_rejected() {
+        assert!(curves_from_tsv("").is_err());
+        assert!(curves_from_tsv("header\n1\tnot_a_number\t2\t\t\n").is_err());
+        assert!(curves_from_tsv("header only\n").is_err());
+    }
+
+    #[test]
+    fn best_config_renders_as_conf() {
+        let (space, h) = tiny_history();
+        let conf = best_config_conf(&space, &h).unwrap();
+        // The best config must parse back cleanly.
+        let parsed = llamatune_space::conf_file::from_conf(&space, &conf).unwrap();
+        assert!(space.validate(&parsed).is_ok());
+    }
+}

@@ -1,0 +1,310 @@
+//! Shared-buffer pool with clock (second-chance) eviction, and the OS page
+//! cache that sits beneath it.
+//!
+//! `shared_buffers` sets the pool's frame count; pages missing from the pool
+//! may still hit the OS cache (tracked at 128 kB chunk granularity — the OS
+//! reads ahead, so chunk-level residency is the honest model) before paying
+//! for a disk read. Dirty frames evicted by a backend incur a foreground
+//! write, which is what the background writer exists to prevent.
+
+use std::collections::HashMap;
+
+/// Identifies an 8 kB page: table id in the high bits, page number below.
+pub type PageId = u64;
+
+/// Builds a [`PageId`] from a table id and page number.
+pub fn page_id(table: u32, page_no: u64) -> PageId {
+    ((table as u64) << 40) | (page_no & 0xFF_FFFF_FFFF)
+}
+
+/// Result of a buffer-pool page access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Access {
+    /// Found in shared buffers.
+    Hit,
+    /// Missed shared buffers; a clean frame was (or could be) reclaimed.
+    Miss {
+        /// The eviction displaced a dirty page, forcing a foreground write.
+        dirty_eviction: bool,
+    },
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Frame {
+    page: PageId,
+    referenced: bool,
+    dirty: bool,
+}
+
+/// Clock buffer pool over 8 kB frames.
+#[derive(Debug)]
+pub struct BufferPool {
+    frames: Vec<Frame>,
+    map: HashMap<PageId, u32>,
+    capacity: usize,
+    hand: usize,
+    dirty_count: usize,
+}
+
+impl BufferPool {
+    /// Creates a pool with `capacity` frames (>= 16, like PostgreSQL).
+    pub fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(16);
+        BufferPool {
+            // Grow lazily: most runs touch far fewer pages than the
+            // configured capacity, and evaluations are frequent.
+            frames: Vec::with_capacity(capacity.min(4_096)),
+            map: HashMap::with_capacity(capacity.min(4_096)),
+            capacity,
+            hand: 0,
+            dirty_count: 0,
+        }
+    }
+
+    /// Number of frames currently holding pages.
+    pub fn resident(&self) -> usize {
+        self.frames.len()
+    }
+
+    /// Configured capacity in frames.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of dirty frames.
+    pub fn dirty(&self) -> usize {
+        self.dirty_count
+    }
+
+    /// Accesses `page`, faulting it in on a miss; `write` marks it dirty.
+    pub fn access(&mut self, page: PageId, write: bool) -> Access {
+        if let Some(&slot) = self.map.get(&page) {
+            let f = &mut self.frames[slot as usize];
+            f.referenced = true;
+            if write && !f.dirty {
+                f.dirty = true;
+                self.dirty_count += 1;
+            }
+            return Access::Hit;
+        }
+        let mut dirty_eviction = false;
+        let slot = if self.frames.len() < self.capacity {
+            self.frames.push(Frame { page, referenced: true, dirty: write });
+            self.frames.len() - 1
+        } else {
+            let victim = self.run_clock();
+            let old = self.frames[victim];
+            self.map.remove(&old.page);
+            if old.dirty {
+                dirty_eviction = true;
+                self.dirty_count -= 1;
+            }
+            self.frames[victim] = Frame { page, referenced: true, dirty: write };
+            victim
+        };
+        if write {
+            self.dirty_count += 1;
+        }
+        self.map.insert(page, slot as u32);
+        Access::Miss { dirty_eviction }
+    }
+
+    /// Second-chance sweep returning the victim slot.
+    fn run_clock(&mut self) -> usize {
+        loop {
+            let f = &mut self.frames[self.hand];
+            if f.referenced {
+                f.referenced = false;
+                self.hand = (self.hand + 1) % self.frames.len();
+            } else {
+                let victim = self.hand;
+                self.hand = (self.hand + 1) % self.frames.len();
+                return victim;
+            }
+        }
+    }
+
+    /// Cleans up to `max_pages` dirty frames (background writer / checkpoint
+    /// work), returning how many were written.
+    pub fn clean_dirty(&mut self, max_pages: usize) -> usize {
+        if self.dirty_count == 0 || max_pages == 0 {
+            return 0;
+        }
+        let mut written = 0;
+        // Sweep from the clock hand — the same order eviction would find
+        // them, which is exactly the LRU-ish set the bgwriter targets.
+        let n = self.frames.len();
+        for i in 0..n {
+            if written >= max_pages {
+                break;
+            }
+            let idx = (self.hand + i) % n;
+            let f = &mut self.frames[idx];
+            if f.dirty {
+                f.dirty = false;
+                written += 1;
+            }
+        }
+        self.dirty_count -= written;
+        written
+    }
+}
+
+/// OS page cache tracked at 32 kB (4-page) chunk granularity with clock
+/// eviction. Capacity is a fraction of whatever RAM the DBMS and other
+/// processes leave free: random-access traffic wastes most of each
+/// readahead chunk and competes with writeback and double buffering, so
+/// only [`OS_CACHE_EFFECTIVE_FRAC`] of free memory acts as an effective
+/// cache for the DBMS's random reads.
+#[derive(Debug)]
+pub struct OsCache {
+    pool: BufferPool,
+}
+
+/// Pages per OS-cache chunk (32 kB / 8 kB).
+pub const CHUNK_PAGES: u64 = 4;
+
+/// Effective fraction of free RAM acting as page cache for random reads.
+pub const OS_CACHE_EFFECTIVE_FRAC: f64 = 0.45;
+
+impl OsCache {
+    /// Creates a cache over `bytes` of free memory.
+    pub fn new(bytes: u64) -> Self {
+        let effective = (bytes as f64 * OS_CACHE_EFFECTIVE_FRAC) as u64;
+        let chunks = (effective / (CHUNK_PAGES * 8 * 1024)).max(16);
+        OsCache { pool: BufferPool::new(chunks as usize) }
+    }
+
+    /// Whether the chunk containing `page` is resident; touches it in
+    /// either case (misses fault the chunk in).
+    pub fn access(&mut self, page: PageId) -> bool {
+        let chunk = page / CHUNK_PAGES;
+        matches!(self.pool.access(chunk, false), Access::Hit)
+    }
+
+    /// Chunk capacity.
+    pub fn capacity_chunks(&self) -> usize {
+        self.pool.capacity()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn hits_after_fault() {
+        let mut bp = BufferPool::new(64);
+        assert_eq!(bp.access(page_id(1, 0), false), Access::Miss { dirty_eviction: false });
+        assert_eq!(bp.access(page_id(1, 0), false), Access::Hit);
+        assert_eq!(bp.resident(), 1);
+    }
+
+    #[test]
+    fn capacity_is_enforced() {
+        let mut bp = BufferPool::new(16);
+        for i in 0..100 {
+            bp.access(page_id(0, i), false);
+        }
+        assert_eq!(bp.resident(), 16);
+    }
+
+    #[test]
+    fn minimum_capacity_clamped() {
+        let bp = BufferPool::new(1);
+        assert_eq!(bp.capacity(), 16);
+    }
+
+    #[test]
+    fn clock_keeps_hot_pages() {
+        let mut bp = BufferPool::new(16);
+        // Fill the pool, keep page 0 hot.
+        for i in 0..16 {
+            bp.access(page_id(0, i), false);
+        }
+        for round in 0..50u64 {
+            bp.access(page_id(0, 0), false); // hot page
+            bp.access(page_id(0, 100 + round), false); // cold stream
+        }
+        // The hot page must still be resident.
+        assert_eq!(bp.access(page_id(0, 0), false), Access::Hit);
+    }
+
+    #[test]
+    fn dirty_eviction_reported() {
+        let mut bp = BufferPool::new(16);
+        for i in 0..16 {
+            bp.access(page_id(0, i), true); // all dirty
+        }
+        assert_eq!(bp.dirty(), 16);
+        // Next miss must evict a dirty page.
+        match bp.access(page_id(0, 999), false) {
+            Access::Miss { dirty_eviction } => assert!(dirty_eviction),
+            Access::Hit => panic!("expected miss"),
+        }
+        assert_eq!(bp.dirty(), 15);
+    }
+
+    #[test]
+    fn rewriting_dirty_page_counts_once() {
+        let mut bp = BufferPool::new(16);
+        bp.access(page_id(0, 1), true);
+        bp.access(page_id(0, 1), true);
+        assert_eq!(bp.dirty(), 1);
+    }
+
+    #[test]
+    fn clean_dirty_reduces_dirty_count() {
+        let mut bp = BufferPool::new(32);
+        for i in 0..20 {
+            bp.access(page_id(0, i), true);
+        }
+        let written = bp.clean_dirty(8);
+        assert_eq!(written, 8);
+        assert_eq!(bp.dirty(), 12);
+        let written = bp.clean_dirty(100);
+        assert_eq!(written, 12);
+        assert_eq!(bp.dirty(), 0);
+        assert_eq!(bp.clean_dirty(100), 0);
+    }
+
+    #[test]
+    fn os_cache_chunk_locality() {
+        let mut os = OsCache::new(1024 * 1024 * 1024);
+        assert!(!os.access(page_id(0, 0)));
+        // Neighbouring page in the same 4-page chunk now hits.
+        assert!(os.access(page_id(0, 1)));
+        // A page in a different chunk misses.
+        assert!(!os.access(page_id(0, 64)));
+    }
+
+    #[test]
+    fn os_cache_capacity_reflects_effective_fraction() {
+        let os = OsCache::new(1 << 30);
+        let expected = ((1u64 << 30) as f64 * OS_CACHE_EFFECTIVE_FRAC) as u64
+            / (CHUNK_PAGES * 8 * 1024);
+        assert_eq!(os.capacity_chunks() as u64, expected);
+    }
+
+    #[test]
+    fn page_id_separates_tables() {
+        assert_ne!(page_id(1, 7), page_id(2, 7));
+        assert_ne!(page_id(1, 7), page_id(1, 8));
+    }
+
+    proptest! {
+        /// Invariants: resident <= capacity, dirty <= resident, and a page
+        /// just accessed is always a hit on re-access.
+        #[test]
+        fn pool_invariants(ops in proptest::collection::vec((0u64..200, any::<bool>()), 1..300)) {
+            let mut bp = BufferPool::new(32);
+            for (page, write) in ops {
+                bp.access(page_id(0, page), write);
+                prop_assert!(bp.resident() <= bp.capacity());
+                prop_assert!(bp.dirty() <= bp.resident());
+                prop_assert_eq!(bp.access(page_id(0, page), false), Access::Hit);
+            }
+        }
+    }
+}

@@ -1,0 +1,373 @@
+//! DDPG: Deep Deterministic Policy Gradient (Lillicrap et al. 2016), in
+//! the CDBTune/QTune configuration-tuning formulation [38, 18]:
+//!
+//! * **state** — the DBMS's internal metrics vector for the current
+//!   configuration (27 system-wide metrics in the paper);
+//! * **action** — the next configuration, as a unit-space vector;
+//! * **reward** — CDBTune's compound delta against both the initial and
+//!   the previous performance.
+
+use crate::nn::{Activation, Mlp};
+use crate::spec::{Observation, Optimizer, SearchSpec};
+use llamatune_math::{Normal, RunningStats};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// DDPG hyperparameters.
+#[derive(Debug, Clone)]
+pub struct DdpgConfig {
+    pub hidden: usize,
+    pub actor_lr: f64,
+    pub critic_lr: f64,
+    pub gamma: f64,
+    pub tau: f64,
+    pub batch_size: usize,
+    pub train_steps_per_observe: usize,
+    pub replay_capacity: usize,
+    /// Initial OU noise scale (decays multiplicatively).
+    pub noise_sigma: f64,
+    pub noise_decay: f64,
+}
+
+impl Default for DdpgConfig {
+    fn default() -> Self {
+        DdpgConfig {
+            hidden: 64,
+            actor_lr: 1e-3,
+            critic_lr: 1e-3,
+            gamma: 0.9,
+            tau: 0.01,
+            batch_size: 32,
+            train_steps_per_observe: 5,
+            replay_capacity: 2_000,
+            noise_sigma: 0.4,
+            noise_decay: 0.985,
+        }
+    }
+}
+
+struct Transition {
+    state: Vec<f64>,
+    action: Vec<f64>,
+    reward: f64,
+    next_state: Vec<f64>,
+}
+
+/// The DDPG optimizer.
+pub struct Ddpg {
+    spec: SearchSpec,
+    config: DdpgConfig,
+    rng: StdRng,
+
+    actor: Mlp,
+    critic: Mlp,
+    actor_target: Mlp,
+    critic_target: Mlp,
+
+    replay: Vec<Transition>,
+    replay_cursor: usize,
+
+    /// Per-metric normalization statistics.
+    norms: Vec<RunningStats>,
+    state_dim: usize,
+
+    /// OU noise state, one per action dimension.
+    noise: Vec<f64>,
+    sigma: f64,
+
+    /// Rolling episode state.
+    last_state: Option<Vec<f64>>,
+    last_action: Option<Vec<f64>>,
+    initial_perf: Option<f64>,
+    previous_perf: Option<f64>,
+}
+
+impl Ddpg {
+    /// Creates a DDPG optimizer; `state_dim` is the metrics-vector length
+    /// (27 for the simulated DBMS).
+    pub fn new(spec: SearchSpec, state_dim: usize, config: DdpgConfig, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a_dim = spec.len();
+        let actor = Mlp::new(&[state_dim, config.hidden, config.hidden, a_dim], Activation::Sigmoid, &mut rng);
+        let critic = Mlp::new(
+            &[state_dim + a_dim, config.hidden, config.hidden, 1],
+            Activation::Linear,
+            &mut rng,
+        );
+        let actor_target = actor.clone();
+        let critic_target = critic.clone();
+        Ddpg {
+            spec,
+            rng,
+            actor,
+            critic,
+            actor_target,
+            critic_target,
+            replay: Vec::new(),
+            replay_cursor: 0,
+            norms: vec![RunningStats::new(); state_dim],
+            state_dim,
+            noise: vec![0.0; a_dim],
+            sigma: config.noise_sigma,
+            config,
+            last_state: None,
+            last_action: None,
+            initial_perf: None,
+            previous_perf: None,
+        }
+    }
+
+    fn normalize(&self, metrics: &[f64]) -> Vec<f64> {
+        (0..self.state_dim)
+            .map(|i| {
+                let raw = metrics.get(i).copied().unwrap_or(0.0);
+                let s = &self.norms[i];
+                if s.count() < 2 || s.std_dev() < 1e-9 {
+                    0.0
+                } else {
+                    ((raw - s.mean()) / s.std_dev()).clamp(-5.0, 5.0)
+                }
+            })
+            .collect()
+    }
+
+    /// CDBTune's reward (Section 4.2 of [38]): combines the change against
+    /// the initial performance and against the previous iteration.
+    fn reward(&self, perf: f64) -> f64 {
+        let (Some(initial), Some(previous)) = (self.initial_perf, self.previous_perf) else {
+            return 0.0;
+        };
+        let d0 = (perf - initial) / initial.abs().max(1e-9);
+        let dp = (perf - previous) / previous.abs().max(1e-9);
+        if d0 > 0.0 {
+            ((1.0 + d0).powi(2) - 1.0) * (1.0 + dp).abs()
+        } else {
+            -(((1.0 - d0).powi(2) - 1.0) * (1.0 - dp).abs())
+        }
+    }
+
+    fn ou_noise(&mut self) -> Vec<f64> {
+        let normal = Normal::new(0.0, 1.0);
+        let theta = 0.15;
+        for v in self.noise.iter_mut() {
+            *v += theta * (0.0 - *v) + self.sigma * normal.sample(&mut self.rng);
+        }
+        self.noise.clone()
+    }
+
+    fn push_transition(&mut self, t: Transition) {
+        if self.replay.len() < self.config.replay_capacity {
+            self.replay.push(t);
+        } else {
+            self.replay[self.replay_cursor] = t;
+            self.replay_cursor = (self.replay_cursor + 1) % self.config.replay_capacity;
+        }
+    }
+
+    fn train(&mut self) {
+        if self.replay.len() < self.config.batch_size {
+            return;
+        }
+        for _ in 0..self.config.train_steps_per_observe {
+            // Critic update on a minibatch.
+            let mut actor_grads: Vec<(Vec<f64>, Vec<f64>)> = Vec::new();
+            for _ in 0..self.config.batch_size {
+                let idx = self.rng.random_range(0..self.replay.len());
+                let (state, action, reward, next_state) = {
+                    let t = &self.replay[idx];
+                    (t.state.clone(), t.action.clone(), t.reward, t.next_state.clone())
+                };
+                // TD target through the target networks.
+                let next_action = self.actor_target.forward(&next_state);
+                let mut ns_input = next_state.clone();
+                ns_input.extend_from_slice(&next_action);
+                let target_q = reward + self.config.gamma * self.critic_target.forward(&ns_input)[0];
+
+                let mut sa = state.clone();
+                sa.extend_from_slice(&action);
+                let q = self.critic.forward(&sa)[0];
+                // 0.5 * (q - target)^2 -> grad = q - target.
+                self.critic.backward(&sa, &[q - target_q]);
+                actor_grads.push((state, action));
+            }
+            self.critic.adam_step(self.config.critic_lr, self.config.batch_size);
+
+            // Actor update: ascend dQ/da through the (fresh) critic.
+            for (state, _) in &actor_grads {
+                let action = self.actor.forward(state);
+                let mut sa = state.clone();
+                sa.extend_from_slice(&action);
+                // dQ/d(input) of the critic; take the action slice.
+                let dq = self.critic.input_gradient(&sa, &[1.0]);
+                let dq_da = &dq[self.state_dim..];
+                // Gradient *descent* on -Q.
+                let neg: Vec<f64> = dq_da.iter().map(|g| -g).collect();
+                self.actor.backward(state, &neg);
+            }
+            self.actor.adam_step(self.config.actor_lr, self.config.batch_size);
+
+            // Soft-update targets.
+            self.actor_target.soft_update_from(&self.actor, self.config.tau);
+            self.critic_target.soft_update_from(&self.critic, self.config.tau);
+        }
+    }
+}
+
+impl Optimizer for Ddpg {
+    fn suggest(&mut self) -> Vec<f64> {
+        let action = match &self.last_state {
+            None => self.spec.sample(&mut self.rng),
+            Some(state) => {
+                let mut a = self.actor.forward(state);
+                let noise = self.ou_noise();
+                for (v, n) in a.iter_mut().zip(noise) {
+                    *v = (*v + n).clamp(0.0, 1.0);
+                }
+                self.sigma *= self.config.noise_decay;
+                self.spec.snap(&a)
+            }
+        };
+        self.last_action = Some(action.clone());
+        action
+    }
+
+    fn observe(&mut self, obs: Observation) {
+        // Update normalization statistics first.
+        for (i, stat) in self.norms.iter_mut().enumerate() {
+            stat.push(obs.metrics.get(i).copied().unwrap_or(0.0));
+        }
+        let state = self.normalize(&obs.metrics);
+        let reward = self.reward(obs.y);
+        if let (Some(prev_state), Some(action)) = (self.last_state.take(), self.last_action.take())
+        {
+            self.push_transition(Transition {
+                state: prev_state,
+                action,
+                reward,
+                next_state: state.clone(),
+            });
+            self.train();
+        }
+        if self.initial_perf.is_none() {
+            self.initial_perf = Some(obs.y);
+        }
+        self.previous_perf = Some(obs.y);
+        self.last_state = Some(state);
+    }
+
+    fn name(&self) -> &'static str {
+        "ddpg"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec() -> SearchSpec {
+        SearchSpec::continuous(4)
+    }
+
+    /// Synthetic environment: performance peaks when the action matches a
+    /// target vector; "metrics" leak the current action (so the state is
+    /// informative, mimicking how DBMS metrics reflect the configuration).
+    fn env(action: &[f64]) -> (f64, Vec<f64>) {
+        let target = [0.9, 0.1, 0.6, 0.4];
+        let d: f64 = action.iter().zip(target).map(|(a, t)| (a - t) * (a - t)).sum();
+        let perf = 100.0 * (-d).exp();
+        let mut metrics = action.to_vec();
+        metrics.extend([perf / 100.0, d]);
+        (perf, metrics)
+    }
+
+    #[test]
+    fn ddpg_improves_over_its_own_start() {
+        // RL needs many samples (the paper makes the same observation);
+        // average the learning effect over seeds to keep the test stable.
+        let mut improvements = Vec::new();
+        for seed in 0..3 {
+            let mut opt = Ddpg::new(spec(), 6, DdpgConfig::default(), seed);
+            let mut early = Vec::new();
+            let mut late = Vec::new();
+            for i in 0..160 {
+                let a = opt.suggest();
+                let (perf, metrics) = env(&a);
+                if i < 20 {
+                    early.push(perf);
+                }
+                if i >= 140 {
+                    late.push(perf);
+                }
+                opt.observe(Observation { x: a, y: perf, metrics });
+            }
+            improvements.push(llamatune_math::mean(&late) - llamatune_math::mean(&early));
+        }
+        let mean_improvement = llamatune_math::mean(&improvements);
+        assert!(
+            mean_improvement > 0.0,
+            "policy should improve with training: mean improvement {mean_improvement:.2} \
+             ({improvements:?})"
+        );
+    }
+
+    #[test]
+    fn reward_signs_follow_cdbtune() {
+        let mut opt = Ddpg::new(spec(), 2, DdpgConfig::default(), 1);
+        opt.initial_perf = Some(100.0);
+        opt.previous_perf = Some(110.0);
+        assert!(opt.reward(120.0) > 0.0, "better than initial -> positive");
+        assert!(opt.reward(80.0) < 0.0, "worse than initial -> negative");
+        // Improvement against initial dominated by the squared term.
+        let small = opt.reward(101.0);
+        let large = opt.reward(150.0);
+        assert!(large > small);
+    }
+
+    #[test]
+    fn first_suggestion_is_random_then_policy_driven() {
+        let mut opt = Ddpg::new(spec(), 6, DdpgConfig::default(), 9);
+        let a1 = opt.suggest();
+        assert_eq!(a1.len(), 4);
+        let (perf, metrics) = env(&a1);
+        opt.observe(Observation { x: a1, y: perf, metrics });
+        let a2 = opt.suggest();
+        assert!(a2.iter().all(|v| (0.0..=1.0).contains(v)));
+    }
+
+    #[test]
+    fn replay_buffer_is_bounded() {
+        let cfg = DdpgConfig { replay_capacity: 16, batch_size: 4, ..Default::default() };
+        let mut opt = Ddpg::new(spec(), 6, cfg, 5);
+        for _ in 0..40 {
+            let a = opt.suggest();
+            let (perf, metrics) = env(&a);
+            opt.observe(Observation { x: a, y: perf, metrics });
+        }
+        assert!(opt.replay.len() <= 16);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut a = Ddpg::new(spec(), 6, DdpgConfig::default(), 21);
+        let mut b = Ddpg::new(spec(), 6, DdpgConfig::default(), 21);
+        for _ in 0..6 {
+            let xa = a.suggest();
+            let xb = b.suggest();
+            assert_eq!(xa, xb);
+            let (perf, metrics) = env(&xa);
+            a.observe(Observation { x: xa, y: perf, metrics: metrics.clone() });
+            b.observe(Observation { x: xb, y: perf, metrics });
+        }
+    }
+
+    #[test]
+    fn short_metrics_vectors_are_padded() {
+        // A crashed run reports an all-zero metrics vector; shorter vectors
+        // must not panic either.
+        let mut opt = Ddpg::new(spec(), 6, DdpgConfig::default(), 2);
+        let a = opt.suggest();
+        opt.observe(Observation { x: a, y: 1.0, metrics: vec![1.0, 2.0] });
+        let a2 = opt.suggest();
+        assert_eq!(a2.len(), 4);
+    }
+}

@@ -1,0 +1,323 @@
+//! GP-BO: Gaussian-process Bayesian optimization with a Matérn 5/2 kernel
+//! over continuous dimensions and a Hamming kernel over categorical ones
+//! (the CoCaBO-style mixed-space GP of Ru et al. 2020, which the paper
+//! evaluates as its second BO baseline).
+
+use crate::spec::{Observation, Optimizer, ParamKind, SearchSpec};
+use llamatune_math::{Matrix, Normal};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// GP-BO hyperparameters.
+#[derive(Debug, Clone)]
+pub struct GpConfig {
+    /// Random EI candidates per suggestion.
+    pub n_candidates: usize,
+    /// Refit kernel hyperparameters every this many observations.
+    pub refit_every: usize,
+    /// Random hyperparameter draws per MLE search.
+    pub mle_draws: usize,
+    /// EI exploration margin.
+    pub xi: f64,
+}
+
+impl Default for GpConfig {
+    fn default() -> Self {
+        GpConfig { n_candidates: 1_500, refit_every: 5, mle_draws: 24, xi: 0.01 }
+    }
+}
+
+/// Kernel hyperparameters.
+#[derive(Debug, Clone, Copy)]
+struct Hyper {
+    signal_var: f64,
+    lengthscale: f64,
+    cat_gamma: f64,
+    noise_var: f64,
+}
+
+impl Default for Hyper {
+    fn default() -> Self {
+        Hyper { signal_var: 1.0, lengthscale: 0.4, cat_gamma: 1.0, noise_var: 1e-3 }
+    }
+}
+
+/// The GP-BO optimizer.
+pub struct GpBo {
+    spec: SearchSpec,
+    config: GpConfig,
+    rng: StdRng,
+    xs: Vec<Vec<f64>>,
+    ys: Vec<f64>,
+    hyper: Hyper,
+    /// Cached Cholesky factor and weights for the standardized targets.
+    cache: Option<GpCache>,
+    y_mean: f64,
+    y_std: f64,
+}
+
+struct GpCache {
+    chol: Matrix,
+    alpha: Vec<f64>,
+}
+
+impl GpBo {
+    /// Creates a GP-BO instance over `spec`.
+    pub fn new(spec: SearchSpec, config: GpConfig, seed: u64) -> Self {
+        GpBo {
+            spec,
+            config,
+            rng: StdRng::seed_from_u64(seed),
+            xs: Vec::new(),
+            ys: Vec::new(),
+            hyper: Hyper::default(),
+            cache: None,
+            y_mean: 0.0,
+            y_std: 1.0,
+        }
+    }
+
+    /// Matérn 5/2 x Hamming kernel.
+    fn kernel(&self, h: &Hyper, a: &[f64], b: &[f64]) -> f64 {
+        let mut sq = 0.0;
+        let mut n_cont = 0usize;
+        let mut mismatches = 0.0;
+        for (i, p) in self.spec.params.iter().enumerate() {
+            match p {
+                ParamKind::Continuous { .. } => {
+                    let d = a[i] - b[i];
+                    sq += d * d;
+                    n_cont += 1;
+                }
+                ParamKind::Categorical { .. } => {
+                    if p.to_category(a[i]) != p.to_category(b[i]) {
+                        mismatches += 1.0;
+                    }
+                }
+            }
+        }
+        let r = if n_cont == 0 { 0.0 } else { (sq / n_cont as f64).sqrt() / h.lengthscale };
+        let sqrt5r = 5.0f64.sqrt() * r;
+        let matern = (1.0 + sqrt5r + 5.0 * r * r / 3.0) * (-sqrt5r).exp();
+        let hamming = (-h.cat_gamma * mismatches).exp();
+        h.signal_var * matern * hamming
+    }
+
+    fn standardized_ys(&self) -> Vec<f64> {
+        self.ys.iter().map(|y| (y - self.y_mean) / self.y_std).collect()
+    }
+
+    fn build_cache(&self, h: &Hyper) -> Option<(GpCache, f64)> {
+        let n = self.xs.len();
+        let k = Matrix::from_symmetric_fn(n, |i, j| {
+            self.kernel(h, &self.xs[i], &self.xs[j]) + if i == j { h.noise_var } else { 0.0 }
+        });
+        let chol = k.cholesky(1e-8).ok()?;
+        let ys = self.standardized_ys();
+        let alpha = chol.cholesky_solve(&ys);
+        // Log marginal likelihood: -0.5 yᵀα - Σ ln L_ii - n/2 ln 2π.
+        let fit: f64 = ys.iter().zip(&alpha).map(|(y, a)| y * a).sum();
+        let lml = -0.5 * fit
+            - chol.log_diag_sum()
+            - 0.5 * n as f64 * (2.0 * std::f64::consts::PI).ln();
+        Some((GpCache { chol, alpha }, lml))
+    }
+
+    /// Maximum-likelihood hyperparameter search (random draws in log space,
+    /// keeping the best).
+    fn refit(&mut self) {
+        self.y_mean = llamatune_math::mean(&self.ys);
+        self.y_std = llamatune_math::std_dev(&self.ys).max(1e-6);
+        let mut best: Option<(f64, Hyper, GpCache)> = None;
+        for i in 0..self.config.mle_draws {
+            let h = if i == 0 {
+                self.hyper // warm start from the current setting
+            } else {
+                Hyper {
+                    signal_var: 10f64.powf(self.rng.random_range(-1.0..1.0)),
+                    lengthscale: 10f64.powf(self.rng.random_range(-1.3..0.5)),
+                    cat_gamma: 10f64.powf(self.rng.random_range(-1.0..1.0)),
+                    noise_var: 10f64.powf(self.rng.random_range(-6.0..-1.0)),
+                }
+            };
+            if let Some((cache, lml)) = self.build_cache(&h) {
+                if best.as_ref().is_none_or(|(b, _, _)| lml > *b) {
+                    best = Some((lml, h, cache));
+                }
+            }
+        }
+        if let Some((_, h, cache)) = best {
+            self.hyper = h;
+            self.cache = Some(cache);
+        }
+    }
+
+    /// Posterior mean and variance at `x` (in standardized units).
+    fn predict(&self, x: &[f64]) -> (f64, f64) {
+        let Some(cache) = &self.cache else { return (0.0, 1.0) };
+        let kstar: Vec<f64> =
+            self.xs.iter().map(|xi| self.kernel(&self.hyper, x, xi)).collect();
+        let mean: f64 = kstar.iter().zip(&cache.alpha).map(|(k, a)| k * a).sum();
+        let v = cache.chol.solve_lower(&kstar);
+        let kss = self.hyper.signal_var + self.hyper.noise_var;
+        let var = (kss - v.iter().map(|x| x * x).sum::<f64>()).max(1e-12);
+        (mean, var)
+    }
+
+    fn ei(&self, x: &[f64], best_standardized: f64) -> f64 {
+        let (mean, var) = self.predict(x);
+        let sigma = var.sqrt().max(1e-9);
+        let z = (mean - best_standardized - self.config.xi) / sigma;
+        let std_norm = Normal::new(0.0, 1.0);
+        sigma * (z * std_norm.cdf(z) + std_norm.pdf(z))
+    }
+}
+
+impl Optimizer for GpBo {
+    fn suggest(&mut self) -> Vec<f64> {
+        if self.xs.len() < 2 {
+            return self.spec.sample(&mut self.rng);
+        }
+        if self.cache.is_none() {
+            self.refit();
+        }
+        let best_std =
+            (self.ys.iter().cloned().fold(f64::NEG_INFINITY, f64::max) - self.y_mean)
+                / self.y_std;
+        let mut champion: Option<(f64, Vec<f64>)> = None;
+        for _ in 0..self.config.n_candidates {
+            let x = self.spec.sample(&mut self.rng);
+            let ei = self.ei(&x, best_std);
+            if champion.as_ref().is_none_or(|(b, _)| ei > *b) {
+                champion = Some((ei, x));
+            }
+        }
+        champion.expect("candidates > 0").1
+    }
+
+    fn observe(&mut self, obs: Observation) {
+        debug_assert_eq!(obs.x.len(), self.spec.len());
+        self.xs.push(obs.x);
+        self.ys.push(obs.y);
+        if self.xs.len() % self.config.refit_every == 0 || self.cache.is_none() {
+            self.refit();
+        } else {
+            // Rebuild the cache with current hyperparameters (new data).
+            self.y_mean = llamatune_math::mean(&self.ys);
+            self.y_std = llamatune_math::std_dev(&self.ys).max(1e-6);
+            if let Some((cache, _)) = self.build_cache(&self.hyper.clone()) {
+                self.cache = Some(cache);
+            }
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "gp-bo"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::RandomSearch;
+
+    fn drive<O: Optimizer>(opt: &mut O, f: impl Fn(&[f64]) -> f64, iters: usize) -> f64 {
+        let mut best = f64::NEG_INFINITY;
+        for _ in 0..iters {
+            let x = opt.suggest();
+            let y = f(&x);
+            best = best.max(y);
+            opt.observe(Observation { x, y, metrics: Vec::new() });
+        }
+        best
+    }
+
+    #[test]
+    fn gp_interpolates_observations() {
+        let spec = SearchSpec::continuous(1);
+        let mut gp = GpBo::new(spec, GpConfig::default(), 1);
+        for (x, y) in [(0.0, 0.0), (0.5, 1.0), (1.0, 0.0)] {
+            gp.observe(Observation { x: vec![x], y, metrics: vec![] });
+        }
+        gp.refit();
+        let (m_mid, _) = gp.predict(&[0.5]);
+        let (m_edge, _) = gp.predict(&[0.0]);
+        // Standardized units: the mid point should predict above the edge.
+        assert!(m_mid > m_edge, "mid {m_mid} vs edge {m_edge}");
+    }
+
+    #[test]
+    fn posterior_variance_shrinks_at_observed_points() {
+        let spec = SearchSpec::continuous(2);
+        let mut gp = GpBo::new(spec, GpConfig::default(), 2);
+        for i in 0..6 {
+            let x = vec![i as f64 / 5.0, 1.0 - i as f64 / 5.0];
+            gp.observe(Observation { x, y: i as f64, metrics: vec![] });
+        }
+        gp.refit();
+        let (_, var_seen) = gp.predict(&[0.2, 0.8]);
+        let (_, var_unseen) = gp.predict(&[0.95, 0.9]);
+        assert!(
+            var_seen < var_unseen,
+            "observed region should be more certain: {var_seen} vs {var_unseen}"
+        );
+    }
+
+    #[test]
+    fn gp_bo_beats_random_search() {
+        let f = |x: &[f64]| {
+            -((x[0] - 0.7) * (x[0] - 0.7) + (x[1] - 0.3) * (x[1] - 0.3))
+        };
+        let spec = SearchSpec::continuous(2);
+        let mut gp = GpBo::new(spec.clone(), GpConfig::default(), 5);
+        let gp_best = drive(&mut gp, f, 30);
+        let mut rs = RandomSearch::new(spec, 5);
+        let rs_best = drive(&mut rs, f, 30);
+        assert!(gp_best >= rs_best, "GP {gp_best} vs random {rs_best}");
+        assert!(gp_best > -0.01, "GP should approach the optimum: {gp_best}");
+    }
+
+    #[test]
+    fn hamming_kernel_separates_categories() {
+        let spec = SearchSpec {
+            params: vec![ParamKind::Categorical { n: 3 }, ParamKind::Continuous { buckets: None }],
+        };
+        let gp = GpBo::new(spec, GpConfig::default(), 3);
+        let h = Hyper::default();
+        let same = gp.kernel(&h, &[0.17, 0.5], &[0.17, 0.5]);
+        let diff_cat = gp.kernel(&h, &[0.17, 0.5], &[0.84, 0.5]);
+        assert!(same > diff_cat, "category mismatch must reduce covariance");
+        // Within-bin encoding jitter must NOT reduce covariance.
+        let same_bin = gp.kernel(&h, &[0.01, 0.5], &[0.30, 0.5]);
+        assert!((same_bin - same).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mixed_space_optimization_works() {
+        let spec = SearchSpec {
+            params: vec![ParamKind::Continuous { buckets: None }, ParamKind::Categorical { n: 4 }],
+        };
+        let f = |x: &[f64]| {
+            let cat = ((x[1] * 4.0).floor() as usize).min(3);
+            -(x[0] - 0.25) * (x[0] - 0.25) + if cat == 2 { 0.5 } else { 0.0 }
+        };
+        let mut gp = GpBo::new(spec, GpConfig::default(), 8);
+        let best = drive(&mut gp, f, 35);
+        assert!(best > 0.4, "should find category 2 near x0=0.25: {best}");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let spec = SearchSpec::continuous(2);
+        let f = |x: &[f64]| -(x[0] - 0.5).abs();
+        let mut a = GpBo::new(spec.clone(), GpConfig::default(), 11);
+        let mut b = GpBo::new(spec, GpConfig::default(), 11);
+        for _ in 0..10 {
+            let xa = a.suggest();
+            let xb = b.suggest();
+            assert_eq!(xa, xb);
+            a.observe(Observation { x: xa.clone(), y: f(&xa), metrics: vec![] });
+            b.observe(Observation { x: xb.clone(), y: f(&xb), metrics: vec![] });
+        }
+    }
+}

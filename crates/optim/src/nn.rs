@@ -1,0 +1,364 @@
+//! Minimal neural-network substrate for the DDPG optimizer: dense layers,
+//! ReLU/sigmoid/tanh activations, manual backpropagation, and Adam.
+
+use llamatune_math::Normal;
+use rand::rngs::StdRng;
+
+/// Output activation of an MLP.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Activation {
+    Linear,
+    Sigmoid,
+    Tanh,
+}
+
+impl Activation {
+    fn apply(&self, x: f64) -> f64 {
+        match self {
+            Activation::Linear => x,
+            Activation::Sigmoid => 1.0 / (1.0 + (-x).exp()),
+            Activation::Tanh => x.tanh(),
+        }
+    }
+
+    /// Derivative expressed through the activation output `y`.
+    fn derivative_from_output(&self, y: f64) -> f64 {
+        match self {
+            Activation::Linear => 1.0,
+            Activation::Sigmoid => y * (1.0 - y),
+            Activation::Tanh => 1.0 - y * y,
+        }
+    }
+}
+
+/// One dense layer with Adam moment estimates.
+#[derive(Debug, Clone)]
+struct Dense {
+    inputs: usize,
+    outputs: usize,
+    w: Vec<f64>, // row-major [outputs x inputs]
+    b: Vec<f64>,
+    gw: Vec<f64>,
+    gb: Vec<f64>,
+    mw: Vec<f64>,
+    vw: Vec<f64>,
+    mb: Vec<f64>,
+    vb: Vec<f64>,
+}
+
+impl Dense {
+    fn new(inputs: usize, outputs: usize, rng: &mut StdRng) -> Dense {
+        // He-style initialization.
+        let scale = (2.0 / inputs as f64).sqrt();
+        let normal = Normal::new(0.0, scale);
+        Dense {
+            inputs,
+            outputs,
+            w: (0..inputs * outputs).map(|_| normal.sample(rng)).collect(),
+            b: vec![0.0; outputs],
+            gw: vec![0.0; inputs * outputs],
+            gb: vec![0.0; outputs],
+            mw: vec![0.0; inputs * outputs],
+            vw: vec![0.0; inputs * outputs],
+            mb: vec![0.0; outputs],
+            vb: vec![0.0; outputs],
+        }
+    }
+
+    fn forward(&self, x: &[f64], out: &mut Vec<f64>) {
+        out.clear();
+        for o in 0..self.outputs {
+            let row = &self.w[o * self.inputs..(o + 1) * self.inputs];
+            let mut acc = self.b[o];
+            for (w, xi) in row.iter().zip(x) {
+                acc += w * xi;
+            }
+            out.push(acc);
+        }
+    }
+}
+
+/// A multi-layer perceptron with ReLU hidden layers.
+#[derive(Debug, Clone)]
+pub struct Mlp {
+    layers: Vec<Dense>,
+    out_act: Activation,
+    step: u64,
+}
+
+impl Mlp {
+    /// Builds an MLP with the given layer sizes, e.g. `[27, 64, 64, 16]`.
+    pub fn new(sizes: &[usize], out_act: Activation, rng: &mut StdRng) -> Mlp {
+        assert!(sizes.len() >= 2);
+        let layers = sizes
+            .windows(2)
+            .map(|w| Dense::new(w[0], w[1], rng))
+            .collect();
+        Mlp { layers, out_act, step: 0 }
+    }
+
+    /// Input dimension.
+    pub fn input_dim(&self) -> usize {
+        self.layers[0].inputs
+    }
+
+    /// Output dimension.
+    pub fn output_dim(&self) -> usize {
+        self.layers.last().unwrap().outputs
+    }
+
+    /// Forward pass.
+    pub fn forward(&self, x: &[f64]) -> Vec<f64> {
+        let mut cur = x.to_vec();
+        let mut next = Vec::new();
+        let last = self.layers.len() - 1;
+        for (li, layer) in self.layers.iter().enumerate() {
+            layer.forward(&cur, &mut next);
+            if li < last {
+                for v in next.iter_mut() {
+                    *v = v.max(0.0); // ReLU
+                }
+            } else {
+                for v in next.iter_mut() {
+                    *v = self.out_act.apply(*v);
+                }
+            }
+            std::mem::swap(&mut cur, &mut next);
+        }
+        cur
+    }
+
+    /// Forward pass keeping the post-activation output of every layer
+    /// (index 0 is the input itself).
+    fn forward_cached(&self, x: &[f64]) -> Vec<Vec<f64>> {
+        let mut acts = Vec::with_capacity(self.layers.len() + 1);
+        acts.push(x.to_vec());
+        let last = self.layers.len() - 1;
+        for (li, layer) in self.layers.iter().enumerate() {
+            let mut out = Vec::new();
+            layer.forward(acts.last().unwrap(), &mut out);
+            if li < last {
+                for v in out.iter_mut() {
+                    *v = v.max(0.0);
+                }
+            } else {
+                for v in out.iter_mut() {
+                    *v = self.out_act.apply(*v);
+                }
+            }
+            acts.push(out);
+        }
+        acts
+    }
+
+    /// Backpropagates `grad_out` (dLoss/dOutput) for one sample,
+    /// accumulating parameter gradients; returns dLoss/dInput.
+    pub fn backward(&mut self, x: &[f64], grad_out: &[f64]) -> Vec<f64> {
+        let acts = self.forward_cached(x);
+        let last = self.layers.len() - 1;
+        let mut grad: Vec<f64> = grad_out
+            .iter()
+            .zip(&acts[last + 1])
+            .map(|(g, y)| g * self.out_act.derivative_from_output(*y))
+            .collect();
+        for li in (0..self.layers.len()).rev() {
+            if li < last {
+                // ReLU derivative through the stored post-activation.
+                for (g, y) in grad.iter_mut().zip(&acts[li + 1]) {
+                    if *y <= 0.0 {
+                        *g = 0.0;
+                    }
+                }
+            }
+            let layer = &mut self.layers[li];
+            let input = &acts[li];
+            let mut grad_in = vec![0.0; layer.inputs];
+            for o in 0..layer.outputs {
+                let g = grad[o];
+                layer.gb[o] += g;
+                let row = o * layer.inputs;
+                for i in 0..layer.inputs {
+                    layer.gw[row + i] += g * input[i];
+                    grad_in[i] += g * layer.w[row + i];
+                }
+            }
+            grad = grad_in;
+        }
+        grad
+    }
+
+    /// Gradient of a scalar projection of the output w.r.t. the *input*,
+    /// without touching parameter gradients (used for the deterministic
+    /// policy gradient through the critic).
+    pub fn input_gradient(&self, x: &[f64], grad_out: &[f64]) -> Vec<f64> {
+        let acts = self.forward_cached(x);
+        let last = self.layers.len() - 1;
+        let mut grad: Vec<f64> = grad_out
+            .iter()
+            .zip(&acts[last + 1])
+            .map(|(g, y)| g * self.out_act.derivative_from_output(*y))
+            .collect();
+        for li in (0..self.layers.len()).rev() {
+            if li < last {
+                for (g, y) in grad.iter_mut().zip(&acts[li + 1]) {
+                    if *y <= 0.0 {
+                        *g = 0.0;
+                    }
+                }
+            }
+            let layer = &self.layers[li];
+            let mut grad_in = vec![0.0; layer.inputs];
+            for o in 0..layer.outputs {
+                let g = grad[o];
+                let row = o * layer.inputs;
+                for i in 0..layer.inputs {
+                    grad_in[i] += g * layer.w[row + i];
+                }
+            }
+            grad = grad_in;
+        }
+        grad
+    }
+
+    /// Applies one Adam step with the accumulated gradients (scaled by
+    /// `1/batch`) and clears them.
+    pub fn adam_step(&mut self, lr: f64, batch: usize) {
+        self.step += 1;
+        let (b1, b2, eps): (f64, f64, f64) = (0.9, 0.999, 1e-8);
+        let t = self.step as f64;
+        let corr1 = 1.0 - b1.powf(t);
+        let corr2 = 1.0 - b2.powf(t);
+        let scale = 1.0 / batch.max(1) as f64;
+        for layer in &mut self.layers {
+            for i in 0..layer.w.len() {
+                let g = layer.gw[i] * scale;
+                layer.mw[i] = b1 * layer.mw[i] + (1.0 - b1) * g;
+                layer.vw[i] = b2 * layer.vw[i] + (1.0 - b2) * g * g;
+                let mhat = layer.mw[i] / corr1;
+                let vhat = layer.vw[i] / corr2;
+                layer.w[i] -= lr * mhat / (vhat.sqrt() + eps);
+                layer.gw[i] = 0.0;
+            }
+            for i in 0..layer.b.len() {
+                let g = layer.gb[i] * scale;
+                layer.mb[i] = b1 * layer.mb[i] + (1.0 - b1) * g;
+                layer.vb[i] = b2 * layer.vb[i] + (1.0 - b2) * g * g;
+                let mhat = layer.mb[i] / corr1;
+                let vhat = layer.vb[i] / corr2;
+                layer.b[i] -= lr * mhat / (vhat.sqrt() + eps);
+                layer.gb[i] = 0.0;
+            }
+        }
+    }
+
+    /// Polyak-averages `source`'s parameters into this network:
+    /// `theta = (1 - tau) * theta + tau * theta_source`.
+    pub fn soft_update_from(&mut self, source: &Mlp, tau: f64) {
+        for (dst, src) in self.layers.iter_mut().zip(&source.layers) {
+            for (d, s) in dst.w.iter_mut().zip(&src.w) {
+                *d = (1.0 - tau) * *d + tau * s;
+            }
+            for (d, s) in dst.b.iter_mut().zip(&src.b) {
+                *d = (1.0 - tau) * *d + tau * s;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(7)
+    }
+
+    #[test]
+    fn forward_shapes() {
+        let mut r = rng();
+        let net = Mlp::new(&[3, 8, 2], Activation::Sigmoid, &mut r);
+        let out = net.forward(&[0.1, -0.2, 0.3]);
+        assert_eq!(out.len(), 2);
+        assert!(out.iter().all(|v| (0.0..=1.0).contains(v)), "sigmoid output in (0,1)");
+        assert_eq!(net.input_dim(), 3);
+        assert_eq!(net.output_dim(), 2);
+    }
+
+    #[test]
+    fn gradient_check_against_finite_differences() {
+        let mut r = rng();
+        let mut net = Mlp::new(&[2, 5, 1], Activation::Linear, &mut r);
+        let x = [0.3, -0.7];
+        // Loss = 0.5 * out^2; dLoss/dOut = out.
+        let out = net.forward(&x)[0];
+        let grad_in = net.backward(&x, &[out]);
+        // Finite-difference check of dLoss/dInput.
+        let eps = 1e-6;
+        for i in 0..2 {
+            let mut xp = x;
+            xp[i] += eps;
+            let up = 0.5 * net.forward(&xp)[0].powi(2);
+            let mut xm = x;
+            xm[i] -= eps;
+            let dn = 0.5 * net.forward(&xm)[0].powi(2);
+            let numeric = (up - dn) / (2.0 * eps);
+            assert!(
+                (numeric - grad_in[i]).abs() < 1e-5,
+                "input grad {i}: analytic {} vs numeric {numeric}",
+                grad_in[i]
+            );
+        }
+    }
+
+    #[test]
+    fn input_gradient_matches_backward() {
+        let mut r = rng();
+        let mut net = Mlp::new(&[3, 6, 2], Activation::Tanh, &mut r);
+        let x = [0.5, -0.1, 0.9];
+        let g = [1.0, -0.5];
+        let via_backward = net.backward(&x, &g);
+        let via_input_only = net.input_gradient(&x, &g);
+        for (a, b) in via_backward.iter().zip(&via_input_only) {
+            assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn sgd_learns_a_linear_map() {
+        let mut r = rng();
+        let mut net = Mlp::new(&[1, 16, 1], Activation::Linear, &mut r);
+        // y = 2x - 1 on [0, 1].
+        for epoch in 0..800 {
+            let x = [(epoch % 10) as f64 / 10.0];
+            let target = 2.0 * x[0] - 1.0;
+            let out = net.forward(&x)[0];
+            net.backward(&x, &[out - target]);
+            net.adam_step(0.01, 1);
+        }
+        for i in 0..5 {
+            let x = [i as f64 / 5.0];
+            let out = net.forward(&x)[0];
+            let target = 2.0 * x[0] - 1.0;
+            assert!((out - target).abs() < 0.15, "f({}) = {out}, want {target}", x[0]);
+        }
+    }
+
+    #[test]
+    fn soft_update_moves_toward_source() {
+        let mut r = rng();
+        let src = Mlp::new(&[2, 4, 1], Activation::Linear, &mut r);
+        let mut dst = Mlp::new(&[2, 4, 1], Activation::Linear, &mut r);
+        let before = dst.forward(&[0.5, 0.5])[0];
+        let target = src.forward(&[0.5, 0.5])[0];
+        for _ in 0..400 {
+            dst.soft_update_from(&src, 0.05);
+        }
+        let after = dst.forward(&[0.5, 0.5])[0];
+        assert!(
+            (after - target).abs() < (before - target).abs() + 1e-12,
+            "soft updates should converge toward the source"
+        );
+        assert!((after - target).abs() < 1e-3);
+    }
+}

@@ -1,0 +1,448 @@
+//! Regression random forest: the SMAC surrogate model.
+//!
+//! CART-style trees with bootstrap sampling, random feature subsets, and
+//! randomized threshold candidates (variance-reduction criterion).
+//! Categorical dimensions split on *choice equality* — the property that
+//! makes random forests handle heterogeneous DBMS knob spaces better than
+//! vanilla GPs (Section 2.2). Node structure and per-node sample counts are
+//! public so `llamatune-analysis` can run TreeSHAP over fitted forests.
+
+use crate::spec::{ParamKind, SearchSpec};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{RngExt, SeedableRng};
+
+/// Split rule at an internal node.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Rule {
+    /// Go left when `x[feature] <= threshold`.
+    Le(f64),
+    /// Go left when the decoded category equals `choice` (of `n`).
+    CatEq { choice: usize, n: usize },
+}
+
+/// One tree node; `n` is the number of training samples that reached it
+/// (TreeSHAP's "cover").
+#[derive(Debug, Clone, PartialEq)]
+pub enum TreeNode {
+    Leaf { value: f64, n: u32 },
+    Split { feature: usize, rule: Rule, left: u32, right: u32, n: u32 },
+}
+
+/// A fitted regression tree over unit-space points.
+#[derive(Debug, Clone)]
+pub struct Tree {
+    /// Nodes in preorder; node 0 is the root.
+    pub nodes: Vec<TreeNode>,
+}
+
+impl Tree {
+    /// Predicts the mean response at `x`.
+    pub fn predict(&self, x: &[f64]) -> f64 {
+        let mut idx = 0usize;
+        loop {
+            match &self.nodes[idx] {
+                TreeNode::Leaf { value, .. } => return *value,
+                TreeNode::Split { feature, rule, left, right, .. } => {
+                    idx = if rule_goes_left(rule, x[*feature]) {
+                        *left as usize
+                    } else {
+                        *right as usize
+                    };
+                }
+            }
+        }
+    }
+
+    /// Depth of the tree (longest root-to-leaf path).
+    pub fn depth(&self) -> usize {
+        fn rec(nodes: &[TreeNode], idx: usize) -> usize {
+            match &nodes[idx] {
+                TreeNode::Leaf { .. } => 1,
+                TreeNode::Split { left, right, .. } => {
+                    1 + rec(nodes, *left as usize).max(rec(nodes, *right as usize))
+                }
+            }
+        }
+        rec(&self.nodes, 0)
+    }
+}
+
+/// Whether `value` on the split feature goes to the left child.
+pub fn rule_goes_left(rule: &Rule, value: f64) -> bool {
+    match rule {
+        Rule::Le(t) => value <= *t,
+        Rule::CatEq { choice, n } => {
+            let cat = ((value.clamp(0.0, 1.0) * *n as f64).floor() as usize).min(n - 1);
+            cat == *choice
+        }
+    }
+}
+
+/// Forest hyperparameters (defaults follow SMAC's RF settings).
+#[derive(Debug, Clone)]
+pub struct RandomForestConfig {
+    pub n_trees: usize,
+    pub min_samples_leaf: usize,
+    pub feature_frac: f64,
+    pub n_threshold_candidates: usize,
+    pub max_depth: usize,
+    pub bootstrap: bool,
+}
+
+impl Default for RandomForestConfig {
+    fn default() -> Self {
+        RandomForestConfig {
+            n_trees: 24,
+            min_samples_leaf: 3,
+            feature_frac: 0.8,
+            n_threshold_candidates: 8,
+            max_depth: 24,
+            bootstrap: true,
+        }
+    }
+}
+
+/// A fitted random forest.
+#[derive(Debug, Clone)]
+pub struct RandomForest {
+    pub trees: Vec<Tree>,
+    spec: SearchSpec,
+}
+
+impl RandomForest {
+    /// Fits a forest to `(xs, ys)`.
+    ///
+    /// # Panics
+    /// Panics if `xs` is empty or lengths mismatch.
+    pub fn fit(
+        spec: &SearchSpec,
+        xs: &[Vec<f64>],
+        ys: &[f64],
+        config: &RandomForestConfig,
+        seed: u64,
+    ) -> RandomForest {
+        assert!(!xs.is_empty(), "cannot fit a forest to zero samples");
+        assert_eq!(xs.len(), ys.len());
+        let mut rng = StdRng::seed_from_u64(seed);
+        let trees = (0..config.n_trees)
+            .map(|_| {
+                let indices: Vec<usize> = if config.bootstrap {
+                    (0..xs.len()).map(|_| rng.random_range(0..xs.len())).collect()
+                } else {
+                    (0..xs.len()).collect()
+                };
+                build_tree(spec, xs, ys, indices, config, &mut rng)
+            })
+            .collect();
+        RandomForest { trees, spec: spec.clone() }
+    }
+
+    /// Predicts mean and across-tree variance at `x` (the variance feeds
+    /// Expected Improvement).
+    pub fn predict(&self, x: &[f64]) -> (f64, f64) {
+        debug_assert_eq!(x.len(), self.spec.len());
+        let preds: Vec<f64> = self.trees.iter().map(|t| t.predict(x)).collect();
+        let mean = llamatune_math::mean(&preds);
+        let var = if preds.len() < 2 {
+            0.0
+        } else {
+            preds.iter().map(|p| (p - mean) * (p - mean)).sum::<f64>() / (preds.len() - 1) as f64
+        };
+        (mean, var)
+    }
+
+    /// The search spec the forest was fitted on.
+    pub fn spec(&self) -> &SearchSpec {
+        &self.spec
+    }
+}
+
+struct Partition {
+    left: Vec<usize>,
+    right: Vec<usize>,
+    score: f64,
+    rule: Rule,
+    feature: usize,
+}
+
+fn sse(ys: &[f64], idx: &[usize]) -> f64 {
+    if idx.is_empty() {
+        return 0.0;
+    }
+    let mean = idx.iter().map(|&i| ys[i]).sum::<f64>() / idx.len() as f64;
+    idx.iter().map(|&i| (ys[i] - mean) * (ys[i] - mean)).sum()
+}
+
+fn build_tree(
+    spec: &SearchSpec,
+    xs: &[Vec<f64>],
+    ys: &[f64],
+    indices: Vec<usize>,
+    config: &RandomForestConfig,
+    rng: &mut StdRng,
+) -> Tree {
+    let mut nodes = Vec::new();
+    build_node(spec, xs, ys, indices, config, rng, &mut nodes, 0);
+    Tree { nodes }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn build_node(
+    spec: &SearchSpec,
+    xs: &[Vec<f64>],
+    ys: &[f64],
+    indices: Vec<usize>,
+    config: &RandomForestConfig,
+    rng: &mut StdRng,
+    nodes: &mut Vec<TreeNode>,
+    depth: usize,
+) -> u32 {
+    let n = indices.len();
+    let node_idx = nodes.len() as u32;
+    let mean = indices.iter().map(|&i| ys[i]).sum::<f64>() / n as f64;
+    if n < 2 * config.min_samples_leaf || depth >= config.max_depth {
+        nodes.push(TreeNode::Leaf { value: mean, n: n as u32 });
+        return node_idx;
+    }
+    let parent_sse = sse(ys, &indices);
+    if parent_sse < 1e-12 {
+        nodes.push(TreeNode::Leaf { value: mean, n: n as u32 });
+        return node_idx;
+    }
+
+    // Random feature subset.
+    let d = spec.len();
+    let mut features: Vec<usize> = (0..d).collect();
+    features.shuffle(rng);
+    let keep = ((d as f64 * config.feature_frac).ceil() as usize).clamp(1, d);
+    features.truncate(keep);
+
+    let mut best: Option<Partition> = None;
+    for &f in &features {
+        let candidates = split_candidates(spec, xs, &indices, f, config, rng);
+        for rule in candidates {
+            let (mut left, mut right) = (Vec::new(), Vec::new());
+            for &i in &indices {
+                if rule_goes_left(&rule, xs[i][f]) {
+                    left.push(i);
+                } else {
+                    right.push(i);
+                }
+            }
+            if left.len() < config.min_samples_leaf || right.len() < config.min_samples_leaf {
+                continue;
+            }
+            let score = sse(ys, &left) + sse(ys, &right);
+            if best.as_ref().is_none_or(|b| score < b.score) {
+                best = Some(Partition { left, right, score, rule, feature: f });
+            }
+        }
+    }
+
+    match best {
+        Some(p) if p.score < parent_sse - 1e-12 => {
+            // Reserve the slot, then build children.
+            nodes.push(TreeNode::Leaf { value: mean, n: n as u32 });
+            let left = build_node(spec, xs, ys, p.left, config, rng, nodes, depth + 1);
+            let right = build_node(spec, xs, ys, p.right, config, rng, nodes, depth + 1);
+            nodes[node_idx as usize] =
+                TreeNode::Split { feature: p.feature, rule: p.rule, left, right, n: n as u32 };
+            node_idx
+        }
+        _ => {
+            nodes.push(TreeNode::Leaf { value: mean, n: n as u32 });
+            node_idx
+        }
+    }
+}
+
+fn split_candidates(
+    spec: &SearchSpec,
+    xs: &[Vec<f64>],
+    indices: &[usize],
+    feature: usize,
+    config: &RandomForestConfig,
+    rng: &mut StdRng,
+) -> Vec<Rule> {
+    match spec.params[feature] {
+        ParamKind::Categorical { n } => {
+            // Try every category present at this node (bounded by n).
+            let mut seen = vec![false; n];
+            for &i in indices {
+                if let Some(c) = spec.params[feature].to_category(xs[i][feature]) {
+                    seen[c] = true;
+                }
+            }
+            seen.iter()
+                .enumerate()
+                .filter(|(_, present)| **present)
+                .map(|(c, _)| Rule::CatEq { choice: c, n })
+                .collect()
+        }
+        ParamKind::Continuous { .. } => {
+            let (mut lo, mut hi) = (f64::INFINITY, f64::NEG_INFINITY);
+            for &i in indices {
+                lo = lo.min(xs[i][feature]);
+                hi = hi.max(xs[i][feature]);
+            }
+            if hi - lo < 1e-12 {
+                return Vec::new();
+            }
+            (0..config.n_threshold_candidates)
+                .map(|_| Rule::Le(lo + rng.random::<f64>() * (hi - lo)))
+                .collect()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn continuous_spec(d: usize) -> SearchSpec {
+        SearchSpec::continuous(d)
+    }
+
+    fn grid_data(f: impl Fn(&[f64]) -> f64, d: usize, n: usize) -> (Vec<Vec<f64>>, Vec<f64>) {
+        let mut rng = StdRng::seed_from_u64(99);
+        let xs: Vec<Vec<f64>> =
+            (0..n).map(|_| (0..d).map(|_| rng.random::<f64>()).collect()).collect();
+        let ys = xs.iter().map(|x| f(x)).collect();
+        (xs, ys)
+    }
+
+    #[test]
+    fn learns_a_univariate_step() {
+        let spec = continuous_spec(1);
+        let (xs, ys) = grid_data(|x| if x[0] > 0.5 { 10.0 } else { 0.0 }, 1, 200);
+        let rf = RandomForest::fit(&spec, &xs, &ys, &RandomForestConfig::default(), 1);
+        let (low, _) = rf.predict(&[0.2]);
+        let (high, _) = rf.predict(&[0.8]);
+        assert!(low < 1.0, "f(0.2) ~ 0, got {low}");
+        assert!(high > 9.0, "f(0.8) ~ 10, got {high}");
+    }
+
+    #[test]
+    fn learns_the_relevant_dimension_among_noise() {
+        // y depends only on x0; nine other dims are noise.
+        let spec = continuous_spec(10);
+        let (xs, ys) = grid_data(|x| 5.0 * x[0], 10, 300);
+        let rf = RandomForest::fit(&spec, &xs, &ys, &RandomForestConfig::default(), 2);
+        let mut probe = vec![0.5; 10];
+        probe[0] = 0.05;
+        let (lo, _) = rf.predict(&probe);
+        probe[0] = 0.95;
+        let (hi, _) = rf.predict(&probe);
+        assert!(hi - lo > 3.0, "forest should track x0: lo={lo} hi={hi}");
+    }
+
+    #[test]
+    fn categorical_splits_are_unordered() {
+        // Response peaks only for category 1 of 3 — a threshold split on
+        // the encoding could not isolate the middle bin as cleanly.
+        let spec = SearchSpec { params: vec![ParamKind::Categorical { n: 3 }] };
+        let mut xs = Vec::new();
+        let mut ys = Vec::new();
+        for i in 0..120 {
+            let cat = i % 3;
+            xs.push(vec![(cat as f64 + 0.5) / 3.0]);
+            ys.push(if cat == 1 { 10.0 } else { 0.0 });
+        }
+        let rf = RandomForest::fit(&spec, &xs, &ys, &RandomForestConfig::default(), 3);
+        let (mid, _) = rf.predict(&[0.5]);
+        let (lo, _) = rf.predict(&[1.0 / 6.0]);
+        let (hi, _) = rf.predict(&[5.0 / 6.0]);
+        assert!(mid > 9.0, "category 1 should predict ~10, got {mid}");
+        assert!(lo < 1.0 && hi < 1.0, "categories 0/2 should predict ~0: {lo} {hi}");
+    }
+
+    #[test]
+    fn variance_reflects_disagreement() {
+        let spec = continuous_spec(1);
+        let (xs, ys) = grid_data(|x| x[0], 1, 50);
+        let rf = RandomForest::fit(&spec, &xs, &ys, &RandomForestConfig::default(), 4);
+        let (_, var) = rf.predict(&[0.5]);
+        assert!(var >= 0.0);
+        assert!(var.is_finite());
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let spec = continuous_spec(3);
+        let (xs, ys) = grid_data(|x| x[0] + x[1], 3, 80);
+        let a = RandomForest::fit(&spec, &xs, &ys, &RandomForestConfig::default(), 7);
+        let b = RandomForest::fit(&spec, &xs, &ys, &RandomForestConfig::default(), 7);
+        let p = vec![0.3, 0.6, 0.9];
+        assert_eq!(a.predict(&p), b.predict(&p));
+    }
+
+    #[test]
+    fn single_sample_fits_a_stump() {
+        let spec = continuous_spec(2);
+        let rf = RandomForest::fit(
+            &spec,
+            &[vec![0.5, 0.5]],
+            &[3.0],
+            &RandomForestConfig::default(),
+            5,
+        );
+        let (mean, var) = rf.predict(&[0.1, 0.9]);
+        assert_eq!(mean, 3.0);
+        assert_eq!(var, 0.0);
+    }
+
+    #[test]
+    fn predictions_stay_within_label_range() {
+        let spec = continuous_spec(2);
+        let (xs, ys) = grid_data(|x| x[0] * x[1] * 7.0, 2, 120);
+        let rf = RandomForest::fit(&spec, &xs, &ys, &RandomForestConfig::default(), 6);
+        let mut rng = StdRng::seed_from_u64(1);
+        let (lo, hi) = ys
+            .iter()
+            .fold((f64::INFINITY, f64::NEG_INFINITY), |(l, h), &y| (l.min(y), h.max(y)));
+        for _ in 0..50 {
+            let p = vec![rng.random::<f64>(), rng.random::<f64>()];
+            let (mean, _) = rf.predict(&p);
+            assert!(mean >= lo - 1e-9 && mean <= hi + 1e-9);
+        }
+    }
+
+    #[test]
+    fn depth_is_bounded() {
+        let spec = continuous_spec(1);
+        let (xs, ys) = grid_data(|x| (x[0] * 50.0).sin(), 1, 400);
+        let cfg = RandomForestConfig { max_depth: 5, ..Default::default() };
+        let rf = RandomForest::fit(&spec, &xs, &ys, &cfg, 8);
+        for t in &rf.trees {
+            assert!(t.depth() <= 6);
+        }
+    }
+
+    #[test]
+    fn cover_counts_are_consistent() {
+        let spec = continuous_spec(2);
+        let (xs, ys) = grid_data(|x| x[0], 2, 100);
+        let cfg = RandomForestConfig { bootstrap: false, ..Default::default() };
+        let rf = RandomForest::fit(&spec, &xs, &ys, &cfg, 9);
+        for tree in &rf.trees {
+            // Root cover equals the training set size without bootstrap.
+            let root_n = match &tree.nodes[0] {
+                TreeNode::Leaf { n, .. } | TreeNode::Split { n, .. } => *n,
+            };
+            assert_eq!(root_n, 100);
+            // Every split's children covers sum to the parent's.
+            for node in &tree.nodes {
+                if let TreeNode::Split { left, right, n, .. } = node {
+                    let ln = match &tree.nodes[*left as usize] {
+                        TreeNode::Leaf { n, .. } | TreeNode::Split { n, .. } => *n,
+                    };
+                    let rn = match &tree.nodes[*right as usize] {
+                        TreeNode::Leaf { n, .. } | TreeNode::Split { n, .. } => *n,
+                    };
+                    assert_eq!(ln + rn, *n);
+                }
+            }
+        }
+    }
+}

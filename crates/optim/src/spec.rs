@@ -1,0 +1,217 @@
+//! The optimizer-facing search-space description and the [`Optimizer`]
+//! trait shared by SMAC, GP-BO, and DDPG.
+
+use rand::rngs::StdRng;
+use rand::{Rng, RngExt, SeedableRng};
+
+/// One dimension of the search space.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ParamKind {
+    /// Numerical dimension on `[0, 1]`; when `buckets` is set, only that
+    /// many evenly spaced values exist (LlamaTune's bucketized space —
+    /// the optimizer snaps its suggestions to the grid so it "is aware of
+    /// the larger sampling intervals", Section 5).
+    Continuous { buckets: Option<u64> },
+    /// Unordered categorical dimension with `n` choices, encoded as the
+    /// bin midpoints of `[0, 1]`.
+    Categorical { n: usize },
+}
+
+impl ParamKind {
+    /// Decodes a categorical dimension's unit value into its choice index.
+    pub fn to_category(&self, u: f64) -> Option<usize> {
+        match self {
+            ParamKind::Categorical { n } => {
+                Some(((u.clamp(0.0, 1.0) * *n as f64).floor() as usize).min(n - 1))
+            }
+            ParamKind::Continuous { .. } => None,
+        }
+    }
+
+    /// Snaps a unit value onto this dimension's grid (bucketized continuous
+    /// dims and categorical bin midpoints); plain continuous dims pass
+    /// through.
+    pub fn snap(&self, u: f64) -> f64 {
+        let u = u.clamp(0.0, 1.0);
+        match self {
+            ParamKind::Continuous { buckets: None } => u,
+            ParamKind::Continuous { buckets: Some(k) } => {
+                let k = (*k).max(2) as f64;
+                (u * (k - 1.0)).round() / (k - 1.0)
+            }
+            ParamKind::Categorical { n } => {
+                let idx = ((u * *n as f64).floor() as usize).min(n - 1);
+                (idx as f64 + 0.5) / *n as f64
+            }
+        }
+    }
+}
+
+/// A search space: an ordered list of dimensions.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SearchSpec {
+    pub params: Vec<ParamKind>,
+}
+
+impl SearchSpec {
+    /// All-continuous space of `d` dimensions (the low-dimensional
+    /// projected space is of this shape).
+    pub fn continuous(d: usize) -> Self {
+        SearchSpec { params: vec![ParamKind::Continuous { buckets: None }; d] }
+    }
+
+    /// Number of dimensions.
+    pub fn len(&self) -> usize {
+        self.params.len()
+    }
+
+    /// Whether the space is empty.
+    pub fn is_empty(&self) -> bool {
+        self.params.is_empty()
+    }
+
+    /// Samples a uniform random point (snapped to grids).
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> Vec<f64> {
+        self.params.iter().map(|p| p.snap(rng.random())).collect()
+    }
+
+    /// Snaps every coordinate of `x` onto the space's grids.
+    pub fn snap(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.len());
+        self.params.iter().zip(x).map(|(p, &u)| p.snap(u)).collect()
+    }
+}
+
+/// One evaluated configuration, in optimizer coordinates.
+#[derive(Debug, Clone)]
+pub struct Observation {
+    /// The suggested point (unit space).
+    pub x: Vec<f64>,
+    /// Objective value; optimizers always maximize.
+    pub y: f64,
+    /// Internal DBMS metrics of the run (used by DDPG; others ignore it).
+    pub metrics: Vec<f64>,
+}
+
+/// A sequential black-box optimizer over a [`SearchSpec`].
+pub trait Optimizer: Send {
+    /// Proposes the next point to evaluate.
+    fn suggest(&mut self) -> Vec<f64>;
+    /// Feeds back the result of evaluating a suggestion.
+    fn observe(&mut self, obs: Observation);
+    /// Short display name.
+    fn name(&self) -> &'static str;
+}
+
+/// Pure random search — the weakest baseline and a useful control.
+#[derive(Debug)]
+pub struct RandomSearch {
+    spec: SearchSpec,
+    rng: StdRng,
+}
+
+impl RandomSearch {
+    /// Creates a random-search optimizer.
+    pub fn new(spec: SearchSpec, seed: u64) -> Self {
+        RandomSearch { spec, rng: StdRng::seed_from_u64(seed) }
+    }
+}
+
+impl Optimizer for RandomSearch {
+    fn suggest(&mut self) -> Vec<f64> {
+        self.spec.sample(&mut self.rng)
+    }
+
+    fn observe(&mut self, _obs: Observation) {}
+
+    fn name(&self) -> &'static str {
+        "random"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn categorical_decode_covers_all_bins() {
+        let p = ParamKind::Categorical { n: 4 };
+        assert_eq!(p.to_category(0.0), Some(0));
+        assert_eq!(p.to_category(0.26), Some(1));
+        assert_eq!(p.to_category(0.99), Some(3));
+        assert_eq!(p.to_category(1.0), Some(3), "u=1 must not overflow");
+        assert_eq!(ParamKind::Continuous { buckets: None }.to_category(0.5), None);
+    }
+
+    #[test]
+    fn snap_bucketized_grid() {
+        let p = ParamKind::Continuous { buckets: Some(5) };
+        // Grid: 0, 0.25, 0.5, 0.75, 1.
+        assert_eq!(p.snap(0.1), 0.0);
+        assert_eq!(p.snap(0.13), 0.25);
+        assert_eq!(p.snap(0.49), 0.5);
+        assert_eq!(p.snap(1.0), 1.0);
+    }
+
+    #[test]
+    fn snap_categorical_returns_bin_midpoint() {
+        let p = ParamKind::Categorical { n: 2 };
+        assert_eq!(p.snap(0.1), 0.25);
+        assert_eq!(p.snap(0.9), 0.75);
+    }
+
+    #[test]
+    fn plain_continuous_passes_through() {
+        let p = ParamKind::Continuous { buckets: None };
+        assert_eq!(p.snap(0.37), 0.37);
+        assert_eq!(p.snap(-0.5), 0.0);
+        assert_eq!(p.snap(1.5), 1.0);
+    }
+
+    #[test]
+    fn random_search_is_deterministic_and_in_bounds() {
+        let spec = SearchSpec {
+            params: vec![
+                ParamKind::Continuous { buckets: None },
+                ParamKind::Categorical { n: 3 },
+                ParamKind::Continuous { buckets: Some(10) },
+            ],
+        };
+        let mut a = RandomSearch::new(spec.clone(), 5);
+        let mut b = RandomSearch::new(spec, 5);
+        for _ in 0..20 {
+            let xa = a.suggest();
+            let xb = b.suggest();
+            assert_eq!(xa, xb);
+            assert!(xa.iter().all(|v| (0.0..=1.0).contains(v)));
+        }
+    }
+
+    proptest! {
+        /// Snapping is idempotent for every parameter kind.
+        #[test]
+        fn snap_is_idempotent(u in 0.0f64..=1.0, n in 2usize..10, k in 2u64..1000) {
+            for p in [
+                ParamKind::Continuous { buckets: None },
+                ParamKind::Continuous { buckets: Some(k) },
+                ParamKind::Categorical { n },
+            ] {
+                let once = p.snap(u);
+                prop_assert!((p.snap(once) - once).abs() < 1e-12);
+            }
+        }
+
+        /// Bucketized snapping produces at most k distinct values.
+        #[test]
+        fn bucket_count_respected(k in 2u64..50) {
+            let p = ParamKind::Continuous { buckets: Some(k) };
+            let mut values = std::collections::BTreeSet::new();
+            for i in 0..1000 {
+                let u = i as f64 / 999.0;
+                values.insert(p.snap(u).to_bits());
+            }
+            prop_assert!(values.len() <= k as usize);
+        }
+    }
+}

@@ -1,0 +1,207 @@
+//! Rendering configurations as `postgresql.conf` fragments (with
+//! human-readable units) and parsing them back — the artifact a tuner
+//! actually hands to an operator.
+
+use crate::space::{Config, ConfigSpace};
+use crate::types::{Domain, KnobValue, Unit};
+
+/// Renders one knob value the way `postgresql.conf` expects it, using the
+/// knob's unit (`16384` pages -> `'128MB'`, `200` ms -> `'200ms'`).
+pub fn render_value(space: &ConfigSpace, knob_idx: usize, value: &KnobValue) -> String {
+    let knob = &space.knobs()[knob_idx];
+    if let Some(label) = knob.choice_label(value) {
+        return label.to_string();
+    }
+    match (value, knob.unit) {
+        (KnobValue::Int(v), Unit::Pages8k) if *v >= 0 => format_bytes(*v as u64 * 8 * 1024),
+        (KnobValue::Int(v), Unit::KiloBytes) if *v >= 0 => format_bytes(*v as u64 * 1024),
+        (KnobValue::Int(v), Unit::WalSegments16Mb) if *v >= 0 => {
+            format_bytes(*v as u64 * 16 * 1024 * 1024)
+        }
+        (KnobValue::Int(v), Unit::Millis) => format!("{v}ms"),
+        (KnobValue::Int(v), Unit::Micros) => format!("{v}"),
+        (KnobValue::Int(v), Unit::Seconds) => format!("{v}s"),
+        (KnobValue::Int(v), _) => format!("{v}"),
+        (KnobValue::Float(v), _) => format!("{v}"),
+        (KnobValue::Cat(i), _) => format!("{i}"),
+    }
+}
+
+fn format_bytes(bytes: u64) -> String {
+    const KB: u64 = 1024;
+    const MB: u64 = 1024 * KB;
+    const GB: u64 = 1024 * MB;
+    if bytes >= GB && bytes % GB == 0 {
+        format!("{}GB", bytes / GB)
+    } else if bytes >= MB && bytes % MB == 0 {
+        format!("{}MB", bytes / MB)
+    } else if bytes >= KB && bytes % KB == 0 {
+        format!("{}kB", bytes / KB)
+    } else {
+        format!("{bytes}B")
+    }
+}
+
+/// Renders a full configuration as a `postgresql.conf` fragment,
+/// optionally restricted to knobs that differ from the defaults.
+pub fn to_conf(space: &ConfigSpace, config: &Config, only_changed: bool) -> String {
+    let defaults = space.default_config();
+    let mut out = String::new();
+    for (idx, (knob, value)) in space.knobs().iter().zip(config.values()).enumerate() {
+        if only_changed && value == &defaults.values()[idx] {
+            continue;
+        }
+        out.push_str(&format!("{} = {}\n", knob.name, render_value(space, idx, value)));
+    }
+    out
+}
+
+/// Parses a `postgresql.conf` fragment back into a configuration, starting
+/// from defaults. Unknown knobs and malformed lines are reported as errors;
+/// comments and blank lines are skipped.
+pub fn from_conf(space: &ConfigSpace, text: &str) -> Result<Config, String> {
+    let mut config = space.default_config();
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let (name, value) = line
+            .split_once('=')
+            .ok_or_else(|| format!("line {}: missing '=': {raw}", lineno + 1))?;
+        let name = name.trim();
+        let value = value.trim().trim_matches('\'');
+        let idx = space
+            .index_of(name)
+            .ok_or_else(|| format!("line {}: unknown knob {name}", lineno + 1))?;
+        let knob = &space.knobs()[idx];
+        let parsed = match &knob.domain {
+            Domain::Categorical { choices } => {
+                let ci = choices
+                    .iter()
+                    .position(|c| c.eq_ignore_ascii_case(value))
+                    .ok_or_else(|| format!("line {}: bad choice {value} for {name}", lineno + 1))?;
+                KnobValue::Cat(ci)
+            }
+            Domain::Float { .. } => KnobValue::Float(
+                value.parse::<f64>().map_err(|e| format!("line {}: {e}", lineno + 1))?,
+            ),
+            Domain::Integer { .. } => KnobValue::Int(parse_sized_int(value, knob.unit)?),
+        };
+        if !knob.validates(&parsed) {
+            return Err(format!("line {}: {parsed:?} outside {name}'s domain", lineno + 1));
+        }
+        config.values_mut()[idx] = parsed;
+    }
+    Ok(config)
+}
+
+/// Parses `128MB` / `200ms` / `-1` style values into the knob's native
+/// integer unit.
+fn parse_sized_int(value: &str, unit: Unit) -> Result<i64, String> {
+    let value = value.trim();
+    let (digits, suffix) = match value.find(|c: char| c.is_ascii_alphabetic()) {
+        Some(pos) => value.split_at(pos),
+        None => (value, ""),
+    };
+    let n: i64 = digits.trim().parse().map_err(|e| format!("bad integer {value}: {e}"))?;
+    if suffix.is_empty() {
+        return Ok(n);
+    }
+    let bytes: i64 = match suffix.to_ascii_lowercase().as_str() {
+        "b" => n,
+        "kb" => n * 1024,
+        "mb" => n * 1024 * 1024,
+        "gb" => n * 1024 * 1024 * 1024,
+        "ms" => return Ok(n),
+        "s" => return Ok(n),
+        "min" => return Ok(n * 60),
+        other => return Err(format!("unknown unit suffix {other}")),
+    };
+    match unit {
+        Unit::Pages8k => Ok(bytes / (8 * 1024)),
+        Unit::KiloBytes => Ok(bytes / 1024),
+        Unit::WalSegments16Mb => Ok(bytes / (16 * 1024 * 1024)),
+        _ => Ok(n),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::postgres_v9_6;
+
+    #[test]
+    fn renders_sizes_with_units() {
+        let space = postgres_v9_6();
+        let sb = space.index_of("shared_buffers").unwrap();
+        assert_eq!(render_value(&space, sb, &KnobValue::Int(16_384)), "128MB");
+        assert_eq!(render_value(&space, sb, &KnobValue::Int(131_072)), "1GB");
+        let wd = space.index_of("wal_writer_delay").unwrap();
+        assert_eq!(render_value(&space, wd, &KnobValue::Int(200)), "200ms");
+        let sc = space.index_of("synchronous_commit").unwrap();
+        assert_eq!(render_value(&space, sc, &KnobValue::Cat(1)), "off");
+    }
+
+    #[test]
+    fn default_config_renders_empty_diff() {
+        let space = postgres_v9_6();
+        let conf = to_conf(&space, &space.default_config(), true);
+        assert!(conf.is_empty(), "nothing changed: {conf}");
+        let full = to_conf(&space, &space.default_config(), false);
+        assert_eq!(full.lines().count(), space.len());
+    }
+
+    #[test]
+    fn conf_roundtrip_preserves_values() {
+        let space = postgres_v9_6();
+        let mut cfg = space.default_config();
+        let sb = space.index_of("shared_buffers").unwrap();
+        let cd = space.index_of("commit_delay").unwrap();
+        let sc = space.index_of("synchronous_commit").unwrap();
+        let ccp = space.index_of("checkpoint_completion_target").unwrap();
+        cfg.values_mut()[sb] = KnobValue::Int(524_288);
+        cfg.values_mut()[cd] = KnobValue::Int(5_000);
+        cfg.values_mut()[sc] = KnobValue::Cat(1);
+        cfg.values_mut()[ccp] = KnobValue::Float(0.9);
+        let text = to_conf(&space, &cfg, true);
+        let back = from_conf(&space, &text).unwrap();
+        assert_eq!(back, cfg);
+    }
+
+    #[test]
+    fn parser_skips_comments_and_blanks() {
+        let space = postgres_v9_6();
+        let text = "# a comment\n\nshared_buffers = 256MB   # inline comment\n";
+        let cfg = from_conf(&space, text).unwrap();
+        let sb = space.index_of("shared_buffers").unwrap();
+        assert_eq!(cfg.values()[sb], KnobValue::Int(32_768));
+    }
+
+    #[test]
+    fn parser_rejects_unknown_knobs_and_bad_values() {
+        let space = postgres_v9_6();
+        assert!(from_conf(&space, "not_a_knob = 1\n").is_err());
+        assert!(from_conf(&space, "shared_buffers\n").is_err());
+        assert!(from_conf(&space, "synchronous_commit = banana\n").is_err());
+        // Out-of-domain value.
+        assert!(from_conf(&space, "max_connections = 5\n").is_err());
+    }
+
+    #[test]
+    fn negative_specials_survive_roundtrip() {
+        let space = postgres_v9_6();
+        let text = "wal_buffers = -1\nautovacuum_work_mem = -1\n";
+        let cfg = from_conf(&space, text).unwrap();
+        let wb = space.index_of("wal_buffers").unwrap();
+        assert_eq!(cfg.values()[wb], KnobValue::Int(-1));
+    }
+
+    #[test]
+    fn quoted_values_accepted() {
+        let space = postgres_v9_6();
+        let cfg = from_conf(&space, "shared_buffers = '1GB'\n").unwrap();
+        let sb = space.index_of("shared_buffers").unwrap();
+        assert_eq!(cfg.values()[sb], KnobValue::Int(131_072));
+    }
+}

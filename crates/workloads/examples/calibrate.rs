@@ -1,0 +1,22 @@
+//! Prints default-config throughput and evaluation wall time per workload.
+use llamatune_space::catalog::postgres_v9_6;
+use llamatune_workloads::{all_workloads, WorkloadRunner};
+use std::time::Instant;
+
+fn main() {
+    let catalog = postgres_v9_6();
+    for spec in all_workloads() {
+        let name = spec.name;
+        let runner = WorkloadRunner::new(spec, catalog.clone());
+        let cfg = catalog.default_config();
+        let _warm = runner.evaluate(&catalog, &cfg, 0); // amortize zeta caches
+        let t0 = Instant::now();
+        let out = runner.evaluate(&catalog, &cfg, 1);
+        let dt = t0.elapsed();
+        let r = &out.result;
+        println!(
+            "{name:<20} tput={:>9.0} tps  p50={:>8.2}ms p95={:>8.2}ms  committed={:>7}  wall={:?}",
+            r.throughput_tps, r.p50_latency_ms, r.p95_latency_ms, r.committed, dt
+        );
+    }
+}

@@ -1,0 +1,450 @@
+//! Workload definitions: YCSB-A/B, TPC-C, SEATS, Twitter, ResourceStresser.
+
+use llamatune_engine::{KeyDist, OpTemplate, TableSpec, TxnTemplate, WorkloadSpec};
+
+/// Names of the six workloads, in the paper's order.
+pub const WORKLOAD_NAMES: [&str; 6] =
+    ["ycsb_a", "ycsb_b", "tpcc", "seats", "twitter", "resource_stresser"];
+
+/// YCSB zipfian skew (the suite's default).
+const YCSB_THETA: f64 = 0.99;
+
+fn ycsb_tables() -> Vec<TableSpec> {
+    // 20M rows x ~1 kB = ~20 GB, one 11-column usertable.
+    vec![TableSpec { name: "usertable", rows: 20_000_000, row_bytes: 1_000, columns: 11 }]
+}
+
+/// YCSB-A: 50% reads / 50% updates, zipfian keys.
+pub fn ycsb_a() -> WorkloadSpec {
+    WorkloadSpec {
+        name: "ycsb_a",
+        tables: ycsb_tables(),
+        txns: vec![
+            TxnTemplate {
+                name: "read",
+                weight: 0.5,
+                ops: vec![OpTemplate::PointRead { table: 0, dist: KeyDist::Zipfian(YCSB_THETA) }],
+                read_only: true,
+            },
+            TxnTemplate {
+                name: "update",
+                weight: 0.5,
+                ops: vec![OpTemplate::PointUpdate { table: 0, dist: KeyDist::Zipfian(YCSB_THETA) }],
+                read_only: false,
+            },
+        ],
+        base_cpu_us: 110.0,
+    }
+}
+
+/// YCSB-B: 95% reads / 5% updates, zipfian keys.
+pub fn ycsb_b() -> WorkloadSpec {
+    WorkloadSpec {
+        name: "ycsb_b",
+        txns: vec![
+            TxnTemplate {
+                name: "read",
+                weight: 0.95,
+                ops: vec![OpTemplate::PointRead { table: 0, dist: KeyDist::Zipfian(YCSB_THETA) }],
+                read_only: true,
+            },
+            TxnTemplate {
+                name: "update",
+                weight: 0.05,
+                ops: vec![OpTemplate::PointUpdate { table: 0, dist: KeyDist::Zipfian(YCSB_THETA) }],
+                read_only: false,
+            },
+        ],
+        tables: ycsb_tables(),
+        base_cpu_us: 95.0,
+    }
+}
+
+/// TPC-C at scale factor ~200 warehouses (≈20 GB): order processing with
+/// five transaction types, 8% read-only.
+pub fn tpcc() -> WorkloadSpec {
+    // Table indices.
+    const WAREHOUSE: usize = 0;
+    const DISTRICT: usize = 1;
+    const CUSTOMER: usize = 2;
+    const HISTORY: usize = 3;
+    const ORDERS: usize = 4;
+    const NEW_ORDER: usize = 5;
+    const ORDER_LINE: usize = 6;
+    const STOCK: usize = 7;
+    const ITEM: usize = 8;
+
+    let tables = vec![
+        TableSpec { name: "warehouse", rows: 200, row_bytes: 89, columns: 9 },
+        TableSpec { name: "district", rows: 2_000, row_bytes: 95, columns: 11 },
+        TableSpec { name: "customer", rows: 6_000_000, row_bytes: 655, columns: 21 },
+        TableSpec { name: "history", rows: 6_000_000, row_bytes: 46, columns: 8 },
+        TableSpec { name: "orders", rows: 6_000_000, row_bytes: 24, columns: 8 },
+        TableSpec { name: "new_order", rows: 1_800_000, row_bytes: 8, columns: 3 },
+        TableSpec { name: "order_line", rows: 90_000_000, row_bytes: 54, columns: 10 },
+        TableSpec { name: "stock", rows: 20_000_000, row_bytes: 306, columns: 17 },
+        TableSpec { name: "item", rows: 100_000, row_bytes: 82, columns: 5 },
+    ];
+
+    let mut new_order_ops = vec![
+        OpTemplate::PointRead { table: WAREHOUSE, dist: KeyDist::Uniform },
+        OpTemplate::PointUpdate { table: DISTRICT, dist: KeyDist::Uniform },
+        OpTemplate::PointRead { table: CUSTOMER, dist: KeyDist::Uniform },
+    ];
+    for _ in 0..10 {
+        new_order_ops.push(OpTemplate::PointRead { table: ITEM, dist: KeyDist::Uniform });
+        new_order_ops.push(OpTemplate::PointUpdate { table: STOCK, dist: KeyDist::Uniform });
+    }
+    new_order_ops.push(OpTemplate::Insert { table: ORDERS, rows: 1 });
+    new_order_ops.push(OpTemplate::Insert { table: NEW_ORDER, rows: 1 });
+    new_order_ops.push(OpTemplate::Insert { table: ORDER_LINE, rows: 10 });
+
+    let payment_ops = vec![
+        OpTemplate::PointUpdate { table: WAREHOUSE, dist: KeyDist::Uniform },
+        OpTemplate::PointUpdate { table: DISTRICT, dist: KeyDist::Uniform },
+        OpTemplate::PointUpdate { table: CUSTOMER, dist: KeyDist::Uniform },
+        OpTemplate::Insert { table: HISTORY, rows: 1 },
+    ];
+
+    let order_status_ops = vec![
+        OpTemplate::PointRead { table: CUSTOMER, dist: KeyDist::Uniform },
+        OpTemplate::RangeScan { table: ORDERS, dist: KeyDist::Uniform, rows: 1 },
+        OpTemplate::RangeScan { table: ORDER_LINE, dist: KeyDist::Uniform, rows: 10 },
+    ];
+
+    let mut delivery_ops = Vec::new();
+    for _ in 0..10 {
+        delivery_ops.push(OpTemplate::PointUpdate { table: NEW_ORDER, dist: KeyDist::Uniform });
+        delivery_ops.push(OpTemplate::PointUpdate { table: ORDERS, dist: KeyDist::Uniform });
+        delivery_ops.push(OpTemplate::PointUpdate { table: CUSTOMER, dist: KeyDist::Uniform });
+    }
+    delivery_ops.push(OpTemplate::RangeScan {
+        table: ORDER_LINE,
+        dist: KeyDist::Uniform,
+        rows: 100,
+    });
+
+    let stock_level_ops = vec![
+        OpTemplate::PointRead { table: DISTRICT, dist: KeyDist::Uniform },
+        OpTemplate::Join { tables: 3, driving_rows: 200, dist: KeyDist::Uniform, table: STOCK },
+    ];
+
+    WorkloadSpec {
+        name: "tpcc",
+        tables,
+        txns: vec![
+            TxnTemplate { name: "new_order", weight: 0.45, ops: new_order_ops, read_only: false },
+            TxnTemplate { name: "payment", weight: 0.43, ops: payment_ops, read_only: false },
+            TxnTemplate {
+                name: "order_status",
+                weight: 0.04,
+                ops: order_status_ops,
+                read_only: true,
+            },
+            TxnTemplate { name: "delivery", weight: 0.04, ops: delivery_ops, read_only: false },
+            TxnTemplate {
+                name: "stock_level",
+                weight: 0.04,
+                ops: stock_level_ops,
+                read_only: true,
+            },
+        ],
+        base_cpu_us: 180.0,
+    }
+}
+
+/// SEATS: airline ticketing back-end; ten tables, six transaction types,
+/// 45% read-only.
+pub fn seats() -> WorkloadSpec {
+    const COUNTRY: usize = 0;
+    const AIRPORT: usize = 1;
+    const AIRLINE: usize = 2;
+    const CUSTOMER: usize = 3;
+    const FREQUENT_FLYER: usize = 4;
+    const FLIGHT: usize = 5;
+    const RESERVATION: usize = 6;
+    const AIRPORT_DISTANCE: usize = 9;
+
+    let tables = vec![
+        TableSpec { name: "country", rows: 250, row_bytes: 60, columns: 4 },
+        TableSpec { name: "airport", rows: 10_000, row_bytes: 120, columns: 10 },
+        TableSpec { name: "airline", rows: 1_250, row_bytes: 100, columns: 6 },
+        TableSpec { name: "customer", rows: 8_000_000, row_bytes: 400, columns: 44 },
+        TableSpec { name: "frequent_flyer", rows: 12_000_000, row_bytes: 120, columns: 27 },
+        TableSpec { name: "flight", rows: 3_000_000, row_bytes: 180, columns: 31 },
+        TableSpec { name: "reservation", rows: 60_000_000, row_bytes: 150, columns: 34 },
+        TableSpec { name: "config_profile", rows: 1, row_bytes: 500, columns: 12 },
+        TableSpec { name: "config_histograms", rows: 100, row_bytes: 200, columns: 4 },
+        TableSpec { name: "airport_distance", rows: 500_000, row_bytes: 30, columns: 17 },
+    ];
+
+    let find_flights = vec![
+        OpTemplate::PointRead { table: AIRPORT, dist: KeyDist::Uniform },
+        OpTemplate::PointRead { table: AIRLINE, dist: KeyDist::Uniform },
+        OpTemplate::RangeScan { table: AIRPORT_DISTANCE, dist: KeyDist::Uniform, rows: 20 },
+        OpTemplate::Join { tables: 3, driving_rows: 60, dist: KeyDist::Uniform, table: FLIGHT },
+    ];
+    let find_open_seats = vec![
+        OpTemplate::PointRead { table: FLIGHT, dist: KeyDist::Zipfian(0.9) },
+        OpTemplate::RangeScan { table: RESERVATION, dist: KeyDist::Zipfian(0.9), rows: 150 },
+    ];
+    let new_reservation = vec![
+        OpTemplate::PointRead { table: FLIGHT, dist: KeyDist::Zipfian(0.9) },
+        OpTemplate::PointRead { table: CUSTOMER, dist: KeyDist::Uniform },
+        OpTemplate::Insert { table: RESERVATION, rows: 1 },
+        OpTemplate::PointUpdate { table: FLIGHT, dist: KeyDist::Zipfian(0.9) },
+    ];
+    let update_customer = vec![
+        OpTemplate::PointRead { table: CUSTOMER, dist: KeyDist::Uniform },
+        OpTemplate::RangeScan { table: FREQUENT_FLYER, dist: KeyDist::Uniform, rows: 5 },
+        OpTemplate::PointUpdate { table: CUSTOMER, dist: KeyDist::Uniform },
+    ];
+    let update_reservation = vec![
+        OpTemplate::PointUpdate { table: RESERVATION, dist: KeyDist::Zipfian(0.9) },
+        OpTemplate::PointRead { table: COUNTRY, dist: KeyDist::Uniform },
+    ];
+    let delete_reservation = vec![
+        OpTemplate::PointRead { table: CUSTOMER, dist: KeyDist::Uniform },
+        OpTemplate::PointUpdate { table: RESERVATION, dist: KeyDist::Zipfian(0.9) },
+        OpTemplate::PointUpdate { table: FREQUENT_FLYER, dist: KeyDist::Uniform },
+    ];
+
+    WorkloadSpec {
+        name: "seats",
+        tables,
+        txns: vec![
+            TxnTemplate {
+                name: "delete_reservation",
+                weight: 0.10,
+                ops: delete_reservation,
+                read_only: false,
+            },
+            TxnTemplate { name: "find_flights", weight: 0.10, ops: find_flights, read_only: true },
+            TxnTemplate {
+                name: "find_open_seats",
+                weight: 0.35,
+                ops: find_open_seats,
+                read_only: true,
+            },
+            TxnTemplate {
+                name: "new_reservation",
+                weight: 0.20,
+                ops: new_reservation,
+                read_only: false,
+            },
+            TxnTemplate {
+                name: "update_customer",
+                weight: 0.10,
+                ops: update_customer,
+                read_only: false,
+            },
+            TxnTemplate {
+                name: "update_reservation",
+                weight: 0.15,
+                ops: update_reservation,
+                read_only: false,
+            },
+        ],
+        base_cpu_us: 140.0,
+    }
+}
+
+/// Twitter: micro-blogging core, five tables with heavily-skewed access,
+/// 1% read-only (Table 4).
+pub fn twitter() -> WorkloadSpec {
+    const USER_PROFILES: usize = 0;
+    const TWEETS: usize = 1;
+    const FOLLOWS: usize = 2;
+    const FOLLOWERS: usize = 3;
+    const ADDED_TWEETS: usize = 4;
+
+    let tables = vec![
+        TableSpec { name: "user_profiles", rows: 500_000, row_bytes: 200, columns: 6 },
+        TableSpec { name: "tweets", rows: 55_000_000, row_bytes: 280, columns: 4 },
+        TableSpec { name: "follows", rows: 10_000_000, row_bytes: 16, columns: 2 },
+        TableSpec { name: "followers", rows: 10_000_000, row_bytes: 16, columns: 2 },
+        TableSpec { name: "added_tweets", rows: 2_000_000, row_bytes: 280, columns: 4 },
+    ];
+
+    let insert_tweet = vec![
+        OpTemplate::PointRead { table: USER_PROFILES, dist: KeyDist::Zipfian(0.95) },
+        OpTemplate::Insert { table: ADDED_TWEETS, rows: 1 },
+    ];
+    let get_tweet = vec![OpTemplate::PointRead { table: TWEETS, dist: KeyDist::Zipfian(0.95) }];
+    let get_followers = vec![
+        OpTemplate::RangeScan { table: FOLLOWERS, dist: KeyDist::Zipfian(0.95), rows: 20 },
+        OpTemplate::PointRead { table: USER_PROFILES, dist: KeyDist::Zipfian(0.95) },
+    ];
+    let follow = vec![
+        OpTemplate::PointUpdate { table: FOLLOWS, dist: KeyDist::Zipfian(0.95) },
+        OpTemplate::PointUpdate { table: FOLLOWERS, dist: KeyDist::Zipfian(0.95) },
+    ];
+    let retweet = vec![
+        OpTemplate::PointRead { table: TWEETS, dist: KeyDist::Zipfian(0.95) },
+        OpTemplate::Insert { table: ADDED_TWEETS, rows: 1 },
+    ];
+
+    WorkloadSpec {
+        name: "twitter",
+        tables,
+        txns: vec![
+            TxnTemplate { name: "insert_tweet", weight: 0.65, ops: insert_tweet, read_only: false },
+            TxnTemplate { name: "get_tweet", weight: 0.01, ops: get_tweet, read_only: true },
+            TxnTemplate {
+                name: "get_followers",
+                weight: 0.04,
+                ops: get_followers,
+                read_only: false, // also records an access-count update upstream
+            },
+            TxnTemplate { name: "follow", weight: 0.10, ops: follow, read_only: false },
+            TxnTemplate { name: "retweet", weight: 0.20, ops: retweet, read_only: false },
+        ],
+        base_cpu_us: 55.0,
+    }
+}
+
+/// ResourceStresser: synthetic contention on CPU, disk I/O, and locks;
+/// 33% read-only.
+pub fn resource_stresser() -> WorkloadSpec {
+    const CPU_TABLE: usize = 0;
+    const IO_TABLE_A: usize = 1;
+    const IO_TABLE_B: usize = 2;
+    const LOCK_TABLE: usize = 3;
+
+    let tables = vec![
+        TableSpec { name: "cputable", rows: 100_000, row_bytes: 100, columns: 4 },
+        TableSpec { name: "iotable", rows: 10_000_000, row_bytes: 1_000, columns: 15 },
+        TableSpec { name: "iotablesmallrow", rows: 40_000_000, row_bytes: 120, columns: 2 },
+        TableSpec { name: "locktable", rows: 1_000, row_bytes: 100, columns: 2 },
+    ];
+
+    let cpu1 = vec![
+        OpTemplate::Compute { us: 1_800 },
+        OpTemplate::PointRead { table: CPU_TABLE, dist: KeyDist::Uniform },
+    ];
+    let cpu2 = vec![
+        OpTemplate::Compute { us: 900 },
+        OpTemplate::PointRead { table: CPU_TABLE, dist: KeyDist::Uniform },
+    ];
+    let io1 = vec![
+        OpTemplate::PointUpdate { table: IO_TABLE_A, dist: KeyDist::Uniform },
+        OpTemplate::PointUpdate { table: IO_TABLE_A, dist: KeyDist::Uniform },
+        OpTemplate::PointUpdate { table: IO_TABLE_A, dist: KeyDist::Uniform },
+        OpTemplate::PointUpdate { table: IO_TABLE_A, dist: KeyDist::Uniform },
+    ];
+    let io2 = vec![
+        OpTemplate::PointUpdate { table: IO_TABLE_B, dist: KeyDist::Uniform },
+        OpTemplate::PointUpdate { table: IO_TABLE_B, dist: KeyDist::Uniform },
+    ];
+    let contended_lock = vec![
+        OpTemplate::PointUpdate { table: LOCK_TABLE, dist: KeyDist::HotRange(0.05) },
+        OpTemplate::Compute { us: 150 },
+    ];
+
+    WorkloadSpec {
+        name: "resource_stresser",
+        tables,
+        txns: vec![
+            TxnTemplate { name: "cpu1", weight: 0.17, ops: cpu1, read_only: true },
+            TxnTemplate { name: "cpu2", weight: 0.16, ops: cpu2, read_only: true },
+            TxnTemplate { name: "io1", weight: 0.25, ops: io1, read_only: false },
+            TxnTemplate { name: "io2", weight: 0.25, ops: io2, read_only: false },
+            TxnTemplate { name: "contended_lock", weight: 0.17, ops: contended_lock, read_only: false },
+        ],
+        base_cpu_us: 70.0,
+    }
+}
+
+/// Looks a workload up by its [`WORKLOAD_NAMES`] entry.
+pub fn workload_by_name(name: &str) -> Option<WorkloadSpec> {
+    match name {
+        "ycsb_a" => Some(ycsb_a()),
+        "ycsb_b" => Some(ycsb_b()),
+        "tpcc" => Some(tpcc()),
+        "seats" => Some(seats()),
+        "twitter" => Some(twitter()),
+        "resource_stresser" => Some(resource_stresser()),
+        _ => None,
+    }
+}
+
+/// All six workloads, in the paper's order.
+pub fn all_workloads() -> Vec<WorkloadSpec> {
+    WORKLOAD_NAMES.iter().map(|n| workload_by_name(n).unwrap()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_specs_validate() {
+        for spec in all_workloads() {
+            assert!(spec.validate().is_ok(), "{} invalid", spec.name);
+        }
+    }
+
+    #[test]
+    fn table4_table_counts_and_columns() {
+        // Table 4: # tables (# columns).
+        let expect = [
+            ("ycsb_a", 1usize, 11u32),
+            ("ycsb_b", 1, 11),
+            ("tpcc", 9, 92),
+            ("seats", 10, 189),
+            ("twitter", 5, 18),
+            ("resource_stresser", 4, 23),
+        ];
+        for (name, tables, columns) in expect {
+            let spec = workload_by_name(name).unwrap();
+            assert_eq!(spec.tables.len(), tables, "{name} table count");
+            let total: u32 = spec.tables.iter().map(|t| t.columns).sum();
+            assert_eq!(total, columns, "{name} column count");
+        }
+    }
+
+    #[test]
+    fn table4_read_only_fractions() {
+        let expect = [
+            ("ycsb_a", 0.50),
+            ("ycsb_b", 0.95),
+            ("tpcc", 0.08),
+            ("seats", 0.45),
+            ("twitter", 0.01),
+            ("resource_stresser", 0.33),
+        ];
+        for (name, ro) in expect {
+            let spec = workload_by_name(name).unwrap();
+            assert!(
+                (spec.read_only_fraction() - ro).abs() < 1e-9,
+                "{name}: expected {ro}, got {}",
+                spec.read_only_fraction()
+            );
+        }
+    }
+
+    #[test]
+    fn databases_are_roughly_20gb() {
+        for spec in all_workloads() {
+            let gb = spec.total_bytes() as f64 / (1u64 << 30) as f64;
+            assert!(
+                (10.0..32.0).contains(&gb),
+                "{}: {:.1} GB is not ~20 GB",
+                spec.name,
+                gb
+            );
+        }
+    }
+
+    #[test]
+    fn unknown_workload_is_none() {
+        assert!(workload_by_name("nope").is_none());
+    }
+
+    #[test]
+    fn names_round_trip() {
+        for name in WORKLOAD_NAMES {
+            assert_eq!(workload_by_name(name).unwrap().name, name);
+        }
+    }
+}
