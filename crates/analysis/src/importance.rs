@@ -80,14 +80,17 @@ mod tests {
     use super::*;
     use llamatune_optim::{RandomForestConfig, SearchSpec};
 
-    fn fit(d: usize, f: impl Fn(&[f64]) -> f64, n: usize) -> (RandomForest, Vec<Vec<f64>>, Vec<f64>) {
+    fn fit(
+        d: usize,
+        f: impl Fn(&[f64]) -> f64,
+        n: usize,
+    ) -> (RandomForest, Vec<Vec<f64>>, Vec<f64>) {
         let spec = SearchSpec::continuous(d);
         let mut rng = StdRng::seed_from_u64(3);
         let xs: Vec<Vec<f64>> =
             (0..n).map(|_| (0..d).map(|_| rng.random::<f64>()).collect()).collect();
         let ys: Vec<f64> = xs.iter().map(|x| f(x)).collect();
-        let forest =
-            RandomForest::fit(&spec, &xs, &ys, &RandomForestConfig::default(), 3);
+        let forest = RandomForest::fit(&spec, &xs, &ys, &RandomForestConfig::default(), 3);
         (forest, xs, ys)
     }
 
@@ -95,12 +98,7 @@ mod tests {
     fn gini_finds_the_signal_feature() {
         let (forest, _, _) = fit(5, |x| 6.0 * x[2], 200);
         let imp = gini_importance(&forest);
-        let best = imp
-            .iter()
-            .enumerate()
-            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
-            .unwrap()
-            .0;
+        let best = imp.iter().enumerate().max_by(|a, b| a.1.partial_cmp(b.1).unwrap()).unwrap().0;
         assert_eq!(best, 2, "importance {imp:?}");
         assert!((imp.iter().sum::<f64>() - 1.0).abs() < 1e-9, "normalized");
     }

@@ -241,7 +241,12 @@ mod tests {
         phi
     }
 
-    fn fit_forest(d: usize, f: impl Fn(&[f64]) -> f64, n: usize, seed: u64) -> (RandomForest, Vec<Vec<f64>>) {
+    fn fit_forest(
+        d: usize,
+        f: impl Fn(&[f64]) -> f64,
+        n: usize,
+        seed: u64,
+    ) -> (RandomForest, Vec<Vec<f64>>) {
         let spec = SearchSpec::continuous(d);
         let mut rng = StdRng::seed_from_u64(seed);
         let xs: Vec<Vec<f64>> =
@@ -302,10 +307,7 @@ mod tests {
         let (forest, xs) = fit_forest(3, |x| x[0] + x[1], 200, 4);
         let imp = shap_importance(&forest, &xs[..50]);
         let ratio = imp[0] / imp[1];
-        assert!(
-            (0.6..1.6).contains(&ratio),
-            "x0 and x1 should be similar: {imp:?}"
-        );
+        assert!((0.6..1.6).contains(&ratio), "x0 and x1 should be similar: {imp:?}");
         assert!(imp[2] < imp[0] * 0.3, "x2 is irrelevant: {imp:?}");
     }
 
@@ -313,8 +315,7 @@ mod tests {
     fn expected_value_is_cover_weighted_mean() {
         // For an unbootstrapped forest the base value is the training mean.
         let (forest, xs) = fit_forest(2, |x| 4.0 * x[0], 100, 5);
-        let train_mean =
-            xs.iter().map(|x| 4.0 * x[0]).sum::<f64>() / xs.len() as f64;
+        let train_mean = xs.iter().map(|x| 4.0 * x[0]).sum::<f64>() / xs.len() as f64;
         let base = expected_value(&forest);
         assert!(
             (base - train_mean).abs() < 0.4,

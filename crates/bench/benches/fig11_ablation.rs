@@ -10,18 +10,24 @@ fn main() {
     let catalog = postgres_v9_6();
     let variants: [(&str, Option<LlamaTuneConfig>); 4] = [
         ("SMAC", None),
-        ("Low-Dim", Some(LlamaTuneConfig {
-            target_dim: 16,
-            projection: ProjectionKind::Hesbo,
-            special_value_bias: None,
-            bucket_count: None,
-        })),
-        ("Low-Dim+SVB", Some(LlamaTuneConfig {
-            target_dim: 16,
-            projection: ProjectionKind::Hesbo,
-            special_value_bias: Some(0.2),
-            bucket_count: None,
-        })),
+        (
+            "Low-Dim",
+            Some(LlamaTuneConfig {
+                target_dim: 16,
+                projection: ProjectionKind::Hesbo,
+                special_value_bias: None,
+                bucket_count: None,
+            }),
+        ),
+        (
+            "Low-Dim+SVB",
+            Some(LlamaTuneConfig {
+                target_dim: 16,
+                projection: ProjectionKind::Hesbo,
+                special_value_bias: Some(0.2),
+                bucket_count: None,
+            }),
+        ),
         ("LlamaTune", Some(LlamaTuneConfig::default())),
     ];
     for wl in ["ycsb_a", "ycsb_b", "tpcc"] {

@@ -60,7 +60,9 @@ fn main() {
     let shap8 = shap_top8(&catalog, scale.quick);
     println!("SHAP top-8 for YCSB-A: {shap8:?}");
 
-    for (wl_label, spec) in [("YCSB-A (Fig 2a)", ycsb_a()), ("TPC-C with YCSB-A's top-8 (Fig 2b)", tpcc())] {
+    for (wl_label, spec) in
+        [("YCSB-A (Fig 2a)", ycsb_a()), ("TPC-C with YCSB-A's top-8 (Fig 2b)", tpcc())]
+    {
         let runner = WorkloadRunner::new(spec, catalog.clone());
         print_header(
             &format!("Figure 2: knob-subset tuning on {wl_label}"),
@@ -69,11 +71,8 @@ fn main() {
         let mut labels = Vec::new();
         let mut curves = Vec::new();
         let hand: Vec<&str> = HAND_PICKED_TOP8_YCSB_A.to_vec();
-        let arms: [(&str, Option<&[&str]>); 3] = [
-            ("All knobs", None),
-            ("SHAP top-8", Some(&shap8)),
-            ("Hand-picked top-8", Some(&hand)),
-        ];
+        let arms: [(&str, Option<&[&str]>); 3] =
+            [("All knobs", None), ("SHAP top-8", Some(&shap8)), ("Hand-picked top-8", Some(&hand))];
         for (label, subset) in arms {
             let tuned_space = match subset {
                 None => catalog.clone(),

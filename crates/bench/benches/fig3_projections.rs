@@ -11,7 +11,10 @@ fn main() {
     let runner = WorkloadRunner::new(ycsb_a(), catalog.clone());
     print_header(
         "Figure 3: Best throughput on YCSB-A with REMBO/HeSBO projections (SMAC)",
-        &format!("{} seeds x {} iterations; projection only (no SVB / bucketization)", scale.seeds, scale.iterations),
+        &format!(
+            "{} seeds x {} iterations; projection only (no SVB / bucketization)",
+            scale.seeds, scale.iterations
+        ),
     );
 
     let mut labels: Vec<String> = vec!["High-Dim".into()];
@@ -27,7 +30,8 @@ fn main() {
 
     for kind in [ProjectionKind::Hesbo, ProjectionKind::Rembo] {
         for d in [8usize, 16, 24] {
-            let name = format!("{}-{d}", if kind == ProjectionKind::Hesbo { "HeSBO" } else { "REMBO" });
+            let name =
+                format!("{}-{d}", if kind == ProjectionKind::Hesbo { "HeSBO" } else { "REMBO" });
             let cfg = LlamaTuneConfig {
                 target_dim: d,
                 projection: kind,

@@ -1,7 +1,9 @@
 //! Table 10: optimizer suggestion-time overhead, vanilla (90-dim space)
 //! vs LlamaTune (16-dim projected space), measured with Criterion.
 use criterion::{criterion_group, criterion_main, Criterion};
-use llamatune::pipeline::{IdentityAdapter, LlamaTuneConfig, LlamaTunePipeline, SearchSpaceAdapter};
+use llamatune::pipeline::{
+    IdentityAdapter, LlamaTuneConfig, LlamaTunePipeline, SearchSpaceAdapter,
+};
 use llamatune_bench::OptimizerKind;
 use llamatune_optim::Observation;
 use llamatune_space::catalog::postgres_v9_6;
@@ -12,7 +14,11 @@ use rand::{RngExt, SeedableRng};
 /// suggest() reflects mid-session model sizes (the paper measures the
 /// whole 100-iteration session; per-suggestion time is the comparable
 /// unit).
-fn prefilled(kind: OptimizerKind, spec: &llamatune_optim::SearchSpec, n: usize) -> Box<dyn llamatune_optim::Optimizer> {
+fn prefilled(
+    kind: OptimizerKind,
+    spec: &llamatune_optim::SearchSpec,
+    n: usize,
+) -> Box<dyn llamatune_optim::Optimizer> {
     let mut opt = kind.build(spec, 7);
     let mut rng = StdRng::seed_from_u64(1);
     for i in 0..n {
@@ -34,10 +40,9 @@ fn bench_overhead(c: &mut Criterion) {
         ("gp_bo", OptimizerKind::GpBo),
         ("ddpg", OptimizerKind::Ddpg),
     ] {
-        for (space_name, spec) in [
-            ("baseline_90d", baseline.optimizer_spec()),
-            ("llamatune_16d", llama.optimizer_spec()),
-        ] {
+        for (space_name, spec) in
+            [("baseline_90d", baseline.optimizer_spec()), ("llamatune_16d", llama.optimizer_spec())]
+        {
             group.bench_function(format!("{opt_name}/{space_name}/suggest"), |b| {
                 let mut opt = prefilled(kind, spec, 60);
                 b.iter(|| std::hint::black_box(opt.suggest()));

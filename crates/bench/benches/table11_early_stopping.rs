@@ -6,7 +6,7 @@ use llamatune::pipeline::{IdentityAdapter, LlamaTuneConfig, LlamaTunePipeline};
 use llamatune::report::final_improvement_pct;
 use llamatune_bench::{print_header, run_tuning_arm, ExpScale, OptimizerKind};
 use llamatune_space::catalog::postgres_v9_6;
-use llamatune_workloads::{workload_by_name, WorkloadRunner, WORKLOAD_NAMES};
+use llamatune_workloads::{workload_by_name, WorkloadRunner, PAPER_WORKLOAD_NAMES};
 
 fn main() {
     let scale = ExpScale::from_env();
@@ -25,7 +25,7 @@ fn main() {
         "{:<18} {:>14} {:>8} {:>14} {:>8} {:>14} {:>8}",
         "Workload", "(0.5%,10)", "iters", "(1%,10)", "iters", "(1%,20)", "iters"
     );
-    for name in WORKLOAD_NAMES {
+    for name in PAPER_WORKLOAD_NAMES {
         let spec = workload_by_name(name).unwrap();
         let runner = WorkloadRunner::new(spec, catalog.clone());
         let base = run_tuning_arm(

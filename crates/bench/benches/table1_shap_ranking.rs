@@ -4,7 +4,7 @@
 use llamatune_analysis::{rank_knobs, shap_importance};
 use llamatune_bench::{print_header, ExpScale};
 use llamatune_math::latin_hypercube;
-use llamatune_optim::{RandomForest, RandomForestConfig, SearchSpec, ParamKind};
+use llamatune_optim::{ParamKind, RandomForest, RandomForestConfig, SearchSpec};
 use llamatune_space::catalog::{postgres_v9_6, HAND_PICKED_TOP8_YCSB_A};
 use llamatune_space::Domain;
 use llamatune_workloads::{ycsb_a, WorkloadRunner};
@@ -55,7 +55,7 @@ fn main() {
     let names: Vec<&str> = catalog.knobs().iter().map(|k| k.name).collect();
     let ranked = rank_knobs(&names, &importance);
 
-    println!("{:<40} {}", "SHAP (top-8)", "Hand-picked (top-8)");
+    println!("{:<40} Hand-picked (top-8)", "SHAP (top-8)");
     let mut hand: Vec<&str> = HAND_PICKED_TOP8_YCSB_A.to_vec();
     hand.sort_unstable();
     let mut shap_top: Vec<&str> = ranked.iter().take(8).map(|(n, _)| *n).collect();

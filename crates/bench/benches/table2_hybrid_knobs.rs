@@ -4,12 +4,18 @@ use llamatune_bench::print_header;
 use llamatune_space::catalog::{postgres_v13_6, postgres_v9_6};
 
 fn main() {
-    for (label, space) in [("PostgreSQL v9.6", postgres_v9_6()), ("PostgreSQL v13.6", postgres_v13_6())] {
+    for (label, space) in
+        [("PostgreSQL v9.6", postgres_v9_6()), ("PostgreSQL v13.6", postgres_v13_6())]
+    {
         print_header(
             &format!("Table 2: hybrid knobs in {label}"),
-            &format!("{} of {} knobs carry a special value", space.hybrid_knobs().count(), space.len()),
+            &format!(
+                "{} of {} knobs carry a special value",
+                space.hybrid_knobs().count(),
+                space.len()
+            ),
         );
-        println!("{:<36} {:>18} {:>9}  {}", "Knob", "Range", "Special", "Action");
+        println!("{:<36} {:>18} {:>9}  Action", "Knob", "Range", "Special");
         for (_, k) in space.hybrid_knobs() {
             let sp = k.special.unwrap();
             let range = match &k.domain {

@@ -9,7 +9,7 @@ fn main() {
         "Table 3: discrete knobs with large value ranges (PostgreSQL v9.6)",
         "Knobs with more than K = 10,000 unique values get bucketized",
     );
-    println!("{:<32} {:>16} {:>12}  {}", "Knob", "Unique values", "Unit", "Description");
+    println!("{:<32} {:>16} {:>12}  Description", "Knob", "Unique values", "Unit");
     let mut rows: Vec<_> = space
         .knobs()
         .iter()
@@ -21,5 +21,9 @@ fn main() {
         println!("{:<32} {:>16} {:>12?}  {}", k.name, card, k.unit, k.description);
     }
     let pct = rows.len() as f64 / space.len() as f64 * 100.0;
-    println!("\n{} of {} knobs ({pct:.0}%) exceed K = 10,000 unique values", rows.len(), space.len());
+    println!(
+        "\n{} of {} knobs ({pct:.0}%) exceed K = 10,000 unique values",
+        rows.len(),
+        space.len()
+    );
 }

@@ -4,7 +4,10 @@ use llamatune_workloads::all_workloads;
 
 fn main() {
     print_header("Table 4: Workload Properties", "");
-    println!("{:<20} {:>10} {:>10} {:>9} {:>10}", "Workload", "# Tables", "# Columns", "RO Txns", "DB size");
+    println!(
+        "{:<20} {:>10} {:>10} {:>9} {:>10}",
+        "Workload", "# Tables", "# Columns", "RO Txns", "DB size"
+    );
     for spec in all_workloads() {
         let columns: u32 = spec.tables.iter().map(|t| t.columns).sum();
         println!(

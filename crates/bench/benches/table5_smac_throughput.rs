@@ -8,7 +8,7 @@ use llamatune_bench::{
     OptimizerKind,
 };
 use llamatune_space::catalog::postgres_v9_6;
-use llamatune_workloads::{workload_by_name, WorkloadRunner, WORKLOAD_NAMES};
+use llamatune_workloads::{workload_by_name, WorkloadRunner, PAPER_WORKLOAD_NAMES};
 
 fn main() {
     let scale = ExpScale::from_env();
@@ -21,12 +21,12 @@ fn main() {
         ),
     );
     println!(
-        "{:<18} {:>9} {:<19} {:>8} {:<14} {}",
-        "Workload", "FinalImp", " [5%,95%] CI", "Speedup", "(catch-up)", "[5%,95%] CI"
+        "{:<18} {:>9} {:<19} {:>8} {:<14} [5%,95%] CI",
+        "Workload", "FinalImp", " [5%,95%] CI", "Speedup", "(catch-up)"
     );
 
     let mut curves: Vec<(String, Vec<f64>, Vec<f64>)> = Vec::new();
-    for name in WORKLOAD_NAMES {
+    for name in PAPER_WORKLOAD_NAMES {
         let spec = workload_by_name(name).expect("workload");
         let runner = WorkloadRunner::new(spec, catalog.clone());
         let base = run_tuning_arm(
@@ -70,10 +70,8 @@ fn main() {
         print!(" {name:>18}");
     }
     println!();
-    let maps: Vec<Vec<Option<usize>>> = curves
-        .iter()
-        .map(|(_, base, llama)| convergence_map(&llama[1..], &base[1..]))
-        .collect();
+    let maps: Vec<Vec<Option<usize>>> =
+        curves.iter().map(|(_, base, llama)| convergence_map(&llama[1..], &base[1..])).collect();
     let len = maps.iter().map(Vec::len).max().unwrap_or(0);
     let mut i = 0;
     while i < len {

@@ -1,7 +1,9 @@
 //! Table 6: tuning for 95th-percentile tail latency at a fixed request
 //! rate (TPC-C, SEATS, Twitter), LlamaTune(SMAC) vs SMAC.
 use llamatune::pipeline::{IdentityAdapter, LlamaTuneConfig, LlamaTunePipeline};
-use llamatune_bench::{paired_rows, print_header, print_row, run_tuning_arm, ExpScale, OptimizerKind};
+use llamatune_bench::{
+    paired_rows, print_header, print_row, run_tuning_arm, ExpScale, OptimizerKind,
+};
 use llamatune_space::catalog::postgres_v9_6;
 use llamatune_workloads::{workload_by_name, Objective, WorkloadRunner};
 
@@ -14,17 +16,15 @@ fn main() {
          (the paper uses half of the best observed throughput)",
     );
     println!(
-        "{:<18} {:>9} {:<19} {:>8} {:<14} {}",
-        "Workload", "LatRed", " [5%,95%] CI", "Speedup", "(catch-up)", "[5%,95%] CI"
+        "{:<18} {:>9} {:<19} {:>8} {:<14} [5%,95%] CI",
+        "Workload", "LatRed", " [5%,95%] CI", "Speedup", "(catch-up)"
     );
     for name in ["tpcc", "seats", "twitter"] {
         let spec = workload_by_name(name).unwrap();
         // Self-calibrating rate: fraction of default throughput.
         let probe = WorkloadRunner::new(spec.clone(), catalog.clone());
-        let default_tput = probe
-            .evaluate(&catalog, &catalog.default_config(), 0)
-            .score
-            .unwrap_or(1_000.0);
+        let default_tput =
+            probe.evaluate(&catalog, &catalog.default_config(), 0).score.unwrap_or(1_000.0);
         let rate = default_tput * 0.6;
         let runner = WorkloadRunner::new(spec, catalog.clone())
             .with_objective(Objective::TailLatency95 { rate_tps: rate });

@@ -1,22 +1,27 @@
 //! Table 7: LlamaTune(SMAC) vs SMAC on the newer PostgreSQL v13.6 catalog
 //! (112 knobs, 23 hybrid), same hyperparameters as v9.6.
 use llamatune::pipeline::{IdentityAdapter, LlamaTuneConfig, LlamaTunePipeline};
-use llamatune_bench::{paired_rows, print_header, print_row, run_tuning_arm, ExpScale, OptimizerKind};
+use llamatune_bench::{
+    paired_rows, print_header, print_row, run_tuning_arm, ExpScale, OptimizerKind,
+};
 use llamatune_space::catalog::postgres_v13_6;
-use llamatune_workloads::{workload_by_name, WorkloadRunner, WORKLOAD_NAMES};
+use llamatune_workloads::{workload_by_name, WorkloadRunner, PAPER_WORKLOAD_NAMES};
 
 fn main() {
     let scale = ExpScale::from_env();
     let catalog = postgres_v13_6();
     print_header(
         "Table 7: LlamaTune + SMAC on PostgreSQL v13.6 (112 knobs, 23 hybrid)",
-        &format!("{} seeds x {} iterations; same LlamaTune hyperparameters as v9.6", scale.seeds, scale.iterations),
+        &format!(
+            "{} seeds x {} iterations; same LlamaTune hyperparameters as v9.6",
+            scale.seeds, scale.iterations
+        ),
     );
     println!(
-        "{:<18} {:>9} {:<19} {:>8} {:<14} {}",
-        "Workload", "FinalImp", " [5%,95%] CI", "Speedup", "(catch-up)", "[5%,95%] CI"
+        "{:<18} {:>9} {:<19} {:>8} {:<14} [5%,95%] CI",
+        "Workload", "FinalImp", " [5%,95%] CI", "Speedup", "(catch-up)"
     );
-    for name in WORKLOAD_NAMES {
+    for name in PAPER_WORKLOAD_NAMES {
         let spec = workload_by_name(name).unwrap();
         let runner = WorkloadRunner::new(spec, catalog.clone());
         let base = run_tuning_arm(

@@ -1,9 +1,11 @@
 //! Table 8: LlamaTune coupled with GP-BO (Gaussian-process surrogate)
 //! instead of SMAC, on all six workloads.
 use llamatune::pipeline::{IdentityAdapter, LlamaTuneConfig, LlamaTunePipeline};
-use llamatune_bench::{paired_rows, print_header, print_row, run_tuning_arm, ExpScale, OptimizerKind};
+use llamatune_bench::{
+    paired_rows, print_header, print_row, run_tuning_arm, ExpScale, OptimizerKind,
+};
 use llamatune_space::catalog::postgres_v9_6;
-use llamatune_workloads::{workload_by_name, WorkloadRunner, WORKLOAD_NAMES};
+use llamatune_workloads::{workload_by_name, WorkloadRunner, PAPER_WORKLOAD_NAMES};
 
 fn main() {
     let scale = ExpScale::from_env();
@@ -13,10 +15,10 @@ fn main() {
         &format!("{} seeds x {} iterations; throughput objective", scale.seeds, scale.iterations),
     );
     println!(
-        "{:<18} {:>9} {:<19} {:>8} {:<14} {}",
-        "Workload", "FinalImp", " [5%,95%] CI", "Speedup", "(catch-up)", "[5%,95%] CI"
+        "{:<18} {:>9} {:<19} {:>8} {:<14} [5%,95%] CI",
+        "Workload", "FinalImp", " [5%,95%] CI", "Speedup", "(catch-up)"
     );
-    for name in WORKLOAD_NAMES {
+    for name in PAPER_WORKLOAD_NAMES {
         let spec = workload_by_name(name).unwrap();
         let runner = WorkloadRunner::new(spec, catalog.clone());
         let base = run_tuning_arm(

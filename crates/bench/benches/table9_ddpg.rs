@@ -1,7 +1,9 @@
 //! Table 9: LlamaTune coupled with the DDPG reinforcement-learning
 //! optimizer (CDBTune-style), on the paper's four workloads.
 use llamatune::pipeline::{IdentityAdapter, LlamaTuneConfig, LlamaTunePipeline};
-use llamatune_bench::{paired_rows, print_header, print_row, run_tuning_arm, ExpScale, OptimizerKind};
+use llamatune_bench::{
+    paired_rows, print_header, print_row, run_tuning_arm, ExpScale, OptimizerKind,
+};
 use llamatune_space::catalog::postgres_v9_6;
 use llamatune_workloads::{workload_by_name, WorkloadRunner};
 
@@ -16,8 +18,8 @@ fn main() {
         ),
     );
     println!(
-        "{:<18} {:>9} {:<19} {:>8} {:<14} {}",
-        "Workload", "FinalImp", " [5%,95%] CI", "Speedup", "(catch-up)", "[5%,95%] CI"
+        "{:<18} {:>9} {:<19} {:>8} {:<14} [5%,95%] CI",
+        "Workload", "FinalImp", " [5%,95%] CI", "Speedup", "(catch-up)"
     );
     for name in ["ycsb_b", "tpcc", "twitter", "resource_stresser"] {
         let spec = workload_by_name(name).unwrap();

@@ -13,7 +13,15 @@ fn main() {
     println!("default: {base:.0} tps");
 
     let sweeps: Vec<(&str, Vec<KnobValue>)> = vec![
-        ("shared_buffers", vec![KnobValue::Int(2048), KnobValue::Int(131072), KnobValue::Int(524288), KnobValue::Int(1048576)]),
+        (
+            "shared_buffers",
+            vec![
+                KnobValue::Int(2048),
+                KnobValue::Int(131072),
+                KnobValue::Int(524288),
+                KnobValue::Int(1048576),
+            ],
+        ),
         ("synchronous_commit", vec![KnobValue::Cat(1)]),
         ("fsync", vec![KnobValue::Cat(0)]),
         ("commit_delay", vec![KnobValue::Int(2000), KnobValue::Int(20000)]),
@@ -25,7 +33,10 @@ fn main() {
         ("autovacuum_vacuum_scale_factor", vec![KnobValue::Float(0.01), KnobValue::Float(0.9)]),
         ("backend_flush_after", vec![KnobValue::Int(2), KnobValue::Int(64), KnobValue::Int(256)]),
         ("bgwriter_lru_maxpages", vec![KnobValue::Int(0), KnobValue::Int(1000)]),
-        ("wal_writer_flush_after", vec![KnobValue::Int(0), KnobValue::Int(8), KnobValue::Int(100000)]),
+        (
+            "wal_writer_flush_after",
+            vec![KnobValue::Int(0), KnobValue::Int(8), KnobValue::Int(100000)],
+        ),
         ("work_mem", vec![KnobValue::Int(64), KnobValue::Int(1048576)]),
         ("effective_io_concurrency", vec![KnobValue::Int(0), KnobValue::Int(200)]),
         ("random_page_cost", vec![KnobValue::Float(1.0), KnobValue::Float(50.0)]),
@@ -41,7 +52,10 @@ fn main() {
             cfg.values_mut()[idx] = v;
             let out = runner.evaluate(&catalog, &cfg, 1);
             match out.score {
-                Some(s) => println!("{name:>32} = {v:>10} -> {s:>8.0} tps ({:+.1}%)", (s - base) / base * 100.0),
+                Some(s) => println!(
+                    "{name:>32} = {v:>10} -> {s:>8.0} tps ({:+.1}%)",
+                    (s - base) / base * 100.0
+                ),
                 None => println!("{name:>32} = {v:>10} -> CRASH"),
             }
         }

@@ -16,7 +16,10 @@ fn main() {
         cfg.values_mut()[idx] = KnobValue::Int(val);
     }
     let out = runner.run(&catalog, &cfg, 1);
-    println!("tput={:.0} p50={:.2}ms p95={:.2}ms", out.throughput_tps, out.p50_latency_ms, out.p95_latency_ms);
+    println!(
+        "tput={:.0} p50={:.2}ms p95={:.2}ms",
+        out.throughput_tps, out.p50_latency_ms, out.p95_latency_ms
+    );
     for (n, v) in METRIC_NAMES.iter().zip(&out.metrics) {
         println!("{n:>28} = {v:.2}");
     }

@@ -34,8 +34,13 @@ fn main() {
     println!("llamatune done in {:?}", t1.elapsed());
 
     let row = paired_rows(&wl, &base, &llama);
-    println!("\n{wl}: improvement {:+.2}% [{:+.1}%, {:+.1}%], speedup {:.2}x (catch-up at {:?})",
-        row.improvement.mean, row.improvement.ci_lo, row.improvement.ci_hi,
-        row.speedup.mean, row.catch_up_iter);
+    println!(
+        "\n{wl}: improvement {:+.2}% [{:+.1}%, {:+.1}%], speedup {:.2}x (catch-up at {:?})",
+        row.improvement.mean,
+        row.improvement.ci_lo,
+        row.improvement.ci_hi,
+        row.speedup.mean,
+        row.catch_up_iter
+    );
     print_curve_table(&["SMAC", "LlamaTune"], &[base.mean_curve(), llama.mean_curve()], 5);
 }

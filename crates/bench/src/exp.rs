@@ -5,9 +5,6 @@ use llamatune::pipeline::SearchSpaceAdapter;
 use llamatune::report::{final_improvement_pct, time_to_optimal};
 use llamatune::session::{run_session, EvalResult, SessionHistory, SessionOptions};
 use llamatune_math::Summary;
-use llamatune_optim::{
-    Ddpg, DdpgConfig, GpBo, GpConfig, Optimizer, SearchSpec, Smac, SmacConfig,
-};
 use llamatune_space::ConfigSpace;
 use llamatune_workloads::WorkloadRunner;
 
@@ -35,28 +32,7 @@ impl ExpScale {
     }
 }
 
-/// The three optimizer families of the evaluation.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum OptimizerKind {
-    Smac,
-    GpBo,
-    Ddpg,
-}
-
-impl OptimizerKind {
-    /// Builds a fresh optimizer instance over `spec`.
-    pub fn build(self, spec: &SearchSpec, seed: u64) -> Box<dyn Optimizer> {
-        match self {
-            OptimizerKind::Smac => {
-                Box::new(Smac::new(spec.clone(), SmacConfig::default(), seed))
-            }
-            OptimizerKind::GpBo => Box::new(GpBo::new(spec.clone(), GpConfig::default(), seed)),
-            OptimizerKind::Ddpg => {
-                Box::new(Ddpg::new(spec.clone(), 27, DdpgConfig::default(), seed))
-            }
-        }
-    }
-}
+pub use llamatune_optim::OptimizerKind;
 
 /// All sessions of one experiment arm (one per seed).
 #[derive(Debug, Clone)]
@@ -136,12 +112,7 @@ pub fn aggregate_curves(histories: &[SessionHistory]) -> Vec<f64> {
     let mut out = vec![0.0; len];
     for h in histories {
         for (i, slot) in out.iter_mut().enumerate() {
-            let v = h
-                .best_curve
-                .get(i)
-                .or(h.best_curve.last())
-                .copied()
-                .unwrap_or(0.0);
+            let v = h.best_curve.get(i).or(h.best_curve.last()).copied().unwrap_or(0.0);
             *slot += v;
         }
     }
@@ -170,11 +141,8 @@ pub fn paired_rows(workload: &str, baseline: &ArmResult, candidate: &ArmResult) 
     let cand_bests = candidate.final_bests();
     let base_mean_final = llamatune_math::mean(&base_bests);
 
-    let improvements: Vec<f64> = cand_bests
-        .iter()
-        .zip(&base_bests)
-        .map(|(c, b)| final_improvement_pct(*b, *c))
-        .collect();
+    let improvements: Vec<f64> =
+        cand_bests.iter().zip(&base_bests).map(|(c, b)| final_improvement_pct(*b, *c)).collect();
 
     let total_iters = baseline
         .histories
@@ -239,9 +207,7 @@ mod tests {
         let base = ArmResult {
             label: "base".into(),
             histories: vec![history(
-                std::iter::once(0.0)
-                    .chain((1..=10).map(|i| 10.0 * i as f64))
-                    .collect(),
+                std::iter::once(0.0).chain((1..=10).map(|i| 10.0 * i as f64)).collect(),
             )],
         };
         // Candidate hits 110 from iteration 2 onward.
@@ -261,14 +227,10 @@ mod tests {
 
     #[test]
     fn never_catching_up_counts_as_1x() {
-        let base = ArmResult {
-            label: "base".into(),
-            histories: vec![history(vec![0.0, 100.0, 100.0])],
-        };
-        let cand = ArmResult {
-            label: "cand".into(),
-            histories: vec![history(vec![0.0, 50.0, 60.0])],
-        };
+        let base =
+            ArmResult { label: "base".into(), histories: vec![history(vec![0.0, 100.0, 100.0])] };
+        let cand =
+            ArmResult { label: "cand".into(), histories: vec![history(vec![0.0, 50.0, 60.0])] };
         let row = paired_rows("t", &base, &cand);
         assert_eq!(row.speedup.mean, 1.0);
         assert_eq!(row.catch_up_iter, None);

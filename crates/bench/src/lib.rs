@@ -14,7 +14,7 @@ pub mod exp;
 pub mod printing;
 
 pub use exp::{
-    aggregate_curves, arm_summary, paired_rows, run_tuning_arm, ArmResult, ExpScale,
-    OptimizerKind, PairedRow,
+    aggregate_curves, arm_summary, paired_rows, run_tuning_arm, ArmResult, ExpScale, OptimizerKind,
+    PairedRow,
 };
 pub use printing::{print_curve_table, print_header, print_row};

@@ -87,9 +87,8 @@ mod tests {
 
     #[test]
     fn more_patience_stops_later() {
-        let curve: Vec<f64> = (0..15)
-            .map(|i| if i < 8 { 100.0 + i as f64 * 2.0 } else { 114.0 })
-            .collect();
+        let curve: Vec<f64> =
+            (0..15).map(|i| if i < 8 { 100.0 + i as f64 * 2.0 } else { 114.0 }).collect();
         let impatient = EarlyStopPolicy { min_improvement_pct: 1.0, patience: 3 };
         let patient = EarlyStopPolicy { min_improvement_pct: 1.0, patience: 10 };
         let early = impatient.stop_index(&curve);
@@ -108,9 +107,8 @@ mod tests {
         let strict = EarlyStopPolicy { min_improvement_pct: 1.0, patience: 10 };
         let lenient = EarlyStopPolicy { min_improvement_pct: 0.5, patience: 10 };
         let s = strict.stop_index(&curve).unwrap();
-        match lenient.stop_index(&curve) {
-            Some(l) => assert!(l >= s),
-            None => {}
+        if let Some(l) = lenient.stop_index(&curve) {
+            assert!(l >= s)
         }
     }
 

@@ -2,12 +2,21 @@
 //! Figure 1): a tab-separated transcript that survives process restarts
 //! and feeds post-hoc analysis such as the Table 11 early-stopping study.
 //!
-//! Format: one header line, then one line per iteration with the
-//! iteration index, raw score (`crash` for crashed runs), penalized
-//! score, and the optimizer-space point.
+//! Two formats are supported:
+//!
+//! * **TSV** ([`to_tsv`] / [`curves_from_tsv`]) — one header line, then
+//!   one line per iteration with the iteration index, raw score (`crash`
+//!   for crashed runs), penalized score, and the optimizer-space point.
+//! * **JSONL trial events** ([`TrialEvent`], [`events_to_jsonl`] /
+//!   [`events_from_jsonl`]) — one self-describing JSON object per
+//!   evaluated trial, tagged with a session label so events from many
+//!   concurrent sessions can interleave in a single append-only log (the
+//!   parallel runtime's campaign transcript). [`session_curves`] regroups
+//!   a mixed log back into per-session score curves.
 
 use crate::session::SessionHistory;
 use llamatune_space::{Config, ConfigSpace};
+use std::collections::BTreeMap;
 
 /// Serializes a history (scores + optimizer points + knob configs) as TSV.
 pub fn to_tsv(space: &ConfigSpace, history: &SessionHistory) -> String {
@@ -17,17 +26,9 @@ pub fn to_tsv(space: &ConfigSpace, history: &SessionHistory) -> String {
             Some(v) => format!("{v}"),
             None => "crash".to_string(),
         };
-        let point = history.points[i]
-            .iter()
-            .map(|v| format!("{v}"))
-            .collect::<Vec<_>>()
-            .join(",");
-        let config = history.configs[i]
-            .values()
-            .iter()
-            .map(|v| v.to_string())
-            .collect::<Vec<_>>()
-            .join(",");
+        let point = history.points[i].iter().map(|v| format!("{v}")).collect::<Vec<_>>().join(",");
+        let config =
+            history.configs[i].values().iter().map(|v| v.to_string()).collect::<Vec<_>>().join(",");
         out.push_str(&format!("{i}\t{raw}\t{}\t{point}\t{config}\n", history.scores[i]));
     }
     debug_assert_eq!(space.len(), history.configs[0].values().len());
@@ -75,12 +76,286 @@ pub fn best_curve_from_scores(scores: &[f64]) -> Vec<f64> {
     out
 }
 
+/// One evaluated trial of some session, as recorded in a JSONL campaign
+/// log. Events carry everything [`curves_from_tsv`]-style post-hoc
+/// analysis needs; configurations are intentionally omitted (they are
+/// recoverable by re-decoding `point` through the session's adapter).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrialEvent {
+    /// Label of the session this trial belongs to (e.g.
+    /// `"tpcc/llamatune/smac/s3"`).
+    pub session: String,
+    /// Iteration index within the session (0 = default configuration).
+    pub iteration: usize,
+    /// Raw score; `None` when the configuration crashed the DBMS.
+    pub raw_score: Option<f64>,
+    /// Score after crash-penalty substitution.
+    pub score: f64,
+    /// Optimizer-space point (empty for iteration 0).
+    pub point: Vec<f64>,
+}
+
+/// Flattens a finished session into its trial events.
+pub fn history_to_events(session: &str, history: &SessionHistory) -> Vec<TrialEvent> {
+    (0..history.scores.len())
+        .map(|i| TrialEvent {
+            session: session.to_string(),
+            iteration: i,
+            raw_score: history.raw_scores[i],
+            score: history.scores[i],
+            point: history.points[i].clone(),
+        })
+        .collect()
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Serializes one event as a single JSON line (no trailing newline).
+/// `f64` values print via Rust's shortest-roundtrip formatting, so a
+/// parse-back is bit-exact for finite values.
+pub fn event_to_json(e: &TrialEvent) -> String {
+    let raw = match e.raw_score {
+        Some(v) => format!("{v}"),
+        None => "null".to_string(),
+    };
+    let point = e.point.iter().map(|v| format!("{v}")).collect::<Vec<_>>().join(",");
+    format!(
+        "{{\"session\":\"{}\",\"iteration\":{},\"raw_score\":{},\"score\":{},\"point\":[{}]}}",
+        json_escape(&e.session),
+        e.iteration,
+        raw,
+        e.score,
+        point
+    )
+}
+
+/// Serializes events as JSONL (one event per line).
+pub fn events_to_jsonl(events: &[TrialEvent]) -> String {
+    let mut out = String::new();
+    for e in events {
+        out.push_str(&event_to_json(e));
+        out.push('\n');
+    }
+    out
+}
+
+/// Minimal JSON scanner for the fixed [`TrialEvent`] schema.
+struct JsonScanner<'a> {
+    s: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> JsonScanner<'a> {
+    fn new(s: &'a str) -> Self {
+        JsonScanner { s: s.as_bytes(), pos: 0 }
+    }
+
+    fn skip_ws(&mut self) {
+        while self.pos < self.s.len() && self.s[self.pos].is_ascii_whitespace() {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        self.skip_ws();
+        if self.pos < self.s.len() && self.s[self.pos] == b {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!("expected '{}' at byte {}", b as char, self.pos))
+        }
+    }
+
+    fn peek(&mut self) -> Option<u8> {
+        self.skip_ws();
+        self.s.get(self.pos).copied()
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let b = *self.s.get(self.pos).ok_or("unterminated string")?;
+            self.pos += 1;
+            match b {
+                b'"' => return Ok(out),
+                b'\\' => {
+                    let e = *self.s.get(self.pos).ok_or("unterminated escape")?;
+                    self.pos += 1;
+                    match e {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'n' => out.push('\n'),
+                        b't' => out.push('\t'),
+                        b'r' => out.push('\r'),
+                        b'u' => {
+                            let hex =
+                                self.s.get(self.pos..self.pos + 4).ok_or("truncated \\u escape")?;
+                            let code = u32::from_str_radix(
+                                std::str::from_utf8(hex).map_err(|e| e.to_string())?,
+                                16,
+                            )
+                            .map_err(|e| e.to_string())?;
+                            self.pos += 4;
+                            out.push(char::from_u32(code).ok_or("invalid \\u code point")?);
+                        }
+                        other => return Err(format!("unsupported escape \\{}", other as char)),
+                    }
+                }
+                b => {
+                    // Re-join multi-byte UTF-8 sequences.
+                    let start = self.pos - 1;
+                    let len = match b {
+                        b if b < 0x80 => 1,
+                        b if b >> 5 == 0b110 => 2,
+                        b if b >> 4 == 0b1110 => 3,
+                        _ => 4,
+                    };
+                    let chunk = self.s.get(start..start + len).ok_or("truncated UTF-8 sequence")?;
+                    out.push_str(std::str::from_utf8(chunk).map_err(|e| e.to_string())?);
+                    self.pos = start + len;
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<f64, String> {
+        self.skip_ws();
+        let start = self.pos;
+        while self.pos < self.s.len()
+            && matches!(self.s[self.pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
+        {
+            self.pos += 1;
+        }
+        std::str::from_utf8(&self.s[start..self.pos])
+            .map_err(|e| e.to_string())?
+            .parse()
+            .map_err(|e| format!("bad number at byte {start}: {e}"))
+    }
+
+    fn literal(&mut self, lit: &str) -> bool {
+        self.skip_ws();
+        if self.s[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            true
+        } else {
+            false
+        }
+    }
+}
+
+/// Parses one [`event_to_json`] line. Keys may appear in any order;
+/// unknown keys are rejected (the schema is closed).
+pub fn event_from_json(line: &str) -> Result<TrialEvent, String> {
+    let mut sc = JsonScanner::new(line);
+    sc.expect(b'{')?;
+    let (mut session, mut iteration, mut raw_score, mut score, mut point) =
+        (None, None, None, None, None);
+    loop {
+        let key = sc.string()?;
+        sc.expect(b':')?;
+        match key.as_str() {
+            "session" => session = Some(sc.string()?),
+            "iteration" => iteration = Some(sc.number()? as usize),
+            "raw_score" => {
+                raw_score = Some(if sc.literal("null") { None } else { Some(sc.number()?) })
+            }
+            "score" => score = Some(sc.number()?),
+            "point" => {
+                sc.expect(b'[')?;
+                let mut xs = Vec::new();
+                if sc.peek() == Some(b']') {
+                    sc.expect(b']')?;
+                } else {
+                    loop {
+                        xs.push(sc.number()?);
+                        match sc.peek() {
+                            Some(b',') => sc.expect(b',')?,
+                            _ => {
+                                sc.expect(b']')?;
+                                break;
+                            }
+                        }
+                    }
+                }
+                point = Some(xs);
+            }
+            other => return Err(format!("unknown key {other:?}")),
+        }
+        match sc.peek() {
+            Some(b',') => sc.expect(b',')?,
+            _ => {
+                sc.expect(b'}')?;
+                break;
+            }
+        }
+    }
+    Ok(TrialEvent {
+        session: session.ok_or("missing session")?,
+        iteration: iteration.ok_or("missing iteration")?,
+        raw_score: raw_score.ok_or("missing raw_score")?,
+        score: score.ok_or("missing score")?,
+        point: point.ok_or("missing point")?,
+    })
+}
+
+/// Parses a JSONL trial log (blank lines are skipped).
+pub fn events_from_jsonl(text: &str) -> Result<Vec<TrialEvent>, String> {
+    text.lines()
+        .enumerate()
+        .filter(|(_, l)| !l.trim().is_empty())
+        .map(|(i, l)| event_from_json(l).map_err(|e| format!("line {}: {e}", i + 1)))
+        .collect()
+}
+
+/// Regroups an interleaved event log into per-session `(scores,
+/// raw_scores)` curves, ordered by iteration index — the JSONL
+/// counterpart of [`curves_from_tsv`]. Fails on missing or duplicate
+/// iterations (a torn log).
+#[allow(clippy::type_complexity)]
+pub fn session_curves(
+    events: &[TrialEvent],
+) -> Result<BTreeMap<String, (Vec<f64>, Vec<Option<f64>>)>, String> {
+    let mut by_session: BTreeMap<String, Vec<&TrialEvent>> = BTreeMap::new();
+    for e in events {
+        by_session.entry(e.session.clone()).or_default().push(e);
+    }
+    let mut out = BTreeMap::new();
+    for (session, mut evs) in by_session {
+        evs.sort_by_key(|e| e.iteration);
+        for (i, e) in evs.iter().enumerate() {
+            if e.iteration != i {
+                return Err(format!(
+                    "session {session:?}: expected iteration {i}, found {}",
+                    e.iteration
+                ));
+            }
+        }
+        let scores = evs.iter().map(|e| e.score).collect();
+        let raw = evs.iter().map(|e| e.raw_score).collect();
+        out.insert(session, (scores, raw));
+    }
+    Ok(out)
+}
+
 /// Renders the best configuration as a `postgresql.conf` fragment — the
 /// deliverable a tuning session hands to the operator.
 pub fn best_config_conf(space: &ConfigSpace, history: &SessionHistory) -> Option<String> {
-    history
-        .best_config()
-        .map(|cfg: &Config| llamatune_space::conf_file::to_conf(space, cfg, true))
+    history.best_config().map(|cfg: &Config| llamatune_space::conf_file::to_conf(space, cfg, true))
 }
 
 #[cfg(test)]
@@ -105,10 +380,7 @@ mod tests {
                 if calls == 3 {
                     EvalResult { score: None, metrics: vec![] } // one crash
                 } else {
-                    EvalResult {
-                        score: Some(cfg.values()[sb].as_float() / 1e4),
-                        metrics: vec![],
-                    }
+                    EvalResult { score: Some(cfg.values()[sb].as_float() / 1e4), metrics: vec![] }
                 }
             },
             &SessionOptions { iterations: 6, n_init: 2, ..Default::default() },
@@ -141,6 +413,91 @@ mod tests {
         assert!(curves_from_tsv("").is_err());
         assert!(curves_from_tsv("header\n1\tnot_a_number\t2\t\t\n").is_err());
         assert!(curves_from_tsv("header only\n").is_err());
+    }
+
+    #[test]
+    fn tsv_roundtrip_through_a_file_restores_curves() {
+        let (space, h) = tiny_history();
+        let dir = std::env::temp_dir().join("llamatune_history_io_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("session.tsv");
+        std::fs::write(&path, to_tsv(&space, &h)).unwrap();
+        let loaded = std::fs::read_to_string(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        let (scores, raw) = curves_from_tsv(&loaded).unwrap();
+        assert_eq!(scores, h.scores);
+        assert_eq!(raw, h.raw_scores);
+        assert!(raw.iter().any(|r| r.is_none()), "fixture must include a crash");
+    }
+
+    #[test]
+    fn jsonl_roundtrip_restores_events_exactly() {
+        let (_, h) = tiny_history();
+        let events = history_to_events("ycsb_a/identity/random/s1", &h);
+        let text = events_to_jsonl(&events);
+        let parsed = events_from_jsonl(&text).unwrap();
+        assert_eq!(parsed, events);
+        // Scores survive bit-exactly through the text encoding.
+        for (a, b) in parsed.iter().zip(&events) {
+            assert_eq!(a.score.to_bits(), b.score.to_bits());
+        }
+        assert!(parsed.iter().any(|e| e.raw_score.is_none()), "crash must round-trip");
+    }
+
+    #[test]
+    fn jsonl_interleaved_sessions_regroup_into_curves() {
+        let (_, h) = tiny_history();
+        let a = history_to_events("arm_a", &h);
+        let b = history_to_events("arm_b", &h);
+        // Interleave as a concurrent campaign would append them.
+        let mut mixed = Vec::new();
+        for (x, y) in a.iter().zip(&b) {
+            mixed.push(y.clone());
+            mixed.push(x.clone());
+        }
+        let text = events_to_jsonl(&mixed);
+        let curves = session_curves(&events_from_jsonl(&text).unwrap()).unwrap();
+        assert_eq!(curves.len(), 2);
+        for (scores, raw) in curves.values() {
+            assert_eq!(scores, &h.scores);
+            assert_eq!(raw, &h.raw_scores);
+            assert_eq!(best_curve_from_scores(scores), h.best_curve);
+        }
+    }
+
+    #[test]
+    fn jsonl_escapes_awkward_session_labels() {
+        let e = TrialEvent {
+            session: "we\"ird\\lab\nel\tname".to_string(),
+            iteration: 3,
+            raw_score: None,
+            score: -12.5,
+            point: vec![0.25, 1.0],
+        };
+        let parsed = event_from_json(&event_to_json(&e)).unwrap();
+        assert_eq!(parsed, e);
+    }
+
+    #[test]
+    fn malformed_jsonl_is_rejected() {
+        assert!(events_from_jsonl("{\"session\":\"x\"}").is_err(), "missing keys");
+        assert!(events_from_jsonl("not json").is_err());
+        assert!(
+            events_from_jsonl(
+                "{\"session\":\"x\",\"iteration\":0,\"raw_score\":1,\"score\":1,\"point\":[],\"extra\":1}"
+            )
+            .is_err(),
+            "closed schema"
+        );
+        // Torn log: duplicate iteration.
+        let e = TrialEvent {
+            session: "s".into(),
+            iteration: 0,
+            raw_score: Some(1.0),
+            score: 1.0,
+            point: vec![],
+        };
+        assert!(session_curves(&[e.clone(), e]).is_err());
     }
 
     #[test]

@@ -71,4 +71,7 @@ pub use pipeline::{
 };
 pub use projection::{HesboProjection, Projection, RemboProjection};
 pub use report::{convergence_map, final_improvement_pct, time_to_optimal};
-pub use session::{run_session, EvalResult, SessionHistory, SessionOptions};
+pub use session::{
+    run_session, run_session_parallel, EvalResult, FnExecutor, SessionHistory, SessionOptions,
+    Trial, TrialExecutor,
+};

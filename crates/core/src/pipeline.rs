@@ -82,25 +82,17 @@ impl IdentityAdapter {
     /// Like [`Self::new`] but with special-value biasing probability
     /// and/or a per-knob unique-value cap `K` (knobs with fewer values than
     /// `K` are unaffected, as in Section 4.2).
-    pub fn with_options(
-        space: &ConfigSpace,
-        bias: Option<f64>,
-        bucket_count: Option<u64>,
-    ) -> Self {
+    pub fn with_options(space: &ConfigSpace, bias: Option<f64>, bucket_count: Option<u64>) -> Self {
         let spec = SearchSpec {
             params: space
                 .knobs()
                 .iter()
                 .map(|k| match &k.domain {
-                    Domain::Categorical { choices } => {
-                        ParamKind::Categorical { n: choices.len() }
-                    }
+                    Domain::Categorical { choices } => ParamKind::Categorical { n: choices.len() },
                     _ => {
-                        let buckets = bucket_count.map(|k_max| {
-                            match k.domain.cardinality() {
-                                Some(card) => card.min(k_max),
-                                None => k_max,
-                            }
+                        let buckets = bucket_count.map(|k_max| match k.domain.cardinality() {
+                            Some(card) => card.min(k_max),
+                            None => k_max,
                         });
                         ParamKind::Continuous { buckets }
                     }
@@ -166,10 +158,14 @@ impl LlamaTunePipeline {
         };
         // The optimizer sees a d-dimensional continuous space, bucketized
         // so it "is aware of the larger sampling intervals" (Section 5).
-        let spec = SearchSpec {
-            params: vec![ParamKind::Continuous { buckets: config.bucket_count }; d],
-        };
-        LlamaTunePipeline { space: space.clone(), spec, projection, bias: config.special_value_bias }
+        let spec =
+            SearchSpec { params: vec![ParamKind::Continuous { buckets: config.bucket_count }; d] };
+        LlamaTunePipeline {
+            space: space.clone(),
+            spec,
+            projection,
+            bias: config.special_value_bias,
+        }
     }
 
     /// Decodes and also reports which hybrid knobs were biased to their
@@ -307,8 +303,8 @@ mod tests {
         let cfg = LlamaTuneConfig { bucket_count: Some(3), ..Default::default() };
         let pipe = LlamaTunePipeline::new(&space, &cfg, 10);
         // 0.4 and 0.6 snap to the same grid point 0.5 on a 3-bucket grid.
-        let a = pipe.decode(&vec![0.4; 16]);
-        let b = pipe.decode(&vec![0.6; 16]);
+        let a = pipe.decode(&[0.4; 16]);
+        let b = pipe.decode(&[0.6; 16]);
         assert_eq!(a, b, "bucketized suggestions collapse to the grid");
     }
 

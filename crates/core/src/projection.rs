@@ -37,9 +37,7 @@ impl HesboProjection {
         assert!(low_dim >= 1, "need at least one synthetic dimension");
         let mut rng = StdRng::seed_from_u64(seed);
         let h = (0..high_dim).map(|_| rng.random_range(0..low_dim)).collect();
-        let sign = (0..high_dim)
-            .map(|_| if rng.random::<bool>() { 1.0 } else { -1.0 })
-            .collect();
+        let sign = (0..high_dim).map(|_| if rng.random::<bool>() { 1.0 } else { -1.0 }).collect();
         HesboProjection { h, sign, d: low_dim }
     }
 
@@ -149,8 +147,7 @@ impl Projection for RemboProjection {
             })
             .collect();
         self.clip_events.fetch_add(clips, std::sync::atomic::Ordering::Relaxed);
-        self.total_coords
-            .fetch_add(out.len() as u64, std::sync::atomic::Ordering::Relaxed);
+        self.total_coords.fetch_add(out.len() as u64, std::sync::atomic::Ordering::Relaxed);
         out
     }
 }
@@ -201,7 +198,7 @@ mod tests {
     #[test]
     fn hesbo_center_maps_to_center() {
         let p = HesboProjection::new(6, 30, 4);
-        let high = p.project_unit(&vec![0.5; 6]);
+        let high = p.project_unit(&[0.5; 6]);
         assert!(high.iter().all(|v| (v - 0.5).abs() < 1e-12));
     }
 
@@ -227,7 +224,7 @@ mod tests {
     fn rembo_zero_point_is_interior() {
         let p = RemboProjection::new(4, 20, 8);
         // The center of the low space maps to A*0 = 0 -> 0.5 in unit terms.
-        let high = p.project_unit(&vec![0.5; 4]);
+        let high = p.project_unit(&[0.5; 4]);
         assert!(high.iter().all(|v| (v - 0.5).abs() < 1e-12));
     }
 

@@ -15,10 +15,7 @@ pub fn final_improvement_pct(baseline_best: f64, candidate_best: f64) -> f64 {
 /// `None` when the candidate never catches up. Curves are best-so-far per
 /// tuning iteration (index 0 = first tuning iteration).
 pub fn time_to_optimal(candidate_curve: &[f64], baseline_final_best: f64) -> Option<usize> {
-    candidate_curve
-        .iter()
-        .position(|&v| v >= baseline_final_best)
-        .map(|i| i + 1)
+    candidate_curve.iter().position(|&v| v >= baseline_final_best).map(|i| i + 1)
 }
 
 /// Time-to-optimal speedup: baseline length over catch-up iteration.
@@ -34,12 +31,7 @@ pub fn time_to_optimal_speedup(candidate_curve: &[f64], baseline_curve: &[f64]) 
 pub fn convergence_map(candidate_curve: &[f64], baseline_curve: &[f64]) -> Vec<Option<usize>> {
     candidate_curve
         .iter()
-        .map(|&target| {
-            baseline_curve
-                .iter()
-                .position(|&b| b >= target)
-                .map(|i| i + 1)
-        })
+        .map(|&target| baseline_curve.iter().position(|&b| b >= target).map(|i| i + 1))
         .collect()
 }
 

@@ -1,5 +1,15 @@
 //! The end-to-end tuning session (Figure 1): knowledge base, LHS
 //! initialization, optimizer loop, crash handling, best-so-far tracking.
+//!
+//! Two entry points share the same semantics:
+//!
+//! * [`run_session`] — the paper's strictly sequential loop;
+//! * [`run_session_parallel`] — the batched loop used by the parallel
+//!   runtime: per round it draws `batch_size` suggestions
+//!   ([`Optimizer::suggest_batch`]), hands the decoded configurations to a
+//!   [`TrialExecutor`] (which may evaluate them concurrently), then folds
+//!   the results back *in iteration order*, so crash penalties, the best
+//!   curve, and early stopping are independent of evaluation scheduling.
 
 use crate::early_stop::EarlyStopPolicy;
 use crate::pipeline::SearchSpaceAdapter;
@@ -83,85 +93,181 @@ impl SessionHistory {
     }
 }
 
+/// Applies the paper's crash penalty: non-crashed scores pass through and
+/// lower `worst_seen`; crashes score one fourth of the worst performance
+/// seen so far (generalized to negative, latency-style scores).
+fn crash_penalty(raw: Option<f64>, worst_seen: &mut Option<f64>) -> f64 {
+    match raw {
+        Some(v) => {
+            *worst_seen = Some(match *worst_seen {
+                Some(w) => w.min(v),
+                None => v,
+            });
+            v
+        }
+        None => {
+            // "One fourth of the worst throughput seen so far";
+            // generalized to negative (latency) scores.
+            let w = worst_seen.unwrap_or(0.0);
+            w - 0.75 * w.abs()
+        }
+    }
+}
+
+fn empty_history(iterations: usize) -> SessionHistory {
+    SessionHistory {
+        configs: Vec::with_capacity(iterations + 1),
+        points: Vec::with_capacity(iterations + 1),
+        scores: Vec::with_capacity(iterations + 1),
+        raw_scores: Vec::with_capacity(iterations + 1),
+        best_curve: Vec::with_capacity(iterations + 1),
+        stopped_at: None,
+    }
+}
+
 /// Runs a tuning session: evaluates the default configuration, then
 /// `n_init` LHS samples, then optimizer suggestions, maximizing the score
 /// returned by `objective`. Crashed evaluations receive the paper's
 /// penalty: one fourth of the worst performance seen so far (initialized
 /// to the default configuration's performance).
+///
+/// This is [`run_session_parallel`] at batch size 1 with an inline
+/// executor — the sequential loop of the paper, kept as the convenient
+/// entry point for closures.
 pub fn run_session(
     adapter: &dyn SearchSpaceAdapter,
-    mut optimizer: Box<dyn Optimizer>,
-    mut objective: impl FnMut(&Config) -> EvalResult,
+    optimizer: Box<dyn Optimizer>,
+    objective: impl FnMut(&Config) -> EvalResult,
     opts: &SessionOptions,
 ) -> SessionHistory {
-    let spec = adapter.optimizer_spec();
-    let mut history = SessionHistory {
-        configs: Vec::with_capacity(opts.iterations + 1),
-        points: Vec::with_capacity(opts.iterations + 1),
-        scores: Vec::with_capacity(opts.iterations + 1),
-        raw_scores: Vec::with_capacity(opts.iterations + 1),
-        best_curve: Vec::with_capacity(opts.iterations + 1),
-        stopped_at: None,
-    };
+    run_session_parallel(adapter, optimizer, &mut FnExecutor(objective), opts, 1)
+}
 
-    // Penalty baseline: worst non-crashed score so far.
+/// One scheduled evaluation: a decoded configuration tagged with the
+/// session iteration it belongs to.
+#[derive(Debug, Clone)]
+pub struct Trial {
+    /// Iteration index within the session (0 = default configuration).
+    pub iteration: usize,
+    /// The configuration to evaluate.
+    pub config: Config,
+}
+
+/// Evaluates batches of trials — the seam between the tuning loop and
+/// however trials actually run (inline closure, thread pool, remote
+/// fleet). Implementations MUST return results in the same order as the
+/// input slice; they are free to evaluate in any order or concurrently.
+pub trait TrialExecutor {
+    /// Evaluates every trial, returning results positionally aligned with
+    /// `trials`.
+    fn run_batch(&mut self, trials: &[Trial]) -> Vec<EvalResult>;
+
+    /// How many trials the executor can usefully run at once (used by
+    /// callers to pick a batch size).
+    fn max_parallelism(&self) -> usize {
+        1
+    }
+}
+
+/// Adapts a sequential objective closure into a [`TrialExecutor`].
+pub struct FnExecutor<F: FnMut(&Config) -> EvalResult>(pub F);
+
+impl<F: FnMut(&Config) -> EvalResult> TrialExecutor for FnExecutor<F> {
+    fn run_batch(&mut self, trials: &[Trial]) -> Vec<EvalResult> {
+        trials.iter().map(|t| (self.0)(&t.config)).collect()
+    }
+}
+
+/// Runs a tuning session whose trials are evaluated in batches of
+/// `batch_size` by `executor`, preserving [`run_session`]'s semantics:
+/// iteration 0 evaluates the server default configuration, iterations
+/// `1..=n_init` come from LHS, later ones from the optimizer
+/// ([`Optimizer::suggest_batch`]); crash penalties, the best curve, and
+/// early stopping are applied in iteration order, so the resulting
+/// [`SessionHistory`] is a pure function of the seeds and batch size —
+/// independent of how many workers the executor uses or in which order
+/// trials physically complete. With `batch_size == 1` it reproduces
+/// [`run_session`] exactly.
+///
+/// Early stopping is checked per iteration while folding a batch in; if
+/// it fires mid-batch, the remaining results of that batch are discarded
+/// (the inherent overshoot cost of batched evaluation).
+pub fn run_session_parallel(
+    adapter: &dyn SearchSpaceAdapter,
+    mut optimizer: Box<dyn Optimizer>,
+    executor: &mut dyn TrialExecutor,
+    opts: &SessionOptions,
+    batch_size: usize,
+) -> SessionHistory {
+    let q = batch_size.max(1);
+    let spec = adapter.optimizer_spec();
+    let mut history = empty_history(opts.iterations);
     let mut worst_seen: Option<f64> = None;
-    let penalize = |raw: Option<f64>, worst_seen: &mut Option<f64>| -> f64 {
-        match raw {
-            Some(v) => {
-                *worst_seen = Some(match *worst_seen { Some(w) => w.min(v), None => v });
-                v
-            }
-            None => {
-                // "One fourth of the worst throughput seen so far";
-                // generalized to negative (latency) scores.
-                let w = worst_seen.unwrap_or(0.0);
-                w - 0.75 * w.abs()
-            }
-        }
-    };
 
     // Iteration 0: the server default configuration.
     let default_cfg = adapter.space().default_config();
-    let default_eval = objective(&default_cfg);
-    let default_score = penalize(default_eval.score, &mut worst_seen);
+    let mut results = executor.run_batch(&[Trial { iteration: 0, config: default_cfg.clone() }]);
+    assert_eq!(results.len(), 1, "executor must return one result per trial");
+    let default_eval = results.remove(0);
+    let default_score = crash_penalty(default_eval.score, &mut worst_seen);
     history.configs.push(default_cfg);
     history.points.push(Vec::new());
     history.scores.push(default_score);
     history.raw_scores.push(default_eval.score);
     history.best_curve.push(default_score);
 
-    // LHS initialization in the optimizer's space.
+    // LHS initialization in the optimizer's space (same stream as the
+    // sequential session: the seed fully determines the design).
     let mut lhs_rng = StdRng::seed_from_u64(opts.seed ^ 0x1A5_0001);
     let init_points = latin_hypercube(opts.n_init.min(opts.iterations), spec.len(), &mut lhs_rng);
 
     let mut best = f64::NEG_INFINITY;
-    for iter in 1..=opts.iterations {
-        let point = if iter <= init_points.len() {
-            spec.snap(&init_points[iter - 1])
+    let mut iter = 1;
+    while iter <= opts.iterations {
+        let round_q = q.min(opts.iterations - iter + 1);
+        // A round never mixes LHS and optimizer points: the LHS phase is
+        // truncated at its boundary so the optimizer's first batch starts
+        // with the full initialization observed.
+        let points: Vec<Vec<f64>> = if iter <= init_points.len() {
+            let end = (iter + round_q - 1).min(init_points.len());
+            (iter..=end).map(|i| spec.snap(&init_points[i - 1])).collect()
         } else {
-            optimizer.suggest()
+            optimizer.suggest_batch(round_q)
         };
-        let config = adapter.decode(&point);
-        let eval = objective(&config);
-        let score = penalize(eval.score, &mut worst_seen);
-        optimizer.observe(Observation { x: point.clone(), y: score, metrics: eval.metrics });
+        let trials: Vec<Trial> = points
+            .iter()
+            .enumerate()
+            .map(|(k, p)| Trial { iteration: iter + k, config: adapter.decode(p) })
+            .collect();
+        let results = executor.run_batch(&trials);
+        assert_eq!(results.len(), trials.len(), "executor must return one result per trial");
 
-        history.configs.push(config);
-        history.points.push(point);
-        history.scores.push(score);
-        history.raw_scores.push(eval.score);
-        best = best.max(score);
-        history.best_curve.push(best);
-
-        if let Some(policy) = &opts.early_stop {
-            // best_curve[0] is the default run; the policy sees tuner
-            // iterations only.
-            if policy.should_stop(&history.best_curve[1..]) {
-                history.stopped_at = Some(iter);
-                break;
+        // Fold results back in iteration order — penalties, best curve,
+        // and early stopping are scheduling-independent.
+        let mut observations = Vec::with_capacity(results.len());
+        let mut stopped = false;
+        for ((point, trial), eval) in points.into_iter().zip(trials).zip(results) {
+            let score = crash_penalty(eval.score, &mut worst_seen);
+            observations.push(Observation { x: point.clone(), y: score, metrics: eval.metrics });
+            history.configs.push(trial.config);
+            history.points.push(point);
+            history.scores.push(score);
+            history.raw_scores.push(eval.score);
+            best = best.max(score);
+            history.best_curve.push(best);
+            if let Some(policy) = &opts.early_stop {
+                if policy.should_stop(&history.best_curve[1..]) {
+                    history.stopped_at = Some(trial.iteration);
+                    stopped = true;
+                    break;
+                }
             }
         }
+        optimizer.observe_batch(observations);
+        if stopped {
+            break;
+        }
+        iter = history.scores.len();
     }
     history
 }
@@ -292,6 +398,139 @@ mod tests {
         let stopped = h.stopped_at.expect("must stop early");
         assert!(stopped <= 12, "flat curve should stop after ~patience iters: {stopped}");
         assert_eq!(h.best_curve.len(), stopped + 1);
+    }
+
+    #[test]
+    fn parallel_with_batch_one_reproduces_sequential_exactly() {
+        let space = postgres_v9_6();
+        let adapter = IdentityAdapter::new(&space);
+        let opts = SessionOptions { iterations: 18, n_init: 5, ..Default::default() };
+        let seq = run_session(
+            &adapter,
+            Box::new(RandomSearch::new(adapter.optimizer_spec().clone(), 21)),
+            objective(&space),
+            &opts,
+        );
+        let mut executor = FnExecutor(objective(&space));
+        let par = run_session_parallel(
+            &adapter,
+            Box::new(RandomSearch::new(adapter.optimizer_spec().clone(), 21)),
+            &mut executor,
+            &opts,
+            1,
+        );
+        assert_eq!(seq.scores, par.scores);
+        assert_eq!(seq.raw_scores, par.raw_scores);
+        assert_eq!(seq.points, par.points);
+        assert_eq!(seq.configs, par.configs);
+        assert_eq!(seq.best_curve, par.best_curve);
+    }
+
+    #[test]
+    fn parallel_smac_batch_one_matches_sequential_smac() {
+        let space = postgres_v9_6();
+        let pipe = LlamaTunePipeline::new(&space, &LlamaTuneConfig::default(), 5);
+        let opts = SessionOptions { iterations: 16, n_init: 8, ..Default::default() };
+        let seq = run_session(
+            &pipe,
+            Box::new(Smac::new(pipe.optimizer_spec().clone(), SmacConfig::default(), 5)),
+            objective(&space),
+            &opts,
+        );
+        let mut executor = FnExecutor(objective(&space));
+        let par = run_session_parallel(
+            &pipe,
+            Box::new(Smac::new(pipe.optimizer_spec().clone(), SmacConfig::default(), 5)),
+            &mut executor,
+            &opts,
+            1,
+        );
+        assert_eq!(seq.scores, par.scores);
+        assert_eq!(seq.points, par.points);
+    }
+
+    #[test]
+    fn parallel_batches_preserve_iteration_zero_and_lhs_prefix() {
+        let space = postgres_v9_6();
+        let adapter = IdentityAdapter::new(&space);
+        let opts = SessionOptions { iterations: 12, n_init: 5, ..Default::default() };
+        // Batched and unbatched sessions share the LHS design (seeded),
+        // so iterations 0..=n_init must be identical at any batch size.
+        let mut e1 = FnExecutor(objective(&space));
+        let a = run_session_parallel(
+            &adapter,
+            Box::new(RandomSearch::new(adapter.optimizer_spec().clone(), 8)),
+            &mut e1,
+            &opts,
+            1,
+        );
+        let mut e4 = FnExecutor(objective(&space));
+        let b = run_session_parallel(
+            &adapter,
+            Box::new(RandomSearch::new(adapter.optimizer_spec().clone(), 8)),
+            &mut e4,
+            &opts,
+            4,
+        );
+        assert_eq!(a.configs[0], space.default_config());
+        assert_eq!(b.configs[0], space.default_config());
+        assert_eq!(a.scores[..6], b.scores[..6], "default + 5 LHS iterations");
+        assert_eq!(a.scores.len(), 13);
+        assert_eq!(b.scores.len(), 13);
+    }
+
+    #[test]
+    fn parallel_crash_penalties_are_applied_in_iteration_order() {
+        let space = postgres_v9_6();
+        let adapter = IdentityAdapter::new(&space);
+        // Default scores 40, everything after crashes: every crashed
+        // iteration must see worst_seen = 40 regardless of batching.
+        let mut first = true;
+        let obj = move |_cfg: &Config| {
+            if first {
+                first = false;
+                EvalResult { score: Some(40.0), metrics: vec![] }
+            } else {
+                EvalResult { score: None, metrics: vec![] }
+            }
+        };
+        let mut executor = FnExecutor(obj);
+        let opts = SessionOptions { iterations: 6, n_init: 2, ..Default::default() };
+        let h = run_session_parallel(
+            &adapter,
+            Box::new(RandomSearch::new(adapter.optimizer_spec().clone(), 3)),
+            &mut executor,
+            &opts,
+            3,
+        );
+        for i in 1..=6 {
+            assert_eq!(h.scores[i], 10.0);
+            assert!(h.raw_scores[i].is_none());
+        }
+    }
+
+    #[test]
+    fn parallel_early_stop_discards_the_rest_of_the_batch() {
+        let space = postgres_v9_6();
+        let adapter = IdentityAdapter::new(&space);
+        let obj = |_: &Config| EvalResult { score: Some(5.0), metrics: vec![] };
+        let mut executor = FnExecutor(obj);
+        let opts = SessionOptions {
+            iterations: 60,
+            n_init: 4,
+            early_stop: Some(EarlyStopPolicy { min_improvement_pct: 1.0, patience: 8 }),
+            ..Default::default()
+        };
+        let h = run_session_parallel(
+            &adapter,
+            Box::new(RandomSearch::new(adapter.optimizer_spec().clone(), 5)),
+            &mut executor,
+            &opts,
+            4,
+        );
+        let stopped = h.stopped_at.expect("flat curve must stop early");
+        assert!(stopped <= 16, "stopped at {stopped}");
+        assert_eq!(h.best_curve.len(), stopped + 1, "results past the stop are discarded");
     }
 
     #[test]

@@ -282,8 +282,8 @@ mod tests {
     #[test]
     fn os_cache_capacity_reflects_effective_fraction() {
         let os = OsCache::new(1 << 30);
-        let expected = ((1u64 << 30) as f64 * OS_CACHE_EFFECTIVE_FRAC) as u64
-            / (CHUNK_PAGES * 8 * 1024);
+        let expected =
+            ((1u64 << 30) as f64 * OS_CACHE_EFFECTIVE_FRAC) as u64 / (CHUNK_PAGES * 8 * 1024);
         assert_eq!(os.capacity_chunks() as u64, expected);
     }
 

@@ -153,11 +153,7 @@ struct Dbms<'a> {
 }
 
 impl<'a> Dbms<'a> {
-    fn new(
-        knobs: DbmsKnobs,
-        spec: &'a WorkloadSpec,
-        opts: &RunOptions,
-    ) -> Dbms<'a> {
+    fn new(knobs: DbmsKnobs, spec: &'a WorkloadSpec, opts: &RunOptions) -> Dbms<'a> {
         let hw = opts.hardware.clone();
         let ms = opts.memory_scale.max(1.0);
         let bp = BufferPool::new((knobs.shared_buffers_pages as f64 / ms) as usize);
@@ -172,11 +168,8 @@ impl<'a> Dbms<'a> {
             knobs.wal_compression,
             fsync_us,
         );
-        let eff_rows: Vec<u64> = spec
-            .tables
-            .iter()
-            .map(|t| ((t.rows as f64 / ms) as u64).max(64))
-            .collect();
+        let eff_rows: Vec<u64> =
+            spec.tables.iter().map(|t| ((t.rows as f64 / ms) as u64).max(64)).collect();
         let tables = spec
             .tables
             .iter()
@@ -189,7 +182,17 @@ impl<'a> Dbms<'a> {
         // the scaled-down tables.
         let debt_mult = ((300.0 / opts.duration_s.max(0.1)) / ms).round().max(1.0) as u64;
         let mut db = Dbms::default_parts(
-            knobs, hw, spec, scale, eff_rows, debt_mult, bp, os, wal, tables, total_db_pages,
+            knobs,
+            hw,
+            spec,
+            scale,
+            eff_rows,
+            debt_mult,
+            bp,
+            os,
+            wal,
+            tables,
+            total_db_pages,
             opts,
         );
         db.prewarm_caches();
@@ -405,8 +408,7 @@ impl<'a> Dbms<'a> {
     fn index_probe(&mut self, now: Micros, table: usize, key: u64) -> f64 {
         let t = &self.spec.tables[table];
         let leaf = key / (t.rows_per_page() * 50).max(1);
-        INDEX_UPPER_CPU_US
-            + self.page_access(now, table as u32 + INDEX_TABLE_OFFSET, leaf, false)
+        INDEX_UPPER_CPU_US + self.page_access(now, table as u32 + INDEX_TABLE_OFFSET, leaf, false)
     }
 
     /// Executes one transaction starting at `start`; returns (commit time,
@@ -535,7 +537,9 @@ impl<'a> Dbms<'a> {
                 self.tables[*table].on_insert(u64::from(*rows) * self.debt_mult);
                 cost + f64::from(*rows) * TUPLE_CPU_US * 2.0
             }
-            OpTemplate::RangeScan { table, dist, rows } => self.execute_scan(now, *table, *dist, *rows),
+            OpTemplate::RangeScan { table, dist, rows } => {
+                self.execute_scan(now, *table, *dist, *rows)
+            }
             OpTemplate::Join { tables, driving_rows, dist, table } => {
                 self.execute_join(now, *tables, *driving_rows, *dist, *table)
             }
@@ -581,8 +585,8 @@ impl<'a> Dbms<'a> {
                 let touches = (eff_pages.min(u64::from(SCAN_SAMPLE))) as u32;
                 let mut miss = 0u32;
                 for i in 0..touches {
-                    let page = (u64::from(i) * eff_pages / u64::from(touches.max(1)))
-                        % eff_pages.max(1);
+                    let page =
+                        (u64::from(i) * eff_pages / u64::from(touches.max(1))) % eff_pages.max(1);
                     let pid = page_id(table as u32, page);
                     match self.bp.access(pid, false) {
                         Access::Hit => self.c.blks_hit += 1,
@@ -596,7 +600,7 @@ impl<'a> Dbms<'a> {
                 let io_us = eff_pages as f64 * miss_frac * self.hw.disk_seq_read_us;
                 cost += self.disk.request(now, io_us.min(200_000.0));
                 cost += table_rows as f64 * TUPLE_CPU_US * 0.4; // tight loop
-                // Parallel scan (v13): workers split the row-processing CPU.
+                                                                // Parallel scan (v13): workers split the row-processing CPU.
                 let workers = self.knobs.max_parallel_workers_per_gather;
                 if workers > 0 && eff_pages > 1024 {
                     let speedup = f64::from(workers.min(4) + 1);
@@ -701,8 +705,7 @@ impl<'a> Dbms<'a> {
         // Checkpointer (checked every 100 ms of virtual time).
         while self.ckpt_check_next <= until {
             let t = self.ckpt_check_next;
-            let timeout_us =
-                (self.knobs.checkpoint_timeout_s as f64 * 1e6 / self.scale) as Micros;
+            let timeout_us = (self.knobs.checkpoint_timeout_s as f64 * 1e6 / self.scale) as Micros;
             let wal_trigger = self.wal.bytes_since_checkpoint() * self.scale as u64
                 >= self.knobs.max_wal_size_bytes;
             if t.saturating_sub(self.last_checkpoint) >= timeout_us.max(200_000) || wal_trigger {
@@ -716,8 +719,7 @@ impl<'a> Dbms<'a> {
             if self.knobs.autovacuum {
                 self.run_autovacuum(t);
             }
-            let naptime_us =
-                (self.knobs.autovacuum_naptime_s as f64 * 1e6 / self.scale) as Micros;
+            let naptime_us = (self.knobs.autovacuum_naptime_s as f64 * 1e6 / self.scale) as Micros;
             self.vacuum_next = t + naptime_us.max(50_000);
         }
     }
@@ -725,8 +727,7 @@ impl<'a> Dbms<'a> {
     fn perform_checkpoint(&mut self, t: Micros, timeout_us: Micros) {
         let dirty = self.bp.dirty();
         if dirty > 0 {
-            let spread = ((timeout_us as f64 * self.knobs.checkpoint_completion_target)
-                as Micros)
+            let spread = ((timeout_us as f64 * self.knobs.checkpoint_completion_target) as Micros)
                 .max(100_000);
             // checkpoint_flush_after paces writeback; disabled (special 0)
             // lets the OS burst it out, briefly slamming the device.
@@ -758,8 +759,7 @@ impl<'a> Dbms<'a> {
             cost_limit: self.knobs.av_cost_limit,
             cost_delay_ms: self.knobs.av_cost_delay_ms,
         };
-        let hit_rate =
-            (self.bp.capacity() as f64 / self.total_db_pages as f64).min(0.95);
+        let hit_rate = (self.bp.capacity() as f64 / self.total_db_pages as f64).min(0.95);
         let mut workers = self.knobs.autovacuum_max_workers;
         for i in 0..self.tables.len() {
             if workers == 0 {
@@ -794,17 +794,14 @@ impl<'a> Dbms<'a> {
     fn finalize_metrics(&mut self, elapsed_s: f64, p50_us: f64) -> Vec<f64> {
         self.c.bp_dirty_fraction = self.bp.dirty() as f64 / self.bp.capacity() as f64;
         self.c.group_commit_batch_avg = self.wal.avg_batch_size();
-        let (dead, live): (u64, u64) = self
-            .tables
-            .iter()
-            .fold((0, 0), |(d, l), t| (d + t.dead_tuples, l + t.live_tuples));
+        let (dead, live): (u64, u64) =
+            self.tables.iter().fold((0, 0), |(d, l), t| (d + t.dead_tuples, l + t.live_tuples));
         self.c.dead_tuple_ratio = dead as f64 / live.max(1) as f64;
-        self.c.avg_bloat_factor =
-            self.tables.iter().map(TableVacState::bloat).sum::<f64>() / self.tables.len().max(1) as f64;
+        self.c.avg_bloat_factor = self.tables.iter().map(TableVacState::bloat).sum::<f64>()
+            / self.tables.len().max(1) as f64;
         self.c.cpu_utilization =
             self.cpu.total_busy_us() / (elapsed_s.max(1e-9) * 1e6 * f64::from(self.hw.cores));
-        self.c.disk_utilization =
-            self.disk.total_busy_us() / (elapsed_s.max(1e-9) * 1e6 * 2.0);
+        self.c.disk_utilization = self.disk.total_busy_us() / (elapsed_s.max(1e-9) * 1e6 * 2.0);
         self.c.txn_latency_p50_us = p50_us;
         self.c.active_clients = self.clients_active;
         self.c.to_vector(elapsed_s)
@@ -1091,11 +1088,13 @@ mod tests {
     fn zipfian_contention_registers_lock_waits() {
         // Extreme skew on a small hot set must produce lock conflicts.
         let mut spec = test_spec();
-        spec.txns[1].ops = vec![OpTemplate::PointUpdate { table: 0, dist: KeyDist::HotRange(0.0001) }];
+        spec.txns[1].ops =
+            vec![OpTemplate::PointUpdate { table: 0, dist: KeyDist::HotRange(0.0001) }];
         let cat = postgres_v9_6();
         let cfg = cat.default_config();
         let r = run_workload(&cat.assignment(&cfg), &cat, &spec, &quick_opts(9));
-        let idx = crate::metrics::METRIC_NAMES.iter().position(|n| *n == "lock_waits_per_s").unwrap();
+        let idx =
+            crate::metrics::METRIC_NAMES.iter().position(|n| *n == "lock_waits_per_s").unwrap();
         assert!(r.metrics[idx] > 0.0, "hot updates should conflict");
     }
 

@@ -103,30 +103,20 @@ fn get<'a>(
     catalog: &'a ConfigSpace,
     name: &str,
 ) -> Option<KnobValue> {
-    assignment
-        .get(name)
-        .copied()
-        .or_else(|| catalog.knob(name).map(|k| k.default))
+    assignment.get(name).copied().or_else(|| catalog.knob(name).map(|k| k.default))
 }
 
 fn int(a: &KnobAssignment, c: &ConfigSpace, name: &str) -> i64 {
-    get(a, c, name)
-        .unwrap_or_else(|| panic!("knob {name} missing from catalog"))
-        .as_int()
+    get(a, c, name).unwrap_or_else(|| panic!("knob {name} missing from catalog")).as_int()
 }
 
 fn float(a: &KnobAssignment, c: &ConfigSpace, name: &str) -> f64 {
-    get(a, c, name)
-        .unwrap_or_else(|| panic!("knob {name} missing from catalog"))
-        .as_float()
+    get(a, c, name).unwrap_or_else(|| panic!("knob {name} missing from catalog")).as_float()
 }
 
 /// Boolean knobs are categorical with choices `["off", "on"]`.
 fn toggled(a: &KnobAssignment, c: &ConfigSpace, name: &str) -> bool {
-    get(a, c, name)
-        .unwrap_or_else(|| panic!("knob {name} missing from catalog"))
-        .as_cat()
-        == 1
+    get(a, c, name).unwrap_or_else(|| panic!("knob {name} missing from catalog")).as_cat() == 1
 }
 
 impl DbmsKnobs {
@@ -158,8 +148,7 @@ impl DbmsKnobs {
 
         // fdatasync, fsync, open_datasync, open_sync.
         let wal_sync_cost_mult =
-            match get(assignment, catalog, "wal_sync_method").expect("wal_sync_method").as_cat()
-            {
+            match get(assignment, catalog, "wal_sync_method").expect("wal_sync_method").as_cat() {
                 0 => 1.0,
                 1 => 1.05,
                 2 => 1.15,
@@ -214,20 +203,13 @@ impl DbmsKnobs {
                 catalog,
                 "checkpoint_completion_target",
             ),
-            max_wal_size_bytes: int(assignment, catalog, "max_wal_size") as u64
-                * 16
-                * 1024
-                * 1024,
+            max_wal_size_bytes: int(assignment, catalog, "max_wal_size") as u64 * 16 * 1024 * 1024,
             backend_flush_after_pages: opt_u64(int(assignment, catalog, "backend_flush_after")),
             bgwriter_delay_ms: int(assignment, catalog, "bgwriter_delay") as u64,
             bgwriter_lru_maxpages: opt_u64(int(assignment, catalog, "bgwriter_lru_maxpages")),
             bgwriter_lru_multiplier: float(assignment, catalog, "bgwriter_lru_multiplier"),
-            effective_io_concurrency: opt_u64(int(
-                assignment,
-                catalog,
-                "effective_io_concurrency",
-            ))
-            .map(|v| v as u32),
+            effective_io_concurrency: opt_u64(int(assignment, catalog, "effective_io_concurrency"))
+                .map(|v| v as u32),
             autovacuum: toggled(assignment, catalog, "autovacuum"),
             autovacuum_max_workers: int(assignment, catalog, "autovacuum_max_workers") as u32,
             autovacuum_naptime_s: int(assignment, catalog, "autovacuum_naptime") as u64,
@@ -262,8 +244,7 @@ impl DbmsKnobs {
             enable_hashjoin: toggled(assignment, catalog, "enable_hashjoin"),
             enable_mergejoin: toggled(assignment, catalog, "enable_mergejoin"),
             geqo_quality,
-            default_statistics_target: int(assignment, catalog, "default_statistics_target")
-                as u64,
+            default_statistics_target: int(assignment, catalog, "default_statistics_target") as u64,
             deadlock_timeout_ms: int(assignment, catalog, "deadlock_timeout") as u64,
             max_parallel_workers_per_gather: int(
                 assignment,

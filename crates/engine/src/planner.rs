@@ -52,17 +52,13 @@ pub fn choose_scan(
     // disabled path can still be chosen when nothing else is possible.
     const DISABLED: f64 = 1.0e10;
     let mut best = (ScanChoice::Seq, seq_cost + if knobs.enable_seqscan { 0.0 } else { DISABLED });
-    let index = (
-        ScanChoice::Index,
-        index_cost + if knobs.enable_indexscan { 0.0 } else { DISABLED },
-    );
+    let index =
+        (ScanChoice::Index, index_cost + if knobs.enable_indexscan { 0.0 } else { DISABLED });
     if index.1 < best.1 {
         best = index;
     }
-    let bitmap = (
-        ScanChoice::Bitmap,
-        bitmap_cost + if knobs.enable_bitmapscan { 0.0 } else { DISABLED },
-    );
+    let bitmap =
+        (ScanChoice::Bitmap, bitmap_cost + if knobs.enable_bitmapscan { 0.0 } else { DISABLED });
     if bitmap.1 < best.1 {
         best = bitmap;
     }

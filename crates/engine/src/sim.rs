@@ -153,7 +153,12 @@ impl LatencyReservoir {
     /// Creates a reservoir holding at most `cap` samples.
     pub fn new(cap: usize, seed: u64) -> Self {
         assert!(cap > 0);
-        LatencyReservoir { samples: Vec::with_capacity(cap.min(4096)), seen: 0, cap, state: seed | 1 }
+        LatencyReservoir {
+            samples: Vec::with_capacity(cap.min(4096)),
+            seen: 0,
+            cap,
+            state: seed | 1,
+        }
     }
 
     fn next_u64(&mut self) -> u64 {

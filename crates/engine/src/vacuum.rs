@@ -109,11 +109,7 @@ impl VacuumPacing {
         let sleeps = if self.cost_delay_ms == 0 { 0 } else { cost / self.cost_limit.max(1) };
         let work_us = pages as f64 * page_scan_us;
         let sleep_us = sleeps * self.cost_delay_ms * 1_000;
-        VacuumWork {
-            pages_scanned: pages,
-            pages_dirtied,
-            duration_us: work_us as u64 + sleep_us,
-        }
+        VacuumWork { pages_scanned: pages, pages_dirtied, duration_us: work_us as u64 + sleep_us }
     }
 }
 

@@ -66,7 +66,12 @@ pub const FPI_COMPRESSION_RATIO: f64 = 0.45;
 impl WalState {
     /// Creates WAL state. `fsync_us` is the effective durable-flush cost
     /// (device fsync x `wal_sync_method` multiplier; ~0 when `fsync=off`).
-    pub fn new(buffers_bytes: u64, full_page_writes: bool, compression: bool, fsync_us: f64) -> Self {
+    pub fn new(
+        buffers_bytes: u64,
+        full_page_writes: bool,
+        compression: bool,
+        fsync_us: f64,
+    ) -> Self {
         WalState {
             buffers_bytes: buffers_bytes.max(64 * 1024),
             full_page_writes,

@@ -193,8 +193,7 @@ mod tests {
     #[test]
     fn validation_catches_bad_table_index() {
         let mut spec = tiny_spec();
-        spec.txns[0].ops =
-            vec![OpTemplate::PointRead { table: 9, dist: KeyDist::Uniform }];
+        spec.txns[0].ops = vec![OpTemplate::PointRead { table: 9, dist: KeyDist::Uniform }];
         assert!(spec.validate().is_err());
         assert!(tiny_spec().validate().is_ok());
     }

@@ -54,11 +54,7 @@ fn min_pairwise_distance(points: &[Vec<f64>]) -> f64 {
     let mut min = f64::INFINITY;
     for i in 0..points.len() {
         for j in (i + 1)..points.len() {
-            let d: f64 = points[i]
-                .iter()
-                .zip(&points[j])
-                .map(|(a, b)| (a - b) * (a - b))
-                .sum();
+            let d: f64 = points[i].iter().zip(&points[j]).map(|(a, b)| (a - b) * (a - b)).sum();
             min = min.min(d);
         }
     }

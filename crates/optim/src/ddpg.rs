@@ -88,7 +88,11 @@ impl Ddpg {
     pub fn new(spec: SearchSpec, state_dim: usize, config: DdpgConfig, seed: u64) -> Self {
         let mut rng = StdRng::seed_from_u64(seed);
         let a_dim = spec.len();
-        let actor = Mlp::new(&[state_dim, config.hidden, config.hidden, a_dim], Activation::Sigmoid, &mut rng);
+        let actor = Mlp::new(
+            &[state_dim, config.hidden, config.hidden, a_dim],
+            Activation::Sigmoid,
+            &mut rng,
+        );
         let critic = Mlp::new(
             &[state_dim + a_dim, config.hidden, config.hidden, 1],
             Activation::Linear,
@@ -181,7 +185,8 @@ impl Ddpg {
                 let next_action = self.actor_target.forward(&next_state);
                 let mut ns_input = next_state.clone();
                 ns_input.extend_from_slice(&next_action);
-                let target_q = reward + self.config.gamma * self.critic_target.forward(&ns_input)[0];
+                let target_q =
+                    reward + self.config.gamma * self.critic_target.forward(&ns_input)[0];
 
                 let mut sa = state.clone();
                 sa.extend_from_slice(&action);

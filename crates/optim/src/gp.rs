@@ -117,9 +117,8 @@ impl GpBo {
         let alpha = chol.cholesky_solve(&ys);
         // Log marginal likelihood: -0.5 yᵀα - Σ ln L_ii - n/2 ln 2π.
         let fit: f64 = ys.iter().zip(&alpha).map(|(y, a)| y * a).sum();
-        let lml = -0.5 * fit
-            - chol.log_diag_sum()
-            - 0.5 * n as f64 * (2.0 * std::f64::consts::PI).ln();
+        let lml =
+            -0.5 * fit - chol.log_diag_sum() - 0.5 * n as f64 * (2.0 * std::f64::consts::PI).ln();
         Some((GpCache { chol, alpha }, lml))
     }
 
@@ -155,8 +154,7 @@ impl GpBo {
     /// Posterior mean and variance at `x` (in standardized units).
     fn predict(&self, x: &[f64]) -> (f64, f64) {
         let Some(cache) = &self.cache else { return (0.0, 1.0) };
-        let kstar: Vec<f64> =
-            self.xs.iter().map(|xi| self.kernel(&self.hyper, x, xi)).collect();
+        let kstar: Vec<f64> = self.xs.iter().map(|xi| self.kernel(&self.hyper, x, xi)).collect();
         let mean: f64 = kstar.iter().zip(&cache.alpha).map(|(k, a)| k * a).sum();
         let v = cache.chol.solve_lower(&kstar);
         let kss = self.hyper.signal_var + self.hyper.noise_var;
@@ -182,8 +180,7 @@ impl Optimizer for GpBo {
             self.refit();
         }
         let best_std =
-            (self.ys.iter().cloned().fold(f64::NEG_INFINITY, f64::max) - self.y_mean)
-                / self.y_std;
+            (self.ys.iter().cloned().fold(f64::NEG_INFINITY, f64::max) - self.y_mean) / self.y_std;
         let mut champion: Option<(f64, Vec<f64>)> = None;
         for _ in 0..self.config.n_candidates {
             let x = self.spec.sample(&mut self.rng);
@@ -199,7 +196,7 @@ impl Optimizer for GpBo {
         debug_assert_eq!(obs.x.len(), self.spec.len());
         self.xs.push(obs.x);
         self.ys.push(obs.y);
-        if self.xs.len() % self.config.refit_every == 0 || self.cache.is_none() {
+        if self.xs.len().is_multiple_of(self.config.refit_every) || self.cache.is_none() {
             self.refit();
         } else {
             // Rebuild the cache with current hyperparameters (new data).
@@ -265,9 +262,7 @@ mod tests {
 
     #[test]
     fn gp_bo_beats_random_search() {
-        let f = |x: &[f64]| {
-            -((x[0] - 0.7) * (x[0] - 0.7) + (x[1] - 0.3) * (x[1] - 0.3))
-        };
+        let f = |x: &[f64]| -((x[0] - 0.7) * (x[0] - 0.7) + (x[1] - 0.3) * (x[1] - 0.3));
         let spec = SearchSpec::continuous(2);
         let mut gp = GpBo::new(spec.clone(), GpConfig::default(), 5);
         let gp_best = drive(&mut gp, f, 30);

@@ -26,4 +26,6 @@ pub use ddpg::{Ddpg, DdpgConfig};
 pub use gp::{GpBo, GpConfig};
 pub use rf::{RandomForest, RandomForestConfig, Tree, TreeNode};
 pub use smac::{Smac, SmacConfig};
-pub use spec::{Observation, Optimizer, ParamKind, RandomSearch, SearchSpec};
+pub use spec::{
+    Observation, Optimizer, OptimizerKind, ParamKind, RandomSearch, SearchSpec, DEFAULT_METRIC_DIM,
+};

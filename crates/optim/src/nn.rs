@@ -90,10 +90,7 @@ impl Mlp {
     /// Builds an MLP with the given layer sizes, e.g. `[27, 64, 64, 16]`.
     pub fn new(sizes: &[usize], out_act: Activation, rng: &mut StdRng) -> Mlp {
         assert!(sizes.len() >= 2);
-        let layers = sizes
-            .windows(2)
-            .map(|w| Dense::new(w[0], w[1], rng))
-            .collect();
+        let layers = sizes.windows(2).map(|w| Dense::new(w[0], w[1], rng)).collect();
         Mlp { layers, out_act, step: 0 }
     }
 
@@ -173,13 +170,12 @@ impl Mlp {
             let layer = &mut self.layers[li];
             let input = &acts[li];
             let mut grad_in = vec![0.0; layer.inputs];
-            for o in 0..layer.outputs {
-                let g = grad[o];
+            for (o, &g) in grad.iter().enumerate().take(layer.outputs) {
                 layer.gb[o] += g;
                 let row = o * layer.inputs;
-                for i in 0..layer.inputs {
+                for (i, gi) in grad_in.iter_mut().enumerate() {
                     layer.gw[row + i] += g * input[i];
-                    grad_in[i] += g * layer.w[row + i];
+                    *gi += g * layer.w[row + i];
                 }
             }
             grad = grad_in;
@@ -208,11 +204,10 @@ impl Mlp {
             }
             let layer = &self.layers[li];
             let mut grad_in = vec![0.0; layer.inputs];
-            for o in 0..layer.outputs {
-                let g = grad[o];
+            for (o, &g) in grad.iter().enumerate().take(layer.outputs) {
                 let row = o * layer.inputs;
-                for i in 0..layer.inputs {
-                    grad_in[i] += g * layer.w[row + i];
+                for (i, gi) in grad_in.iter_mut().enumerate() {
+                    *gi += g * layer.w[row + i];
                 }
             }
             grad = grad_in;

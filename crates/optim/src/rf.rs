@@ -380,13 +380,8 @@ mod tests {
     #[test]
     fn single_sample_fits_a_stump() {
         let spec = continuous_spec(2);
-        let rf = RandomForest::fit(
-            &spec,
-            &[vec![0.5, 0.5]],
-            &[3.0],
-            &RandomForestConfig::default(),
-            5,
-        );
+        let rf =
+            RandomForest::fit(&spec, &[vec![0.5, 0.5]], &[3.0], &RandomForestConfig::default(), 5);
         let (mean, var) = rf.predict(&[0.1, 0.9]);
         assert_eq!(mean, 3.0);
         assert_eq!(var, 0.0);
@@ -398,9 +393,8 @@ mod tests {
         let (xs, ys) = grid_data(|x| x[0] * x[1] * 7.0, 2, 120);
         let rf = RandomForest::fit(&spec, &xs, &ys, &RandomForestConfig::default(), 6);
         let mut rng = StdRng::seed_from_u64(1);
-        let (lo, hi) = ys
-            .iter()
-            .fold((f64::INFINITY, f64::NEG_INFINITY), |(l, h), &y| (l.min(y), h.max(y)));
+        let (lo, hi) =
+            ys.iter().fold((f64::INFINITY, f64::NEG_INFINITY), |(l, h), &y| (l.min(y), h.max(y)));
         for _ in 0..50 {
             let p = vec![rng.random::<f64>(), rng.random::<f64>()];
             let (mean, _) = rf.predict(&p);

@@ -101,7 +101,7 @@ impl Optimizer for Smac {
         // Cold start or interleaved random suggestion.
         if self.xs.len() < 2
             || (self.config.random_interleave > 0
-                && self.suggestions % self.config.random_interleave == 0)
+                && self.suggestions.is_multiple_of(self.config.random_interleave))
         {
             return self.spec.sample(&mut self.rng);
         }
@@ -268,9 +268,7 @@ mod tests {
 
     #[test]
     fn suggestions_respect_bucket_grids() {
-        let spec = SearchSpec {
-            params: vec![ParamKind::Continuous { buckets: Some(5) }],
-        };
+        let spec = SearchSpec { params: vec![ParamKind::Continuous { buckets: Some(5) }] };
         let mut smac = Smac::new(spec, SmacConfig::default(), 13);
         for i in 0..10 {
             let x = smac.suggest();

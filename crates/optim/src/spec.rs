@@ -101,6 +101,76 @@ pub trait Optimizer: Send {
     fn observe(&mut self, obs: Observation);
     /// Short display name.
     fn name(&self) -> &'static str;
+
+    /// Proposes `q` points to evaluate concurrently.
+    ///
+    /// The default implementation re-suggests `q` times without
+    /// intermediate feedback, which is exact for stochastic optimizers
+    /// (random search, interleaved-random SMAC rounds) but lets strongly
+    /// model-driven optimizers propose near-duplicate points. Wrappers
+    /// that fantasize pending results (e.g. the runtime crate's
+    /// constant-liar `BatchSuggest`) provide diversity on top of this
+    /// trait without optimizers having to change.
+    fn suggest_batch(&mut self, q: usize) -> Vec<Vec<f64>> {
+        (0..q).map(|_| self.suggest()).collect()
+    }
+
+    /// Feeds back a completed batch, in the order the points were
+    /// suggested. Implementations that fantasized pending evaluations
+    /// use this to retract the fantasies; the default simply observes
+    /// each result sequentially.
+    fn observe_batch(&mut self, obs: Vec<Observation>) {
+        for o in obs {
+            self.observe(o);
+        }
+    }
+}
+
+/// Dimension of the DBMS's internal-metrics vector fed to DDPG's state
+/// (the engine exposes 27 internal metrics; see
+/// `llamatune_engine::METRIC_NAMES`).
+pub const DEFAULT_METRIC_DIM: usize = 27;
+
+/// The optimizer families of the evaluation, as a buildable registry —
+/// the one place that knows how to construct each optimizer with its
+/// default configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OptimizerKind {
+    Random,
+    Smac,
+    GpBo,
+    Ddpg,
+}
+
+impl OptimizerKind {
+    /// Short label used in session names and table rows.
+    pub fn label(&self) -> &'static str {
+        match self {
+            OptimizerKind::Random => "random",
+            OptimizerKind::Smac => "smac",
+            OptimizerKind::GpBo => "gp_bo",
+            OptimizerKind::Ddpg => "ddpg",
+        }
+    }
+
+    /// Builds a fresh optimizer instance over `spec`.
+    pub fn build(self, spec: &SearchSpec, seed: u64) -> Box<dyn Optimizer> {
+        match self {
+            OptimizerKind::Random => Box::new(RandomSearch::new(spec.clone(), seed)),
+            OptimizerKind::Smac => {
+                Box::new(crate::Smac::new(spec.clone(), crate::SmacConfig::default(), seed))
+            }
+            OptimizerKind::GpBo => {
+                Box::new(crate::GpBo::new(spec.clone(), crate::GpConfig::default(), seed))
+            }
+            OptimizerKind::Ddpg => Box::new(crate::Ddpg::new(
+                spec.clone(),
+                DEFAULT_METRIC_DIM,
+                crate::DdpgConfig::default(),
+                seed,
+            )),
+        }
+    }
 }
 
 /// Pure random search — the weakest baseline and a useful control.
@@ -185,6 +255,38 @@ mod tests {
             let xb = b.suggest();
             assert_eq!(xa, xb);
             assert!(xa.iter().all(|v| (0.0..=1.0).contains(v)));
+        }
+    }
+
+    #[test]
+    fn suggest_batch_default_matches_repeated_suggest() {
+        let spec = SearchSpec::continuous(3);
+        let mut batched = RandomSearch::new(spec.clone(), 11);
+        let mut sequential = RandomSearch::new(spec, 11);
+        let batch = batched.suggest_batch(4);
+        let singles: Vec<_> = (0..4).map(|_| sequential.suggest()).collect();
+        assert_eq!(batch, singles);
+        assert_eq!(batch.len(), 4);
+    }
+
+    #[test]
+    fn observe_batch_default_matches_sequential_observes() {
+        let spec = SearchSpec::continuous(2);
+        let mut batched = crate::Smac::new(spec.clone(), crate::SmacConfig::default(), 3);
+        let mut sequential = crate::Smac::new(spec, crate::SmacConfig::default(), 3);
+        let obs: Vec<Observation> = (0..12)
+            .map(|i| {
+                let t = i as f64 / 12.0;
+                Observation { x: vec![t, 1.0 - t], y: -(t - 0.3) * (t - 0.3), metrics: vec![] }
+            })
+            .collect();
+        for o in obs.clone() {
+            sequential.observe(o);
+        }
+        batched.observe_batch(obs);
+        // Identical internal state ⇒ identical next suggestions.
+        for _ in 0..3 {
+            assert_eq!(batched.suggest(), sequential.suggest());
         }
     }
 

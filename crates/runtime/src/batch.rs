@@ -1,0 +1,268 @@
+//! Constant-liar batch suggestion.
+//!
+//! Sequential optimizers propose one point, observe its result, and only
+//! then propose the next — useless when a pool can evaluate q trials at
+//! once. The constant-liar strategy (Ginsbourger et al. 2010, the
+//! standard q-point fantasizing trick) extracts a diverse batch from any
+//! unmodified [`Optimizer`]:
+//!
+//! 1. ask for a suggestion;
+//! 2. *fantasize* its outcome by observing a pessimistic pseudo-score
+//!    (the "lie": the worst real score seen so far), which pushes the
+//!    optimizer's model away from the pending point;
+//! 3. repeat until q points are collected;
+//! 4. when real results arrive, *retract* the lies: rebuild the optimizer
+//!    from its factory and replay only real observations, in iteration
+//!    order.
+//!
+//! Rebuild-and-replay is how retraction stays exact for optimizers whose
+//! internal state cannot be unwound (SMAC's forest, DDPG's replay
+//! buffer): the factory recreates the identically-seeded optimizer, so
+//! the post-retraction state is a pure function of the real history —
+//! which is also what makes batched campaigns reproducible.
+
+use llamatune_optim::{Observation, Optimizer};
+
+/// How the lie value is chosen from the real observations so far.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum LiarStrategy {
+    /// The minimum real score (pessimistic — the classic "CL-min", best
+    /// for maximization as it strongly repels pending points).
+    #[default]
+    Min,
+    /// The mean real score (neutral).
+    Mean,
+    /// The maximum real score (optimistic — clusters the batch near the
+    /// incumbent).
+    Max,
+}
+
+impl LiarStrategy {
+    fn lie(&self, real: &[Observation]) -> f64 {
+        if real.is_empty() {
+            return 0.0;
+        }
+        match self {
+            LiarStrategy::Min => real.iter().map(|o| o.y).fold(f64::INFINITY, f64::min),
+            LiarStrategy::Mean => real.iter().map(|o| o.y).sum::<f64>() / real.len() as f64,
+            LiarStrategy::Max => real.iter().map(|o| o.y).fold(f64::NEG_INFINITY, f64::max),
+        }
+    }
+}
+
+/// Builds a fresh, identically-seeded optimizer. Called once up front and
+/// once per retraction.
+pub type OptimizerFactory = Box<dyn Fn() -> Box<dyn Optimizer> + Send>;
+
+/// Wraps any [`Optimizer`] with constant-liar batch suggestion. Itself an
+/// [`Optimizer`], so it drops into `run_session_parallel` (or any other
+/// session loop) unchanged.
+pub struct BatchSuggest {
+    factory: OptimizerFactory,
+    inner: Box<dyn Optimizer>,
+    /// All real observations, in the order they were reported.
+    real: Vec<Observation>,
+    /// Number of fantasized observations currently inside `inner`.
+    fantasized: usize,
+    strategy: LiarStrategy,
+}
+
+impl BatchSuggest {
+    /// Wraps the optimizer produced by `factory` with the default
+    /// (pessimistic) liar.
+    pub fn new(factory: OptimizerFactory) -> Self {
+        let inner = factory();
+        BatchSuggest {
+            factory,
+            inner,
+            real: Vec::new(),
+            fantasized: 0,
+            strategy: LiarStrategy::default(),
+        }
+    }
+
+    /// Selects the liar strategy.
+    pub fn with_strategy(mut self, strategy: LiarStrategy) -> Self {
+        self.strategy = strategy;
+        self
+    }
+
+    /// Number of real observations replayed into the wrapped optimizer.
+    pub fn observed(&self) -> usize {
+        self.real.len()
+    }
+
+    /// Retracts any outstanding lies: rebuilds the wrapped optimizer and
+    /// replays the real history in order.
+    fn retract(&mut self) {
+        self.inner = (self.factory)();
+        for o in &self.real {
+            self.inner.observe(o.clone());
+        }
+        self.fantasized = 0;
+    }
+
+    fn ensure_clean(&mut self) {
+        if self.fantasized > 0 {
+            self.retract();
+        }
+    }
+}
+
+impl Optimizer for BatchSuggest {
+    fn suggest(&mut self) -> Vec<f64> {
+        self.ensure_clean();
+        self.inner.suggest()
+    }
+
+    fn observe(&mut self, obs: Observation) {
+        self.real.push(obs.clone());
+        if self.fantasized > 0 {
+            self.retract();
+        } else {
+            self.inner.observe(obs);
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "constant-liar"
+    }
+
+    fn suggest_batch(&mut self, q: usize) -> Vec<Vec<f64>> {
+        self.ensure_clean();
+        let lie = self.strategy.lie(&self.real);
+        let mut batch = Vec::with_capacity(q);
+        for _ in 0..q {
+            let x = self.inner.suggest();
+            // Fantasize: the pending point "scored" the lie, repelling
+            // the next suggestion. Retracted when real results arrive.
+            self.inner.observe(Observation { x: x.clone(), y: lie, metrics: Vec::new() });
+            self.fantasized += 1;
+            batch.push(x);
+        }
+        batch
+    }
+
+    fn observe_batch(&mut self, obs: Vec<Observation>) {
+        if self.fantasized > 0 {
+            self.real.extend(obs);
+            self.retract();
+        } else {
+            // No outstanding lies (e.g. LHS-init rounds): feed the
+            // results straight through instead of rebuilding.
+            for o in obs {
+                self.real.push(o.clone());
+                self.inner.observe(o);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use llamatune_optim::{RandomSearch, SearchSpec, Smac, SmacConfig};
+
+    fn smac_factory(seed: u64, d: usize) -> OptimizerFactory {
+        Box::new(move || -> Box<dyn Optimizer> {
+            Box::new(Smac::new(SearchSpec::continuous(d), SmacConfig::default(), seed))
+        })
+    }
+
+    fn sphere(x: &[f64]) -> f64 {
+        -x.iter().map(|v| (v - 0.5) * (v - 0.5)).sum::<f64>()
+    }
+
+    /// Drives `opt` for `rounds` rounds of batch size `q` on the sphere.
+    fn drive(mut opt: BatchSuggest, q: usize, rounds: usize) -> Vec<Vec<f64>> {
+        let mut all = Vec::new();
+        for _ in 0..rounds {
+            let batch = opt.suggest_batch(q);
+            let obs: Vec<Observation> = batch
+                .iter()
+                .map(|x| Observation { x: x.clone(), y: sphere(x), metrics: vec![] })
+                .collect();
+            all.extend(batch);
+            opt.observe_batch(obs);
+        }
+        all
+    }
+
+    #[test]
+    fn batches_are_diverse_under_the_liar() {
+        let mut opt = BatchSuggest::new(smac_factory(1, 2));
+        // Give the model something to fit.
+        for i in 0..10 {
+            let t = i as f64 / 10.0;
+            let x = vec![t, 1.0 - t];
+            let y = sphere(&x);
+            opt.observe(Observation { x, y, metrics: vec![] });
+        }
+        let batch = opt.suggest_batch(4);
+        assert_eq!(batch.len(), 4);
+        // No two points in the batch are identical.
+        for i in 0..batch.len() {
+            for j in i + 1..batch.len() {
+                assert_ne!(batch[i], batch[j], "points {i} and {j} collide");
+            }
+        }
+    }
+
+    #[test]
+    fn lies_are_retracted_exactly() {
+        // After a batch round, the wrapper's state must equal a plain
+        // optimizer that saw only the real observations.
+        let mut wrapped = BatchSuggest::new(smac_factory(9, 2));
+        let mut plain = Smac::new(SearchSpec::continuous(2), SmacConfig::default(), 9);
+
+        let batch = wrapped.suggest_batch(3);
+        let obs: Vec<Observation> = batch
+            .iter()
+            .map(|x| Observation { x: x.clone(), y: sphere(x), metrics: vec![] })
+            .collect();
+        wrapped.observe_batch(obs.clone());
+        for o in obs {
+            plain.observe(o);
+        }
+        // Identical state ⇒ identical next suggestions.
+        for _ in 0..3 {
+            assert_eq!(wrapped.suggest(), plain.suggest());
+        }
+    }
+
+    #[test]
+    fn sequential_use_degenerates_to_the_wrapped_optimizer() {
+        let mut wrapped = BatchSuggest::new(Box::new(|| {
+            Box::new(RandomSearch::new(SearchSpec::continuous(3), 4)) as Box<dyn Optimizer>
+        }));
+        let mut plain = RandomSearch::new(SearchSpec::continuous(3), 4);
+        for _ in 0..5 {
+            let a = wrapped.suggest();
+            let b = plain.suggest();
+            assert_eq!(a, b);
+            wrapped.observe(Observation { x: a, y: 0.0, metrics: vec![] });
+            plain.observe(Observation { x: b, y: 0.0, metrics: vec![] });
+        }
+    }
+
+    #[test]
+    fn liar_strategies_use_the_real_history() {
+        let real = [
+            Observation { x: vec![0.0], y: -4.0, metrics: vec![] },
+            Observation { x: vec![0.1], y: 2.0, metrics: vec![] },
+            Observation { x: vec![0.2], y: 8.0, metrics: vec![] },
+        ];
+        assert_eq!(LiarStrategy::Min.lie(&real), -4.0);
+        assert_eq!(LiarStrategy::Mean.lie(&real), 2.0);
+        assert_eq!(LiarStrategy::Max.lie(&real), 8.0);
+        assert_eq!(LiarStrategy::Min.lie(&[]), 0.0, "no history: neutral lie");
+    }
+
+    #[test]
+    fn batched_optimization_still_approaches_the_optimum() {
+        let opt = BatchSuggest::new(smac_factory(7, 2));
+        let all = drive(opt, 4, 10);
+        let best = all.iter().map(|x| sphere(x)).fold(f64::NEG_INFINITY, f64::max);
+        assert!(best > -0.05, "40 evaluations in batches of 4 should near (0.5, 0.5): {best}");
+    }
+}

@@ -1,0 +1,171 @@
+//! Deduplicating evaluation cache.
+//!
+//! LlamaTune's bucketization deliberately collapses the search space: with
+//! `bucket_count = Some(K)` each synthetic dimension exposes at most `K`
+//! values, so distinct optimizer suggestions frequently decode to the
+//! *same* DBMS configuration. Re-running the DBMS benchmark for a
+//! configuration that was already measured (under the same evaluation
+//! seed) buys no new information — the cache short-circuits those repeats
+//! and keeps hit statistics so campaigns can report how much bucketization
+//! actually deduplicated.
+
+use llamatune::session::EvalResult;
+use llamatune_space::{Config, KnobValue};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Canonical 64-bit key of a decoded configuration (FNV-1a over each
+/// knob's index and value bits). Two configs hash equal iff every knob
+/// value is bit-identical, which is the right notion here: decoded
+/// configs come from the same deterministic pipeline, so equal settings
+/// are equal bits.
+pub fn config_key(config: &Config) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = OFFSET;
+    let mut mix = |bytes: u64| {
+        for b in bytes.to_le_bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(PRIME);
+        }
+    };
+    for (i, v) in config.values().iter().enumerate() {
+        mix(i as u64);
+        match *v {
+            KnobValue::Int(x) => {
+                mix(1);
+                mix(x as u64);
+            }
+            KnobValue::Float(x) => {
+                mix(2);
+                mix(x.to_bits());
+            }
+            KnobValue::Cat(x) => {
+                mix(3);
+                mix(x as u64);
+            }
+        }
+    }
+    h
+}
+
+/// Hit/miss counters of an [`EvalCache`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Lookups answered from the cache (no DBMS run).
+    pub hits: u64,
+    /// Lookups that fell through to a real evaluation.
+    pub misses: u64,
+}
+
+impl CacheStats {
+    /// Fraction of lookups served from the cache.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// A thread-safe evaluation cache keyed by [`config_key`].
+///
+/// Scope it to one (workload, evaluation-seed) context: the key covers
+/// only the configuration, so results from different workloads or
+/// evaluation seeds must not share a cache.
+#[derive(Debug, Default)]
+pub struct EvalCache {
+    map: Mutex<HashMap<u64, EvalResult>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl EvalCache {
+    /// Creates an empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Looks up a configuration, counting the outcome.
+    pub fn lookup(&self, config: &Config) -> Option<EvalResult> {
+        let found = self.map.lock().unwrap().get(&config_key(config)).cloned();
+        match found {
+            Some(r) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(r)
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Records an evaluation result.
+    pub fn insert(&self, config: &Config, result: EvalResult) {
+        self.map.lock().unwrap().insert(config_key(config), result);
+    }
+
+    /// Number of distinct configurations stored.
+    pub fn len(&self) -> usize {
+        self.map.lock().unwrap().len()
+    }
+
+    /// Whether nothing has been stored yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Snapshot of the hit/miss counters.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use llamatune_space::catalog::postgres_v9_6;
+
+    #[test]
+    fn key_distinguishes_configs_and_is_stable() {
+        let space = postgres_v9_6();
+        let a = space.default_config();
+        let mut b = a.clone();
+        let sb = space.index_of("shared_buffers").unwrap();
+        b.values_mut()[sb] = KnobValue::Int(99_999);
+        assert_eq!(config_key(&a), config_key(&a.clone()));
+        assert_ne!(config_key(&a), config_key(&b));
+    }
+
+    #[test]
+    fn lookup_insert_and_stats() {
+        let space = postgres_v9_6();
+        let cfg = space.default_config();
+        let cache = EvalCache::new();
+        assert!(cache.lookup(&cfg).is_none());
+        cache.insert(&cfg, EvalResult { score: Some(123.0), metrics: vec![1.0] });
+        let hit = cache.lookup(&cfg).expect("cached");
+        assert_eq!(hit.score, Some(123.0));
+        assert_eq!(hit.metrics, vec![1.0]);
+        let stats = cache.stats();
+        assert_eq!(stats, CacheStats { hits: 1, misses: 1 });
+        assert_eq!(stats.hit_rate(), 0.5);
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn crashed_results_are_cacheable() {
+        let space = postgres_v9_6();
+        let cfg = space.default_config();
+        let cache = EvalCache::new();
+        cache.insert(&cfg, EvalResult { score: None, metrics: vec![] });
+        assert!(cache.lookup(&cfg).expect("cached crash").score.is_none());
+    }
+}

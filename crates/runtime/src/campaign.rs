@@ -1,0 +1,358 @@
+//! The campaign driver: fans a grid of tuning sessions across a thread
+//! pool.
+//!
+//! A campaign is the cross product (workload × adapter × optimizer ×
+//! seed). Sessions are distributed over `session_parallelism` scoped
+//! threads; inside each session, trials are batched
+//! (`run_session_parallel`) and evaluated by a [`WorkloadExecutor`] with
+//! `trial_workers` workers — two independent levers on the same pool.
+//! Per-trial [`TrialEvent`]s are appended to a JSONL log whose format
+//! lives in `llamatune::history_io`, so the sequential tooling (curve
+//! rebuilding, early-stopping replay) reads campaign transcripts
+//! unchanged.
+//!
+//! Determinism: every session's history is a pure function of
+//! (workload, adapter, optimizer, session seed, batch size). Neither
+//! `trial_workers` nor `session_parallelism` influences any recorded
+//! number — they only change wall-clock time.
+
+use crate::batch::BatchSuggest;
+use crate::cache::{CacheStats, EvalCache};
+use crate::executor::WorkloadExecutor;
+use llamatune::history_io::{events_to_jsonl, history_to_events, TrialEvent};
+use llamatune::pipeline::{
+    IdentityAdapter, LlamaTuneConfig, LlamaTunePipeline, SearchSpaceAdapter,
+};
+use llamatune::session::{run_session_parallel, SessionHistory, SessionOptions};
+use llamatune_engine::RunOptions;
+use llamatune_optim::Optimizer;
+use llamatune_space::ConfigSpace;
+use llamatune_workloads::{workload_by_name, WorkloadRunner};
+use std::sync::{Arc, Mutex};
+
+/// Which search-space adapter a campaign arm uses.
+#[derive(Debug, Clone)]
+pub enum AdapterKind {
+    /// One optimizer dimension per knob (the vanilla baseline).
+    Identity,
+    /// The full LlamaTune pipeline (projection + biasing + bucketization).
+    LlamaTune(LlamaTuneConfig),
+}
+
+impl AdapterKind {
+    /// Short label used in session names.
+    pub fn label(&self) -> &'static str {
+        match self {
+            AdapterKind::Identity => "identity",
+            AdapterKind::LlamaTune(_) => "llamatune",
+        }
+    }
+
+    /// Builds the adapter over `space`, seeded per session (the
+    /// projection matrix varies with the seed, as in the paper).
+    pub fn build(&self, space: &ConfigSpace, seed: u64) -> Box<dyn SearchSpaceAdapter> {
+        match self {
+            AdapterKind::Identity => Box::new(IdentityAdapter::new(space)),
+            AdapterKind::LlamaTune(cfg) => Box::new(LlamaTunePipeline::new(space, cfg, seed)),
+        }
+    }
+}
+
+pub use llamatune_optim::OptimizerKind;
+
+/// The session grid of a campaign.
+#[derive(Debug, Clone)]
+pub struct CampaignSpec {
+    /// Workload names (must resolve via `workload_by_name`).
+    pub workloads: Vec<String>,
+    /// Adapter arms.
+    pub adapters: Vec<AdapterKind>,
+    /// Optimizer arms.
+    pub optimizers: Vec<OptimizerKind>,
+    /// Session seeds.
+    pub seeds: Vec<u64>,
+}
+
+/// Execution knobs of a campaign.
+#[derive(Debug, Clone)]
+pub struct CampaignOptions {
+    /// Per-session loop parameters (iterations, n_init, early stop; the
+    /// per-cell session seed overrides `session.seed`).
+    pub session: SessionOptions,
+    /// Trials per suggest→evaluate round (q of the constant liar).
+    pub batch_size: usize,
+    /// Worker threads evaluating one session's batch.
+    pub trial_workers: usize,
+    /// Sessions running concurrently.
+    pub session_parallelism: usize,
+    /// Wrap optimizers in constant-liar [`BatchSuggest`] when
+    /// `batch_size > 1` (otherwise batches fall back to the optimizer's
+    /// naive `suggest_batch`).
+    pub constant_liar: bool,
+    /// Deduplicate evaluations through a per-session [`EvalCache`].
+    pub cache: bool,
+    /// Override the runner's simulation window (tests and benches use
+    /// shorter windows than the per-workload defaults).
+    pub run_options: Option<RunOptions>,
+}
+
+impl Default for CampaignOptions {
+    fn default() -> Self {
+        CampaignOptions {
+            session: SessionOptions::default(),
+            batch_size: 4,
+            trial_workers: 4,
+            session_parallelism: 1,
+            constant_liar: true,
+            cache: true,
+            run_options: None,
+        }
+    }
+}
+
+/// One finished session of a campaign.
+#[derive(Debug, Clone)]
+pub struct CampaignResult {
+    /// `workload/adapter/optimizer/s<seed>`.
+    pub label: String,
+    pub workload: String,
+    pub adapter: String,
+    pub optimizer: String,
+    pub seed: u64,
+    pub history: SessionHistory,
+    /// Cache counters, when the campaign ran with a cache.
+    pub cache: Option<CacheStats>,
+}
+
+/// A configured campaign, ready to run.
+pub struct Campaign {
+    catalog: ConfigSpace,
+    spec: CampaignSpec,
+    opts: CampaignOptions,
+}
+
+struct Cell {
+    label: String,
+    workload: String,
+    adapter: AdapterKind,
+    optimizer: OptimizerKind,
+    seed: u64,
+}
+
+/// Shared append-and-flush handle over the caller's log writer; the
+/// first write error is kept and surfaced after the campaign finishes.
+struct LogSink<'a> {
+    sink: Mutex<&'a mut (dyn std::io::Write + Send)>,
+    error: Mutex<Option<std::io::Error>>,
+}
+
+impl LogSink<'_> {
+    fn append(&self, chunk: &str) {
+        let mut sink = self.sink.lock().unwrap();
+        let outcome = sink.write_all(chunk.as_bytes()).and_then(|()| sink.flush());
+        if let Err(e) = outcome {
+            self.error.lock().unwrap().get_or_insert(e);
+        }
+    }
+}
+
+impl Campaign {
+    /// Creates a campaign tuning `catalog` over the given grid.
+    pub fn new(catalog: ConfigSpace, spec: CampaignSpec, opts: CampaignOptions) -> Self {
+        Campaign { catalog, spec, opts }
+    }
+
+    fn cells(&self) -> Vec<Cell> {
+        let mut cells = Vec::new();
+        for w in &self.spec.workloads {
+            for a in &self.spec.adapters {
+                for o in &self.spec.optimizers {
+                    for &seed in &self.spec.seeds {
+                        cells.push(Cell {
+                            label: format!("{w}/{}/{}/s{seed}", a.label(), o.label()),
+                            workload: w.clone(),
+                            adapter: a.clone(),
+                            optimizer: *o,
+                            seed,
+                        });
+                    }
+                }
+            }
+        }
+        cells
+    }
+
+    /// Runs every session of the grid, discarding the event stream.
+    pub fn run(&self) -> Vec<CampaignResult> {
+        self.run_inner(None)
+    }
+
+    /// Runs every session, appending per-trial JSONL events to `sink` as
+    /// each session finishes (and flushing after each append), so a
+    /// campaign killed partway keeps the transcript of every completed
+    /// session. Events of concurrent sessions interleave at session
+    /// granularity; `llamatune::history_io::session_curves` regroups
+    /// them. The first write error aborts no sessions but is returned at
+    /// the end.
+    pub fn run_with_log(
+        &self,
+        sink: &mut (dyn std::io::Write + Send),
+    ) -> std::io::Result<Vec<CampaignResult>> {
+        let log = LogSink { sink: Mutex::new(sink), error: Mutex::new(None) };
+        let results = self.run_inner(Some(&log));
+        match log.error.into_inner().unwrap() {
+            Some(e) => Err(e),
+            None => Ok(results),
+        }
+    }
+
+    fn run_session_cell(&self, cell: &Cell, log: Option<&LogSink<'_>>) -> CampaignResult {
+        let spec = workload_by_name(&cell.workload)
+            .unwrap_or_else(|| panic!("unknown workload {:?}", cell.workload));
+        let mut runner = WorkloadRunner::new(spec, self.catalog.clone());
+        if let Some(run_opts) = self.opts.run_options.clone() {
+            runner = runner.with_options(run_opts);
+        }
+        let adapter = cell.adapter.build(&self.catalog, cell.seed);
+
+        let base_spec = adapter.optimizer_spec().clone();
+        let kind = cell.optimizer;
+        let seed = cell.seed;
+        let optimizer: Box<dyn Optimizer> = if self.opts.constant_liar && self.opts.batch_size > 1 {
+            Box::new(BatchSuggest::new(Box::new(move || kind.build(&base_spec, seed))))
+        } else {
+            kind.build(&base_spec, seed)
+        };
+
+        // Evaluation seed: fixed per session, derived from the session
+        // seed exactly as the sequential harness does.
+        let eval_seed = cell.seed ^ 0x5EED;
+        let cache = self.opts.cache.then(|| Arc::new(EvalCache::new()));
+        let mut executor = WorkloadExecutor::new(
+            &runner,
+            self.catalog.clone(),
+            eval_seed,
+            self.opts.trial_workers,
+        );
+        if let Some(c) = &cache {
+            executor = executor.with_cache(c.clone());
+        }
+
+        let session_opts = SessionOptions { seed: cell.seed, ..self.opts.session.clone() };
+        let history = run_session_parallel(
+            adapter.as_ref(),
+            optimizer,
+            &mut executor,
+            &session_opts,
+            self.opts.batch_size,
+        );
+
+        if let Some(log) = log {
+            let events: Vec<TrialEvent> = history_to_events(&cell.label, &history);
+            log.append(&events_to_jsonl(&events));
+        }
+
+        CampaignResult {
+            label: cell.label.clone(),
+            workload: cell.workload.clone(),
+            adapter: cell.adapter.label().to_string(),
+            optimizer: cell.optimizer.label().to_string(),
+            seed: cell.seed,
+            history,
+            cache: cache.map(|c| c.stats()),
+        }
+    }
+
+    fn run_inner(&self, log: Option<&LogSink<'_>>) -> Vec<CampaignResult> {
+        let cells = self.cells();
+        let lanes = self.opts.session_parallelism.clamp(1, cells.len().max(1));
+        let mut results: Vec<Option<CampaignResult>> = (0..cells.len()).map(|_| None).collect();
+        if lanes <= 1 {
+            for (slot, cell) in results.iter_mut().zip(&cells) {
+                *slot = Some(self.run_session_cell(cell, log));
+            }
+        } else {
+            let chunk = cells.len().div_ceil(lanes);
+            std::thread::scope(|scope| {
+                for (slots, cell_chunk) in results.chunks_mut(chunk).zip(cells.chunks(chunk)) {
+                    scope.spawn(move || {
+                        for (slot, cell) in slots.iter_mut().zip(cell_chunk) {
+                            *slot = Some(self.run_session_cell(cell, log));
+                        }
+                    });
+                }
+            });
+        }
+        results.into_iter().map(|r| r.expect("session ran")).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use llamatune_space::catalog::postgres_v9_6;
+
+    fn quick_opts() -> CampaignOptions {
+        let run_opts =
+            RunOptions { duration_s: 0.2, warmup_s: 0.05, max_txns: 20_000, ..Default::default() };
+        CampaignOptions {
+            session: SessionOptions { iterations: 8, n_init: 3, ..Default::default() },
+            batch_size: 3,
+            trial_workers: 2,
+            session_parallelism: 2,
+            run_options: Some(run_opts),
+            ..Default::default()
+        }
+    }
+
+    fn small_spec() -> CampaignSpec {
+        CampaignSpec {
+            workloads: vec!["ycsb_b".into(), "ycsb_f".into()],
+            adapters: vec![AdapterKind::LlamaTune(LlamaTuneConfig::default())],
+            optimizers: vec![OptimizerKind::Random],
+            seeds: vec![1, 2],
+        }
+    }
+
+    #[test]
+    fn campaign_covers_the_grid_and_logs_every_trial() {
+        let campaign = Campaign::new(postgres_v9_6(), small_spec(), quick_opts());
+        let mut log = Vec::new();
+        let results = campaign.run_with_log(&mut log).unwrap();
+        assert_eq!(results.len(), 4, "2 workloads x 1 adapter x 1 optimizer x 2 seeds");
+        for r in &results {
+            assert_eq!(r.history.scores.len(), 9, "{}: default + 8 iterations", r.label);
+            assert!(r.history.best_score().is_some());
+        }
+        // The JSONL log replays into the same curves.
+        let text = String::from_utf8(log).unwrap();
+        let events = llamatune::history_io::events_from_jsonl(&text).unwrap();
+        let curves = llamatune::history_io::session_curves(&events).unwrap();
+        assert_eq!(curves.len(), 4);
+        for r in &results {
+            let (scores, raw) = &curves[&r.label];
+            assert_eq!(scores, &r.history.scores);
+            assert_eq!(raw, &r.history.raw_scores);
+        }
+    }
+
+    #[test]
+    fn session_parallelism_does_not_change_results() {
+        let sequential = Campaign::new(
+            postgres_v9_6(),
+            small_spec(),
+            CampaignOptions { session_parallelism: 1, ..quick_opts() },
+        )
+        .run();
+        let parallel = Campaign::new(
+            postgres_v9_6(),
+            small_spec(),
+            CampaignOptions { session_parallelism: 4, ..quick_opts() },
+        )
+        .run();
+        for (a, b) in sequential.iter().zip(&parallel) {
+            assert_eq!(a.label, b.label);
+            assert_eq!(a.history.scores, b.history.scores);
+        }
+    }
+}

@@ -1,0 +1,284 @@
+//! Parallel trial executors.
+//!
+//! Both executors here implement [`TrialExecutor`] by splitting a batch
+//! into contiguous chunks, one per worker, and evaluating the chunks on
+//! scoped threads. Results land in positional slots, so the returned
+//! vector is aligned with the input batch no matter which worker finishes
+//! first — the property `run_session_parallel` relies on for
+//! worker-count-independent histories.
+//!
+//! [`WorkloadExecutor`] is the DBMS-benchmark instantiation: every worker
+//! owns its own [`WorkloadRunner`] clone (cheap — runners are Arc-backed)
+//! and an optional shared [`EvalCache`] short-circuits configurations
+//! that were already measured.
+
+use crate::cache::{config_key, CacheStats, EvalCache};
+use llamatune::session::{EvalResult, Trial, TrialExecutor};
+use llamatune_space::{Config, ConfigSpace};
+use llamatune_workloads::WorkloadRunner;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Evaluates `jobs` across `slots.len()`-aligned chunks, one worker per
+/// chunk, calling `eval(worker_index, job_index, config)`.
+fn eval_chunked<F>(workers: usize, jobs: &[&Config], eval: F) -> Vec<EvalResult>
+where
+    F: Fn(usize, usize, &Config) -> EvalResult + Sync,
+{
+    let n = jobs.len();
+    let mut out: Vec<Option<EvalResult>> = vec![None; n];
+    let workers = workers.clamp(1, n.max(1));
+    if workers <= 1 || n <= 1 {
+        for (i, cfg) in jobs.iter().enumerate() {
+            out[i] = Some(eval(0, i, cfg));
+        }
+    } else {
+        let chunk = n.div_ceil(workers);
+        std::thread::scope(|scope| {
+            for (w, slots) in out.chunks_mut(chunk).enumerate() {
+                let eval = &eval;
+                let base = w * chunk;
+                let jobs = &jobs[base..base + slots.len()];
+                scope.spawn(move || {
+                    for (off, (slot, cfg)) in slots.iter_mut().zip(jobs).enumerate() {
+                        *slot = Some(eval(w, base + off, cfg));
+                    }
+                });
+            }
+        });
+    }
+    out.into_iter().map(|r| r.expect("every slot evaluated")).collect()
+}
+
+/// Runs a batch through the cache: cached configurations short-circuit,
+/// within-batch duplicates are evaluated once, and fresh results are
+/// recorded. `eval_all` receives only the configurations that actually
+/// need a run and must return results positionally.
+fn run_batch_cached(
+    cache: &EvalCache,
+    trials: &[Trial],
+    eval_all: impl FnOnce(&[&Config]) -> Vec<EvalResult>,
+) -> Vec<EvalResult> {
+    let mut resolved: Vec<Option<EvalResult>> = vec![None; trials.len()];
+    // Key -> index into `unique` for within-batch duplicates.
+    let mut seen: HashMap<u64, usize> = HashMap::new();
+    let mut unique: Vec<usize> = Vec::new(); // trial indices to evaluate
+    let mut dup_of: Vec<(usize, usize)> = Vec::new(); // (trial, unique slot)
+    for (i, t) in trials.iter().enumerate() {
+        if let Some(hit) = cache.lookup(&t.config) {
+            resolved[i] = Some(hit);
+            continue;
+        }
+        match seen.entry(config_key(&t.config)) {
+            std::collections::hash_map::Entry::Occupied(e) => dup_of.push((i, *e.get())),
+            std::collections::hash_map::Entry::Vacant(e) => {
+                e.insert(unique.len());
+                unique.push(i);
+            }
+        }
+    }
+    let configs: Vec<&Config> = unique.iter().map(|&i| &trials[i].config).collect();
+    let fresh = eval_all(&configs);
+    assert_eq!(fresh.len(), configs.len(), "eval_all must be positional");
+    for (&i, r) in unique.iter().zip(&fresh) {
+        cache.insert(&trials[i].config, r.clone());
+        resolved[i] = Some(r.clone());
+    }
+    for (i, u) in dup_of {
+        resolved[i] = Some(fresh[u].clone());
+    }
+    resolved.into_iter().map(|r| r.expect("resolved or evaluated")).collect()
+}
+
+/// A [`TrialExecutor`] over an arbitrary `Sync` objective closure,
+/// evaluated by a pool of scoped worker threads. Useful for synthetic
+/// objectives in tests and benchmarks; DBMS campaigns use
+/// [`WorkloadExecutor`].
+pub struct ParallelExecutor<F: Fn(&Config) -> EvalResult + Sync> {
+    workers: usize,
+    eval: F,
+    cache: Option<Arc<EvalCache>>,
+}
+
+impl<F: Fn(&Config) -> EvalResult + Sync> ParallelExecutor<F> {
+    /// Creates an executor evaluating with `workers` threads.
+    pub fn new(workers: usize, eval: F) -> Self {
+        ParallelExecutor { workers: workers.max(1), eval, cache: None }
+    }
+
+    /// Attaches a (possibly shared) evaluation cache.
+    pub fn with_cache(mut self, cache: Arc<EvalCache>) -> Self {
+        self.cache = Some(cache);
+        self
+    }
+
+    /// The attached cache's statistics, if any.
+    pub fn cache_stats(&self) -> Option<CacheStats> {
+        self.cache.as_ref().map(|c| c.stats())
+    }
+}
+
+impl<F: Fn(&Config) -> EvalResult + Sync> TrialExecutor for ParallelExecutor<F> {
+    fn run_batch(&mut self, trials: &[Trial]) -> Vec<EvalResult> {
+        let eval_all =
+            |configs: &[&Config]| eval_chunked(self.workers, configs, |_, _, cfg| (self.eval)(cfg));
+        match &self.cache {
+            Some(cache) => run_batch_cached(cache, trials, eval_all),
+            None => {
+                let configs: Vec<&Config> = trials.iter().map(|t| &t.config).collect();
+                eval_all(&configs)
+            }
+        }
+    }
+
+    fn max_parallelism(&self) -> usize {
+        self.workers
+    }
+}
+
+/// The DBMS-benchmark [`TrialExecutor`]: one [`WorkloadRunner`] per
+/// worker, a fixed evaluation seed (the paper evaluates every
+/// configuration of a session under the same simulated conditions), and
+/// an optional deduplicating cache.
+pub struct WorkloadExecutor {
+    runners: Vec<WorkloadRunner>,
+    space: ConfigSpace,
+    eval_seed: u64,
+    cache: Option<Arc<EvalCache>>,
+}
+
+impl WorkloadExecutor {
+    /// Creates an executor with `workers` runner clones. `space` is the
+    /// tuned knob space (may be a subset of the runner's catalog);
+    /// `eval_seed` drives the simulated benchmark.
+    pub fn new(
+        runner: &WorkloadRunner,
+        space: ConfigSpace,
+        eval_seed: u64,
+        workers: usize,
+    ) -> Self {
+        let workers = workers.max(1);
+        WorkloadExecutor {
+            runners: (0..workers).map(|_| runner.clone()).collect(),
+            space,
+            eval_seed,
+            cache: None,
+        }
+    }
+
+    /// Attaches a (possibly shared) evaluation cache. Share a cache only
+    /// between executors with the same workload and evaluation seed.
+    pub fn with_cache(mut self, cache: Arc<EvalCache>) -> Self {
+        self.cache = Some(cache);
+        self
+    }
+
+    /// The attached cache's statistics, if any.
+    pub fn cache_stats(&self) -> Option<CacheStats> {
+        self.cache.as_ref().map(|c| c.stats())
+    }
+}
+
+impl TrialExecutor for WorkloadExecutor {
+    fn run_batch(&mut self, trials: &[Trial]) -> Vec<EvalResult> {
+        let (runners, space, seed) = (&self.runners, &self.space, self.eval_seed);
+        let eval_all = |configs: &[&Config]| {
+            eval_chunked(runners.len(), configs, |w, _, cfg| {
+                let out = runners[w].evaluate(space, cfg, seed);
+                EvalResult { score: out.score, metrics: out.result.metrics }
+            })
+        };
+        match &self.cache {
+            Some(cache) => run_batch_cached(cache, trials, eval_all),
+            None => {
+                let configs: Vec<&Config> = trials.iter().map(|t| &t.config).collect();
+                eval_all(&configs)
+            }
+        }
+    }
+
+    fn max_parallelism(&self) -> usize {
+        self.runners.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use llamatune_space::catalog::postgres_v9_6;
+    use llamatune_space::KnobValue;
+
+    fn trial(space: &ConfigSpace, sb: i64) -> Trial {
+        let mut cfg = space.default_config();
+        let idx = space.index_of("shared_buffers").unwrap();
+        cfg.values_mut()[idx] = KnobValue::Int(sb);
+        Trial { iteration: 0, config: cfg }
+    }
+
+    fn score_of(space: &ConfigSpace) -> impl Fn(&Config) -> EvalResult + Sync + '_ {
+        let idx = space.index_of("shared_buffers").unwrap();
+        move |cfg: &Config| EvalResult {
+            score: Some(cfg.values()[idx].as_float()),
+            metrics: vec![],
+        }
+    }
+
+    #[test]
+    fn results_are_positionally_aligned_at_any_worker_count() {
+        let space = postgres_v9_6();
+        let trials: Vec<Trial> = (1..=17).map(|i| trial(&space, i * 1000)).collect();
+        let expected: Vec<f64> = (1..=17).map(|i| (i * 1000) as f64).collect();
+        for workers in [1, 2, 3, 8, 32] {
+            let mut ex = ParallelExecutor::new(workers, score_of(&space));
+            let scores: Vec<f64> =
+                ex.run_batch(&trials).into_iter().map(|r| r.score.unwrap()).collect();
+            assert_eq!(scores, expected, "workers = {workers}");
+        }
+    }
+
+    #[test]
+    fn cache_short_circuits_repeats_and_batch_duplicates() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let space = postgres_v9_6();
+        let evals = AtomicUsize::new(0);
+        let idx = space.index_of("shared_buffers").unwrap();
+        let eval = |cfg: &Config| {
+            evals.fetch_add(1, Ordering::SeqCst);
+            EvalResult { score: Some(cfg.values()[idx].as_float()), metrics: vec![] }
+        };
+        let cache = Arc::new(EvalCache::new());
+        let mut ex = ParallelExecutor::new(2, eval).with_cache(cache.clone());
+        // Batch with an internal duplicate: 3 trials, 2 distinct configs.
+        let batch = vec![trial(&space, 1000), trial(&space, 2000), trial(&space, 1000)];
+        let r1 = ex.run_batch(&batch);
+        assert_eq!(evals.load(Ordering::SeqCst), 2, "duplicate evaluated once");
+        assert_eq!(r1[0].score, r1[2].score);
+        // Second round: everything cached.
+        let r2 = ex.run_batch(&batch);
+        assert_eq!(evals.load(Ordering::SeqCst), 2, "no new evaluations");
+        assert_eq!(r2[1].score, Some(2000.0));
+        let stats = cache.stats();
+        assert_eq!(stats.hits, 3, "second round served from cache");
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn workload_executor_matches_direct_evaluation() {
+        use llamatune_workloads::{suggested_options, ycsb_b, WorkloadRunner};
+        let catalog = postgres_v9_6();
+        let mut opts = suggested_options("ycsb_b");
+        opts.duration_s = 0.2;
+        opts.warmup_s = 0.05;
+        opts.max_txns = 20_000;
+        let runner = WorkloadRunner::new(ycsb_b(), catalog.clone()).with_options(opts);
+        let trials: Vec<Trial> = (1..=4).map(|i| trial(&catalog, 16_384 + i * 8_192)).collect();
+        let direct: Vec<Option<f64>> =
+            trials.iter().map(|t| runner.evaluate(&catalog, &t.config, 7).score).collect();
+        for workers in [1, 3] {
+            let mut ex = WorkloadExecutor::new(&runner, catalog.clone(), 7, workers);
+            let scores: Vec<Option<f64>> =
+                ex.run_batch(&trials).into_iter().map(|r| r.score).collect();
+            assert_eq!(scores, direct, "workers = {workers}");
+        }
+    }
+}

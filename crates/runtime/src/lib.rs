@@ -1,0 +1,51 @@
+//! # llamatune-runtime: the parallel trial-execution runtime
+//!
+//! The paper's tuning loop is strictly sequential: suggest one
+//! configuration, run the benchmark, observe, repeat. On real hardware
+//! that leaves every core but one idle during the expensive part — the
+//! benchmark run. This crate turns the loop into a campaign engine:
+//!
+//! * [`ParallelExecutor`] / [`WorkloadExecutor`] — `TrialExecutor`s that
+//!   spread a batch of decoded configurations over scoped worker
+//!   threads, each worker owning its own [`WorkloadRunner`] clone
+//!   (cheap: runners are Arc-backed). Results return in batch order, so
+//!   histories are worker-count independent.
+//! * [`BatchSuggest`] — extracts q > 1 *diverse* suggestions per round
+//!   from any unmodified [`Optimizer`] via constant-liar fantasizing:
+//!   observe a pessimistic pseudo-score for each pending point, suggest
+//!   again, retract the lies (rebuild + replay) when real results land.
+//! * [`EvalCache`] — deduplicates evaluations by a canonical hash of the
+//!   decoded configuration. LlamaTune's bucketization collapses many
+//!   suggestions onto identical configs, so repeats are common by
+//!   design; the cache makes them free and reports hit statistics.
+//! * [`Campaign`] — fans a (workload × adapter × optimizer × seed) grid
+//!   across the pool, appends per-trial events to a JSONL log (flushed
+//!   as each session completes, so partial campaigns keep their
+//!   transcript) readable by `llamatune::history_io`, and yields the
+//!   same [`SessionHistory`] per session that the sequential path
+//!   produces.
+//!
+//! [`WorkloadRunner`]: llamatune_workloads::WorkloadRunner
+//! [`Optimizer`]: llamatune_optim::Optimizer
+//! [`SessionHistory`]: llamatune::session::SessionHistory
+//!
+//! ## Reproducibility contract
+//!
+//! A session's recorded history is a pure function of (adapter seed,
+//! optimizer seed, session seed, batch size). Worker counts and session
+//! parallelism change only wall-clock time: results are joined by
+//! iteration index, penalties and early stopping are folded in iteration
+//! order, and evaluation itself is deterministic per seed. The
+//! `determinism` integration test pins this down bit-for-bit.
+
+pub mod batch;
+pub mod cache;
+pub mod campaign;
+pub mod executor;
+
+pub use batch::{BatchSuggest, LiarStrategy, OptimizerFactory};
+pub use cache::{config_key, CacheStats, EvalCache};
+pub use campaign::{
+    AdapterKind, Campaign, CampaignOptions, CampaignResult, CampaignSpec, OptimizerKind,
+};
+pub use executor::{ParallelExecutor, WorkloadExecutor};

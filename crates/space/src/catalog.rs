@@ -36,6 +36,7 @@ fn int(
     }
 }
 
+#[allow(clippy::too_many_arguments)] // mirrors the knob-table column layout
 fn int_sp(
     name: &'static str,
     min: i64,
@@ -56,13 +57,7 @@ fn int_sp(
     }
 }
 
-fn flt(
-    name: &'static str,
-    min: f64,
-    max: f64,
-    default: f64,
-    description: &'static str,
-) -> Knob {
+fn flt(name: &'static str, min: f64, max: f64, default: f64, description: &'static str) -> Knob {
     Knob {
         name,
         domain: Domain::Float { min, max },
@@ -97,159 +92,514 @@ fn toggle(name: &'static str, default_on: bool, description: &'static str) -> Kn
 fn common_knobs() -> Vec<Knob> {
     vec![
         // ------------------------------------------------ memory & resources
-        int("shared_buffers", 16, 2_097_152, 16_384, Unit::Pages8k,
-            "Amount of memory the server uses for shared memory buffers"),
-        int("work_mem", 64, 2_097_152, 4_096, Unit::KiloBytes,
-            "Memory used by internal sort and hash operations before spilling"),
-        int("maintenance_work_mem", 1_024, 2_097_152, 65_536, Unit::KiloBytes,
-            "Memory used by maintenance operations such as VACUUM"),
-        int_sp("autovacuum_work_mem", -1, 2_097_152, -1,
-            -1, "use maintenance_work_mem instead", Unit::KiloBytes,
-            "Memory used by each autovacuum worker"),
-        int("temp_buffers", 100, 131_072, 1_024, Unit::Pages8k,
-            "Maximum temporary buffers per session"),
-        int("effective_cache_size", 16, 2_097_152, 524_288, Unit::Pages8k,
-            "Planner assumption about the effective size of the disk cache"),
-        int_sp("temp_file_limit", -1, 20_971_520, -1,
-            -1, "no limit on temporary file space", Unit::KiloBytes,
-            "Maximum temporary file space per process"),
-        int("max_stack_depth", 100, 7_680, 2_048, Unit::KiloBytes,
-            "Maximum safe execution stack depth"),
-        int("huge_pages_try", 0, 2, 0, Unit::Count,
-            "Whether huge memory pages are requested (0=try, 1=off, 2=on)"),
+        int(
+            "shared_buffers",
+            16,
+            2_097_152,
+            16_384,
+            Unit::Pages8k,
+            "Amount of memory the server uses for shared memory buffers",
+        ),
+        int(
+            "work_mem",
+            64,
+            2_097_152,
+            4_096,
+            Unit::KiloBytes,
+            "Memory used by internal sort and hash operations before spilling",
+        ),
+        int(
+            "maintenance_work_mem",
+            1_024,
+            2_097_152,
+            65_536,
+            Unit::KiloBytes,
+            "Memory used by maintenance operations such as VACUUM",
+        ),
+        int_sp(
+            "autovacuum_work_mem",
+            -1,
+            2_097_152,
+            -1,
+            -1,
+            "use maintenance_work_mem instead",
+            Unit::KiloBytes,
+            "Memory used by each autovacuum worker",
+        ),
+        int(
+            "temp_buffers",
+            100,
+            131_072,
+            1_024,
+            Unit::Pages8k,
+            "Maximum temporary buffers per session",
+        ),
+        int(
+            "effective_cache_size",
+            16,
+            2_097_152,
+            524_288,
+            Unit::Pages8k,
+            "Planner assumption about the effective size of the disk cache",
+        ),
+        int_sp(
+            "temp_file_limit",
+            -1,
+            20_971_520,
+            -1,
+            -1,
+            "no limit on temporary file space",
+            Unit::KiloBytes,
+            "Maximum temporary file space per process",
+        ),
+        int(
+            "max_stack_depth",
+            100,
+            7_680,
+            2_048,
+            Unit::KiloBytes,
+            "Maximum safe execution stack depth",
+        ),
+        int(
+            "huge_pages_try",
+            0,
+            2,
+            0,
+            Unit::Count,
+            "Whether huge memory pages are requested (0=try, 1=off, 2=on)",
+        ),
         // ------------------------------------------------ connections & workers
-        int("max_connections", 10, 1_000, 100, Unit::Count,
-            "Maximum number of concurrent connections"),
-        int_sp("max_prepared_transactions", 0, 1_000, 0,
-            0, "prepared transactions are disabled", Unit::Count,
-            "Maximum number of simultaneously prepared transactions"),
-        int("max_files_per_process", 25, 50_000, 1_000, Unit::Count,
-            "Maximum number of simultaneously open files for each server process"),
-        int("max_worker_processes", 0, 64, 8, Unit::Count,
-            "Maximum number of background worker processes"),
+        int(
+            "max_connections",
+            10,
+            1_000,
+            100,
+            Unit::Count,
+            "Maximum number of concurrent connections",
+        ),
+        int_sp(
+            "max_prepared_transactions",
+            0,
+            1_000,
+            0,
+            0,
+            "prepared transactions are disabled",
+            Unit::Count,
+            "Maximum number of simultaneously prepared transactions",
+        ),
+        int(
+            "max_files_per_process",
+            25,
+            50_000,
+            1_000,
+            Unit::Count,
+            "Maximum number of simultaneously open files for each server process",
+        ),
+        int(
+            "max_worker_processes",
+            0,
+            64,
+            8,
+            Unit::Count,
+            "Maximum number of background worker processes",
+        ),
         // ------------------------------------------------ WAL & checkpoints
         toggle("fsync", true, "Force synchronization of updates to disk"),
-        cat("synchronous_commit", &["on", "off", "local", "remote_write"], 0,
-            "Whether transaction commit waits for WAL flush"),
-        cat("wal_sync_method", &["fdatasync", "fsync", "open_datasync", "open_sync"], 0,
-            "Method used for forcing WAL updates out to disk"),
-        toggle("full_page_writes", true,
-            "Write full pages to WAL when first modified after a checkpoint"),
+        cat(
+            "synchronous_commit",
+            &["on", "off", "local", "remote_write"],
+            0,
+            "Whether transaction commit waits for WAL flush",
+        ),
+        cat(
+            "wal_sync_method",
+            &["fdatasync", "fsync", "open_datasync", "open_sync"],
+            0,
+            "Method used for forcing WAL updates out to disk",
+        ),
+        toggle(
+            "full_page_writes",
+            true,
+            "Write full pages to WAL when first modified after a checkpoint",
+        ),
         toggle("wal_compression", false, "Compress full-page writes in WAL"),
         toggle("wal_log_hints", false, "Log full pages for non-critical hint-bit changes"),
-        int_sp("wal_buffers", -1, 262_143, -1,
-            -1, "1/32nd of shared_buffers (>= 64kB, <= one WAL segment)", Unit::Pages8k,
-            "Number of disk-page buffers in shared memory for WAL"),
-        int("wal_writer_delay", 1, 10_000, 200, Unit::Millis,
-            "Time between WAL flushes performed by the WAL writer"),
-        int_sp("wal_writer_flush_after", 0, 2_097_152, 128,
-            0, "threshold-triggered flushing is disabled", Unit::Pages8k,
-            "Amount of WAL written out by the WAL writer that triggers a flush"),
-        int_sp("commit_delay", 0, 100_000, 0,
-            0, "group-commit delay is disabled", Unit::Micros,
-            "Delay between transaction commit and flushing WAL to disk"),
-        int("commit_siblings", 0, 1_000, 5, Unit::Count,
-            "Minimum concurrent open transactions before performing commit_delay"),
-        int("checkpoint_timeout", 30, 86_400, 300, Unit::Seconds,
-            "Maximum time between automatic WAL checkpoints"),
-        flt("checkpoint_completion_target", 0.0, 1.0, 0.5,
-            "Fraction of the checkpoint interval used to spread out dirty-page writes"),
-        int_sp("checkpoint_flush_after", 0, 256, 32,
-            0, "forced writeback during checkpoints is disabled", Unit::Pages8k,
-            "Pages after which checkpoint writes are flushed to disk"),
-        int("max_wal_size", 2, 65_536, 64, Unit::WalSegments16Mb,
-            "WAL size that triggers a checkpoint"),
-        int("min_wal_size", 2, 65_536, 5, Unit::WalSegments16Mb,
-            "WAL size below which segments are recycled rather than removed"),
-        int_sp("backend_flush_after", 0, 256, 0,
-            0, "forced writeback by backends is disabled", Unit::Pages8k,
-            "Number of pages after which previously performed writes are flushed to disk"),
+        int_sp(
+            "wal_buffers",
+            -1,
+            262_143,
+            -1,
+            -1,
+            "1/32nd of shared_buffers (>= 64kB, <= one WAL segment)",
+            Unit::Pages8k,
+            "Number of disk-page buffers in shared memory for WAL",
+        ),
+        int(
+            "wal_writer_delay",
+            1,
+            10_000,
+            200,
+            Unit::Millis,
+            "Time between WAL flushes performed by the WAL writer",
+        ),
+        int_sp(
+            "wal_writer_flush_after",
+            0,
+            2_097_152,
+            128,
+            0,
+            "threshold-triggered flushing is disabled",
+            Unit::Pages8k,
+            "Amount of WAL written out by the WAL writer that triggers a flush",
+        ),
+        int_sp(
+            "commit_delay",
+            0,
+            100_000,
+            0,
+            0,
+            "group-commit delay is disabled",
+            Unit::Micros,
+            "Delay between transaction commit and flushing WAL to disk",
+        ),
+        int(
+            "commit_siblings",
+            0,
+            1_000,
+            5,
+            Unit::Count,
+            "Minimum concurrent open transactions before performing commit_delay",
+        ),
+        int(
+            "checkpoint_timeout",
+            30,
+            86_400,
+            300,
+            Unit::Seconds,
+            "Maximum time between automatic WAL checkpoints",
+        ),
+        flt(
+            "checkpoint_completion_target",
+            0.0,
+            1.0,
+            0.5,
+            "Fraction of the checkpoint interval used to spread out dirty-page writes",
+        ),
+        int_sp(
+            "checkpoint_flush_after",
+            0,
+            256,
+            32,
+            0,
+            "forced writeback during checkpoints is disabled",
+            Unit::Pages8k,
+            "Pages after which checkpoint writes are flushed to disk",
+        ),
+        int(
+            "max_wal_size",
+            2,
+            65_536,
+            64,
+            Unit::WalSegments16Mb,
+            "WAL size that triggers a checkpoint",
+        ),
+        int(
+            "min_wal_size",
+            2,
+            65_536,
+            5,
+            Unit::WalSegments16Mb,
+            "WAL size below which segments are recycled rather than removed",
+        ),
+        int_sp(
+            "backend_flush_after",
+            0,
+            256,
+            0,
+            0,
+            "forced writeback by backends is disabled",
+            Unit::Pages8k,
+            "Number of pages after which previously performed writes are flushed to disk",
+        ),
         // ------------------------------------------------ background writer
-        int("bgwriter_delay", 10, 10_000, 200, Unit::Millis,
-            "Background writer sleep time between rounds"),
-        int_sp("bgwriter_lru_maxpages", 0, 1_000, 100,
-            0, "background writing is disabled", Unit::Count,
-            "Maximum pages written per background writer round"),
-        flt("bgwriter_lru_multiplier", 0.0, 10.0, 2.0,
-            "Multiple of recent buffer usage to write per round"),
-        int_sp("bgwriter_flush_after", 0, 256, 64,
-            0, "forced writeback by the background writer is disabled", Unit::Pages8k,
-            "Pages after which background writer writes are flushed to disk"),
+        int(
+            "bgwriter_delay",
+            10,
+            10_000,
+            200,
+            Unit::Millis,
+            "Background writer sleep time between rounds",
+        ),
+        int_sp(
+            "bgwriter_lru_maxpages",
+            0,
+            1_000,
+            100,
+            0,
+            "background writing is disabled",
+            Unit::Count,
+            "Maximum pages written per background writer round",
+        ),
+        flt(
+            "bgwriter_lru_multiplier",
+            0.0,
+            10.0,
+            2.0,
+            "Multiple of recent buffer usage to write per round",
+        ),
+        int_sp(
+            "bgwriter_flush_after",
+            0,
+            256,
+            64,
+            0,
+            "forced writeback by the background writer is disabled",
+            Unit::Pages8k,
+            "Pages after which background writer writes are flushed to disk",
+        ),
         // ------------------------------------------------ I/O, snapshots, locks
-        int_sp("effective_io_concurrency", 0, 1_000, 1,
-            0, "asynchronous prefetching is disabled", Unit::Count,
-            "Number of concurrent disk I/O operations the server expects to issue"),
-        int_sp("old_snapshot_threshold", -1, 86_400, -1,
-            -1, "snapshot-too-old errors are disabled", Unit::Seconds,
-            "Time before a snapshot is too old to read pages changed after it"),
-        int("deadlock_timeout", 1, 600_000, 1_000, Unit::Millis,
-            "Time to wait on a lock before checking for deadlock"),
-        int("max_locks_per_transaction", 10, 1_000, 64, Unit::Count,
-            "Shared lock-table slots per transaction"),
-        int("max_pred_locks_per_transaction", 10, 1_000, 64, Unit::Count,
-            "Shared predicate-lock slots per transaction"),
+        int_sp(
+            "effective_io_concurrency",
+            0,
+            1_000,
+            1,
+            0,
+            "asynchronous prefetching is disabled",
+            Unit::Count,
+            "Number of concurrent disk I/O operations the server expects to issue",
+        ),
+        int_sp(
+            "old_snapshot_threshold",
+            -1,
+            86_400,
+            -1,
+            -1,
+            "snapshot-too-old errors are disabled",
+            Unit::Seconds,
+            "Time before a snapshot is too old to read pages changed after it",
+        ),
+        int(
+            "deadlock_timeout",
+            1,
+            600_000,
+            1_000,
+            Unit::Millis,
+            "Time to wait on a lock before checking for deadlock",
+        ),
+        int(
+            "max_locks_per_transaction",
+            10,
+            1_000,
+            64,
+            Unit::Count,
+            "Shared lock-table slots per transaction",
+        ),
+        int(
+            "max_pred_locks_per_transaction",
+            10,
+            1_000,
+            64,
+            Unit::Count,
+            "Shared predicate-lock slots per transaction",
+        ),
         // ------------------------------------------------ cost-based vacuum
-        int_sp("vacuum_cost_delay", 0, 100, 0,
-            0, "cost-based vacuum delay is disabled", Unit::Millis,
-            "Time vacuum sleeps when the cost limit is exceeded"),
-        int("vacuum_cost_page_hit", 0, 10_000, 1, Unit::Count,
-            "Vacuum cost for a page found in the buffer cache"),
-        int("vacuum_cost_page_miss", 0, 10_000, 10, Unit::Count,
-            "Vacuum cost for a page read from disk"),
-        int("vacuum_cost_page_dirty", 0, 10_000, 20, Unit::Count,
-            "Vacuum cost for a page dirtied by cleanup"),
-        int("vacuum_cost_limit", 1, 10_000, 200, Unit::Count,
-            "Accumulated vacuum cost that triggers a sleep"),
+        int_sp(
+            "vacuum_cost_delay",
+            0,
+            100,
+            0,
+            0,
+            "cost-based vacuum delay is disabled",
+            Unit::Millis,
+            "Time vacuum sleeps when the cost limit is exceeded",
+        ),
+        int(
+            "vacuum_cost_page_hit",
+            0,
+            10_000,
+            1,
+            Unit::Count,
+            "Vacuum cost for a page found in the buffer cache",
+        ),
+        int(
+            "vacuum_cost_page_miss",
+            0,
+            10_000,
+            10,
+            Unit::Count,
+            "Vacuum cost for a page read from disk",
+        ),
+        int(
+            "vacuum_cost_page_dirty",
+            0,
+            10_000,
+            20,
+            Unit::Count,
+            "Vacuum cost for a page dirtied by cleanup",
+        ),
+        int(
+            "vacuum_cost_limit",
+            1,
+            10_000,
+            200,
+            Unit::Count,
+            "Accumulated vacuum cost that triggers a sleep",
+        ),
         // ------------------------------------------------ autovacuum
         toggle("autovacuum", true, "Start the autovacuum launcher"),
-        int("autovacuum_max_workers", 1, 64, 3, Unit::Count,
-            "Maximum number of simultaneously running autovacuum workers"),
-        int("autovacuum_naptime", 1, 3_600, 60, Unit::Seconds,
-            "Sleep time between autovacuum runs"),
-        int("autovacuum_vacuum_threshold", 0, 1_000_000, 50, Unit::Count,
-            "Minimum number of dead tuples before vacuuming a table"),
-        int("autovacuum_analyze_threshold", 0, 1_000_000, 50, Unit::Count,
-            "Minimum number of changed tuples before analyzing a table"),
-        flt("autovacuum_vacuum_scale_factor", 0.0, 1.0, 0.2,
-            "Fraction of table size added to autovacuum_vacuum_threshold"),
-        flt("autovacuum_analyze_scale_factor", 0.0, 1.0, 0.1,
-            "Fraction of table size added to autovacuum_analyze_threshold"),
-        int("autovacuum_freeze_max_age", 100_000, 2_000_000_000, 200_000_000, Unit::Count,
-            "Age at which to autovacuum a table to prevent transaction ID wraparound"),
-        int("autovacuum_multixact_freeze_max_age", 10_000, 2_000_000_000, 400_000_000,
+        int(
+            "autovacuum_max_workers",
+            1,
+            64,
+            3,
             Unit::Count,
-            "Multixact age at which to autovacuum a table"),
-        int_sp("autovacuum_vacuum_cost_delay", -1, 100, 20,
-            -1, "use vacuum_cost_delay instead", Unit::Millis,
-            "Vacuum cost delay, for autovacuum"),
-        int_sp("autovacuum_vacuum_cost_limit", -1, 10_000, -1,
-            -1, "use vacuum_cost_limit instead", Unit::Count,
-            "Vacuum cost limit, for autovacuum"),
-        int("vacuum_freeze_min_age", 0, 1_000_000_000, 50_000_000, Unit::Count,
-            "Minimum age at which VACUUM should freeze a table row"),
+            "Maximum number of simultaneously running autovacuum workers",
+        ),
+        int(
+            "autovacuum_naptime",
+            1,
+            3_600,
+            60,
+            Unit::Seconds,
+            "Sleep time between autovacuum runs",
+        ),
+        int(
+            "autovacuum_vacuum_threshold",
+            0,
+            1_000_000,
+            50,
+            Unit::Count,
+            "Minimum number of dead tuples before vacuuming a table",
+        ),
+        int(
+            "autovacuum_analyze_threshold",
+            0,
+            1_000_000,
+            50,
+            Unit::Count,
+            "Minimum number of changed tuples before analyzing a table",
+        ),
+        flt(
+            "autovacuum_vacuum_scale_factor",
+            0.0,
+            1.0,
+            0.2,
+            "Fraction of table size added to autovacuum_vacuum_threshold",
+        ),
+        flt(
+            "autovacuum_analyze_scale_factor",
+            0.0,
+            1.0,
+            0.1,
+            "Fraction of table size added to autovacuum_analyze_threshold",
+        ),
+        int(
+            "autovacuum_freeze_max_age",
+            100_000,
+            2_000_000_000,
+            200_000_000,
+            Unit::Count,
+            "Age at which to autovacuum a table to prevent transaction ID wraparound",
+        ),
+        int(
+            "autovacuum_multixact_freeze_max_age",
+            10_000,
+            2_000_000_000,
+            400_000_000,
+            Unit::Count,
+            "Multixact age at which to autovacuum a table",
+        ),
+        int_sp(
+            "autovacuum_vacuum_cost_delay",
+            -1,
+            100,
+            20,
+            -1,
+            "use vacuum_cost_delay instead",
+            Unit::Millis,
+            "Vacuum cost delay, for autovacuum",
+        ),
+        int_sp(
+            "autovacuum_vacuum_cost_limit",
+            -1,
+            10_000,
+            -1,
+            -1,
+            "use vacuum_cost_limit instead",
+            Unit::Count,
+            "Vacuum cost limit, for autovacuum",
+        ),
+        int(
+            "vacuum_freeze_min_age",
+            0,
+            1_000_000_000,
+            50_000_000,
+            Unit::Count,
+            "Minimum age at which VACUUM should freeze a table row",
+        ),
         // ------------------------------------------------ planner costs
-        flt("seq_page_cost", 0.0, 100.0, 1.0,
-            "Planner's estimate of the cost of a sequentially fetched disk page"),
-        flt("random_page_cost", 0.0, 100.0, 4.0,
-            "Planner's estimate of the cost of a nonsequentially fetched disk page"),
-        flt("cpu_tuple_cost", 0.0, 10.0, 0.01,
-            "Planner's estimate of the cost of processing each tuple"),
-        flt("cpu_index_tuple_cost", 0.0, 10.0, 0.005,
-            "Planner's estimate of the cost of processing each index entry"),
-        flt("cpu_operator_cost", 0.0, 10.0, 0.0025,
-            "Planner's estimate of the cost of processing each operator or function"),
-        flt("parallel_setup_cost", 0.0, 100_000.0, 1_000.0,
-            "Planner's estimate of the cost of starting worker processes"),
-        flt("parallel_tuple_cost", 0.0, 10.0, 0.1,
-            "Planner's estimate of the cost of passing a tuple from a worker"),
-        int("min_parallel_relation_size", 0, 131_072, 1_024, Unit::Pages8k,
-            "Minimum relation size considered for parallel scan"),
+        flt(
+            "seq_page_cost",
+            0.0,
+            100.0,
+            1.0,
+            "Planner's estimate of the cost of a sequentially fetched disk page",
+        ),
+        flt(
+            "random_page_cost",
+            0.0,
+            100.0,
+            4.0,
+            "Planner's estimate of the cost of a nonsequentially fetched disk page",
+        ),
+        flt(
+            "cpu_tuple_cost",
+            0.0,
+            10.0,
+            0.01,
+            "Planner's estimate of the cost of processing each tuple",
+        ),
+        flt(
+            "cpu_index_tuple_cost",
+            0.0,
+            10.0,
+            0.005,
+            "Planner's estimate of the cost of processing each index entry",
+        ),
+        flt(
+            "cpu_operator_cost",
+            0.0,
+            10.0,
+            0.0025,
+            "Planner's estimate of the cost of processing each operator or function",
+        ),
+        flt(
+            "parallel_setup_cost",
+            0.0,
+            100_000.0,
+            1_000.0,
+            "Planner's estimate of the cost of starting worker processes",
+        ),
+        flt(
+            "parallel_tuple_cost",
+            0.0,
+            10.0,
+            0.1,
+            "Planner's estimate of the cost of passing a tuple from a worker",
+        ),
+        int(
+            "min_parallel_relation_size",
+            0,
+            131_072,
+            1_024,
+            Unit::Pages8k,
+            "Minimum relation size considered for parallel scan",
+        ),
         // ------------------------------------------------ planner methods
         toggle("enable_bitmapscan", true, "Enables the planner's use of bitmap-scan plans"),
         toggle("enable_hashagg", true, "Enables the planner's use of hashed aggregation"),
         toggle("enable_hashjoin", true, "Enables the planner's use of hash-join plans"),
-        toggle("enable_indexonlyscan", true,
-            "Enables the planner's use of index-only-scan plans"),
+        toggle("enable_indexonlyscan", true, "Enables the planner's use of index-only-scan plans"),
         toggle("enable_indexscan", true, "Enables the planner's use of index-scan plans"),
         toggle("enable_material", true, "Enables the planner's use of materialization"),
         toggle("enable_mergejoin", true, "Enables the planner's use of merge-join plans"),
@@ -259,32 +609,73 @@ fn common_knobs() -> Vec<Knob> {
         toggle("enable_tidscan", true, "Enables the planner's use of TID-scan plans"),
         // ------------------------------------------------ GEQO & planner misc
         toggle("geqo", true, "Enables genetic query optimization"),
-        int("geqo_threshold", 2, 100, 12, Unit::Count,
-            "FROM items beyond which GEQO is used"),
-        int("geqo_effort", 1, 10, 5, Unit::Count,
-            "GEQO: effort used to set default parameters"),
-        int_sp("geqo_pool_size", 0, 1_000, 0,
-            0, "a suitable value is chosen based on geqo_effort and table count",
+        int("geqo_threshold", 2, 100, 12, Unit::Count, "FROM items beyond which GEQO is used"),
+        int("geqo_effort", 1, 10, 5, Unit::Count, "GEQO: effort used to set default parameters"),
+        int_sp(
+            "geqo_pool_size",
+            0,
+            1_000,
+            0,
+            0,
+            "a suitable value is chosen based on geqo_effort and table count",
             Unit::Count,
-            "GEQO: number of individuals in the genetic population"),
-        int_sp("geqo_generations", 0, 1_000, 0,
-            0, "a suitable value is chosen based on geqo_effort", Unit::Count,
-            "GEQO: number of iterations of the algorithm"),
-        flt("geqo_selection_bias", 1.5, 2.0, 2.0,
-            "GEQO: selective pressure within the population"),
+            "GEQO: number of individuals in the genetic population",
+        ),
+        int_sp(
+            "geqo_generations",
+            0,
+            1_000,
+            0,
+            0,
+            "a suitable value is chosen based on geqo_effort",
+            Unit::Count,
+            "GEQO: number of iterations of the algorithm",
+        ),
+        flt("geqo_selection_bias", 1.5, 2.0, 2.0, "GEQO: selective pressure within the population"),
         flt("geqo_seed", 0.0, 1.0, 0.0, "GEQO: seed for random path selection"),
-        int("default_statistics_target", 1, 10_000, 100, Unit::Count,
-            "Default statistics target for table columns"),
-        flt("cursor_tuple_fraction", 0.0, 1.0, 0.1,
-            "Planner's estimate of the fraction of a cursor's rows that will be retrieved"),
-        cat("constraint_exclusion", &["partition", "on", "off"], 0,
-            "Controls the planner's use of table constraints to optimize queries"),
-        int("from_collapse_limit", 1, 100, 8, Unit::Count,
-            "FROM items beyond which subqueries are not collapsed"),
-        int("join_collapse_limit", 1, 100, 8, Unit::Count,
-            "JOIN constructs beyond which they are not flattened"),
-        cat("force_parallel_mode", &["off", "on", "regress"], 0,
-            "Forces the planner's use of parallel query facilities"),
+        int(
+            "default_statistics_target",
+            1,
+            10_000,
+            100,
+            Unit::Count,
+            "Default statistics target for table columns",
+        ),
+        flt(
+            "cursor_tuple_fraction",
+            0.0,
+            1.0,
+            0.1,
+            "Planner's estimate of the fraction of a cursor's rows that will be retrieved",
+        ),
+        cat(
+            "constraint_exclusion",
+            &["partition", "on", "off"],
+            0,
+            "Controls the planner's use of table constraints to optimize queries",
+        ),
+        int(
+            "from_collapse_limit",
+            1,
+            100,
+            8,
+            Unit::Count,
+            "FROM items beyond which subqueries are not collapsed",
+        ),
+        int(
+            "join_collapse_limit",
+            1,
+            100,
+            8,
+            Unit::Count,
+            "JOIN constructs beyond which they are not flattened",
+        ),
+        cat(
+            "force_parallel_mode",
+            &["off", "on", "regress"],
+            0,
+            "Forces the planner's use of parallel query facilities",
+        ),
     ]
 }
 
@@ -292,10 +683,22 @@ fn common_knobs() -> Vec<Knob> {
 pub fn postgres_v9_6() -> ConfigSpace {
     let mut knobs = common_knobs();
     // v9.6-only knobs.
-    knobs.push(int("replacement_sort_tuples", 0, 1_000_000, 150_000, Unit::Count,
-        "Maximum tuples for which replacement selection sort is used"));
-    knobs.push(int("max_parallel_workers_per_gather", 0, 64, 0, Unit::Count,
-        "Maximum parallel worker processes per Gather node"));
+    knobs.push(int(
+        "replacement_sort_tuples",
+        0,
+        1_000_000,
+        150_000,
+        Unit::Count,
+        "Maximum tuples for which replacement selection sort is used",
+    ));
+    knobs.push(int(
+        "max_parallel_workers_per_gather",
+        0,
+        64,
+        0,
+        Unit::Count,
+        "Maximum parallel worker processes per Gather node",
+    ));
     ConfigSpace::new(knobs)
 }
 
@@ -307,65 +710,167 @@ pub fn postgres_v9_6() -> ConfigSpace {
 /// `max_slot_wal_keep_size`, `autovacuum_vacuum_insert_threshold`).
 pub fn postgres_v13_6() -> ConfigSpace {
     let mut knobs = common_knobs();
-    knobs.push(int("max_parallel_workers_per_gather", 0, 64, 2, Unit::Count,
-        "Maximum parallel worker processes per Gather node"));
+    knobs.push(int(
+        "max_parallel_workers_per_gather",
+        0,
+        64,
+        2,
+        Unit::Count,
+        "Maximum parallel worker processes per Gather node",
+    ));
     // JIT compilation (v11+).
     knobs.push(toggle("jit", true, "Allow JIT compilation"));
-    knobs.push(int_sp("jit_above_cost", -1, 10_000_000, 100_000,
-        -1, "JIT compilation is disabled for all queries", Unit::Count,
-        "Query cost above which JIT compilation is activated"));
-    knobs.push(int_sp("jit_inline_above_cost", -1, 10_000_000, 500_000,
-        -1, "inlining is never performed", Unit::Count,
-        "Query cost above which JIT compiled functions are inlined"));
-    knobs.push(int_sp("jit_optimize_above_cost", -1, 10_000_000, 500_000,
-        -1, "expensive optimizations are never applied", Unit::Count,
-        "Query cost above which JIT applies expensive optimizations"));
+    knobs.push(int_sp(
+        "jit_above_cost",
+        -1,
+        10_000_000,
+        100_000,
+        -1,
+        "JIT compilation is disabled for all queries",
+        Unit::Count,
+        "Query cost above which JIT compilation is activated",
+    ));
+    knobs.push(int_sp(
+        "jit_inline_above_cost",
+        -1,
+        10_000_000,
+        500_000,
+        -1,
+        "inlining is never performed",
+        Unit::Count,
+        "Query cost above which JIT compiled functions are inlined",
+    ));
+    knobs.push(int_sp(
+        "jit_optimize_above_cost",
+        -1,
+        10_000_000,
+        500_000,
+        -1,
+        "expensive optimizations are never applied",
+        Unit::Count,
+        "Query cost above which JIT applies expensive optimizations",
+    ));
     // Parallel query maturation (v10+).
-    knobs.push(int("max_parallel_workers", 0, 64, 8, Unit::Count,
-        "Maximum parallel workers active at one time"));
-    knobs.push(int("max_parallel_maintenance_workers", 0, 64, 2, Unit::Count,
-        "Maximum parallel workers per maintenance operation"));
-    knobs.push(toggle("parallel_leader_participation", true,
-        "Leader also executes the parallel plan"));
+    knobs.push(int(
+        "max_parallel_workers",
+        0,
+        64,
+        8,
+        Unit::Count,
+        "Maximum parallel workers active at one time",
+    ));
+    knobs.push(int(
+        "max_parallel_maintenance_workers",
+        0,
+        64,
+        2,
+        Unit::Count,
+        "Maximum parallel workers per maintenance operation",
+    ));
+    knobs.push(toggle(
+        "parallel_leader_participation",
+        true,
+        "Leader also executes the parallel plan",
+    ));
     // I/O (v13).
-    knobs.push(int_sp("maintenance_io_concurrency", 0, 1_000, 10,
-        0, "asynchronous prefetching for maintenance work is disabled", Unit::Count,
-        "effective_io_concurrency for maintenance work"));
+    knobs.push(int_sp(
+        "maintenance_io_concurrency",
+        0,
+        1_000,
+        10,
+        0,
+        "asynchronous prefetching for maintenance work is disabled",
+        Unit::Count,
+        "effective_io_concurrency for maintenance work",
+    ));
     // WAL (v12/v13).
-    knobs.push(int_sp("max_slot_wal_keep_size", -1, 65_536, -1,
-        -1, "replication slots may retain an unlimited amount of WAL",
+    knobs.push(int_sp(
+        "max_slot_wal_keep_size",
+        -1,
+        65_536,
+        -1,
+        -1,
+        "replication slots may retain an unlimited amount of WAL",
         Unit::WalSegments16Mb,
-        "Maximum WAL size reserved by replication slots"));
+        "Maximum WAL size reserved by replication slots",
+    ));
     knobs.push(toggle("wal_init_zero", true, "Zero-fill new WAL files"));
     knobs.push(toggle("wal_recycle", true, "Recycle WAL files by renaming them"));
-    knobs.push(int("wal_skip_threshold", 0, 2_097_152, 2_048, Unit::KiloBytes,
-        "Size of new files below which WAL is skipped at commit (wal_level=minimal)"));
+    knobs.push(int(
+        "wal_skip_threshold",
+        0,
+        2_097_152,
+        2_048,
+        Unit::KiloBytes,
+        "Size of new files below which WAL is skipped at commit (wal_level=minimal)",
+    ));
     // Autovacuum (v13).
-    knobs.push(int_sp("autovacuum_vacuum_insert_threshold", -1, 1_000_000, 1_000,
-        -1, "insert-triggered vacuums are disabled", Unit::Count,
-        "Minimum number of inserted tuples before vacuuming a table"));
-    knobs.push(flt("autovacuum_vacuum_insert_scale_factor", 0.0, 1.0, 0.2,
-        "Fraction of inserts over table size that triggers vacuum"));
+    knobs.push(int_sp(
+        "autovacuum_vacuum_insert_threshold",
+        -1,
+        1_000_000,
+        1_000,
+        -1,
+        "insert-triggered vacuums are disabled",
+        Unit::Count,
+        "Minimum number of inserted tuples before vacuuming a table",
+    ));
+    knobs.push(flt(
+        "autovacuum_vacuum_insert_scale_factor",
+        0.0,
+        1.0,
+        0.2,
+        "Fraction of inserts over table size that triggers vacuum",
+    ));
     // Memory (v13).
-    knobs.push(int("logical_decoding_work_mem", 64, 2_097_152, 65_536, Unit::KiloBytes,
-        "Memory used by logical decoding before spilling"));
-    knobs.push(flt("hash_mem_multiplier", 1.0, 100.0, 1.0,
-        "Multiple of work_mem available to hash tables"));
+    knobs.push(int(
+        "logical_decoding_work_mem",
+        64,
+        2_097_152,
+        65_536,
+        Unit::KiloBytes,
+        "Memory used by logical decoding before spilling",
+    ));
+    knobs.push(flt(
+        "hash_mem_multiplier",
+        1.0,
+        100.0,
+        1.0,
+        "Multiple of work_mem available to hash tables",
+    ));
     // Planner methods (v11-v13).
-    knobs.push(toggle("enable_partitionwise_join", false,
-        "Enables partitionwise join"));
-    knobs.push(toggle("enable_partitionwise_aggregate", false,
-        "Enables partitionwise aggregation"));
-    knobs.push(toggle("enable_parallel_append", true,
-        "Enables the planner's use of parallel append plans"));
-    knobs.push(toggle("enable_parallel_hash", true,
-        "Enables the planner's use of parallel hash plans"));
-    knobs.push(toggle("enable_incremental_sort", true,
-        "Enables the planner's use of incremental sort steps"));
-    knobs.push(toggle("enable_gathermerge", true,
-        "Enables the planner's use of gather merge plans"));
-    knobs.push(cat("plan_cache_mode", &["auto", "force_generic_plan", "force_custom_plan"],
-        0, "Controls the planner's selection of custom or generic plan"));
+    knobs.push(toggle("enable_partitionwise_join", false, "Enables partitionwise join"));
+    knobs.push(toggle(
+        "enable_partitionwise_aggregate",
+        false,
+        "Enables partitionwise aggregation",
+    ));
+    knobs.push(toggle(
+        "enable_parallel_append",
+        true,
+        "Enables the planner's use of parallel append plans",
+    ));
+    knobs.push(toggle(
+        "enable_parallel_hash",
+        true,
+        "Enables the planner's use of parallel hash plans",
+    ));
+    knobs.push(toggle(
+        "enable_incremental_sort",
+        true,
+        "Enables the planner's use of incremental sort steps",
+    ));
+    knobs.push(toggle(
+        "enable_gathermerge",
+        true,
+        "Enables the planner's use of gather merge plans",
+    ));
+    knobs.push(cat(
+        "plan_cache_mode",
+        &["auto", "force_generic_plan", "force_custom_plan"],
+        0,
+        "Controls the planner's selection of custom or generic plan",
+    ));
     ConfigSpace::new(knobs)
 }
 

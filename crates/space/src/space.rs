@@ -173,20 +173,13 @@ impl ConfigSpace {
     /// Panics if `point.len() != self.len()`.
     pub fn config_from_unit(&self, point: &[f64]) -> Config {
         assert_eq!(point.len(), self.len(), "unit point dimension mismatch");
-        Config::new(
-            point.iter().enumerate().map(|(i, &u)| self.unit_to_value(i, u)).collect(),
-        )
+        Config::new(point.iter().enumerate().map(|(i, &u)| self.unit_to_value(i, u)).collect())
     }
 
     /// Converts a configuration to a unit-space point.
     pub fn config_to_unit(&self, config: &Config) -> Vec<f64> {
         assert_eq!(config.values().len(), self.len());
-        config
-            .values()
-            .iter()
-            .enumerate()
-            .map(|(i, v)| self.value_to_unit(i, v))
-            .collect()
+        config.values().iter().enumerate().map(|(i, v)| self.value_to_unit(i, v)).collect()
     }
 
     /// Checks every value of `config` against its knob's domain.
@@ -209,11 +202,7 @@ impl ConfigSpace {
     /// Produces a name → value map (for engines that fall back to defaults
     /// for knobs outside a subset space).
     pub fn assignment(&self, config: &Config) -> KnobAssignment {
-        self.knobs
-            .iter()
-            .zip(config.values())
-            .map(|(k, v)| (k.name, *v))
-            .collect()
+        self.knobs.iter().zip(config.values()).map(|(k, v)| (k.name, *v)).collect()
     }
 
     /// Pretty-prints a configuration as `name = value` lines (categorical

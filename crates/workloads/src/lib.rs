@@ -1,4 +1,5 @@
-//! The six OLTP workloads of the paper's evaluation (Table 4), built as
+//! The six OLTP workloads of the paper's evaluation (Table 4), plus the
+//! YCSB-F read-modify-write mix, built as
 //! [`llamatune_engine::WorkloadSpec`]s, plus the benchmark runner used by
 //! every tuning session.
 //!
@@ -6,6 +7,7 @@
 //! |----------|---------------|---------|
 //! | YCSB-A   | 1 (11)        | 50%     |
 //! | YCSB-B   | 1 (11)        | 95%     |
+//! | YCSB-F   | 1 (11)        | 50%     |
 //! | TPC-C    | 9 (92)        | 8%      |
 //! | SEATS    | 10 (189)      | 45%     |
 //! | Twitter  | 5 (18)        | 1%      |
@@ -22,5 +24,5 @@ pub mod suites;
 pub use runner::{suggested_options, Objective, WorkloadRunner};
 pub use suites::{
     all_workloads, resource_stresser, seats, tpcc, twitter, workload_by_name, ycsb_a, ycsb_b,
-    WORKLOAD_NAMES,
+    ycsb_f, PAPER_WORKLOAD_NAMES, WORKLOAD_NAMES,
 };

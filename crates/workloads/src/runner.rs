@@ -3,6 +3,7 @@
 
 use llamatune_engine::{run_workload, Arrival, RunOptions, RunResult, WorkloadSpec};
 use llamatune_space::{Config, ConfigSpace};
+use std::sync::Arc;
 
 /// What a tuning session optimizes (Section 6.1/6.2).
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -15,10 +16,15 @@ pub enum Objective {
 
 /// Evaluates configurations of a fixed workload: the paper's "experiment
 /// controller" plus benchmark client.
+///
+/// The workload spec and knob catalog are held behind [`Arc`]s, so
+/// cloning a runner — one clone per worker in the parallel runtime — is
+/// a couple of reference-count bumps, not a deep copy of a multi-table
+/// schema and a 90-knob catalog.
 #[derive(Debug, Clone)]
 pub struct WorkloadRunner {
-    spec: WorkloadSpec,
-    catalog: ConfigSpace,
+    spec: Arc<WorkloadSpec>,
+    catalog: Arc<ConfigSpace>,
     objective: Objective,
     opts: RunOptions,
 }
@@ -29,7 +35,12 @@ impl WorkloadRunner {
     /// produce enough transactions in less virtual time).
     pub fn new(spec: WorkloadSpec, catalog: ConfigSpace) -> Self {
         let opts = suggested_options(spec.name);
-        WorkloadRunner { spec, catalog, objective: Objective::Throughput, opts }
+        WorkloadRunner {
+            spec: Arc::new(spec),
+            catalog: Arc::new(catalog),
+            objective: Objective::Throughput,
+            opts,
+        }
     }
 
     /// Switches the objective (tail-latency mode also switches the arrival
@@ -103,6 +114,7 @@ pub fn suggested_options(workload: &str) -> RunOptions {
     let (duration_s, warmup_s) = match workload {
         "ycsb_a" => (1.6, 0.35),
         "ycsb_b" => (0.8, 0.2),
+        "ycsb_f" => (1.4, 0.3),
         "tpcc" => (2.6, 0.5),
         "seats" => (1.6, 0.35),
         "twitter" => (0.5, 0.12),
@@ -175,6 +187,23 @@ mod tests {
         let cfg = sub.default_config();
         let out = r.evaluate(&sub, &cfg, 5);
         assert!(out.score.is_some());
+    }
+
+    #[test]
+    fn clones_share_spec_and_catalog_allocations() {
+        let r = quick(ycsb_a());
+        let clones: Vec<WorkloadRunner> = (0..8).map(|_| r.clone()).collect();
+        for c in &clones {
+            // Arc-backed: a clone points at the same spec and catalog.
+            assert!(std::ptr::eq(r.spec(), c.spec()));
+            assert!(std::ptr::eq(r.catalog(), c.catalog()));
+        }
+        // Clones evaluate identically to the original.
+        let space = r.catalog().clone();
+        let cfg = space.default_config();
+        let a = r.evaluate(&space, &cfg, 4).score;
+        let b = clones[7].evaluate(&space, &cfg, 4).score;
+        assert_eq!(a, b);
     }
 
     #[test]

@@ -1,9 +1,17 @@
-//! Workload definitions: YCSB-A/B, TPC-C, SEATS, Twitter, ResourceStresser.
+//! Workload definitions: YCSB-A/B/F, TPC-C, SEATS, Twitter,
+//! ResourceStresser.
 
 use llamatune_engine::{KeyDist, OpTemplate, TableSpec, TxnTemplate, WorkloadSpec};
 
-/// Names of the six workloads, in the paper's order.
-pub const WORKLOAD_NAMES: [&str; 6] =
+/// Names of all registered workloads: the paper's six, in the paper's
+/// order, plus the YCSB-F read-modify-write extension.
+pub const WORKLOAD_NAMES: [&str; 7] =
+    ["ycsb_a", "ycsb_b", "tpcc", "seats", "twitter", "resource_stresser", "ycsb_f"];
+
+/// The six workloads of the paper's evaluation (Table 4), in the
+/// paper's order — what the table/figure reproduction benches iterate.
+/// Registry extensions such as YCSB-F are deliberately excluded.
+pub const PAPER_WORKLOAD_NAMES: [&str; 6] =
     ["ycsb_a", "ycsb_b", "tpcc", "seats", "twitter", "resource_stresser"];
 
 /// YCSB zipfian skew (the suite's default).
@@ -57,6 +65,35 @@ pub fn ycsb_b() -> WorkloadSpec {
         ],
         tables: ycsb_tables(),
         base_cpu_us: 95.0,
+    }
+}
+
+/// YCSB-F: 50% reads / 50% read-modify-writes, zipfian keys. A
+/// read-modify-write reads a row and writes the same row back in one
+/// transaction, so update traffic is preceded by a (usually hot-cached)
+/// read of the same page.
+pub fn ycsb_f() -> WorkloadSpec {
+    WorkloadSpec {
+        name: "ycsb_f",
+        tables: ycsb_tables(),
+        txns: vec![
+            TxnTemplate {
+                name: "read",
+                weight: 0.5,
+                ops: vec![OpTemplate::PointRead { table: 0, dist: KeyDist::Zipfian(YCSB_THETA) }],
+                read_only: true,
+            },
+            TxnTemplate {
+                name: "read_modify_write",
+                weight: 0.5,
+                ops: vec![
+                    OpTemplate::PointRead { table: 0, dist: KeyDist::Zipfian(YCSB_THETA) },
+                    OpTemplate::PointUpdate { table: 0, dist: KeyDist::Zipfian(YCSB_THETA) },
+                ],
+                read_only: false,
+            },
+        ],
+        base_cpu_us: 115.0,
     }
 }
 
@@ -349,7 +386,12 @@ pub fn resource_stresser() -> WorkloadSpec {
             TxnTemplate { name: "cpu2", weight: 0.16, ops: cpu2, read_only: true },
             TxnTemplate { name: "io1", weight: 0.25, ops: io1, read_only: false },
             TxnTemplate { name: "io2", weight: 0.25, ops: io2, read_only: false },
-            TxnTemplate { name: "contended_lock", weight: 0.17, ops: contended_lock, read_only: false },
+            TxnTemplate {
+                name: "contended_lock",
+                weight: 0.17,
+                ops: contended_lock,
+                read_only: false,
+            },
         ],
         base_cpu_us: 70.0,
     }
@@ -360,6 +402,7 @@ pub fn workload_by_name(name: &str) -> Option<WorkloadSpec> {
     match name {
         "ycsb_a" => Some(ycsb_a()),
         "ycsb_b" => Some(ycsb_b()),
+        "ycsb_f" => Some(ycsb_f()),
         "tpcc" => Some(tpcc()),
         "seats" => Some(seats()),
         "twitter" => Some(twitter()),
@@ -368,7 +411,7 @@ pub fn workload_by_name(name: &str) -> Option<WorkloadSpec> {
     }
 }
 
-/// All six workloads, in the paper's order.
+/// All registered workloads, in [`WORKLOAD_NAMES`] order.
 pub fn all_workloads() -> Vec<WorkloadSpec> {
     WORKLOAD_NAMES.iter().map(|n| workload_by_name(n).unwrap()).collect()
 }
@@ -390,6 +433,7 @@ mod tests {
         let expect = [
             ("ycsb_a", 1usize, 11u32),
             ("ycsb_b", 1, 11),
+            ("ycsb_f", 1, 11),
             ("tpcc", 9, 92),
             ("seats", 10, 189),
             ("twitter", 5, 18),
@@ -408,6 +452,7 @@ mod tests {
         let expect = [
             ("ycsb_a", 0.50),
             ("ycsb_b", 0.95),
+            ("ycsb_f", 0.50),
             ("tpcc", 0.08),
             ("seats", 0.45),
             ("twitter", 0.01),
@@ -427,12 +472,7 @@ mod tests {
     fn databases_are_roughly_20gb() {
         for spec in all_workloads() {
             let gb = spec.total_bytes() as f64 / (1u64 << 30) as f64;
-            assert!(
-                (10.0..32.0).contains(&gb),
-                "{}: {:.1} GB is not ~20 GB",
-                spec.name,
-                gb
-            );
+            assert!((10.0..32.0).contains(&gb), "{}: {:.1} GB is not ~20 GB", spec.name, gb);
         }
     }
 
@@ -446,5 +486,32 @@ mod tests {
         for name in WORKLOAD_NAMES {
             assert_eq!(workload_by_name(name).unwrap().name, name);
         }
+    }
+
+    #[test]
+    fn ycsb_f_is_registered_and_read_modify_write() {
+        assert!(WORKLOAD_NAMES.contains(&"ycsb_f"));
+        let spec = workload_by_name("ycsb_f").unwrap();
+        assert!(spec.validate().is_ok());
+        assert_eq!(spec.tables.len(), 1, "single usertable like the other YCSB mixes");
+        // The RMW transaction reads then updates the same table.
+        let rmw = spec.txns.iter().find(|t| t.name == "read_modify_write").unwrap();
+        assert!(!rmw.read_only);
+        assert!(matches!(rmw.ops[0], OpTemplate::PointRead { table: 0, .. }));
+        assert!(matches!(rmw.ops[1], OpTemplate::PointUpdate { table: 0, .. }));
+        // 50/50 mix: half the transactions are read-only.
+        assert!((spec.read_only_fraction() - 0.5).abs() < 1e-9);
+        assert!(all_workloads().iter().any(|w| w.name == "ycsb_f"));
+    }
+
+    #[test]
+    fn paper_workloads_are_a_registry_subset_without_extensions() {
+        for name in PAPER_WORKLOAD_NAMES {
+            assert!(WORKLOAD_NAMES.contains(&name), "{name} must stay registered");
+        }
+        assert!(
+            !PAPER_WORKLOAD_NAMES.contains(&"ycsb_f"),
+            "extensions must not leak into the paper's table/figure benches"
+        );
     }
 }

@@ -6,7 +6,9 @@
 
 use llamatune::pipeline::{LlamaTuneConfig, LlamaTunePipeline, SearchSpaceAdapter};
 use llamatune::session::{run_session, EvalResult, SessionOptions};
-use llamatune_optim::{Ddpg, DdpgConfig, GpBo, GpConfig, Optimizer, Smac, SmacConfig};
+use llamatune_optim::{
+    Ddpg, DdpgConfig, GpBo, GpConfig, Optimizer, Smac, SmacConfig, DEFAULT_METRIC_DIM,
+};
 use llamatune_space::catalog::postgres_v9_6;
 use llamatune_workloads::{tpcc, WorkloadRunner};
 
@@ -22,7 +24,7 @@ fn main() {
         let optimizer: Box<dyn Optimizer> = match name {
             "smac" => Box::new(Smac::new(spec, SmacConfig::default(), 5)),
             "gp-bo" => Box::new(GpBo::new(spec, GpConfig::default(), 5)),
-            _ => Box::new(Ddpg::new(spec, 27, DdpgConfig::default(), 5)),
+            _ => Box::new(Ddpg::new(spec, DEFAULT_METRIC_DIM, DdpgConfig::default(), 5)),
         };
         let history = run_session(
             &pipeline,

@@ -1,0 +1,70 @@
+//! Runs a small parallel tuning campaign — two workloads, LlamaTune vs
+//! the identity baseline, SMAC, two seeds — with batched constant-liar
+//! suggestions, per-worker runners, and a deduplicating evaluation
+//! cache, then prints the best score per session, the cache statistics,
+//! and where the JSONL trial log went.
+//!
+//!     cargo run --release --example parallel_campaign
+
+use llamatune::history_io::{events_from_jsonl, session_curves};
+use llamatune::pipeline::LlamaTuneConfig;
+use llamatune::session::SessionOptions;
+use llamatune_runtime::{AdapterKind, Campaign, CampaignOptions, CampaignSpec, OptimizerKind};
+use llamatune_space::catalog::postgres_v9_6;
+use std::time::Instant;
+
+fn main() {
+    let workers = std::thread::available_parallelism().map_or(4, |n| n.get());
+    let spec = CampaignSpec {
+        workloads: vec!["ycsb_a".into(), "tpcc".into()],
+        adapters: vec![AdapterKind::Identity, AdapterKind::LlamaTune(LlamaTuneConfig::default())],
+        optimizers: vec![OptimizerKind::Smac],
+        seeds: vec![0, 1],
+    };
+    let opts = CampaignOptions {
+        session: SessionOptions { iterations: 30, n_init: 10, ..Default::default() },
+        batch_size: 4,
+        trial_workers: workers,
+        session_parallelism: 2,
+        ..Default::default()
+    };
+    let sessions =
+        spec.workloads.len() * spec.adapters.len() * spec.optimizers.len() * spec.seeds.len();
+    println!(
+        "campaign: {sessions} sessions x {} iterations, batch 4, {workers} trial workers\n",
+        opts.session.iterations
+    );
+
+    let campaign = Campaign::new(postgres_v9_6(), spec, opts);
+    let log_path = std::env::temp_dir().join("llamatune_parallel_campaign.jsonl");
+    let mut log = Vec::new();
+    let t = Instant::now();
+    let results = campaign.run_with_log(&mut log).expect("in-memory log");
+    let elapsed = t.elapsed();
+    std::fs::write(&log_path, &log).expect("write JSONL log");
+
+    println!("{:<28} {:>12} {:>12} {:>16}", "session", "default", "best", "cache hits/miss");
+    for r in &results {
+        let cache =
+            r.cache.map(|c| format!("{}/{}", c.hits, c.misses)).unwrap_or_else(|| "-".to_string());
+        println!(
+            "{:<28} {:>12.1} {:>12.1} {:>16}",
+            r.label,
+            r.history.default_score(),
+            r.history.best_score().unwrap_or(f64::NAN),
+            cache
+        );
+    }
+
+    // The JSONL log replays into the same curves the results carry.
+    let events = events_from_jsonl(std::str::from_utf8(&log).unwrap()).expect("parse log");
+    let curves = session_curves(&events).expect("regroup");
+    assert_eq!(curves.len(), results.len());
+    println!(
+        "\n{} trial events -> {} (replayed into {} per-session curves)",
+        events.len(),
+        log_path.display(),
+        curves.len()
+    );
+    println!("wall clock: {elapsed:.2?}");
+}

@@ -47,7 +47,8 @@ fn main() {
     let mut changed = 0;
     for (knob, (v, d)) in catalog.knobs().iter().zip(cfg.values().iter().zip(default.values())) {
         if v != d && changed < 15 {
-            let rendered = knob.choice_label(v).map(str::to_string).unwrap_or_else(|| v.to_string());
+            let rendered =
+                knob.choice_label(v).map(str::to_string).unwrap_or_else(|| v.to_string());
             println!("   {:<36} = {}", knob.name, rendered);
             changed += 1;
         }

@@ -44,20 +44,19 @@ fn main() {
     let default_tps = history.default_score();
     let best_tps = history.best_score().expect("session ran");
     println!("\n  default configuration: {default_tps:>9.0} tps");
-    println!("  best found (30 iters): {best_tps:>9.0} tps  ({:+.1}%)",
-        (best_tps - default_tps) / default_tps * 100.0);
+    println!(
+        "  best found (30 iters): {best_tps:>9.0} tps  ({:+.1}%)",
+        (best_tps - default_tps) / default_tps * 100.0
+    );
 
     // 6. Show the knobs the best configuration moved away from defaults.
     let best = history.best_config().expect("non-empty history");
     let default = catalog.default_config();
     println!("\n  knobs changed from default:");
-    for (knob, (bv, dv)) in catalog
-        .knobs()
-        .iter()
-        .zip(best.values().iter().zip(default.values()))
-    {
+    for (knob, (bv, dv)) in catalog.knobs().iter().zip(best.values().iter().zip(default.values())) {
         if bv != dv {
-            let rendered = knob.choice_label(bv).map(str::to_string).unwrap_or_else(|| bv.to_string());
+            let rendered =
+                knob.choice_label(bv).map(str::to_string).unwrap_or_else(|| bv.to_string());
             println!("    {:<36} {}", knob.name, rendered);
         }
     }

@@ -4,7 +4,9 @@
 //!
 //! Run with: `cargo run --release --example tune_ycsb [iterations]`
 
-use llamatune::pipeline::{IdentityAdapter, LlamaTuneConfig, LlamaTunePipeline, SearchSpaceAdapter};
+use llamatune::pipeline::{
+    IdentityAdapter, LlamaTuneConfig, LlamaTunePipeline, SearchSpaceAdapter,
+};
 use llamatune::report::{final_improvement_pct, time_to_optimal};
 use llamatune::session::{run_session, EvalResult, SessionOptions};
 use llamatune_optim::{Smac, SmacConfig};

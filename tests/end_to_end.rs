@@ -9,7 +9,9 @@ use llamatune::pipeline::{
 use llamatune::report::final_improvement_pct;
 use llamatune::session::{run_session, EvalResult, SessionHistory, SessionOptions};
 use llamatune_engine::RunOptions;
-use llamatune_optim::{Ddpg, DdpgConfig, GpBo, GpConfig, Optimizer, Smac, SmacConfig};
+use llamatune_optim::{
+    Ddpg, DdpgConfig, GpBo, GpConfig, Optimizer, Smac, SmacConfig, DEFAULT_METRIC_DIM,
+};
 use llamatune_space::catalog::{postgres_v13_6, postgres_v9_6};
 use llamatune_space::ConfigSpace;
 use llamatune_workloads::{suggested_options, workload_by_name, Objective, WorkloadRunner};
@@ -99,10 +101,9 @@ fn hesbo_beats_rembo_on_average() {
     let mut hesbo_total = 0.0;
     let mut rembo_total = 0.0;
     for seed in 0..3 {
-        for (kind, total) in [
-            (ProjectionKind::Hesbo, &mut hesbo_total),
-            (ProjectionKind::Rembo, &mut rembo_total),
-        ] {
+        for (kind, total) in
+            [(ProjectionKind::Hesbo, &mut hesbo_total), (ProjectionKind::Rembo, &mut rembo_total)]
+        {
             let cfg = LlamaTuneConfig {
                 projection: kind,
                 special_value_bias: None,
@@ -110,8 +111,7 @@ fn hesbo_beats_rembo_on_average() {
                 target_dim: 16,
             };
             let pipeline = LlamaTunePipeline::new(&catalog, &cfg, seed);
-            let smac =
-                Smac::new(pipeline.optimizer_spec().clone(), SmacConfig::default(), seed);
+            let smac = Smac::new(pipeline.optimizer_spec().clone(), SmacConfig::default(), seed);
             let h = tune(&pipeline, Box::new(smac), &runner, 20, seed);
             *total += h.best_score().unwrap();
         }
@@ -131,7 +131,7 @@ fn all_optimizers_run_through_the_pipeline() {
     let optimizers: Vec<Box<dyn Optimizer>> = vec![
         Box::new(Smac::new(spec.clone(), SmacConfig::default(), 9)),
         Box::new(GpBo::new(spec.clone(), GpConfig::default(), 9)),
-        Box::new(Ddpg::new(spec, 27, DdpgConfig::default(), 9)),
+        Box::new(Ddpg::new(spec, DEFAULT_METRIC_DIM, DdpgConfig::default(), 9)),
     ];
     for opt in optimizers {
         let name = opt.name();
@@ -200,8 +200,7 @@ fn crashed_configs_do_not_derail_sessions() {
     // Crash penalties must never be the best score.
     if crashes > 0 {
         let best = h.best_score().unwrap();
-        let worst_valid =
-            h.raw_scores.iter().flatten().cloned().fold(f64::INFINITY, f64::min);
+        let worst_valid = h.raw_scores.iter().flatten().cloned().fold(f64::INFINITY, f64::min);
         assert!(best >= worst_valid);
     }
 }

@@ -1,0 +1,123 @@
+//! Minimal stand-in for the `criterion` benchmark harness, vendored so the
+//! workspace builds hermetically. It keeps Criterion's API shape
+//! (`criterion_group!`, `criterion_main!`, benchmark groups, `Bencher::iter`)
+//! but performs a simple calibrated timing loop instead of full statistical
+//! analysis: each benchmark is warmed up, then timed over enough iterations
+//! to fill a short measurement window, and the mean per-iteration time is
+//! printed.
+
+use std::time::{Duration, Instant};
+
+/// Top-level harness handle.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("\n== {name} ==");
+        BenchmarkGroup { _parent: self, name, sample_size: 100 }
+    }
+
+    /// Benchmarks a single function outside any group.
+    pub fn bench_function(&mut self, id: impl Into<String>, f: impl FnMut(&mut Bencher)) {
+        run_one(&id.into(), 100, f);
+    }
+}
+
+/// A named collection of benchmarks sharing settings.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of measured samples (scales the measurement window).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Times one benchmark.
+    pub fn bench_function(&mut self, id: impl Into<String>, f: impl FnMut(&mut Bencher)) {
+        let id = format!("{}/{}", self.name, id.into());
+        run_one(&id, self.sample_size, f);
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Passed to each benchmark closure; call [`Bencher::iter`] with the code
+/// under test.
+pub struct Bencher {
+    samples: usize,
+    result: Option<Duration>,
+}
+
+impl Bencher {
+    /// Measures `f`, storing the mean per-iteration duration.
+    pub fn iter<O>(&mut self, mut f: impl FnMut() -> O) {
+        // Warm-up + calibration: find an iteration count that runs long
+        // enough to be timeable.
+        let mut iters: u64 = 1;
+        let calibration = Duration::from_millis(20);
+        loop {
+            let t = Instant::now();
+            for _ in 0..iters {
+                std::hint::black_box(f());
+            }
+            let elapsed = t.elapsed();
+            if elapsed >= calibration || iters >= 1 << 20 {
+                break;
+            }
+            iters = (iters * 2).max(1);
+        }
+        // Measurement: `samples` batches of the calibrated size.
+        let batches = self.samples.clamp(1, 32) as u64;
+        let t = Instant::now();
+        for _ in 0..batches * iters {
+            std::hint::black_box(f());
+        }
+        self.result = Some(t.elapsed() / (batches * iters) as u32);
+    }
+}
+
+/// Re-exported for benchmark code that wants explicit opacity.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+fn run_one(id: &str, sample_size: usize, mut f: impl FnMut(&mut Bencher)) {
+    let mut b = Bencher { samples: sample_size, result: None };
+    f(&mut b);
+    match b.result {
+        Some(d) => println!("{id:<50} {:>12.3?}/iter", d),
+        None => println!("{id:<50} (no measurement: Bencher::iter never called)"),
+    }
+}
+
+/// Declares a benchmark group function, Criterion-style.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declares the benchmark `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,66 @@
+//! Minimal stand-in for the `crossbeam` crate, vendored so the workspace
+//! builds hermetically. Only `crossbeam::thread::scope` is provided; it is
+//! a thin adapter over `std::thread::scope` that reproduces crossbeam's
+//! call shape (`scope(|s| { s.spawn(|_| ...); })` returning a `Result`).
+
+/// Scoped threads.
+pub mod thread {
+    /// A scope handle; spawned closures receive a reference to it, so
+    /// nested spawns work exactly as with crossbeam.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a scoped thread. The closure receives this scope.
+        pub fn spawn<F, T>(&self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            inner.spawn(move || f(&Scope { inner }))
+        }
+    }
+
+    /// Runs `f` with a scope in which borrowed-data threads can be spawned;
+    /// all threads are joined before this returns. Panics in spawned
+    /// threads propagate (matching `std::thread::scope`), so the `Ok` arm
+    /// is the only one observable — kept as a `Result` for crossbeam API
+    /// compatibility.
+    pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn std::any::Any + Send + 'static>>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scope_joins_and_collects() {
+        let mut results = vec![0u64; 4];
+        super::thread::scope(|s| {
+            for (i, slot) in results.iter_mut().enumerate() {
+                s.spawn(move |_| {
+                    *slot = (i as u64 + 1) * 10;
+                });
+            }
+        })
+        .expect("scope");
+        assert_eq!(results, vec![10, 20, 30, 40]);
+    }
+
+    #[test]
+    fn nested_spawn_through_the_scope_arg() {
+        let flag = std::sync::atomic::AtomicBool::new(false);
+        super::thread::scope(|s| {
+            s.spawn(|s2| {
+                s2.spawn(|_| flag.store(true, std::sync::atomic::Ordering::SeqCst));
+            });
+        })
+        .expect("scope");
+        assert!(flag.load(std::sync::atomic::Ordering::SeqCst));
+    }
+}
