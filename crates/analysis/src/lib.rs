@@ -2,7 +2,7 @@
 //!
 //! The paper's motivation experiments rank knobs by SHAP values computed
 //! over a random forest fitted to thousands of LHS-evaluated configurations
-//! (following [39], which found SHAP the most meaningful importance score
+//! (following \[39\], which found SHAP the most meaningful importance score
 //! for DBMS tuning). This crate implements:
 //!
 //! * [`tree_shap`] — the path-dependent TreeSHAP algorithm (Lundberg et

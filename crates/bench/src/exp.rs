@@ -86,7 +86,7 @@ pub fn run_tuning_arm(
                         iterations: scale.iterations,
                         n_init: 10.min(scale.iterations / 2).max(1),
                         seed,
-                        early_stop: None,
+                        ..Default::default()
                     };
                     let objective = |cfg: &llamatune_space::Config| {
                         let out = runner.evaluate(tuned_space, cfg, seed ^ 0x5EED);

@@ -108,7 +108,9 @@ pub fn history_to_events(session: &str, history: &SessionHistory) -> Vec<TrialEv
         .collect()
 }
 
-fn json_escape(s: &str) -> String {
+/// Escapes a string for embedding in a JSON string literal (the inverse
+/// of [`JsonScanner::string`]'s unescaping).
+pub fn json_escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
     for c in s.chars() {
         match c {
@@ -153,14 +155,20 @@ pub fn events_to_jsonl(events: &[TrialEvent]) -> String {
     out
 }
 
-/// Minimal JSON scanner for the fixed [`TrialEvent`] schema.
-struct JsonScanner<'a> {
+/// Minimal JSON scanner for fixed, line-oriented schemas — shared by the
+/// [`TrialEvent`] parser here and the persistent knowledge store's
+/// record parser (`llamatune-store`), which extends the trial schema
+/// with configurations and metrics. It intentionally supports only what
+/// those closed schemas need: objects of known keys, strings, numbers,
+/// flat arrays, and the `null` literal.
+pub struct JsonScanner<'a> {
     s: &'a [u8],
     pos: usize,
 }
 
 impl<'a> JsonScanner<'a> {
-    fn new(s: &'a str) -> Self {
+    /// Starts scanning `s` from its first byte.
+    pub fn new(s: &'a str) -> Self {
         JsonScanner { s: s.as_bytes(), pos: 0 }
     }
 
@@ -170,7 +178,8 @@ impl<'a> JsonScanner<'a> {
         }
     }
 
-    fn expect(&mut self, b: u8) -> Result<(), String> {
+    /// Consumes the single byte `b` (after whitespace) or fails.
+    pub fn expect(&mut self, b: u8) -> Result<(), String> {
         self.skip_ws();
         if self.pos < self.s.len() && self.s[self.pos] == b {
             self.pos += 1;
@@ -180,12 +189,14 @@ impl<'a> JsonScanner<'a> {
         }
     }
 
-    fn peek(&mut self) -> Option<u8> {
+    /// Next non-whitespace byte without consuming it.
+    pub fn peek(&mut self) -> Option<u8> {
         self.skip_ws();
         self.s.get(self.pos).copied()
     }
 
-    fn string(&mut self) -> Result<String, String> {
+    /// Parses a JSON string literal.
+    pub fn string(&mut self) -> Result<String, String> {
         self.expect(b'"')?;
         let mut out = String::new();
         loop {
@@ -233,7 +244,9 @@ impl<'a> JsonScanner<'a> {
         }
     }
 
-    fn number(&mut self) -> Result<f64, String> {
+    /// Parses a JSON number as `f64` (Rust's shortest-roundtrip parser,
+    /// so values printed with `{v}` survive bit-exactly).
+    pub fn number(&mut self) -> Result<f64, String> {
         self.skip_ws();
         let start = self.pos;
         while self.pos < self.s.len()
@@ -247,7 +260,9 @@ impl<'a> JsonScanner<'a> {
             .map_err(|e| format!("bad number at byte {start}: {e}"))
     }
 
-    fn literal(&mut self, lit: &str) -> bool {
+    /// Consumes the exact literal (e.g. `null`) if it is next, returning
+    /// whether it was.
+    pub fn literal(&mut self, lit: &str) -> bool {
         self.skip_ws();
         if self.s[self.pos..].starts_with(lit.as_bytes()) {
             self.pos += lit.len();
@@ -255,6 +270,52 @@ impl<'a> JsonScanner<'a> {
         } else {
             false
         }
+    }
+
+    /// Parses a flat JSON array of numbers.
+    pub fn number_array(&mut self) -> Result<Vec<f64>, String> {
+        self.expect(b'[')?;
+        let mut xs = Vec::new();
+        if self.peek() == Some(b']') {
+            self.expect(b']')?;
+            return Ok(xs);
+        }
+        loop {
+            xs.push(self.number()?);
+            match self.peek() {
+                Some(b',') => self.expect(b',')?,
+                _ => {
+                    self.expect(b']')?;
+                    return Ok(xs);
+                }
+            }
+        }
+    }
+
+    /// Parses a flat JSON array of strings.
+    pub fn string_array(&mut self) -> Result<Vec<String>, String> {
+        self.expect(b'[')?;
+        let mut xs = Vec::new();
+        if self.peek() == Some(b']') {
+            self.expect(b']')?;
+            return Ok(xs);
+        }
+        loop {
+            xs.push(self.string()?);
+            match self.peek() {
+                Some(b',') => self.expect(b',')?,
+                _ => {
+                    self.expect(b']')?;
+                    return Ok(xs);
+                }
+            }
+        }
+    }
+
+    /// Whether only whitespace remains.
+    pub fn done(&mut self) -> bool {
+        self.skip_ws();
+        self.pos >= self.s.len()
     }
 }
 
@@ -275,25 +336,7 @@ pub fn event_from_json(line: &str) -> Result<TrialEvent, String> {
                 raw_score = Some(if sc.literal("null") { None } else { Some(sc.number()?) })
             }
             "score" => score = Some(sc.number()?),
-            "point" => {
-                sc.expect(b'[')?;
-                let mut xs = Vec::new();
-                if sc.peek() == Some(b']') {
-                    sc.expect(b']')?;
-                } else {
-                    loop {
-                        xs.push(sc.number()?);
-                        match sc.peek() {
-                            Some(b',') => sc.expect(b',')?,
-                            _ => {
-                                sc.expect(b']')?;
-                                break;
-                            }
-                        }
-                    }
-                }
-                point = Some(xs);
-            }
+            "point" => point = Some(sc.number_array()?),
             other => return Err(format!("unknown key {other:?}")),
         }
         match sc.peek() {
@@ -498,6 +541,71 @@ mod tests {
             point: vec![],
         };
         assert!(session_curves(&[e.clone(), e]).is_err());
+    }
+
+    /// The store's crash-recovery path depends on these three behaviors
+    /// staying exactly as they are: a torn final line is a *parse
+    /// error* here (the store, which knows the line is final, drops it),
+    /// garbage anywhere is a parse error, and duplicate iterations
+    /// parse fine but are rejected by [`session_curves`] (the store
+    /// deduplicates last-wins before regrouping).
+    #[test]
+    fn truncated_final_line_is_a_parse_error() {
+        let (_, h) = tiny_history();
+        let events = history_to_events("s", &h);
+        let text = events_to_jsonl(&events);
+        // Cut the transcript mid-way through its final line, at every
+        // possible byte (a crash can tear a write anywhere).
+        let last_line_start = text.trim_end().rfind('\n').unwrap() + 1;
+        for cut in last_line_start + 1..text.len() - 1 {
+            if !text.is_char_boundary(cut) {
+                continue;
+            }
+            let torn = &text[..cut];
+            assert!(
+                events_from_jsonl(torn).is_err(),
+                "torn transcript (cut at byte {cut}) must not parse: {torn:?}"
+            );
+            // Every line before the torn one is intact and still parses.
+            let intact = &text[..last_line_start];
+            assert_eq!(events_from_jsonl(intact).unwrap().len(), events.len() - 1);
+        }
+    }
+
+    #[test]
+    fn interleaved_garbage_lines_are_rejected_with_line_numbers() {
+        let (_, h) = tiny_history();
+        let text = events_to_jsonl(&history_to_events("s", &h));
+        let mut lines: Vec<&str> = text.lines().collect();
+        lines.insert(2, "!!! not json at all");
+        let garbled = lines.join("\n");
+        let err = events_from_jsonl(&garbled).unwrap_err();
+        assert!(err.starts_with("line 3:"), "error must name the bad line: {err}");
+        // Binary-ish garbage and half-JSON garbage are rejected too.
+        for garbage in ["\u{0}\u{1}\u{2}", "{\"session\":", "[1,2,3]", "42"] {
+            let mut lines: Vec<&str> = text.lines().collect();
+            lines.insert(1, garbage);
+            assert!(events_from_jsonl(&lines.join("\n")).is_err(), "garbage {garbage:?} accepted");
+        }
+    }
+
+    #[test]
+    fn duplicate_iterations_parse_but_fail_curve_regrouping() {
+        let (_, h) = tiny_history();
+        let mut events = history_to_events("s", &h);
+        events.push(events[3].clone()); // duplicate iteration 3
+        let text = events_to_jsonl(&events);
+        // The transcript itself is well-formed JSONL...
+        let parsed = events_from_jsonl(&text).unwrap();
+        assert_eq!(parsed.len(), events.len());
+        // ...but regrouping refuses the torn log, naming the session.
+        let err = session_curves(&parsed).unwrap_err();
+        assert!(err.contains("\"s\""), "error must name the session: {err}");
+        assert!(err.contains("iteration"), "{err}");
+        // A duplicate that *shadows* a missing iteration is also caught.
+        let mut shifted = history_to_events("s", &h);
+        shifted[2].iteration = 1; // 0,1,1,3,...: both a duplicate and a gap
+        assert!(session_curves(&shifted).is_err());
     }
 
     #[test]

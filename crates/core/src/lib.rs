@@ -72,6 +72,6 @@ pub use pipeline::{
 pub use projection::{HesboProjection, Projection, RemboProjection};
 pub use report::{convergence_map, final_improvement_pct, time_to_optimal};
 pub use session::{
-    run_session, run_session_parallel, EvalResult, FnExecutor, SessionHistory, SessionOptions,
-    Trial, TrialExecutor,
+    replay_cutoff, run_session, run_session_parallel, run_session_resumable, EvalResult,
+    FnExecutor, PriorTrial, SessionHistory, SessionOptions, Trial, TrialExecutor, TrialRecord,
 };

@@ -1,7 +1,7 @@
 //! The end-to-end tuning session (Figure 1): knowledge base, LHS
 //! initialization, optimizer loop, crash handling, best-so-far tracking.
 //!
-//! Two entry points share the same semantics:
+//! Three entry points share the same semantics:
 //!
 //! * [`run_session`] — the paper's strictly sequential loop;
 //! * [`run_session_parallel`] — the batched loop used by the parallel
@@ -10,6 +10,27 @@
 //!   [`TrialExecutor`] (which may evaluate them concurrently), then folds
 //!   the results back *in iteration order*, so crash penalties, the best
 //!   curve, and early stopping are independent of evaluation scheduling.
+//! * [`run_session_resumable`] — the batched loop plus the durability
+//!   seams used by the persistent knowledge store: a prefix of
+//!   already-evaluated [`PriorTrial`]s is *replayed* (history rebuilt,
+//!   observations re-fed to the optimizer, no DBMS runs), and every
+//!   freshly folded trial is streamed to an optional [`TrialRecord`]
+//!   sink so a checkpointer can flush it before the next round starts.
+//!
+//! ## Resume determinism
+//!
+//! Replay truncates the prior trials to the last *round boundary*
+//! ([`replay_cutoff`]) — a crash can interrupt a batch halfway, and the
+//! trailing partial round is simply re-run (evaluation is deterministic
+//! per seed, so the re-run reproduces the recorded results bit for bit).
+//! The continued session is bit-identical to an uninterrupted run
+//! whenever the optimizer's state is a pure function of the ordered real
+//! observation history — which is exactly the contract of the runtime
+//! crate's rebuild-and-replay `BatchSuggest` wrapper. Optimizers whose
+//! `suggest` advances private RNG state (plain random search, unwrapped
+//! SMAC) replay their observations correctly but may diverge in later
+//! suggestions; store-backed campaigns therefore always run under the
+//! constant-liar wrapper.
 
 use crate::early_stop::EarlyStopPolicy;
 use crate::pipeline::SearchSpaceAdapter;
@@ -42,11 +63,25 @@ pub struct SessionOptions {
     pub seed: u64,
     /// Optional early-stopping policy (Appendix A).
     pub early_stop: Option<EarlyStopPolicy>,
+    /// Warm-start points in *optimizer space*: they replace the leading
+    /// LHS samples one for one (iteration 1 gets `warm_points[0]`, and
+    /// so on), so a session seeded from a similar past campaign spends
+    /// its initialization budget on known-good regions instead of random
+    /// ones. Points beyond `n_init` are ignored; each point must have
+    /// the optimizer space's dimensionality. Empty (the default) keeps
+    /// the pure-LHS initialization of the paper.
+    pub warm_points: Vec<Vec<f64>>,
 }
 
 impl Default for SessionOptions {
     fn default() -> Self {
-        SessionOptions { iterations: 100, n_init: 10, seed: 0, early_stop: None }
+        SessionOptions {
+            iterations: 100,
+            n_init: 10,
+            seed: 0,
+            early_stop: None,
+            warm_points: Vec::new(),
+        }
     }
 }
 
@@ -181,48 +216,219 @@ impl<F: FnMut(&Config) -> EvalResult> TrialExecutor for FnExecutor<F> {
 /// Runs a tuning session whose trials are evaluated in batches of
 /// `batch_size` by `executor`, preserving [`run_session`]'s semantics:
 /// iteration 0 evaluates the server default configuration, iterations
-/// `1..=n_init` come from LHS, later ones from the optimizer
-/// ([`Optimizer::suggest_batch`]); crash penalties, the best curve, and
-/// early stopping are applied in iteration order, so the resulting
-/// [`SessionHistory`] is a pure function of the seeds and batch size —
-/// independent of how many workers the executor uses or in which order
-/// trials physically complete. With `batch_size == 1` it reproduces
-/// [`run_session`] exactly.
+/// `1..=n_init` come from LHS (or [`SessionOptions::warm_points`]),
+/// later ones from the optimizer ([`Optimizer::suggest_batch`]); crash
+/// penalties, the best curve, and early stopping are applied in
+/// iteration order, so the resulting [`SessionHistory`] is a pure
+/// function of the seeds and batch size — independent of how many
+/// workers the executor uses or in which order trials physically
+/// complete. With `batch_size == 1` it reproduces [`run_session`]
+/// exactly.
 ///
 /// Early stopping is checked per iteration while folding a batch in; if
 /// it fires mid-batch, the remaining results of that batch are discarded
 /// (the inherent overshoot cost of batched evaluation).
+///
+/// # Panics
+/// Panics if a warm-start point's dimensionality does not match the
+/// optimizer space (use [`run_session_resumable`] for a fallible entry).
 pub fn run_session_parallel(
+    adapter: &dyn SearchSpaceAdapter,
+    optimizer: Box<dyn Optimizer>,
+    executor: &mut dyn TrialExecutor,
+    opts: &SessionOptions,
+    batch_size: usize,
+) -> SessionHistory {
+    run_session_resumable(adapter, optimizer, executor, opts, batch_size, &[], None)
+        .unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// One already-evaluated trial handed back to [`run_session_resumable`]
+/// — the replay unit of checkpoint/resume. Scores are *not* carried:
+/// penalized scores and the best curve are recomputed during replay, so
+/// a resumed history cannot drift from the recorded raw results.
+#[derive(Debug, Clone)]
+pub struct PriorTrial {
+    /// Iteration index within the session (0 = default configuration).
+    pub iteration: usize,
+    /// Optimizer-space point (empty for iteration 0).
+    pub point: Vec<f64>,
+    /// The decoded configuration that was evaluated.
+    pub config: Config,
+    /// Raw score; `None` when the configuration crashed the DBMS.
+    pub raw_score: Option<f64>,
+    /// Internal DBMS metrics of the run (replayed into the optimizer).
+    pub metrics: Vec<f64>,
+}
+
+/// A freshly folded trial streamed out of the session loop — the
+/// checkpoint hook: a sink receives each record *before* the next round
+/// is suggested, so a store that flushes per record never loses more
+/// than the round in flight.
+#[derive(Debug)]
+pub struct TrialRecord<'a> {
+    /// Iteration index within the session (0 = default configuration).
+    pub iteration: usize,
+    /// The evaluated configuration.
+    pub config: &'a Config,
+    /// Optimizer-space point (empty for iteration 0).
+    pub point: &'a [f64],
+    /// Raw score; `None` when the configuration crashed the DBMS.
+    pub raw_score: Option<f64>,
+    /// Score after crash-penalty substitution.
+    pub score: f64,
+    /// Internal DBMS metrics of the run.
+    pub metrics: &'a [f64],
+}
+
+/// Largest prefix of `recorded` trials that ends on a *round boundary*
+/// of a session with these options and batch size — the point to which
+/// [`run_session_resumable`] replays before re-entering the live loop.
+/// Rounds are: iteration 0 alone; then LHS rounds of `batch_size`
+/// truncated at `n_init` (a round never mixes LHS and optimizer
+/// points); then optimizer rounds of `batch_size` truncated at
+/// `iterations`.
+pub fn replay_cutoff(recorded: usize, opts: &SessionOptions, batch_size: usize) -> usize {
+    let q = batch_size.max(1);
+    let recorded = recorded.min(opts.iterations + 1);
+    if recorded == 0 {
+        return 0;
+    }
+    let init_len = opts.n_init.min(opts.iterations);
+    let mut len = 1; // iteration 0 is a round of its own
+    while len < recorded {
+        let iter = len;
+        let count = if iter <= init_len {
+            (iter + q - 1).min(init_len) - iter + 1
+        } else {
+            q.min(opts.iterations - iter + 1)
+        };
+        if len + count > recorded {
+            break;
+        }
+        len += count;
+    }
+    len
+}
+
+/// [`run_session_parallel`] plus the two durability seams of the
+/// persistent knowledge store:
+///
+/// * **Replay** — `prior` holds the recorded trials of an interrupted
+///   session (contiguous from iteration 0). They are truncated to the
+///   last round boundary ([`replay_cutoff`]), folded into the history
+///   with penalties and the best curve recomputed, and their
+///   observations re-fed to the optimizer in iteration order; a partial
+///   trailing round is re-evaluated (deterministically) by the live
+///   loop. Early stopping is re-checked during replay, so a session
+///   that had already stopped returns immediately.
+/// * **Checkpointing** — `sink`, when present, receives a
+///   [`TrialRecord`] for every freshly evaluated trial as soon as its
+///   result is folded in (replayed trials are *not* re-emitted).
+///
+/// Returns an error on malformed inputs (non-contiguous prior trials,
+/// warm-start points of the wrong dimensionality) instead of running a
+/// corrupt session.
+pub fn run_session_resumable(
     adapter: &dyn SearchSpaceAdapter,
     mut optimizer: Box<dyn Optimizer>,
     executor: &mut dyn TrialExecutor,
     opts: &SessionOptions,
     batch_size: usize,
-) -> SessionHistory {
+    prior: &[PriorTrial],
+    mut sink: Option<&mut dyn FnMut(TrialRecord<'_>)>,
+) -> Result<SessionHistory, String> {
     let q = batch_size.max(1);
     let spec = adapter.optimizer_spec();
+    for (i, p) in opts.warm_points.iter().enumerate() {
+        if p.len() != spec.len() {
+            return Err(format!(
+                "warm point {i} has {} dimensions, optimizer space has {}",
+                p.len(),
+                spec.len()
+            ));
+        }
+    }
+    for (i, t) in prior.iter().enumerate() {
+        if t.iteration != i {
+            return Err(format!(
+                "prior trials must be contiguous from iteration 0: slot {i} holds iteration {}",
+                t.iteration
+            ));
+        }
+    }
+    let prior = &prior[..replay_cutoff(prior.len(), opts, q)];
+
     let mut history = empty_history(opts.iterations);
     let mut worst_seen: Option<f64> = None;
-
-    // Iteration 0: the server default configuration.
-    let default_cfg = adapter.space().default_config();
-    let mut results = executor.run_batch(&[Trial { iteration: 0, config: default_cfg.clone() }]);
-    assert_eq!(results.len(), 1, "executor must return one result per trial");
-    let default_eval = results.remove(0);
-    let default_score = crash_penalty(default_eval.score, &mut worst_seen);
-    history.configs.push(default_cfg);
-    history.points.push(Vec::new());
-    history.scores.push(default_score);
-    history.raw_scores.push(default_eval.score);
-    history.best_curve.push(default_score);
-
-    // LHS initialization in the optimizer's space (same stream as the
-    // sequential session: the seed fully determines the design).
-    let mut lhs_rng = StdRng::seed_from_u64(opts.seed ^ 0x1A5_0001);
-    let init_points = latin_hypercube(opts.n_init.min(opts.iterations), spec.len(), &mut lhs_rng);
-
     let mut best = f64::NEG_INFINITY;
-    let mut iter = 1;
+
+    // Replay: rebuild the fold state (history, penalties, best curve)
+    // and collect the observations the optimizer already saw.
+    let mut replayed = Vec::with_capacity(prior.len().saturating_sub(1));
+    let mut stopped = false;
+    for t in prior {
+        let score = crash_penalty(t.raw_score, &mut worst_seen);
+        history.configs.push(t.config.clone());
+        history.points.push(t.point.clone());
+        history.scores.push(score);
+        history.raw_scores.push(t.raw_score);
+        if t.iteration == 0 {
+            history.best_curve.push(score);
+            continue;
+        }
+        best = best.max(score);
+        history.best_curve.push(best);
+        replayed.push(Observation { x: t.point.clone(), y: score, metrics: t.metrics.clone() });
+        if let Some(policy) = &opts.early_stop {
+            if policy.should_stop(&history.best_curve[1..]) {
+                history.stopped_at = Some(t.iteration);
+                stopped = true;
+                break;
+            }
+        }
+    }
+    optimizer.observe_batch(replayed);
+    if stopped {
+        return Ok(history);
+    }
+
+    // Iteration 0: the server default configuration (unless replayed).
+    if history.scores.is_empty() {
+        let default_cfg = adapter.space().default_config();
+        let mut results =
+            executor.run_batch(&[Trial { iteration: 0, config: default_cfg.clone() }]);
+        assert_eq!(results.len(), 1, "executor must return one result per trial");
+        let default_eval = results.remove(0);
+        let default_score = crash_penalty(default_eval.score, &mut worst_seen);
+        if let Some(f) = sink.as_mut() {
+            f(TrialRecord {
+                iteration: 0,
+                config: &default_cfg,
+                point: &[],
+                raw_score: default_eval.score,
+                score: default_score,
+                metrics: &default_eval.metrics,
+            });
+        }
+        history.configs.push(default_cfg);
+        history.points.push(Vec::new());
+        history.scores.push(default_score);
+        history.raw_scores.push(default_eval.score);
+        history.best_curve.push(default_score);
+    }
+
+    // Initialization design in the optimizer's space: the seeded LHS
+    // stream (identical to the sequential session), with warm-start
+    // points replacing the leading samples one for one.
+    let mut lhs_rng = StdRng::seed_from_u64(opts.seed ^ 0x1A5_0001);
+    let mut init_points =
+        latin_hypercube(opts.n_init.min(opts.iterations), spec.len(), &mut lhs_rng);
+    for (slot, warm) in init_points.iter_mut().zip(&opts.warm_points) {
+        slot.clone_from(warm);
+    }
+
+    let mut iter = history.scores.len();
     while iter <= opts.iterations {
         let round_q = q.min(opts.iterations - iter + 1);
         // A round never mixes LHS and optimizer points: the LHS phase is
@@ -248,6 +454,16 @@ pub fn run_session_parallel(
         let mut stopped = false;
         for ((point, trial), eval) in points.into_iter().zip(trials).zip(results) {
             let score = crash_penalty(eval.score, &mut worst_seen);
+            if let Some(f) = sink.as_mut() {
+                f(TrialRecord {
+                    iteration: trial.iteration,
+                    config: &trial.config,
+                    point: &point,
+                    raw_score: eval.score,
+                    score,
+                    metrics: &eval.metrics,
+                });
+            }
             observations.push(Observation { x: point.clone(), y: score, metrics: eval.metrics });
             history.configs.push(trial.config);
             history.points.push(point);
@@ -269,7 +485,7 @@ pub fn run_session_parallel(
         }
         iter = history.scores.len();
     }
-    history
+    Ok(history)
 }
 
 #[cfg(test)]
@@ -531,6 +747,309 @@ mod tests {
         let stopped = h.stopped_at.expect("flat curve must stop early");
         assert!(stopped <= 16, "stopped at {stopped}");
         assert_eq!(h.best_curve.len(), stopped + 1, "results past the stop are discarded");
+    }
+
+    /// A deterministic optimizer whose suggestions are a pure function
+    /// of the observation history — the state model under which
+    /// checkpoint/resume promises bit-identical continuation (the
+    /// rebuild-and-replay contract of the runtime's constant liar).
+    struct HistoryHash {
+        dims: usize,
+        seen: Vec<Observation>,
+    }
+
+    impl Optimizer for HistoryHash {
+        fn suggest(&mut self) -> Vec<f64> {
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            let mut mix = |bits: u64| {
+                for b in bits.to_le_bytes() {
+                    h ^= b as u64;
+                    h = h.wrapping_mul(0x0000_0100_0000_01b3);
+                }
+            };
+            mix(self.seen.len() as u64);
+            for o in &self.seen {
+                mix(o.y.to_bits());
+                for v in &o.x {
+                    mix(v.to_bits());
+                }
+            }
+            (0..self.dims)
+                .map(|d| {
+                    let mut hd = h ^ (d as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+                    hd ^= hd >> 33;
+                    hd = hd.wrapping_mul(0xff51_afd7_ed55_8ccd);
+                    hd ^= hd >> 33;
+                    (hd % 1_000_000) as f64 / 1_000_000.0
+                })
+                .collect()
+        }
+
+        fn observe(&mut self, obs: Observation) {
+            self.seen.push(obs);
+        }
+
+        fn name(&self) -> &'static str {
+            "history-hash"
+        }
+    }
+
+    fn history_to_prior(h: &SessionHistory) -> Vec<PriorTrial> {
+        (0..h.scores.len())
+            .map(|i| PriorTrial {
+                iteration: i,
+                point: h.points[i].clone(),
+                config: h.configs[i].clone(),
+                raw_score: h.raw_scores[i],
+                metrics: vec![],
+            })
+            .collect()
+    }
+
+    fn assert_histories_bit_equal(a: &SessionHistory, b: &SessionHistory) {
+        assert_eq!(a.configs, b.configs);
+        assert_eq!(a.points, b.points);
+        assert_eq!(a.raw_scores, b.raw_scores);
+        assert_eq!(a.stopped_at, b.stopped_at);
+        let bits = |v: &[f64]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+        assert_eq!(bits(&a.scores), bits(&b.scores));
+        assert_eq!(bits(&a.best_curve), bits(&b.best_curve));
+    }
+
+    #[test]
+    fn replay_cutoff_respects_round_boundaries() {
+        let opts = SessionOptions { iterations: 12, n_init: 5, ..Default::default() };
+        // Rounds at q=3: [0], [1..3], [4..5] (LHS truncated), [6..8],
+        // [9..11], [12].
+        let boundaries = [0, 1, 4, 6, 9, 12, 13];
+        for recorded in 0..=13 {
+            let cut = replay_cutoff(recorded, &opts, 3);
+            assert!(boundaries.contains(&cut), "recorded={recorded} cut={cut}");
+            assert!(cut <= recorded);
+            let next = boundaries.iter().copied().find(|&b| b > cut).unwrap_or(13);
+            assert!(recorded < next || recorded >= 13, "recorded={recorded} cut={cut}");
+        }
+        // q=1: every prefix is a boundary.
+        for recorded in 0..=13 {
+            assert_eq!(replay_cutoff(recorded, &opts, 1), recorded.min(13));
+        }
+    }
+
+    #[test]
+    fn resume_at_every_boundary_is_bit_identical() {
+        let space = postgres_v9_6();
+        let adapter = IdentityAdapter::new(&space);
+        let opts = SessionOptions { iterations: 11, n_init: 4, ..Default::default() };
+        let dims = adapter.optimizer_spec().len();
+        let mut e = FnExecutor(objective(&space));
+        let full = run_session_parallel(
+            &adapter,
+            Box::new(HistoryHash { dims, seen: vec![] }),
+            &mut e,
+            &opts,
+            3,
+        );
+        let prior = history_to_prior(&full);
+        for cut in 0..=prior.len() {
+            let mut e = FnExecutor(objective(&space));
+            let resumed = run_session_resumable(
+                &adapter,
+                Box::new(HistoryHash { dims, seen: vec![] }),
+                &mut e,
+                &opts,
+                3,
+                &prior[..cut],
+                None,
+            )
+            .unwrap();
+            assert_histories_bit_equal(&full, &resumed);
+        }
+    }
+
+    #[test]
+    fn sink_streams_every_fresh_trial_and_skips_replayed_ones() {
+        let space = postgres_v9_6();
+        let adapter = IdentityAdapter::new(&space);
+        let opts = SessionOptions { iterations: 6, n_init: 2, ..Default::default() };
+        let dims = adapter.optimizer_spec().len();
+        let mut recorded = Vec::new();
+        let mut sink = |t: TrialRecord<'_>| recorded.push((t.iteration, t.score));
+        let mut e = FnExecutor(objective(&space));
+        let full = run_session_resumable(
+            &adapter,
+            Box::new(HistoryHash { dims, seen: vec![] }),
+            &mut e,
+            &opts,
+            2,
+            &[],
+            Some(&mut sink),
+        )
+        .unwrap();
+        assert_eq!(recorded.len(), 7, "iteration 0 + 6 trials all streamed");
+        assert_eq!(recorded.iter().map(|r| r.0).collect::<Vec<_>>(), (0..=6).collect::<Vec<_>>());
+        for (i, (_, score)) in recorded.iter().enumerate() {
+            assert_eq!(score.to_bits(), full.scores[i].to_bits());
+        }
+
+        // Resume from iteration 3 (a boundary at q=2 with n_init=2):
+        // only iterations 3..=6 are re-emitted.
+        let prior = history_to_prior(&full);
+        let mut resumed_records = Vec::new();
+        let mut sink = |t: TrialRecord<'_>| resumed_records.push(t.iteration);
+        let mut e = FnExecutor(objective(&space));
+        run_session_resumable(
+            &adapter,
+            Box::new(HistoryHash { dims, seen: vec![] }),
+            &mut e,
+            &opts,
+            2,
+            &prior[..3],
+            Some(&mut sink),
+        )
+        .unwrap();
+        assert_eq!(resumed_records, vec![3, 4, 5, 6]);
+    }
+
+    #[test]
+    fn resume_within_lhs_phase_works_for_any_optimizer() {
+        // Up to n_init no optimizer suggestion is consumed, so resume is
+        // bit-identical even for suggest-side-stateful optimizers.
+        let space = postgres_v9_6();
+        let adapter = IdentityAdapter::new(&space);
+        let opts = SessionOptions { iterations: 6, n_init: 6, ..Default::default() };
+        let mut e = FnExecutor(objective(&space));
+        let full = run_session_parallel(
+            &adapter,
+            Box::new(RandomSearch::new(adapter.optimizer_spec().clone(), 3)),
+            &mut e,
+            &opts,
+            2,
+        );
+        let prior = history_to_prior(&full);
+        let mut e = FnExecutor(objective(&space));
+        let resumed = run_session_resumable(
+            &adapter,
+            Box::new(RandomSearch::new(adapter.optimizer_spec().clone(), 3)),
+            &mut e,
+            &opts,
+            2,
+            &prior[..3],
+            None,
+        )
+        .unwrap();
+        assert_histories_bit_equal(&full, &resumed);
+    }
+
+    #[test]
+    fn replay_applies_early_stopping_without_running_trials() {
+        let space = postgres_v9_6();
+        let adapter = IdentityAdapter::new(&space);
+        let obj = |_: &Config| EvalResult { score: Some(5.0), metrics: vec![] };
+        let opts = SessionOptions {
+            iterations: 40,
+            n_init: 3,
+            early_stop: Some(EarlyStopPolicy { min_improvement_pct: 1.0, patience: 6 }),
+            ..Default::default()
+        };
+        let mut e = FnExecutor(obj);
+        let full = run_session_parallel(
+            &adapter,
+            Box::new(RandomSearch::new(adapter.optimizer_spec().clone(), 9)),
+            &mut e,
+            &opts,
+            1,
+        );
+        let stopped = full.stopped_at.expect("flat curve must stop");
+        let prior = history_to_prior(&full);
+        // Feed the complete stopped transcript back: replay must stop at
+        // the same iteration without evaluating anything.
+        let mut calls = 0usize;
+        let mut e = FnExecutor(|_: &Config| {
+            calls += 1;
+            EvalResult { score: Some(5.0), metrics: vec![] }
+        });
+        let resumed = run_session_resumable(
+            &adapter,
+            Box::new(RandomSearch::new(adapter.optimizer_spec().clone(), 9)),
+            &mut e,
+            &opts,
+            1,
+            &prior,
+            None,
+        )
+        .unwrap();
+        assert_eq!(resumed.stopped_at, Some(stopped));
+        assert_histories_bit_equal(&full, &resumed);
+    }
+
+    #[test]
+    fn warm_points_replace_the_lhs_prefix() {
+        let space = postgres_v9_6();
+        let adapter = IdentityAdapter::new(&space);
+        let d = adapter.optimizer_spec().len();
+        let warm = vec![vec![0.25; d], vec![0.75; d]];
+        let opts = SessionOptions { iterations: 5, n_init: 5, ..Default::default() };
+        let cold_opts = opts.clone();
+        let warm_opts = SessionOptions { warm_points: warm.clone(), ..opts };
+        let mut e = FnExecutor(objective(&space));
+        let cold = run_session_parallel(
+            &adapter,
+            Box::new(RandomSearch::new(adapter.optimizer_spec().clone(), 2)),
+            &mut e,
+            &cold_opts,
+            1,
+        );
+        let mut e = FnExecutor(objective(&space));
+        let warmed = run_session_parallel(
+            &adapter,
+            Box::new(RandomSearch::new(adapter.optimizer_spec().clone(), 2)),
+            &mut e,
+            &warm_opts,
+            1,
+        );
+        let spec = adapter.optimizer_spec();
+        assert_eq!(warmed.points[1], spec.snap(&warm[0]), "warm points snap like LHS points");
+        assert_eq!(warmed.points[2], spec.snap(&warm[1]));
+        // The tail of the design is the cold session's LHS stream.
+        assert_eq!(warmed.points[3..6], cold.points[3..6]);
+        assert_ne!(warmed.points[1], cold.points[1]);
+    }
+
+    #[test]
+    fn malformed_resume_inputs_are_rejected() {
+        let space = postgres_v9_6();
+        let adapter = IdentityAdapter::new(&space);
+        let opts = SessionOptions { iterations: 4, n_init: 2, ..Default::default() };
+        let mut e = FnExecutor(objective(&space));
+        let gap = vec![PriorTrial {
+            iteration: 3,
+            point: vec![],
+            config: space.default_config(),
+            raw_score: Some(1.0),
+            metrics: vec![],
+        }];
+        assert!(run_session_resumable(
+            &adapter,
+            Box::new(RandomSearch::new(adapter.optimizer_spec().clone(), 1)),
+            &mut e,
+            &opts,
+            1,
+            &gap,
+            None,
+        )
+        .is_err());
+        let bad_warm = SessionOptions { warm_points: vec![vec![0.5; 2]], ..opts };
+        let mut e = FnExecutor(objective(&space));
+        assert!(run_session_resumable(
+            &adapter,
+            Box::new(RandomSearch::new(adapter.optimizer_spec().clone(), 1)),
+            &mut e,
+            &bad_warm,
+            1,
+            &[],
+            None,
+        )
+        .is_err());
     }
 
     #[test]

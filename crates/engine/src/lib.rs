@@ -47,5 +47,5 @@ pub mod workload_spec;
 pub use db::{run_workload, RunOptions, RunResult};
 pub use hardware::HardwareProfile;
 pub use knobs::DbmsKnobs;
-pub use metrics::METRIC_NAMES;
+pub use metrics::{fingerprint_features, METRIC_NAMES};
 pub use workload_spec::{Arrival, KeyDist, OpTemplate, TableSpec, TxnTemplate, WorkloadSpec};

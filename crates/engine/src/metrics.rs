@@ -112,6 +112,27 @@ impl MetricCounters {
     }
 }
 
+/// Compresses a 27-metric vector ([`MetricCounters::to_vector`]) into a
+/// scale-free *workload fingerprint*: heavy-tailed rate metrics are
+/// log-compressed (`sign(m) · ln(1 + |m|)`, which leaves small ratio
+/// metrics essentially untouched) and the result is L2-normalized, so
+/// two fingerprints compare by direction (cosine) rather than by the
+/// absolute throughput of the machine that produced them. This is the
+/// metric-snapshot export behind warm-start transfer: a probe run's
+/// fingerprint identifies "workloads that stress the DBMS the same
+/// way", the similarity notion under which past tuning knowledge
+/// transfers.
+pub fn fingerprint_features(metrics: &[f64]) -> Vec<f64> {
+    let mut v: Vec<f64> = metrics.iter().map(|&m| m.signum() * m.abs().ln_1p()).collect();
+    let norm = v.iter().map(|x| x * x).sum::<f64>().sqrt();
+    if norm > 0.0 {
+        for x in &mut v {
+            *x /= norm;
+        }
+    }
+    v
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -145,5 +166,26 @@ mod tests {
         let v = c.to_vector(1.0);
         let idx = METRIC_NAMES.iter().position(|n| *n == "lock_wait_avg_us").unwrap();
         assert_eq!(v[idx], 500.0);
+    }
+
+    #[test]
+    fn fingerprint_is_unit_length_and_scale_free() {
+        let c = MetricCounters { commits: 5_000, blks_hit: 900_000, ..Default::default() };
+        let fp = fingerprint_features(&c.to_vector(1.0));
+        assert_eq!(fp.len(), METRIC_NAMES.len());
+        let norm: f64 = fp.iter().map(|x| x * x).sum::<f64>().sqrt();
+        assert!((norm - 1.0).abs() < 1e-12, "L2-normalized: {norm}");
+        // Doubling every rate (a 2x faster machine) barely moves the
+        // fingerprint direction: cosine similarity stays near 1.
+        let c2 = MetricCounters { commits: 10_000, blks_hit: 1_800_000, ..Default::default() };
+        let fp2 = fingerprint_features(&c2.to_vector(1.0));
+        let cos: f64 = fp.iter().zip(&fp2).map(|(a, b)| a * b).sum();
+        assert!(cos > 0.999, "scale shift must not change the direction: {cos}");
+    }
+
+    #[test]
+    fn fingerprint_of_zeros_is_zero_not_nan() {
+        let fp = fingerprint_features(&vec![0.0; 27]);
+        assert!(fp.iter().all(|x| *x == 0.0));
     }
 }

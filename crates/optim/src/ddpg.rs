@@ -135,7 +135,7 @@ impl Ddpg {
             .collect()
     }
 
-    /// CDBTune's reward (Section 4.2 of [38]): combines the change against
+    /// CDBTune's reward (Section 4.2 of \[38\]): combines the change against
     /// the initial performance and against the previous iteration.
     fn reward(&self, perf: f64) -> f64 {
         let (Some(initial), Some(previous)) = (self.initial_perf, self.previous_perf) else {

@@ -27,5 +27,6 @@ pub use gp::{GpBo, GpConfig};
 pub use rf::{RandomForest, RandomForestConfig, Tree, TreeNode};
 pub use smac::{Smac, SmacConfig};
 pub use spec::{
-    Observation, Optimizer, OptimizerKind, ParamKind, RandomSearch, SearchSpec, DEFAULT_METRIC_DIM,
+    warm_start, Observation, Optimizer, OptimizerKind, ParamKind, RandomSearch, SearchSpec,
+    DEFAULT_METRIC_DIM,
 };

@@ -7,11 +7,19 @@
 //! configuration that was already measured (under the same evaluation
 //! seed) buys no new information — the cache short-circuits those repeats
 //! and keeps hit statistics so campaigns can report how much bucketization
-//! actually deduplicated.
+//! actually deduplicated. An optional capacity bound (oldest-insertion
+//! eviction, counted in [`CacheStats::evictions`]) keeps long-running
+//! campaigns from growing the cache without limit, and store-backed
+//! campaigns pre-load it with every trial already persisted for the
+//! session — the persistent half of the evaluation cache.
 
 use llamatune::session::EvalResult;
 use llamatune_space::{Config, KnobValue};
-use std::collections::HashMap;
+// Shared poison-recovering lock: one panicked worker must not wedge a
+// whole campaign. Defined next to the store's index, which has the same
+// requirement.
+pub(crate) use llamatune_store::lock_recover;
+use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
@@ -50,13 +58,15 @@ pub fn config_key(config: &Config) -> u64 {
     h
 }
 
-/// Hit/miss counters of an [`EvalCache`].
+/// Hit/miss/eviction counters of an [`EvalCache`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct CacheStats {
     /// Lookups answered from the cache (no DBMS run).
     pub hits: u64,
     /// Lookups that fell through to a real evaluation.
     pub misses: u64,
+    /// Entries evicted to respect the capacity bound.
+    pub evictions: u64,
 }
 
 impl CacheStats {
@@ -71,27 +81,50 @@ impl CacheStats {
     }
 }
 
-/// A thread-safe evaluation cache keyed by [`config_key`].
+#[derive(Debug, Default)]
+struct CacheInner {
+    map: HashMap<u64, EvalResult>,
+    /// Keys in insertion order; the front is the eviction victim.
+    order: VecDeque<u64>,
+}
+
+/// A thread-safe evaluation cache keyed by [`config_key`], with an
+/// optional capacity bound (oldest-insertion eviction) so long
+/// campaigns cannot grow it without limit.
 ///
 /// Scope it to one (workload, evaluation-seed) context: the key covers
 /// only the configuration, so results from different workloads or
 /// evaluation seeds must not share a cache.
 #[derive(Debug, Default)]
 pub struct EvalCache {
-    map: Mutex<HashMap<u64, EvalResult>>,
+    inner: Mutex<CacheInner>,
+    capacity: Option<usize>,
     hits: AtomicU64,
     misses: AtomicU64,
+    evictions: AtomicU64,
 }
 
 impl EvalCache {
-    /// Creates an empty cache.
+    /// Creates an unbounded cache.
     pub fn new() -> Self {
         Self::default()
     }
 
+    /// Creates a cache holding at most `capacity` entries; the oldest
+    /// insertion is evicted to admit a new distinct configuration. A
+    /// zero capacity caches nothing (every insert immediately evicts).
+    pub fn with_capacity(capacity: usize) -> Self {
+        EvalCache { capacity: Some(capacity), ..Self::default() }
+    }
+
+    /// The capacity bound, if any.
+    pub fn capacity(&self) -> Option<usize> {
+        self.capacity
+    }
+
     /// Looks up a configuration, counting the outcome.
     pub fn lookup(&self, config: &Config) -> Option<EvalResult> {
-        let found = self.map.lock().unwrap().get(&config_key(config)).cloned();
+        let found = lock_recover(&self.inner).map.get(&config_key(config)).cloned();
         match found {
             Some(r) => {
                 self.hits.fetch_add(1, Ordering::Relaxed);
@@ -104,14 +137,28 @@ impl EvalCache {
         }
     }
 
-    /// Records an evaluation result.
+    /// Records an evaluation result, evicting the oldest insertion if
+    /// the cache is at capacity. Re-inserting an existing key replaces
+    /// its value without touching the insertion order.
     pub fn insert(&self, config: &Config, result: EvalResult) {
-        self.map.lock().unwrap().insert(config_key(config), result);
+        let key = config_key(config);
+        let mut inner = lock_recover(&self.inner);
+        if inner.map.insert(key, result).is_some() {
+            return; // replacement: size and order unchanged
+        }
+        inner.order.push_back(key);
+        if let Some(cap) = self.capacity {
+            while inner.map.len() > cap {
+                let victim = inner.order.pop_front().expect("order tracks map");
+                inner.map.remove(&victim);
+                self.evictions.fetch_add(1, Ordering::Relaxed);
+            }
+        }
     }
 
     /// Number of distinct configurations stored.
     pub fn len(&self) -> usize {
-        self.map.lock().unwrap().len()
+        lock_recover(&self.inner).map.len()
     }
 
     /// Whether nothing has been stored yet.
@@ -119,11 +166,12 @@ impl EvalCache {
         self.len() == 0
     }
 
-    /// Snapshot of the hit/miss counters.
+    /// Snapshot of the hit/miss/eviction counters.
     pub fn stats(&self) -> CacheStats {
         CacheStats {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
         }
     }
 }
@@ -155,7 +203,7 @@ mod tests {
         assert_eq!(hit.score, Some(123.0));
         assert_eq!(hit.metrics, vec![1.0]);
         let stats = cache.stats();
-        assert_eq!(stats, CacheStats { hits: 1, misses: 1 });
+        assert_eq!(stats, CacheStats { hits: 1, misses: 1, evictions: 0 });
         assert_eq!(stats.hit_rate(), 0.5);
         assert_eq!(cache.len(), 1);
     }
@@ -167,5 +215,94 @@ mod tests {
         let cache = EvalCache::new();
         cache.insert(&cfg, EvalResult { score: None, metrics: vec![] });
         assert!(cache.lookup(&cfg).expect("cached crash").score.is_none());
+    }
+
+    fn config_with_sb(space: &llamatune_space::ConfigSpace, sb: i64) -> Config {
+        let mut cfg = space.default_config();
+        let idx = space.index_of("shared_buffers").unwrap();
+        cfg.values_mut()[idx] = KnobValue::Int(sb);
+        cfg
+    }
+
+    #[test]
+    fn capacity_bound_evicts_oldest_insertion_first() {
+        let space = postgres_v9_6();
+        let cache = EvalCache::with_capacity(2);
+        let cfgs: Vec<Config> = (1..=3).map(|i| config_with_sb(&space, i * 1000)).collect();
+        for (i, cfg) in cfgs.iter().enumerate() {
+            cache.insert(cfg, EvalResult { score: Some(i as f64), metrics: vec![] });
+        }
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.stats().evictions, 1);
+        assert!(cache.lookup(&cfgs[0]).is_none(), "oldest insertion evicted");
+        assert!(cache.lookup(&cfgs[1]).is_some());
+        assert!(cache.lookup(&cfgs[2]).is_some());
+        assert_eq!(cache.capacity(), Some(2));
+    }
+
+    #[test]
+    fn reinserting_a_key_does_not_evict_or_reorder() {
+        let space = postgres_v9_6();
+        let cache = EvalCache::with_capacity(2);
+        let a = config_with_sb(&space, 1000);
+        let b = config_with_sb(&space, 2000);
+        cache.insert(&a, EvalResult { score: Some(1.0), metrics: vec![] });
+        cache.insert(&b, EvalResult { score: Some(2.0), metrics: vec![] });
+        // Refresh `a`'s value: still 2 entries, zero evictions, and `a`
+        // keeps its original (oldest) insertion slot.
+        cache.insert(&a, EvalResult { score: Some(10.0), metrics: vec![] });
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.stats().evictions, 0);
+        assert_eq!(cache.lookup(&a).unwrap().score, Some(10.0));
+        let c = config_with_sb(&space, 3000);
+        cache.insert(&c, EvalResult { score: Some(3.0), metrics: vec![] });
+        assert!(cache.lookup(&a).is_none(), "a was still the oldest insertion");
+        assert!(cache.lookup(&b).is_some());
+    }
+
+    #[test]
+    fn zero_capacity_caches_nothing() {
+        let space = postgres_v9_6();
+        let cache = EvalCache::with_capacity(0);
+        let cfg = space.default_config();
+        cache.insert(&cfg, EvalResult { score: Some(1.0), metrics: vec![] });
+        assert!(cache.is_empty());
+        assert_eq!(cache.stats().evictions, 1);
+        assert!(cache.lookup(&cfg).is_none());
+    }
+
+    #[test]
+    fn unbounded_cache_never_evicts() {
+        let space = postgres_v9_6();
+        let cache = EvalCache::new();
+        for i in 1..=64 {
+            let cfg = config_with_sb(&space, i * 512);
+            cache.insert(&cfg, EvalResult { score: Some(i as f64), metrics: vec![] });
+        }
+        assert_eq!(cache.len(), 64);
+        assert_eq!(cache.stats().evictions, 0);
+        assert_eq!(cache.capacity(), None);
+    }
+
+    #[test]
+    fn poisoned_lock_recovers_instead_of_wedging() {
+        use std::sync::Arc;
+        let space = postgres_v9_6();
+        let cache = Arc::new(EvalCache::new());
+        let cfg = space.default_config();
+        cache.insert(&cfg, EvalResult { score: Some(7.0), metrics: vec![] });
+        // Poison the mutex: panic while holding the guard.
+        let poisoner = cache.clone();
+        let _ = std::thread::spawn(move || {
+            let _guard = poisoner.inner.lock().unwrap();
+            panic!("worker died mid-campaign");
+        })
+        .join();
+        assert!(cache.inner.is_poisoned(), "the panic must have poisoned the lock");
+        // Every operation still works on the recovered guard.
+        assert_eq!(cache.lookup(&cfg).unwrap().score, Some(7.0));
+        let other = config_with_sb(&space, 4242);
+        cache.insert(&other, EvalResult { score: Some(1.0), metrics: vec![] });
+        assert_eq!(cache.len(), 2);
     }
 }

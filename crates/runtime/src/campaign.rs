@@ -17,17 +17,22 @@
 //! number — they only change wall-clock time.
 
 use crate::batch::BatchSuggest;
-use crate::cache::{CacheStats, EvalCache};
+use crate::cache::{lock_recover, CacheStats, EvalCache};
 use crate::executor::WorkloadExecutor;
 use llamatune::history_io::{events_to_jsonl, history_to_events, TrialEvent};
 use llamatune::pipeline::{
     IdentityAdapter, LlamaTuneConfig, LlamaTunePipeline, SearchSpaceAdapter,
 };
-use llamatune::session::{run_session_parallel, SessionHistory, SessionOptions};
+use llamatune::session::{
+    run_session_parallel, run_session_resumable, SessionHistory, SessionOptions, TrialRecord,
+};
 use llamatune_engine::RunOptions;
 use llamatune_optim::Optimizer;
-use llamatune_space::ConfigSpace;
-use llamatune_workloads::{workload_by_name, WorkloadRunner};
+use llamatune_space::{Config, ConfigSpace};
+use llamatune_store::{rebuild_history, SessionMeta, SessionStatus, StoredTrial, TrialStore};
+use llamatune_workloads::{
+    workload_by_name, workload_fingerprint, WorkloadRunner, FINGERPRINT_PROBE_SEED,
+};
 use std::sync::{Arc, Mutex};
 
 /// Which search-space adapter a campaign arm uses.
@@ -56,6 +61,32 @@ impl AdapterKind {
             AdapterKind::LlamaTune(cfg) => Box::new(LlamaTunePipeline::new(space, cfg, seed)),
         }
     }
+
+    /// Full identity of the adapter a session decodes through: kind,
+    /// every hyperparameter, and the projection seed. Two sessions map
+    /// optimizer-space points to the same configurations iff their
+    /// identity tags are equal — the precondition for transferring
+    /// points between them (recorded in the store's session metadata).
+    pub fn identity_tag(&self, seed: u64) -> String {
+        match self {
+            AdapterKind::Identity => format!("identity/s{seed}"),
+            AdapterKind::LlamaTune(cfg) => {
+                let bias = match cfg.special_value_bias {
+                    Some(p) => format!("{p}"),
+                    None => "off".to_string(),
+                };
+                let buckets = match cfg.bucket_count {
+                    Some(k) => format!("{k}"),
+                    None => "off".to_string(),
+                };
+                format!(
+                    "llamatune-d{}-{:?}-b{bias}-k{buckets}/s{seed}",
+                    cfg.target_dim, cfg.projection
+                )
+                .to_lowercase()
+            }
+        }
+    }
 }
 
 pub use llamatune_optim::OptimizerKind;
@@ -73,6 +104,24 @@ pub struct CampaignSpec {
     pub seeds: Vec<u64>,
 }
 
+/// How a store-backed campaign warm-starts sessions from past
+/// campaigns (see `llamatune_store::transfer`).
+#[derive(Debug, Clone)]
+pub struct WarmStartOptions {
+    /// Number of initial trials seeded from the matched session's top
+    /// configurations (capped by the session's `n_init`).
+    pub k: usize,
+    /// Maximum fingerprint cosine distance for a match; farther
+    /// sessions are ignored and the session falls back to pure LHS.
+    pub max_distance: f64,
+}
+
+impl Default for WarmStartOptions {
+    fn default() -> Self {
+        WarmStartOptions { k: 5, max_distance: 0.25 }
+    }
+}
+
 /// Execution knobs of a campaign.
 #[derive(Debug, Clone)]
 pub struct CampaignOptions {
@@ -87,10 +136,18 @@ pub struct CampaignOptions {
     pub session_parallelism: usize,
     /// Wrap optimizers in constant-liar [`BatchSuggest`] when
     /// `batch_size > 1` (otherwise batches fall back to the optimizer's
-    /// naive `suggest_batch`).
+    /// naive `suggest_batch`). Store-backed campaigns wrap whenever
+    /// this is set, regardless of batch size: the wrapper's
+    /// rebuild-and-replay state model is what makes resumed optimizer
+    /// state bit-identical.
     pub constant_liar: bool,
     /// Deduplicate evaluations through a per-session [`EvalCache`].
     pub cache: bool,
+    /// Capacity bound of the per-session cache (`None` = unbounded).
+    pub cache_capacity: Option<usize>,
+    /// Warm-start sessions from similar stored campaigns (store-backed
+    /// campaigns only; `None` disables transfer).
+    pub warm_start: Option<WarmStartOptions>,
     /// Override the runner's simulation window (tests and benches use
     /// shorter windows than the per-workload defaults).
     pub run_options: Option<RunOptions>,
@@ -105,6 +162,8 @@ impl Default for CampaignOptions {
             session_parallelism: 1,
             constant_liar: true,
             cache: true,
+            cache_capacity: None,
+            warm_start: None,
             run_options: None,
         }
     }
@@ -148,10 +207,12 @@ struct LogSink<'a> {
 
 impl LogSink<'_> {
     fn append(&self, chunk: &str) {
-        let mut sink = self.sink.lock().unwrap();
+        // Poison-recovering locks: a panicked session thread must not
+        // silence every other session's log appends.
+        let mut sink = lock_recover(&self.sink);
         let outcome = sink.write_all(chunk.as_bytes()).and_then(|()| sink.flush());
         if let Err(e) = outcome {
-            self.error.lock().unwrap().get_or_insert(e);
+            lock_recover(&self.error).get_or_insert(e);
         }
     }
 }
@@ -200,7 +261,7 @@ impl Campaign {
     ) -> std::io::Result<Vec<CampaignResult>> {
         let log = LogSink { sink: Mutex::new(sink), error: Mutex::new(None) };
         let results = self.run_inner(Some(&log));
-        match log.error.into_inner().unwrap() {
+        match log.error.into_inner().unwrap_or_else(|e| e.into_inner()) {
             Some(e) => Err(e),
             None => Ok(results),
         }
@@ -227,7 +288,7 @@ impl Campaign {
         // Evaluation seed: fixed per session, derived from the session
         // seed exactly as the sequential harness does.
         let eval_seed = cell.seed ^ 0x5EED;
-        let cache = self.opts.cache.then(|| Arc::new(EvalCache::new()));
+        let cache = self.opts.cache.then(|| Arc::new(self.build_cache()));
         let mut executor = WorkloadExecutor::new(
             &runner,
             self.catalog.clone(),
@@ -261,6 +322,228 @@ impl Campaign {
             history,
             cache: cache.map(|c| c.stats()),
         }
+    }
+
+    /// Runs the campaign against a persistent [`TrialStore`]: every
+    /// completed trial is flushed to the store before the next round is
+    /// suggested, sessions already recorded as finished are
+    /// reconstructed without re-running anything, and interrupted
+    /// sessions resume from their last recorded round boundary. Calling
+    /// this on an empty store is simply a checkpointed run — so
+    /// [`Campaign::resume`] is the same method under the name that
+    /// matches the restart workflow.
+    ///
+    /// Determinism: a campaign checkpointed into a store, killed at any
+    /// trial boundary, and resumed produces a byte-identical exported
+    /// event history to the same campaign run uninterrupted (pinned by
+    /// `crates/store/tests/checkpoint_resume.rs`). The guarantee
+    /// requires `constant_liar` (the default): optimizer state is then
+    /// a pure function of the recorded observation history.
+    ///
+    /// With [`CampaignOptions::warm_start`] set, a session starting
+    /// from scratch probes its workload's fingerprint and seeds its
+    /// first *k* initialization trials from the most similar finished
+    /// session in the store (matching adapter and seed, so transferred
+    /// points decode identically). The chosen warm points are persisted
+    /// in the session's metadata — a resume reuses them verbatim even
+    /// if the store has since learned better candidates.
+    pub fn run_with_store(&self, store: &TrialStore) -> std::io::Result<Vec<CampaignResult>> {
+        let cells = self.cells();
+        let lanes = self.opts.session_parallelism.clamp(1, cells.len().max(1));
+        let mut results: Vec<Option<std::io::Result<CampaignResult>>> =
+            (0..cells.len()).map(|_| None).collect();
+        if lanes <= 1 {
+            for (slot, cell) in results.iter_mut().zip(&cells) {
+                *slot = Some(self.run_session_cell_store(cell, store));
+            }
+        } else {
+            let chunk = cells.len().div_ceil(lanes);
+            std::thread::scope(|scope| {
+                for (slots, cell_chunk) in results.chunks_mut(chunk).zip(cells.chunks(chunk)) {
+                    scope.spawn(move || {
+                        for (slot, cell) in slots.iter_mut().zip(cell_chunk) {
+                            *slot = Some(self.run_session_cell_store(cell, store));
+                        }
+                    });
+                }
+            });
+        }
+        results.into_iter().map(|r| r.expect("session ran")).collect()
+    }
+
+    /// Resumes (or starts) the campaign from a persistent store — an
+    /// alias of [`Campaign::run_with_store`] named for the restart
+    /// workflow: open the store a crashed process left behind, call
+    /// `resume`, and the campaign continues where it stopped.
+    pub fn resume(&self, store: &TrialStore) -> std::io::Result<Vec<CampaignResult>> {
+        self.run_with_store(store)
+    }
+
+    fn run_session_cell_store(
+        &self,
+        cell: &Cell,
+        store: &TrialStore,
+    ) -> std::io::Result<CampaignResult> {
+        let result = |history: SessionHistory, cache: Option<CacheStats>| CampaignResult {
+            label: cell.label.clone(),
+            workload: cell.workload.clone(),
+            adapter: cell.adapter.label().to_string(),
+            optimizer: cell.optimizer.label().to_string(),
+            seed: cell.seed,
+            history,
+            cache,
+        };
+
+        // A session the store knows is finished is rebuilt from its
+        // records — zero evaluations.
+        let meta = store.session_meta(&cell.label);
+        if let Some(m) = &meta {
+            if m.status == SessionStatus::Done {
+                let history = rebuild_history(&store.trials_for(&cell.label), m.stopped_at);
+                return Ok(result(history, None));
+            }
+        }
+
+        let spec = workload_by_name(&cell.workload)
+            .unwrap_or_else(|| panic!("unknown workload {:?}", cell.workload));
+        let mut runner = WorkloadRunner::new(spec, self.catalog.clone());
+        if let Some(run_opts) = self.opts.run_options.clone() {
+            runner = runner.with_options(run_opts);
+        }
+        let adapter = cell.adapter.build(&self.catalog, cell.seed);
+
+        // Session metadata: reuse the recorded fingerprint and warm
+        // points (determinism across resumes), or probe and match afresh.
+        let meta = match meta {
+            Some(m) => m,
+            None => {
+                let fingerprint = workload_fingerprint(&runner, FINGERPRINT_PROBE_SEED);
+                let warm_points = self.transfer_warm_points(store, cell, &*adapter, &fingerprint);
+                let m = SessionMeta {
+                    session: cell.label.clone(),
+                    workload: cell.workload.clone(),
+                    adapter: cell.adapter.identity_tag(cell.seed),
+                    status: SessionStatus::Running,
+                    stopped_at: None,
+                    fingerprint,
+                    warm_points,
+                };
+                store.append_session(&m)?;
+                m
+            }
+        };
+
+        let base_spec = adapter.optimizer_spec().clone();
+        let kind = cell.optimizer;
+        let seed = cell.seed;
+        // Always wrap under `constant_liar`, even at batch size 1: the
+        // wrapper's rebuild-and-replay makes optimizer state a pure
+        // function of the recorded history, which is what lets a resume
+        // continue bit-identically.
+        let optimizer: Box<dyn Optimizer> = if self.opts.constant_liar {
+            Box::new(BatchSuggest::new(Box::new(move || kind.build(&base_spec, seed))))
+        } else {
+            kind.build(&base_spec, seed)
+        };
+
+        let eval_seed = cell.seed ^ 0x5EED;
+        let cache = self.opts.cache.then(|| Arc::new(self.build_cache()));
+        if let Some(c) = &cache {
+            // The persistent half of the evaluation cache: every trial
+            // already recorded for this session is a measurement already
+            // paid for — a resumed partial round replays from here
+            // instead of re-running the DBMS.
+            for t in store.trials_for(&cell.label) {
+                c.insert(
+                    &Config::new(t.config.clone()),
+                    llamatune::session::EvalResult { score: t.raw_score, metrics: t.metrics },
+                );
+            }
+        }
+        let mut executor = WorkloadExecutor::new(
+            &runner,
+            self.catalog.clone(),
+            eval_seed,
+            self.opts.trial_workers,
+        );
+        if let Some(c) = &cache {
+            executor = executor.with_cache(c.clone());
+        }
+
+        let session_opts = SessionOptions {
+            seed: cell.seed,
+            warm_points: meta.warm_points.clone(),
+            ..self.opts.session.clone()
+        };
+        let prior = store.prior_trials(&cell.label);
+        let mut sink_err: Option<std::io::Error> = None;
+        let mut sink = |t: TrialRecord<'_>| {
+            if sink_err.is_some() {
+                return;
+            }
+            let rec = StoredTrial {
+                session: cell.label.clone(),
+                iteration: t.iteration,
+                raw_score: t.raw_score,
+                score: t.score,
+                point: t.point.to_vec(),
+                config: t.config.values().to_vec(),
+                metrics: t.metrics.to_vec(),
+            };
+            if let Err(e) = store.append_trial(&rec) {
+                sink_err = Some(e);
+            }
+        };
+        let history = run_session_resumable(
+            adapter.as_ref(),
+            optimizer,
+            &mut executor,
+            &session_opts,
+            self.opts.batch_size,
+            &prior,
+            Some(&mut sink),
+        )
+        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?;
+        if let Some(e) = sink_err {
+            return Err(e);
+        }
+        store.append_session(&SessionMeta {
+            status: SessionStatus::Done,
+            stopped_at: history.stopped_at,
+            ..meta
+        })?;
+        Ok(result(history, cache.map(|c| c.stats())))
+    }
+
+    fn build_cache(&self) -> EvalCache {
+        match self.opts.cache_capacity {
+            Some(cap) => EvalCache::with_capacity(cap),
+            None => EvalCache::new(),
+        }
+    }
+
+    /// Picks warm-start points for a fresh session: the top
+    /// configurations of the store's most similar finished session with
+    /// an *identical* adapter identity (kind, hyperparameters, and
+    /// projection seed — [`AdapterKind::identity_tag`]), so its
+    /// optimizer-space points decode through this session's adapter
+    /// unchanged.
+    fn transfer_warm_points(
+        &self,
+        store: &TrialStore,
+        cell: &Cell,
+        adapter: &dyn SearchSpaceAdapter,
+        fingerprint: &[f64],
+    ) -> Vec<Vec<f64>> {
+        let Some(ws) = &self.opts.warm_start else {
+            return Vec::new();
+        };
+        let dims = adapter.optimizer_spec().len();
+        let identity = cell.adapter.identity_tag(cell.seed);
+        let points = store.warm_points(fingerprint, ws.k, ws.max_distance, |m| {
+            m.session != cell.label && m.status == SessionStatus::Done && m.adapter == identity
+        });
+        points.into_iter().filter(|p| p.len() == dims).collect()
     }
 
     fn run_inner(&self, log: Option<&LogSink<'_>>) -> Vec<CampaignResult> {
@@ -334,6 +617,180 @@ mod tests {
             assert_eq!(scores, &r.history.scores);
             assert_eq!(raw, &r.history.raw_scores);
         }
+    }
+
+    fn tmp_store(tag: &str) -> TrialStore {
+        let dir = std::env::temp_dir()
+            .join("llamatune_campaign_store")
+            .join(format!("{tag}_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        TrialStore::open(dir).unwrap()
+    }
+
+    #[test]
+    fn store_backed_campaign_matches_plain_run_and_resumes_for_free() {
+        let campaign = Campaign::new(postgres_v9_6(), small_spec(), quick_opts());
+        let plain = campaign.run();
+        let store = tmp_store("match_plain");
+        let stored = campaign.run_with_store(&store).unwrap();
+        assert_eq!(plain.len(), stored.len());
+        for (a, b) in plain.iter().zip(&stored) {
+            assert_eq!(a.label, b.label);
+            assert_eq!(a.history.scores, b.history.scores);
+            assert_eq!(a.history.raw_scores, b.history.raw_scores);
+            assert_eq!(a.history.points, b.history.points);
+        }
+        // Every trial of every session is persisted, plus Done metadata.
+        assert_eq!(store.trial_count(), 4 * 9);
+        for r in &stored {
+            let m = store.session_meta(&r.label).expect("meta recorded");
+            assert_eq!(m.status, SessionStatus::Done);
+            assert!(!m.fingerprint.is_empty(), "fingerprint probed and persisted");
+        }
+        // Resuming a finished campaign re-evaluates nothing: the trial
+        // record count is unchanged and histories are rebuilt bit-equal.
+        let records_before = store.trial_records();
+        let resumed = campaign.resume(&store).unwrap();
+        assert_eq!(store.trial_records(), records_before, "no re-evaluation on resume");
+        for (a, b) in stored.iter().zip(&resumed) {
+            assert_eq!(a.history.scores, b.history.scores);
+            assert_eq!(a.history.best_curve, b.history.best_curve);
+            assert_eq!(a.history.configs, b.history.configs);
+        }
+        std::fs::remove_dir_all(store.dir()).unwrap();
+    }
+
+    #[test]
+    fn store_campaign_with_parallel_sessions_checkpoints_everything() {
+        let opts = CampaignOptions { session_parallelism: 4, ..quick_opts() };
+        let campaign = Campaign::new(postgres_v9_6(), small_spec(), opts);
+        let store = tmp_store("parallel_lanes");
+        let results = campaign.run_with_store(&store).unwrap();
+        assert_eq!(results.len(), 4);
+        // Concurrent lanes interleave appends; the export still regroups
+        // into exactly the recorded histories.
+        let events = store.export_events();
+        let curves = llamatune::history_io::session_curves(&events).unwrap();
+        assert_eq!(curves.len(), 4);
+        for r in &results {
+            let (scores, raw) = &curves[&r.label];
+            assert_eq!(scores, &r.history.scores);
+            assert_eq!(raw, &r.history.raw_scores);
+        }
+        std::fs::remove_dir_all(store.dir()).unwrap();
+    }
+
+    #[test]
+    fn warm_start_seeds_init_from_a_similar_stored_session() {
+        let catalog = postgres_v9_6();
+        // Source campaign: ycsb_a with SMAC, finished and stored.
+        let source_spec = CampaignSpec {
+            workloads: vec!["ycsb_a".into()],
+            optimizers: vec![OptimizerKind::Smac],
+            ..small_spec()
+        };
+        let mut opts = quick_opts();
+        opts.session_parallelism = 1;
+        let store = tmp_store("warm");
+        Campaign::new(catalog.clone(), source_spec, opts.clone()).run_with_store(&store).unwrap();
+        // Target campaign: ycsb_f (fingerprint-adjacent), warm start on.
+        let target_spec = CampaignSpec {
+            workloads: vec!["ycsb_f".into()],
+            optimizers: vec![OptimizerKind::Smac],
+            seeds: vec![1],
+            ..small_spec()
+        };
+        opts.warm_start = Some(WarmStartOptions { k: 2, max_distance: 1.9 });
+        let campaign = Campaign::new(catalog, target_spec, opts);
+        let results = campaign.run_with_store(&store).unwrap();
+        let target = &results[0];
+        let meta = store.session_meta(&target.label).unwrap();
+        assert_eq!(meta.warm_points.len(), 2, "two points transferred from the source");
+        // The transferred points come from the matched source session
+        // (same adapter arm, same seed) and show up as the first init
+        // trials of the target history, snapped onto the space's grids.
+        let source_label = "ycsb_a/llamatune/smac/s1";
+        let top = store.top_points(source_label, 2);
+        assert_eq!(meta.warm_points, top);
+        let adapter = AdapterKind::LlamaTune(LlamaTuneConfig::default()).build(&postgres_v9_6(), 1);
+        let spec = adapter.optimizer_spec();
+        assert_eq!(target.history.points[1], spec.snap(&top[0]));
+        assert_eq!(target.history.points[2], spec.snap(&top[1]));
+        std::fs::remove_dir_all(store.dir()).unwrap();
+    }
+
+    #[test]
+    fn adapter_identity_tags_discriminate_every_hyperparameter() {
+        let base = LlamaTuneConfig::default();
+        let variants = [
+            AdapterKind::Identity.identity_tag(1),
+            AdapterKind::Identity.identity_tag(2),
+            AdapterKind::LlamaTune(base.clone()).identity_tag(1),
+            AdapterKind::LlamaTune(base.clone()).identity_tag(2),
+            AdapterKind::LlamaTune(LlamaTuneConfig { target_dim: 8, ..base.clone() })
+                .identity_tag(1),
+            AdapterKind::LlamaTune(LlamaTuneConfig { special_value_bias: None, ..base.clone() })
+                .identity_tag(1),
+            AdapterKind::LlamaTune(LlamaTuneConfig { bucket_count: Some(64), ..base.clone() })
+                .identity_tag(1),
+            AdapterKind::LlamaTune(LlamaTuneConfig {
+                projection: llamatune::pipeline::ProjectionKind::Rembo,
+                ..base.clone()
+            })
+            .identity_tag(1),
+        ];
+        let distinct: std::collections::HashSet<&String> = variants.iter().collect();
+        assert_eq!(distinct.len(), variants.len(), "every variant gets its own tag: {variants:?}");
+        // Equal arms agree, so warm start still matches across campaigns.
+        assert_eq!(
+            AdapterKind::LlamaTune(base.clone()).identity_tag(3),
+            AdapterKind::LlamaTune(base).identity_tag(3),
+        );
+    }
+
+    #[test]
+    fn warm_start_ignores_sessions_with_a_different_adapter_config() {
+        // Same label-visible arm ("llamatune"), same seed, but different
+        // bucketization: the stored session's points decode differently,
+        // so transfer must not borrow them.
+        let catalog = postgres_v9_6();
+        let coarse = LlamaTuneConfig { bucket_count: Some(16), ..LlamaTuneConfig::default() };
+        let source_spec = CampaignSpec {
+            workloads: vec!["ycsb_a".into()],
+            adapters: vec![AdapterKind::LlamaTune(coarse)],
+            optimizers: vec![OptimizerKind::Smac],
+            seeds: vec![1],
+        };
+        let mut opts = quick_opts();
+        opts.session_parallelism = 1;
+        let store = tmp_store("adapter_mismatch");
+        Campaign::new(catalog.clone(), source_spec, opts.clone()).run_with_store(&store).unwrap();
+        let target_spec = CampaignSpec {
+            workloads: vec!["ycsb_f".into()],
+            adapters: vec![AdapterKind::LlamaTune(LlamaTuneConfig::default())],
+            optimizers: vec![OptimizerKind::Smac],
+            seeds: vec![1],
+        };
+        opts.warm_start = Some(WarmStartOptions { k: 3, max_distance: 1.9 });
+        let results = Campaign::new(catalog, target_spec, opts).run_with_store(&store).unwrap();
+        let meta = store.session_meta(&results[0].label).unwrap();
+        assert!(
+            meta.warm_points.is_empty(),
+            "incompatible adapter config must not transfer: {:?}",
+            meta.warm_points
+        );
+        std::fs::remove_dir_all(store.dir()).unwrap();
+    }
+
+    #[test]
+    fn bounded_cache_campaign_reports_evictions() {
+        let opts =
+            CampaignOptions { cache_capacity: Some(2), session_parallelism: 1, ..quick_opts() };
+        let spec =
+            CampaignSpec { seeds: vec![1], workloads: vec!["ycsb_b".into()], ..small_spec() };
+        let results = Campaign::new(postgres_v9_6(), spec, opts).run();
+        let stats = results[0].cache.expect("cache enabled");
+        assert!(stats.evictions > 0, "9 trials through a 2-entry cache must evict: {stats:?}");
     }
 
     #[test]

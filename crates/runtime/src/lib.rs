@@ -23,7 +23,12 @@
 //!   as each session completes, so partial campaigns keep their
 //!   transcript) readable by `llamatune::history_io`, and yields the
 //!   same [`SessionHistory`] per session that the sequential path
-//!   produces.
+//!   produces. Backed by a persistent `llamatune_store::TrialStore`
+//!   (`Campaign::run_with_store` / `Campaign::resume`), a campaign
+//!   checkpoints every trial as it completes, survives crashes
+//!   (resuming bit-identically from the last recorded round boundary),
+//!   and can warm-start new sessions from the best configurations of
+//!   fingerprint-similar past campaigns.
 //!
 //! [`WorkloadRunner`]: llamatune_workloads::WorkloadRunner
 //! [`Optimizer`]: llamatune_optim::Optimizer
@@ -47,5 +52,6 @@ pub use batch::{BatchSuggest, LiarStrategy, OptimizerFactory};
 pub use cache::{config_key, CacheStats, EvalCache};
 pub use campaign::{
     AdapterKind, Campaign, CampaignOptions, CampaignResult, CampaignSpec, OptimizerKind,
+    WarmStartOptions,
 };
 pub use executor::{ParallelExecutor, WorkloadExecutor};

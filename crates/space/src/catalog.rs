@@ -1,4 +1,4 @@
-//! PostgreSQL knob catalogs, modeled on the official documentation [28].
+//! PostgreSQL knob catalogs, modeled on the official documentation \[28\].
 //!
 //! * [`postgres_v9_6`] — the 90 tunable knobs used for most of the paper's
 //!   evaluation, 17 of which are *hybrid* (have a special value). Knobs

@@ -1,0 +1,39 @@
+//! # llamatune-store: the persistent tuning knowledge store
+//!
+//! LlamaTune's entire pitch is sample efficiency — every DBMS
+//! evaluation is expensive — yet a process that exits forgets every
+//! trial it paid for. This crate makes the knowledge base of the
+//! paper's Figure 1 *durable* and layers two consumers on top:
+//!
+//! * [`TrialStore`] — an append-only, crash-safe store of trial and
+//!   session records: JSONL segments sealed through an atomically
+//!   renamed manifest, torn-write recovery on the active segment, and
+//!   an in-memory index keyed by session label and iteration (see
+//!   [`store`] for the on-disk format). Records are a superset of the
+//!   core crate's `TrialEvent` schema, so a store exports the exact
+//!   campaign transcript the sequential tooling already reads.
+//! * **Checkpoint/resume** — the runtime crate's `Campaign` flushes
+//!   every completed trial through the store and, on restart,
+//!   `Campaign::resume` replays recorded trials to rebuild optimizer
+//!   state (the same rebuild-and-replay contract as the constant-liar
+//!   wrapper) and continues each session bit-identically to an
+//!   uninterrupted run.
+//! * **Warm-start transfer** ([`transfer`]) — workloads are
+//!   fingerprinted from a probe run's internal metrics; a new session
+//!   whose fingerprint lands near a stored campaign seeds its first *k*
+//!   trials from that campaign's top configurations instead of LHS.
+//!
+//! The store is deliberately plain text: segments are inspectable with
+//! `grep`, exportable with [`TrialStore::export_jsonl`], and robust to
+//! partial writes by construction rather than by checksum machinery.
+
+pub mod record;
+pub mod store;
+pub mod transfer;
+
+pub use record::{
+    knob_value_from_token, knob_value_to_token, record_from_json, record_to_json, SessionMeta,
+    SessionStatus, StoreRecord, StoredTrial,
+};
+pub use store::{lock_recover, rebuild_history, StoreOptions, TrialStore};
+pub use transfer::{cosine_distance, SessionMatch};

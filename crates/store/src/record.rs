@@ -1,0 +1,393 @@
+//! The store's on-disk record vocabulary: one self-describing JSON
+//! object per line, discriminated by a `"kind"` key.
+//!
+//! Two record kinds exist:
+//!
+//! * **`trial`** — one evaluated configuration. A superset of the core
+//!   crate's [`TrialEvent`] schema: besides the event fields it carries
+//!   the decoded knob configuration (so resumed sessions and warm-started
+//!   caches can reconstruct [`Config`]s without re-decoding through an
+//!   adapter) and the run's internal metrics (so replay feeds DDPG the
+//!   same state it saw live).
+//! * **`session`** — session metadata: owning workload, lifecycle status
+//!   (`running`/`done`), the early-stop iteration if any, the workload's
+//!   probe fingerprint, and the warm-start points the session was seeded
+//!   with (persisted so an interrupted session resumes with the *same*
+//!   initialization design even after more campaigns were stored).
+//!
+//! Floats print with Rust's shortest-roundtrip formatting and parse with
+//! the matching parser, so every score, point, metric, and fingerprint
+//! survives a store round trip bit-exactly — the property the
+//! byte-identical resume guarantee rests on.
+
+use llamatune::history_io::{event_to_json, JsonScanner, TrialEvent};
+use llamatune::session::PriorTrial;
+use llamatune_space::{Config, KnobValue};
+
+/// One evaluated trial, as persisted.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StoredTrial {
+    /// Label of the session this trial belongs to.
+    pub session: String,
+    /// Iteration index within the session (0 = default configuration).
+    pub iteration: usize,
+    /// Raw score; `None` when the configuration crashed the DBMS.
+    pub raw_score: Option<f64>,
+    /// Score after crash-penalty substitution.
+    pub score: f64,
+    /// Optimizer-space point (empty for iteration 0).
+    pub point: Vec<f64>,
+    /// Decoded knob values, in the tuned space's knob order.
+    pub config: Vec<KnobValue>,
+    /// Internal DBMS metrics of the run.
+    pub metrics: Vec<f64>,
+}
+
+impl StoredTrial {
+    /// Projects the trial onto the core crate's JSONL event schema.
+    pub fn to_event(&self) -> TrialEvent {
+        TrialEvent {
+            session: self.session.clone(),
+            iteration: self.iteration,
+            raw_score: self.raw_score,
+            score: self.score,
+            point: self.point.clone(),
+        }
+    }
+
+    /// Converts the trial into the session loop's replay unit.
+    pub fn to_prior(&self) -> PriorTrial {
+        PriorTrial {
+            iteration: self.iteration,
+            point: self.point.clone(),
+            config: Config::new(self.config.clone()),
+            raw_score: self.raw_score,
+            metrics: self.metrics.clone(),
+        }
+    }
+}
+
+/// Lifecycle of a stored session.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SessionStatus {
+    /// Trials are (or were) being appended; the session may be resumed.
+    Running,
+    /// The session finished (ran its full budget or stopped early).
+    Done,
+}
+
+/// Session metadata record. The latest record for a label wins, so a
+/// session's lifecycle is `running` (written once, with fingerprint and
+/// warm points) followed by `done` (same payload, final status).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SessionMeta {
+    /// Session label (e.g. `"tpcc/llamatune/smac/s3"`).
+    pub session: String,
+    /// Workload name the session tunes.
+    pub workload: String,
+    /// Full adapter identity — kind, hyperparameters, and projection
+    /// seed (e.g. `"llamatune-d16-hesbo-b0.2-k10000/s3"`). Warm-start
+    /// transfer moves points in *optimizer space*, so a receiving
+    /// session may only borrow from sessions whose adapter identity is
+    /// exactly equal: the same point decodes to different
+    /// configurations under any other adapter. Empty when unknown.
+    pub adapter: String,
+    /// Lifecycle status.
+    pub status: SessionStatus,
+    /// Iteration at which early stopping fired, if it did.
+    pub stopped_at: Option<usize>,
+    /// Probe fingerprint of the workload (empty if never probed).
+    pub fingerprint: Vec<f64>,
+    /// Warm-start points the session was seeded with (optimizer space).
+    pub warm_points: Vec<Vec<f64>>,
+}
+
+/// One line of a store segment.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StoreRecord {
+    Trial(StoredTrial),
+    Session(SessionMeta),
+}
+
+/// Serializes a knob value as a compact tagged token (`i<int>`,
+/// `f<float>`, `c<choice index>`); floats use shortest-roundtrip
+/// formatting.
+pub fn knob_value_to_token(v: &KnobValue) -> String {
+    match v {
+        KnobValue::Int(x) => format!("i{x}"),
+        KnobValue::Float(x) => format!("f{x}"),
+        KnobValue::Cat(x) => format!("c{x}"),
+    }
+}
+
+/// Parses a [`knob_value_to_token`] token.
+pub fn knob_value_from_token(s: &str) -> Result<KnobValue, String> {
+    let (tag, rest) = s.split_at(s.len().min(1));
+    match tag {
+        "i" => rest.parse().map(KnobValue::Int).map_err(|e| format!("bad int token {s:?}: {e}")),
+        "f" => {
+            rest.parse().map(KnobValue::Float).map_err(|e| format!("bad float token {s:?}: {e}"))
+        }
+        "c" => rest.parse().map(KnobValue::Cat).map_err(|e| format!("bad cat token {s:?}: {e}")),
+        _ => Err(format!("unknown knob token {s:?}")),
+    }
+}
+
+fn f64_array_json(xs: &[f64]) -> String {
+    let body = xs.iter().map(|v| format!("{v}")).collect::<Vec<_>>().join(",");
+    format!("[{body}]")
+}
+
+/// Serializes one record as a single JSON line (no trailing newline).
+pub fn record_to_json(r: &StoreRecord) -> String {
+    match r {
+        StoreRecord::Trial(t) => {
+            // Reuse the core event serializer for the shared prefix, so
+            // the two schemas cannot drift apart silently.
+            let event = event_to_json(&t.to_event());
+            let prefix = event.strip_suffix('}').expect("event JSON is an object");
+            let config = t
+                .config
+                .iter()
+                .map(|v| format!("\"{}\"", knob_value_to_token(v)))
+                .collect::<Vec<_>>()
+                .join(",");
+            format!(
+                "{{\"kind\":\"trial\",{},\"config\":[{config}],\"metrics\":{}}}",
+                prefix.strip_prefix('{').expect("event JSON is an object"),
+                f64_array_json(&t.metrics),
+            )
+        }
+        StoreRecord::Session(m) => {
+            let status = match m.status {
+                SessionStatus::Running => "running",
+                SessionStatus::Done => "done",
+            };
+            let stopped = match m.stopped_at {
+                Some(i) => format!("{i}"),
+                None => "null".to_string(),
+            };
+            let warm =
+                m.warm_points.iter().map(|p| f64_array_json(p)).collect::<Vec<_>>().join(",");
+            format!(
+                "{{\"kind\":\"session\",\"session\":\"{}\",\"workload\":\"{}\",\"adapter\":\"{}\",\"status\":\"{status}\",\"stopped_at\":{stopped},\"fingerprint\":{},\"warm_points\":[{warm}]}}",
+                llamatune::history_io::json_escape(&m.session),
+                llamatune::history_io::json_escape(&m.workload),
+                llamatune::history_io::json_escape(&m.adapter),
+                f64_array_json(&m.fingerprint),
+            )
+        }
+    }
+}
+
+/// Parses one [`record_to_json`] line. Keys may appear in any order;
+/// unknown keys are rejected (the schema is closed, like the core
+/// crate's event schema).
+pub fn record_from_json(line: &str) -> Result<StoreRecord, String> {
+    let mut sc = JsonScanner::new(line);
+    sc.expect(b'{')?;
+    let mut kind = None;
+    let mut session = None;
+    let mut iteration = None;
+    let mut raw_score = None;
+    let mut score = None;
+    let mut point = None;
+    let mut config = None;
+    let mut metrics = None;
+    let mut workload = None;
+    let mut adapter = None;
+    let mut status = None;
+    let mut stopped_at = None;
+    let mut fingerprint = None;
+    let mut warm_points = None;
+    loop {
+        let key = sc.string()?;
+        sc.expect(b':')?;
+        match key.as_str() {
+            "kind" => kind = Some(sc.string()?),
+            "session" => session = Some(sc.string()?),
+            "iteration" => iteration = Some(sc.number()? as usize),
+            "raw_score" => {
+                raw_score = Some(if sc.literal("null") { None } else { Some(sc.number()?) })
+            }
+            "score" => score = Some(sc.number()?),
+            "point" => point = Some(sc.number_array()?),
+            "config" => {
+                config = Some(
+                    sc.string_array()?
+                        .iter()
+                        .map(|t| knob_value_from_token(t))
+                        .collect::<Result<Vec<_>, _>>()?,
+                )
+            }
+            "metrics" => metrics = Some(sc.number_array()?),
+            "workload" => workload = Some(sc.string()?),
+            "adapter" => adapter = Some(sc.string()?),
+            "status" => {
+                status = Some(match sc.string()?.as_str() {
+                    "running" => SessionStatus::Running,
+                    "done" => SessionStatus::Done,
+                    other => return Err(format!("unknown session status {other:?}")),
+                })
+            }
+            "stopped_at" => {
+                stopped_at =
+                    Some(if sc.literal("null") { None } else { Some(sc.number()? as usize) })
+            }
+            "fingerprint" => fingerprint = Some(sc.number_array()?),
+            "warm_points" => {
+                sc.expect(b'[')?;
+                let mut pts = Vec::new();
+                if sc.peek() == Some(b']') {
+                    sc.expect(b']')?;
+                } else {
+                    loop {
+                        pts.push(sc.number_array()?);
+                        match sc.peek() {
+                            Some(b',') => sc.expect(b',')?,
+                            _ => {
+                                sc.expect(b']')?;
+                                break;
+                            }
+                        }
+                    }
+                }
+                warm_points = Some(pts);
+            }
+            other => return Err(format!("unknown key {other:?}")),
+        }
+        match sc.peek() {
+            Some(b',') => sc.expect(b',')?,
+            _ => {
+                sc.expect(b'}')?;
+                break;
+            }
+        }
+    }
+    if !sc.done() {
+        return Err("trailing bytes after record".to_string());
+    }
+    match kind.as_deref() {
+        Some("trial") => Ok(StoreRecord::Trial(StoredTrial {
+            session: session.ok_or("missing session")?,
+            iteration: iteration.ok_or("missing iteration")?,
+            raw_score: raw_score.ok_or("missing raw_score")?,
+            score: score.ok_or("missing score")?,
+            point: point.ok_or("missing point")?,
+            config: config.ok_or("missing config")?,
+            metrics: metrics.ok_or("missing metrics")?,
+        })),
+        Some("session") => Ok(StoreRecord::Session(SessionMeta {
+            session: session.ok_or("missing session")?,
+            workload: workload.ok_or("missing workload")?,
+            adapter: adapter.ok_or("missing adapter")?,
+            status: status.ok_or("missing status")?,
+            stopped_at: stopped_at.ok_or("missing stopped_at")?,
+            fingerprint: fingerprint.ok_or("missing fingerprint")?,
+            warm_points: warm_points.ok_or("missing warm_points")?,
+        })),
+        Some(other) => Err(format!("unknown record kind {other:?}")),
+        None => Err("missing kind".to_string()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_trial() -> StoredTrial {
+        StoredTrial {
+            session: "ycsb_a/llamatune/smac/s1".to_string(),
+            iteration: 7,
+            raw_score: Some(1234.5678901234567),
+            score: 1234.5678901234567,
+            point: vec![0.1, 0.25, 1.0 / 3.0],
+            config: vec![KnobValue::Int(16_384), KnobValue::Float(0.5), KnobValue::Cat(2)],
+            metrics: vec![0.0, 42.0, 1e-9],
+        }
+    }
+
+    fn sample_meta() -> SessionMeta {
+        SessionMeta {
+            session: "ycsb_a/llamatune/smac/s1".to_string(),
+            workload: "ycsb_a".to_string(),
+            adapter: "llamatune-d16-hesbo-b0.2-k10000/s1".to_string(),
+            status: SessionStatus::Running,
+            stopped_at: None,
+            fingerprint: vec![0.3, -0.1, 0.955],
+            warm_points: vec![vec![0.5, 0.25], vec![0.75, 0.125]],
+        }
+    }
+
+    #[test]
+    fn trial_roundtrip_is_bit_exact() {
+        let t = StoreRecord::Trial(sample_trial());
+        let parsed = record_from_json(&record_to_json(&t)).unwrap();
+        assert_eq!(parsed, t);
+        if let (StoreRecord::Trial(a), StoreRecord::Trial(b)) = (&t, &parsed) {
+            assert_eq!(a.score.to_bits(), b.score.to_bits());
+            for (x, y) in a.point.iter().zip(&b.point) {
+                assert_eq!(x.to_bits(), y.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn session_roundtrip_covers_both_statuses() {
+        let running = StoreRecord::Session(sample_meta());
+        assert_eq!(record_from_json(&record_to_json(&running)).unwrap(), running);
+        let done = StoreRecord::Session(SessionMeta {
+            status: SessionStatus::Done,
+            stopped_at: Some(31),
+            ..sample_meta()
+        });
+        assert_eq!(record_from_json(&record_to_json(&done)).unwrap(), done);
+    }
+
+    #[test]
+    fn crashed_trials_roundtrip() {
+        let t = StoreRecord::Trial(StoredTrial { raw_score: None, score: -87.5, ..sample_trial() });
+        assert_eq!(record_from_json(&record_to_json(&t)).unwrap(), t);
+    }
+
+    #[test]
+    fn knob_tokens_roundtrip() {
+        for v in [
+            KnobValue::Int(-1),
+            KnobValue::Int(i64::MAX),
+            KnobValue::Float(0.1 + 0.2),
+            KnobValue::Float(-1e300),
+            KnobValue::Cat(0),
+            KnobValue::Cat(17),
+        ] {
+            assert_eq!(knob_value_from_token(&knob_value_to_token(&v)).unwrap(), v);
+        }
+        assert!(knob_value_from_token("x5").is_err());
+        assert!(knob_value_from_token("").is_err());
+        assert!(knob_value_from_token("i").is_err());
+    }
+
+    #[test]
+    fn malformed_records_are_rejected() {
+        assert!(record_from_json("{}").is_err());
+        assert!(record_from_json("{\"kind\":\"trial\"}").is_err(), "missing fields");
+        assert!(record_from_json("{\"kind\":\"nope\",\"session\":\"s\"}").is_err());
+        let valid = record_to_json(&StoreRecord::Trial(sample_trial()));
+        assert!(record_from_json(&valid[..valid.len() - 2]).is_err(), "truncated");
+        assert!(record_from_json(&format!("{valid}garbage")).is_err(), "trailing bytes");
+        let extra = valid.replace("\"kind\"", "\"bogus\":1,\"kind\"");
+        assert!(record_from_json(&extra).is_err(), "closed schema");
+    }
+
+    #[test]
+    fn trial_projects_onto_the_core_event_schema() {
+        let t = sample_trial();
+        let e = t.to_event();
+        let line = llamatune::history_io::event_to_json(&e);
+        let parsed = llamatune::history_io::event_from_json(&line).unwrap();
+        assert_eq!(parsed, e);
+        let p = t.to_prior();
+        assert_eq!(p.iteration, t.iteration);
+        assert_eq!(p.config.values(), t.config.as_slice());
+    }
+}

@@ -1,0 +1,670 @@
+//! The append-only, crash-safe trial store.
+//!
+//! ## On-disk layout
+//!
+//! ```text
+//! <dir>/
+//!   MANIFEST            # "llamatune-store v1" + one sealed segment per line
+//!   seg-000001.jsonl    # sealed: listed in MANIFEST, immutable, fully valid
+//!   seg-000002.jsonl    # active: highest-numbered, append-only, may be torn
+//! ```
+//!
+//! Every segment line is one [`StoreRecord`] (see [`crate::record`]).
+//! Appends go to the *active* segment — one `write` syscall per record,
+//! flushed before the session loop starts its next round, so a crash
+//! loses at most the round in flight. When the active segment reaches
+//! [`StoreOptions::segment_records`] records it is *sealed*: the file is
+//! fsynced, a new `MANIFEST` naming it is written to a temp file and
+//! atomically renamed over the old one, and a fresh active segment
+//! starts. The manifest rename is the commit point — a crash during
+//! rotation leaves either the old manifest (segment still active, fully
+//! replayable) or the new one (segment sealed); no state in between.
+//!
+//! ## Recovery
+//!
+//! Opening a store replays the manifest's sealed segments *strictly*
+//! (they were fsynced before sealing, so any damage is real corruption
+//! and surfaces as an error) and the active segment *leniently*: a final
+//! line that fails to parse is a torn append — it is dropped and the
+//! file truncated back to the last good record — while an unparsable
+//! line with valid records after it means interleaved garbage and is
+//! rejected. Duplicate `(session, iteration)` trials are legal and
+//! resolve last-wins: a resumed session re-runs its partial trailing
+//! round, deterministically overwriting the records the crash left
+//! behind. (These are exactly the behaviors pinned by the core crate's
+//! `events_from_jsonl` error-path tests.)
+
+use crate::record::{record_from_json, record_to_json, SessionMeta, StoreRecord, StoredTrial};
+use llamatune::history_io::{events_to_jsonl, TrialEvent};
+use llamatune::session::PriorTrial;
+use std::collections::BTreeMap;
+use std::fs::{File, OpenOptions};
+use std::io::{self, Write};
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+const MANIFEST_HEADER: &str = "llamatune-store v1";
+
+/// Store tuning knobs.
+#[derive(Debug, Clone)]
+pub struct StoreOptions {
+    /// Records per segment before rotation (default 4096).
+    pub segment_records: usize,
+}
+
+impl Default for StoreOptions {
+    fn default() -> Self {
+        StoreOptions { segment_records: 4096 }
+    }
+}
+
+#[derive(Debug, Default)]
+struct SessionEntry {
+    /// Trials by iteration, last record wins.
+    trials: BTreeMap<usize, StoredTrial>,
+    /// Latest metadata record.
+    meta: Option<SessionMeta>,
+}
+
+#[derive(Debug)]
+struct Inner {
+    sealed: Vec<String>,
+    active_name: String,
+    active: File,
+    active_records: usize,
+    sessions: BTreeMap<String, SessionEntry>,
+    trial_records: usize,
+}
+
+/// The persistent tuning knowledge store. Thread-safe: concurrent
+/// sessions of a campaign append through one shared handle.
+#[derive(Debug)]
+pub struct TrialStore {
+    dir: PathBuf,
+    opts: StoreOptions,
+    inner: Mutex<Inner>,
+}
+
+fn corrupt(msg: impl Into<String>) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg.into())
+}
+
+fn segment_name(index: usize) -> String {
+    format!("seg-{index:06}.jsonl")
+}
+
+/// Locks a mutex, recovering from poisoning: one panicked worker thread
+/// must not wedge every other session sharing the lock. Safe wherever
+/// the protected structure is only mutated through small non-panicking
+/// critical sections (true of the store's index and the runtime's
+/// caches, which share this helper) — the panic that poisoned the lock
+/// happened in user code outside them.
+pub fn lock_recover<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+impl TrialStore {
+    /// Opens (or creates) the store rooted at `dir` with default options.
+    pub fn open(dir: impl AsRef<Path>) -> io::Result<TrialStore> {
+        TrialStore::open_with(dir, StoreOptions::default())
+    }
+
+    /// Opens (or creates) the store rooted at `dir`.
+    pub fn open_with(dir: impl AsRef<Path>, opts: StoreOptions) -> io::Result<TrialStore> {
+        let dir = dir.as_ref().to_path_buf();
+        std::fs::create_dir_all(&dir)?;
+        let manifest_path = dir.join("MANIFEST");
+        let sealed: Vec<String> = if manifest_path.exists() {
+            let text = std::fs::read_to_string(&manifest_path)?;
+            let mut lines = text.lines();
+            match lines.next() {
+                Some(MANIFEST_HEADER) => {}
+                other => {
+                    return Err(corrupt(format!("bad manifest header {other:?}")));
+                }
+            }
+            lines.filter(|l| !l.trim().is_empty()).map(str::to_string).collect()
+        } else {
+            write_manifest_atomically(&dir, &[])?;
+            Vec::new()
+        };
+
+        let mut sessions = BTreeMap::new();
+        let mut trial_records = 0usize;
+        // Sealed segments were fsynced before the manifest named them:
+        // parse strictly.
+        for name in &sealed {
+            let text = std::fs::read_to_string(dir.join(name))?;
+            for (i, line) in text.lines().enumerate() {
+                let rec = record_from_json(line)
+                    .map_err(|e| corrupt(format!("{name} line {}: {e}", i + 1)))?;
+                apply_record(&mut sessions, &mut trial_records, rec);
+            }
+        }
+
+        // The active segment may end in a torn append: drop (and truncate
+        // away) an unparsable *final* line; reject garbage followed by
+        // valid records.
+        let active_name = segment_name(sealed.len() + 1);
+        let active_path = dir.join(&active_name);
+        let mut active_records = 0usize;
+        if active_path.exists() {
+            let text = std::fs::read_to_string(&active_path)?;
+            let mut good_len = 0usize;
+            let mut pending: Vec<StoreRecord> = Vec::new();
+            let mut torn: Option<String> = None;
+            for (i, line) in text.lines().enumerate() {
+                match record_from_json(line) {
+                    Ok(rec) => {
+                        if let Some(bad) = &torn {
+                            return Err(corrupt(format!(
+                                "{active_name} line {}: unparsable record {bad:?} followed by valid records",
+                                i
+                            )));
+                        }
+                        pending.push(rec);
+                        // `lines()` strips the terminator; count it back.
+                        good_len += line.len() + 1;
+                    }
+                    Err(e) => {
+                        if torn.is_some() {
+                            return Err(corrupt(format!(
+                                "{active_name} line {}: {e} (multiple unparsable lines)",
+                                i + 1
+                            )));
+                        }
+                        torn = Some(format!("line {}: {e}", i + 1));
+                    }
+                }
+            }
+            if torn.is_some() && good_len < text.len() {
+                // Torn final append: truncate the segment back to the
+                // last complete record before reopening for append.
+                let f = OpenOptions::new().write(true).open(&active_path)?;
+                f.set_len(good_len as u64)?;
+                f.sync_data()?;
+            } else if torn.is_none() && !text.is_empty() && !text.ends_with('\n') {
+                // A tear can also land *between* the closing brace and
+                // the newline: the final record is complete and kept,
+                // but its terminator must be repaired — otherwise the
+                // next append would concatenate onto this line and a
+                // later recovery would mis-read the merged line as torn,
+                // silently dropping an acknowledged record.
+                let mut f = OpenOptions::new().append(true).open(&active_path)?;
+                f.write_all(b"\n")?;
+                f.sync_data()?;
+            }
+            active_records = pending.len();
+            for rec in pending {
+                apply_record(&mut sessions, &mut trial_records, rec);
+            }
+        }
+
+        let active = OpenOptions::new().create(true).append(true).open(&active_path)?;
+        Ok(TrialStore {
+            dir,
+            opts,
+            inner: Mutex::new(Inner {
+                sealed,
+                active_name,
+                active,
+                active_records,
+                sessions,
+                trial_records,
+            }),
+        })
+    }
+
+    /// The store's root directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Appends one trial record (one `write` syscall; the record is
+    /// durable in the filesystem cache when this returns).
+    pub fn append_trial(&self, trial: &StoredTrial) -> io::Result<()> {
+        self.append(StoreRecord::Trial(trial.clone()))
+    }
+
+    /// Appends one session-metadata record (latest record wins on load).
+    pub fn append_session(&self, meta: &SessionMeta) -> io::Result<()> {
+        self.append(StoreRecord::Session(meta.clone()))
+    }
+
+    fn append(&self, rec: StoreRecord) -> io::Result<()> {
+        let mut guard = lock_recover(&self.inner);
+        let inner = &mut *guard;
+        let line = format!("{}\n", record_to_json(&rec));
+        inner.active.write_all(line.as_bytes())?;
+        inner.active_records += 1;
+        apply_record(&mut inner.sessions, &mut inner.trial_records, rec);
+        if inner.active_records >= self.opts.segment_records {
+            self.rotate(inner)?;
+        }
+        Ok(())
+    }
+
+    /// Seals the active segment: fsync it, commit a manifest naming it
+    /// (atomic rename), start a fresh active segment. On any failure the
+    /// current active handle is left in place, so appends keep working
+    /// (returning errors rather than panicking) and rotation is retried
+    /// at the next threshold crossing.
+    fn rotate(&self, inner: &mut Inner) -> io::Result<()> {
+        inner.active.sync_data()?;
+        // Open the next segment *before* committing the manifest: a
+        // failure here leaves only an empty, unlisted file behind, and
+        // the store state (in memory and on disk) is unchanged.
+        let next_name = segment_name(inner.sealed.len() + 2);
+        let next = OpenOptions::new().create(true).append(true).open(self.dir.join(&next_name))?;
+        let mut sealed = inner.sealed.clone();
+        sealed.push(inner.active_name.clone());
+        write_manifest_atomically(&self.dir, &sealed)?;
+        inner.sealed = sealed;
+        inner.active_name = next_name;
+        inner.active = next;
+        inner.active_records = 0;
+        Ok(())
+    }
+
+    /// Fsyncs the active segment (sealed segments are already synced).
+    pub fn sync(&self) -> io::Result<()> {
+        let inner = lock_recover(&self.inner);
+        inner.active.sync_data()
+    }
+
+    /// Sealed segment names, in manifest order (for tests and tooling).
+    pub fn sealed_segments(&self) -> Vec<String> {
+        lock_recover(&self.inner).sealed.clone()
+    }
+
+    /// Labels of every stored session, sorted.
+    pub fn sessions(&self) -> Vec<String> {
+        lock_recover(&self.inner).sessions.keys().cloned().collect()
+    }
+
+    /// Latest metadata of a session, if any was recorded.
+    pub fn session_meta(&self, session: &str) -> Option<SessionMeta> {
+        lock_recover(&self.inner).sessions.get(session).and_then(|e| e.meta.clone())
+    }
+
+    /// A session's trials, deduplicated last-wins and sorted by
+    /// iteration, truncated at the first gap (a gap cannot arise from
+    /// the append protocol; truncating keeps a damaged store usable).
+    pub fn trials_for(&self, session: &str) -> Vec<StoredTrial> {
+        let inner = lock_recover(&self.inner);
+        let Some(entry) = inner.sessions.get(session) else {
+            return Vec::new();
+        };
+        let mut out = Vec::with_capacity(entry.trials.len());
+        for (expected, (&iteration, trial)) in entry.trials.iter().enumerate() {
+            if iteration != expected {
+                break;
+            }
+            out.push(trial.clone());
+        }
+        out
+    }
+
+    /// A session's trials as the session loop's replay units.
+    pub fn prior_trials(&self, session: &str) -> Vec<PriorTrial> {
+        self.trials_for(session).iter().map(StoredTrial::to_prior).collect()
+    }
+
+    /// Number of distinct `(session, iteration)` trials stored.
+    pub fn trial_count(&self) -> usize {
+        let inner = lock_recover(&self.inner);
+        inner.sessions.values().map(|e| e.trials.len()).sum()
+    }
+
+    /// Number of trial *records* appended (re-runs of a partial round
+    /// append duplicates, so this can exceed [`TrialStore::trial_count`]).
+    pub fn trial_records(&self) -> usize {
+        lock_recover(&self.inner).trial_records
+    }
+
+    /// Whether the store holds no trials.
+    pub fn is_empty(&self) -> bool {
+        self.trial_count() == 0
+    }
+
+    /// Every stored trial projected onto the core JSONL event schema,
+    /// sorted by session label then iteration — the canonical export.
+    /// Deduplication is last-wins, so a store that recorded a crash and
+    /// a resume exports exactly the transcript of the uninterrupted run.
+    pub fn export_events(&self) -> Vec<TrialEvent> {
+        let inner = lock_recover(&self.inner);
+        let mut out = Vec::with_capacity(inner.sessions.values().map(|e| e.trials.len()).sum());
+        for entry in inner.sessions.values() {
+            out.extend(entry.trials.values().map(StoredTrial::to_event));
+        }
+        out
+    }
+
+    /// [`TrialStore::export_events`] rendered as JSONL.
+    pub fn export_jsonl(&self) -> String {
+        events_to_jsonl(&self.export_events())
+    }
+}
+
+fn apply_record(
+    sessions: &mut BTreeMap<String, SessionEntry>,
+    trial_records: &mut usize,
+    rec: StoreRecord,
+) {
+    match rec {
+        StoreRecord::Trial(t) => {
+            *trial_records += 1;
+            sessions.entry(t.session.clone()).or_default().trials.insert(t.iteration, t);
+        }
+        StoreRecord::Session(m) => {
+            let label = m.session.clone();
+            sessions.entry(label).or_default().meta = Some(m);
+        }
+    }
+}
+
+fn write_manifest_atomically(dir: &Path, sealed: &[String]) -> io::Result<()> {
+    let mut text = String::from(MANIFEST_HEADER);
+    text.push('\n');
+    for name in sealed {
+        text.push_str(name);
+        text.push('\n');
+    }
+    let tmp = dir.join("MANIFEST.tmp");
+    {
+        let mut f = File::create(&tmp)?;
+        f.write_all(text.as_bytes())?;
+        f.sync_data()?;
+    }
+    std::fs::rename(&tmp, dir.join("MANIFEST"))
+}
+
+/// Rebuilds a [`llamatune::session::SessionHistory`] from a *complete*
+/// stored session without re-running anything: scores and raw scores are
+/// read back, the best curve is re-folded, and `stopped_at` comes from
+/// the session's metadata.
+pub fn rebuild_history(
+    trials: &[StoredTrial],
+    stopped_at: Option<usize>,
+) -> llamatune::session::SessionHistory {
+    let mut history = llamatune::session::SessionHistory {
+        configs: Vec::with_capacity(trials.len()),
+        points: Vec::with_capacity(trials.len()),
+        scores: Vec::with_capacity(trials.len()),
+        raw_scores: Vec::with_capacity(trials.len()),
+        best_curve: Vec::with_capacity(trials.len()),
+        stopped_at,
+    };
+    let mut best = f64::NEG_INFINITY;
+    for t in trials {
+        history.configs.push(llamatune_space::Config::new(t.config.clone()));
+        history.points.push(t.point.clone());
+        history.scores.push(t.score);
+        history.raw_scores.push(t.raw_score);
+        if t.iteration == 0 {
+            history.best_curve.push(t.score);
+        } else {
+            best = best.max(t.score);
+            history.best_curve.push(best);
+        }
+    }
+    history
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use llamatune_space::KnobValue;
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir()
+            .join("llamatune_store_unit")
+            .join(format!("{tag}_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn trial(session: &str, iteration: usize, score: f64) -> StoredTrial {
+        StoredTrial {
+            session: session.to_string(),
+            iteration,
+            raw_score: Some(score),
+            score,
+            point: if iteration == 0 { vec![] } else { vec![score / 10.0, 0.5] },
+            config: vec![KnobValue::Int(iteration as i64), KnobValue::Cat(1)],
+            metrics: vec![score, 0.0],
+        }
+    }
+
+    fn meta(session: &str, status: SessionStatus) -> SessionMeta {
+        SessionMeta {
+            session: session.to_string(),
+            workload: "ycsb_a".to_string(),
+            adapter: "identity/s1".to_string(),
+            status,
+            stopped_at: None,
+            fingerprint: vec![0.6, 0.8],
+            warm_points: vec![],
+        }
+    }
+
+    use crate::record::SessionStatus;
+
+    #[test]
+    fn append_reopen_preserves_everything() {
+        let dir = tmp_dir("reopen");
+        {
+            let store = TrialStore::open(&dir).unwrap();
+            store.append_session(&meta("s1", SessionStatus::Running)).unwrap();
+            for i in 0..5 {
+                store.append_trial(&trial("s1", i, i as f64)).unwrap();
+            }
+            store.append_session(&meta("s1", SessionStatus::Done)).unwrap();
+        }
+        let store = TrialStore::open(&dir).unwrap();
+        assert_eq!(store.sessions(), vec!["s1".to_string()]);
+        assert_eq!(store.trial_count(), 5);
+        assert_eq!(store.session_meta("s1").unwrap().status, SessionStatus::Done);
+        let trials = store.trials_for("s1");
+        assert_eq!(trials.len(), 5);
+        for (i, t) in trials.iter().enumerate() {
+            assert_eq!(t.iteration, i);
+            assert_eq!(t.score, i as f64);
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn rotation_seals_segments_through_the_manifest() {
+        let dir = tmp_dir("rotate");
+        let store = TrialStore::open_with(&dir, StoreOptions { segment_records: 3 }).unwrap();
+        for i in 0..8 {
+            store.append_trial(&trial("s1", i, i as f64)).unwrap();
+        }
+        assert_eq!(store.sealed_segments().len(), 2, "8 records at 3/segment: 2 sealed");
+        let manifest = std::fs::read_to_string(dir.join("MANIFEST")).unwrap();
+        assert!(manifest.starts_with(MANIFEST_HEADER));
+        assert!(manifest.contains("seg-000001.jsonl"));
+        assert!(manifest.contains("seg-000002.jsonl"));
+        assert!(!manifest.contains("seg-000003.jsonl"), "active segment is not sealed");
+        // Reload sees all 8 trials across the 3 segments.
+        drop(store);
+        let store = TrialStore::open(&dir).unwrap();
+        assert_eq!(store.trial_count(), 8);
+        assert_eq!(store.sealed_segments().len(), 2);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn torn_final_line_is_dropped_and_truncated() {
+        let dir = tmp_dir("torn");
+        {
+            let store = TrialStore::open(&dir).unwrap();
+            for i in 0..4 {
+                store.append_trial(&trial("s1", i, i as f64)).unwrap();
+            }
+        }
+        // Tear the last record mid-way, as a crash during write would.
+        let seg = dir.join("seg-000001.jsonl");
+        let text = std::fs::read_to_string(&seg).unwrap();
+        let cut = text.len() - 17;
+        std::fs::write(&seg, &text[..cut]).unwrap();
+
+        let store = TrialStore::open(&dir).unwrap();
+        assert_eq!(store.trial_count(), 3, "torn trial dropped");
+        drop(store);
+        // The file was truncated back to complete records: reopening
+        // again parses cleanly and appending continues from there.
+        let store = TrialStore::open(&dir).unwrap();
+        store.append_trial(&trial("s1", 3, 30.0)).unwrap();
+        assert_eq!(store.trial_count(), 4);
+        assert_eq!(store.trials_for("s1")[3].score, 30.0);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn tear_between_brace_and_newline_keeps_the_record_and_repairs_the_line() {
+        let dir = tmp_dir("newline_tear");
+        {
+            let store = TrialStore::open(&dir).unwrap();
+            for i in 0..3 {
+                store.append_trial(&trial("s1", i, i as f64)).unwrap();
+            }
+        }
+        // Tear exactly after the final '}' but before its '\n': the
+        // record is complete; only the terminator is lost.
+        let seg = dir.join("seg-000001.jsonl");
+        let text = std::fs::read_to_string(&seg).unwrap();
+        std::fs::write(&seg, text.trim_end_matches('\n')).unwrap();
+
+        // Recovery keeps all three records (the append was acknowledged
+        // with Ok — dropping it would be silent data loss)...
+        let store = TrialStore::open(&dir).unwrap();
+        assert_eq!(store.trial_count(), 3, "complete final record survives");
+        // ...and the next append must start on its own line, so a
+        // further reopen still sees every record.
+        store.append_trial(&trial("s1", 3, 30.0)).unwrap();
+        drop(store);
+        let store = TrialStore::open(&dir).unwrap();
+        assert_eq!(store.trial_count(), 4, "no concatenated-line loss after the repair");
+        assert_eq!(store.trials_for("s1")[3].score, 30.0);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn interleaved_garbage_is_rejected() {
+        let dir = tmp_dir("garbage");
+        {
+            let store = TrialStore::open(&dir).unwrap();
+            for i in 0..3 {
+                store.append_trial(&trial("s1", i, i as f64)).unwrap();
+            }
+        }
+        let seg = dir.join("seg-000001.jsonl");
+        let text = std::fs::read_to_string(&seg).unwrap();
+        let mut lines: Vec<&str> = text.lines().collect();
+        lines.insert(1, "!!! garbage");
+        std::fs::write(&seg, lines.join("\n")).unwrap();
+        let err = TrialStore::open(&dir).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn corrupt_sealed_segment_is_an_error_even_at_the_tail() {
+        let dir = tmp_dir("sealed_strict");
+        {
+            let store = TrialStore::open_with(&dir, StoreOptions { segment_records: 2 }).unwrap();
+            for i in 0..4 {
+                store.append_trial(&trial("s1", i, i as f64)).unwrap();
+            }
+        }
+        // Tear the *sealed* first segment: sealed segments are parsed
+        // strictly, so even a torn final line is corruption.
+        let seg = dir.join("seg-000001.jsonl");
+        let text = std::fs::read_to_string(&seg).unwrap();
+        std::fs::write(&seg, &text[..text.len() - 5]).unwrap();
+        assert!(TrialStore::open(&dir).is_err());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn duplicate_iterations_resolve_last_wins_in_queries_and_export() {
+        let dir = tmp_dir("dup");
+        let store = TrialStore::open(&dir).unwrap();
+        store.append_trial(&trial("s1", 0, 1.0)).unwrap();
+        store.append_trial(&trial("s1", 1, 2.0)).unwrap();
+        store.append_trial(&trial("s1", 1, 99.0)).unwrap(); // resume re-ran iteration 1
+        assert_eq!(store.trial_count(), 2);
+        assert_eq!(store.trial_records(), 3);
+        assert_eq!(store.trials_for("s1")[1].score, 99.0);
+        let events = store.export_events();
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[1].score, 99.0);
+        std::fs::remove_dir_all(store.dir()).unwrap();
+    }
+
+    #[test]
+    fn export_orders_by_session_then_iteration() {
+        let dir = tmp_dir("export");
+        let store = TrialStore::open(&dir).unwrap();
+        // Interleave appends across sessions, as concurrent lanes do.
+        store.append_trial(&trial("b", 0, 1.0)).unwrap();
+        store.append_trial(&trial("a", 0, 2.0)).unwrap();
+        store.append_trial(&trial("b", 1, 3.0)).unwrap();
+        store.append_trial(&trial("a", 1, 4.0)).unwrap();
+        let events = store.export_events();
+        let order: Vec<(String, usize)> =
+            events.iter().map(|e| (e.session.clone(), e.iteration)).collect();
+        assert_eq!(
+            order,
+            vec![
+                ("a".to_string(), 0),
+                ("a".to_string(), 1),
+                ("b".to_string(), 0),
+                ("b".to_string(), 1)
+            ]
+        );
+        let jsonl = store.export_jsonl();
+        let parsed = llamatune::history_io::events_from_jsonl(&jsonl).unwrap();
+        assert_eq!(parsed, events);
+        assert!(llamatune::history_io::session_curves(&parsed).is_ok());
+        std::fs::remove_dir_all(store.dir()).unwrap();
+    }
+
+    #[test]
+    fn trials_truncate_at_gaps() {
+        let dir = tmp_dir("gap");
+        let store = TrialStore::open(&dir).unwrap();
+        store.append_trial(&trial("s1", 0, 1.0)).unwrap();
+        store.append_trial(&trial("s1", 2, 3.0)).unwrap(); // gap at 1
+        assert_eq!(store.trials_for("s1").len(), 1);
+        assert_eq!(store.prior_trials("s1").len(), 1);
+        std::fs::remove_dir_all(store.dir()).unwrap();
+    }
+
+    #[test]
+    fn rebuild_history_refolds_the_best_curve() {
+        let trials: Vec<StoredTrial> =
+            [5.0, 3.0, 8.0, 2.0, 9.0].iter().enumerate().map(|(i, &s)| trial("s1", i, s)).collect();
+        let h = rebuild_history(&trials, None);
+        assert_eq!(h.scores, vec![5.0, 3.0, 8.0, 2.0, 9.0]);
+        assert_eq!(h.best_curve, vec![5.0, 3.0, 8.0, 8.0, 9.0]);
+        assert_eq!(h.best_score(), Some(9.0));
+        assert_eq!(h.default_score(), 5.0);
+        let stopped = rebuild_history(&trials, Some(4));
+        assert_eq!(stopped.stopped_at, Some(4));
+    }
+
+    #[test]
+    fn fresh_store_creates_manifest_and_is_empty() {
+        let dir = tmp_dir("fresh");
+        let store = TrialStore::open(&dir).unwrap();
+        assert!(store.is_empty());
+        assert!(store.sessions().is_empty());
+        assert!(dir.join("MANIFEST").exists());
+        assert!(store.export_events().is_empty());
+        store.sync().unwrap();
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -1,0 +1,211 @@
+//! Determinism under interruption — the acceptance test of the
+//! persistent knowledge store: a campaign checkpointed into a store,
+//! killed at an *arbitrary* point in its record stream (any trial
+//! boundary, and even mid-write), and resumed produces a byte-identical
+//! exported JSONL event history to the same campaign run uninterrupted.
+//!
+//! The interruption is simulated at the storage layer, which is exactly
+//! where a real `kill -9` bites: the uninterrupted campaign's record
+//! stream is replayed up to a cut point into a fresh store directory
+//! (optionally tearing the final line in half, as a crash mid-`write`
+//! would), and `Campaign::resume` continues from whatever survived.
+
+use llamatune::pipeline::LlamaTuneConfig;
+use llamatune::session::SessionOptions;
+use llamatune_engine::RunOptions;
+use llamatune_runtime::{
+    AdapterKind, Campaign, CampaignOptions, CampaignSpec, OptimizerKind, WarmStartOptions,
+};
+use llamatune_space::catalog::postgres_v9_6;
+use llamatune_store::{StoreOptions, TrialStore};
+use std::path::PathBuf;
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir()
+        .join("llamatune_checkpoint_resume")
+        .join(format!("{tag}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn campaign() -> Campaign {
+    let run_opts =
+        RunOptions { duration_s: 0.2, warmup_s: 0.05, max_txns: 20_000, ..Default::default() };
+    let spec = CampaignSpec {
+        workloads: vec!["ycsb_b".into()],
+        adapters: vec![AdapterKind::LlamaTune(LlamaTuneConfig::default())],
+        optimizers: vec![OptimizerKind::Smac],
+        seeds: vec![1, 2],
+    };
+    let opts = CampaignOptions {
+        session: SessionOptions { iterations: 8, n_init: 3, ..Default::default() },
+        batch_size: 3,
+        trial_workers: 2,
+        session_parallelism: 1,
+        run_options: Some(run_opts),
+        ..Default::default()
+    };
+    Campaign::new(postgres_v9_6(), spec, opts)
+}
+
+/// The store's raw record stream: every segment's text, in manifest
+/// order, the active segment last.
+fn record_stream(dir: &std::path::Path) -> String {
+    let manifest = std::fs::read_to_string(dir.join("MANIFEST")).unwrap();
+    let sealed: Vec<&str> = manifest.lines().skip(1).filter(|l| !l.trim().is_empty()).collect();
+    let mut out = String::new();
+    for name in &sealed {
+        out.push_str(&std::fs::read_to_string(dir.join(name)).unwrap());
+    }
+    let active = dir.join(format!("seg-{:06}.jsonl", sealed.len() + 1));
+    if active.exists() {
+        out.push_str(&std::fs::read_to_string(active).unwrap());
+    }
+    out
+}
+
+/// Writes a prefix of a record stream as a fresh single-segment store
+/// directory — the on-disk state a kill at that byte would leave.
+fn store_from_prefix(dir: &std::path::Path, stream_prefix: &str) {
+    std::fs::create_dir_all(dir).unwrap();
+    std::fs::write(dir.join("MANIFEST"), "llamatune-store v1\n").unwrap();
+    std::fs::write(dir.join("seg-000001.jsonl"), stream_prefix).unwrap();
+}
+
+#[test]
+fn resume_from_any_cut_reproduces_the_uninterrupted_history() {
+    let campaign = campaign();
+
+    // Ground truth: the same campaign, uninterrupted (with rotation
+    // exercised: tiny segments).
+    let truth_dir = tmp_dir("truth");
+    let truth_store =
+        TrialStore::open_with(&truth_dir, StoreOptions { segment_records: 7 }).unwrap();
+    let truth = campaign.run_with_store(&truth_store).unwrap();
+    assert!(truth_store.sealed_segments().len() >= 2, "rotation exercised");
+    let truth_export = truth_store.export_jsonl();
+    let stream = record_stream(&truth_dir);
+    let lines: Vec<&str> = stream.lines().collect();
+    assert!(lines.len() > 20, "2 sessions x (meta + 9 trials + meta)");
+
+    // Kill the campaign after K whole records, for cuts inside session
+    // 1, at the session boundary, and inside session 2.
+    for cut_records in [1, 4, 8, 12, 15, lines.len() - 1] {
+        let prefix: String = lines[..cut_records].iter().map(|l| format!("{l}\n")).collect();
+        let dir = tmp_dir(&format!("cut_{cut_records}"));
+        store_from_prefix(&dir, &prefix);
+        let store = TrialStore::open(&dir).unwrap();
+        let resumed = campaign.resume(&store).unwrap();
+        assert_eq!(
+            store.export_jsonl(),
+            truth_export,
+            "cut after {cut_records} records must resume to the identical history"
+        );
+        for (a, b) in truth.iter().zip(&resumed) {
+            assert_eq!(a.label, b.label);
+            assert_eq!(a.history.scores, b.history.scores);
+            assert_eq!(a.history.points, b.history.points);
+            assert_eq!(a.history.configs, b.history.configs);
+            assert_eq!(a.history.best_curve, b.history.best_curve);
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+    std::fs::remove_dir_all(&truth_dir).unwrap();
+}
+
+#[test]
+fn resume_after_a_torn_write_reproduces_the_uninterrupted_history() {
+    let campaign = campaign();
+    let truth_dir = tmp_dir("torn_truth");
+    let truth_store = TrialStore::open(&truth_dir).unwrap();
+    campaign.run_with_store(&truth_store).unwrap();
+    let truth_export = truth_store.export_jsonl();
+    let stream = record_stream(&truth_dir);
+
+    // Kill mid-write: cut the stream at raw byte offsets, leaving a
+    // half-written final line behind.
+    for frac in [0.2, 0.5, 0.8] {
+        let cut = (stream.len() as f64 * frac) as usize;
+        let cut = (cut..stream.len()).find(|&i| stream.is_char_boundary(i)).unwrap();
+        let dir = tmp_dir(&format!("torn_{cut}"));
+        store_from_prefix(&dir, &stream[..cut]);
+        let store = TrialStore::open(&dir).unwrap();
+        let resumed_export_before = store.export_jsonl();
+        assert!(
+            truth_export.starts_with(&resumed_export_before) || !resumed_export_before.is_empty(),
+            "recovered prefix is a clean subset"
+        );
+        campaign.resume(&store).unwrap();
+        assert_eq!(store.export_jsonl(), truth_export, "torn cut at byte {cut}");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+    std::fs::remove_dir_all(&truth_dir).unwrap();
+}
+
+#[test]
+fn warm_started_campaign_resumes_with_its_recorded_warm_points() {
+    // A warm-started session interrupted during initialization must
+    // resume with the warm points recorded in its metadata — not
+    // re-match against a store that may have learned more since.
+    let catalog = postgres_v9_6();
+    let run_opts =
+        RunOptions { duration_s: 0.2, warmup_s: 0.05, max_txns: 20_000, ..Default::default() };
+    let base_opts = CampaignOptions {
+        session: SessionOptions { iterations: 6, n_init: 3, ..Default::default() },
+        batch_size: 2,
+        trial_workers: 2,
+        run_options: Some(run_opts),
+        ..Default::default()
+    };
+    let source = CampaignSpec {
+        workloads: vec!["ycsb_a".into()],
+        adapters: vec![AdapterKind::LlamaTune(LlamaTuneConfig::default())],
+        optimizers: vec![OptimizerKind::Smac],
+        seeds: vec![7],
+    };
+    let dir = tmp_dir("warm_resume");
+    let store = TrialStore::open(&dir).unwrap();
+    Campaign::new(catalog.clone(), source, base_opts.clone()).run_with_store(&store).unwrap();
+
+    let target = CampaignSpec {
+        workloads: vec!["ycsb_f".into()],
+        adapters: vec![AdapterKind::LlamaTune(LlamaTuneConfig::default())],
+        optimizers: vec![OptimizerKind::Smac],
+        seeds: vec![7],
+    };
+    let opts = CampaignOptions {
+        warm_start: Some(WarmStartOptions { k: 2, max_distance: 1.9 }),
+        ..base_opts
+    };
+    let campaign = Campaign::new(catalog, target, opts);
+    let truth = campaign.run_with_store(&store).unwrap();
+    let label = &truth[0].label;
+    let meta = store.session_meta(label).unwrap();
+    assert!(
+        !meta.warm_points.is_empty(),
+        "the target session must have transferred at least one warm point"
+    );
+    let truth_export = store.export_jsonl();
+
+    // Interrupt the *target* session right after its first trial: keep
+    // the stream up to (and including) the target's meta + 2 records.
+    let stream = record_stream(&dir);
+    let target_meta_line = stream
+        .lines()
+        .position(|l| l.contains("\"kind\":\"session\"") && l.contains("ycsb_f"))
+        .expect("target session meta recorded");
+    let keep = target_meta_line + 3;
+    let prefix: String = stream.lines().take(keep).map(|l| format!("{l}\n")).collect();
+    let cut_dir = tmp_dir("warm_resume_cut");
+    std::fs::create_dir_all(&cut_dir).unwrap();
+    std::fs::write(cut_dir.join("MANIFEST"), "llamatune-store v1\n").unwrap();
+    std::fs::write(cut_dir.join("seg-000001.jsonl"), &prefix).unwrap();
+    let cut_store = TrialStore::open(&cut_dir).unwrap();
+    let resumed_meta = cut_store.session_meta(label).unwrap();
+    assert_eq!(resumed_meta.warm_points, meta.warm_points, "warm points survive the cut");
+    campaign.resume(&cut_store).unwrap();
+    assert_eq!(cut_store.export_jsonl(), truth_export);
+
+    std::fs::remove_dir_all(&dir).unwrap();
+    std::fs::remove_dir_all(&cut_dir).unwrap();
+}

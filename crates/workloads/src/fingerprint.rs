@@ -1,0 +1,73 @@
+//! Workload fingerprints: the similarity signal behind warm-start
+//! transfer.
+//!
+//! A fingerprint is the engine's 27 internal metrics sampled from one
+//! *probe run* of the server default configuration, compressed by
+//! [`llamatune_engine::fingerprint_features`] into a scale-free unit
+//! vector. Probing the *default* configuration (rather than a tuned
+//! one) keeps fingerprints comparable across campaigns: every session
+//! measures the same operating point, so two fingerprints differ only
+//! by how the workloads themselves stress the DBMS — read/write mix,
+//! working-set locality, lock contention, WAL pressure — which is
+//! exactly the structure past tuning knowledge transfers along.
+
+use crate::runner::WorkloadRunner;
+use llamatune_engine::fingerprint_features;
+
+/// The fixed seed of fingerprint probe runs. Fingerprints must be
+/// comparable across sessions and campaigns, so the probe never uses a
+/// session-specific seed.
+pub const FINGERPRINT_PROBE_SEED: u64 = 0xF1F0;
+
+/// Runs one probe evaluation of the default configuration and returns
+/// the workload's fingerprint (a 27-dimensional unit vector).
+pub fn workload_fingerprint(runner: &WorkloadRunner, probe_seed: u64) -> Vec<f64> {
+    let space = runner.catalog();
+    let result = runner.run(space, &space.default_config(), probe_seed);
+    fingerprint_features(&result.metrics)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::suites::{tpcc, ycsb_a, ycsb_b, ycsb_f};
+    use llamatune_engine::RunOptions;
+    use llamatune_space::catalog::postgres_v9_6;
+
+    fn quick(spec: llamatune_engine::WorkloadSpec) -> WorkloadRunner {
+        let opts = RunOptions { duration_s: 0.4, warmup_s: 0.1, ..RunOptions::default() };
+        WorkloadRunner::new(spec, postgres_v9_6()).with_options(opts)
+    }
+
+    fn cosine(a: &[f64], b: &[f64]) -> f64 {
+        a.iter().zip(b).map(|(x, y)| x * y).sum()
+    }
+
+    #[test]
+    fn fingerprints_are_deterministic_unit_vectors() {
+        let r = quick(ycsb_a());
+        let a = workload_fingerprint(&r, FINGERPRINT_PROBE_SEED);
+        let b = workload_fingerprint(&r, FINGERPRINT_PROBE_SEED);
+        assert_eq!(a, b, "same probe seed, same fingerprint");
+        let norm: f64 = a.iter().map(|x| x * x).sum::<f64>().sqrt();
+        assert!((norm - 1.0).abs() < 1e-9, "unit length: {norm}");
+    }
+
+    #[test]
+    fn similar_workloads_fingerprint_closer_than_dissimilar_ones() {
+        // Read-heavy YCSB-B (95% reads, single table) must fingerprint
+        // closer to its YCSB sibling F than to write-dominated TPC-C
+        // (92% writes, 9 tables): the fingerprint tracks how a workload
+        // stresses the DBMS, and the read/write balance is the dominant
+        // axis of that stress.
+        let b = workload_fingerprint(&quick(ycsb_b()), FINGERPRINT_PROBE_SEED);
+        let f = workload_fingerprint(&quick(ycsb_f()), FINGERPRINT_PROBE_SEED);
+        let t = workload_fingerprint(&quick(tpcc()), FINGERPRINT_PROBE_SEED);
+        let bf = cosine(&b, &f);
+        let bt = cosine(&b, &t);
+        assert!(bf > bt, "cos(ycsb_b, ycsb_f) = {bf} must exceed cos(ycsb_b, tpcc) = {bt}");
+        // And the self-similarity of any workload is maximal.
+        let a = workload_fingerprint(&quick(ycsb_a()), FINGERPRINT_PROBE_SEED);
+        assert!((cosine(&a, &a) - 1.0).abs() < 1e-9);
+    }
+}

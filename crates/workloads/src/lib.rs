@@ -14,13 +14,15 @@
 //! | RS       | 4 (23)        | 33%     |
 //!
 //! All databases are sized to roughly 20 GB and driven by 40 clients
-//! (Section 6.1). Schemas and transaction mixes follow the YCSB suite [6]
-//! and BenchBase [8] definitions, simplified to the logical-operation
-//! vocabulary of the engine.
+//! (Section 6.1). Schemas and transaction mixes follow the YCSB suite
+//! \[6\] and BenchBase \[8\] definitions, simplified to the
+//! logical-operation vocabulary of the engine.
 
+pub mod fingerprint;
 pub mod runner;
 pub mod suites;
 
+pub use fingerprint::{workload_fingerprint, FINGERPRINT_PROBE_SEED};
 pub use runner::{suggested_options, Objective, WorkloadRunner};
 pub use suites::{
     all_workloads, resource_stresser, seats, tpcc, twitter, workload_by_name, ycsb_a, ycsb_b,
