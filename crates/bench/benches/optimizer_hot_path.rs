@@ -1,0 +1,293 @@
+//! Optimizer hot-path latency: what one suggest / observe / retract
+//! costs as the observation history grows — and what the incremental
+//! state updates buy over the rebuild-from-scratch baselines.
+//!
+//! Three measurements, each at history sizes n = 50 / 100 / 200 (the
+//! paper's sessions run 100 iterations; fleet-scale campaigns go
+//! beyond):
+//!
+//! * **GP-BO observe** — incremental Cholesky append (O(n²), the
+//!   default) vs the config-forced full refactorization (O(n³),
+//!   `GpConfig::incremental = false`). The two paths are bit-identical
+//!   in output (pinned by `snapshot_restore.rs`), so the ratio is pure
+//!   profit.
+//! * **SMAC suggest** — forest cold (history changed, must fit) vs warm
+//!   (cached fit reused across a batch round).
+//! * **Constant-liar retract, q = 8** — `BatchSuggest::observe_batch`
+//!   after a fantasized round under snapshot-restore retraction vs
+//!   rebuild-and-replay (`RetractionMode::Rebuild`).
+//!
+//! Results are printed as a table and recorded in
+//! `BENCH_optimizer.json` (in the working directory) so later PRs have
+//! a trajectory to regress against:
+//!
+//!     cargo bench -p llamatune-bench --bench optimizer_hot_path
+//!
+//! `LLAMATUNE_QUICK=1` shrinks history sizes and repetitions to
+//! smoke-test scale.
+
+use llamatune_bench::print_header;
+use llamatune_optim::{GpBo, GpConfig, Observation, Optimizer, SearchSpec, Smac, SmacConfig};
+use llamatune_runtime::{BatchSuggest, RetractionMode};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use std::io::Write;
+use std::time::Instant;
+
+/// The LlamaTune projected space: 16 continuous dimensions.
+const DIMS: usize = 16;
+const SEED: u64 = 7;
+
+fn median_us(mut samples: Vec<f64>) -> f64 {
+    samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    samples[samples.len() / 2]
+}
+
+/// `n` synthetic observations over a smooth objective.
+fn synthetic_history(n: usize) -> Vec<Observation> {
+    let mut rng = StdRng::seed_from_u64(SEED ^ 0x1157);
+    (0..n)
+        .map(|_| {
+            let x: Vec<f64> = (0..DIMS).map(|_| rng.random::<f64>()).collect();
+            let y = -x.iter().map(|v| (v - 0.5) * (v - 0.5)).sum::<f64>();
+            Observation { x, y, metrics: vec![] }
+        })
+        .collect()
+}
+
+struct GpObserveRow {
+    n: usize,
+    incremental_us: f64,
+    rebuild_us: f64,
+}
+
+/// Times one GP observation at exactly history size `n`, repeatedly,
+/// by rewinding through the optimizer's own snapshot/restore.
+fn gp_observe_row(n: usize, reps: usize) -> GpObserveRow {
+    let history = synthetic_history(n + 1);
+    let (prefill, probe) = history.split_at(n);
+    let mut times = [Vec::new(), Vec::new()];
+    for (slot, incremental) in [(0, true), (1, false)] {
+        let config = GpConfig { incremental, ..GpConfig::default() };
+        let mut gp = GpBo::new(SearchSpec::continuous(DIMS), config, SEED);
+        gp.observe_batch(prefill.to_vec());
+        let snap = gp.snapshot().expect("GP supports snapshots");
+        for _ in 0..reps {
+            assert!(gp.restore(snap.as_ref()));
+            let t = Instant::now();
+            gp.observe(probe[0].clone());
+            times[slot].push(t.elapsed().as_secs_f64() * 1e6);
+        }
+    }
+    GpObserveRow {
+        n,
+        incremental_us: median_us(times[0].clone()),
+        rebuild_us: median_us(times[1].clone()),
+    }
+}
+
+struct SmacSuggestRow {
+    n: usize,
+    cold_us: f64,
+    warm_us: f64,
+}
+
+/// Times a SMAC suggestion with the forest invalidated (cold: must
+/// fit) and with the forest cached from the previous suggestion (warm).
+fn smac_suggest_row(n: usize, reps: usize) -> SmacSuggestRow {
+    // Interleaved random suggestions would pollute the medians with
+    // near-free iterations; disable them for measurement.
+    let config = SmacConfig { random_interleave: 0, ..SmacConfig::default() };
+    let mut smac = Smac::new(SearchSpec::continuous(DIMS), config, SEED);
+    for o in synthetic_history(n) {
+        smac.observe(o);
+    }
+    let snap = smac.snapshot().expect("SMAC supports snapshots");
+    let (mut cold, mut warm) = (Vec::new(), Vec::new());
+    for _ in 0..reps {
+        assert!(smac.restore(snap.as_ref()));
+        let t = Instant::now();
+        let _ = std::hint::black_box(smac.suggest());
+        cold.push(t.elapsed().as_secs_f64() * 1e6);
+        let t = Instant::now();
+        let _ = std::hint::black_box(smac.suggest());
+        warm.push(t.elapsed().as_secs_f64() * 1e6);
+    }
+    SmacSuggestRow { n, cold_us: median_us(cold), warm_us: median_us(warm) }
+}
+
+struct RetractRow {
+    optimizer: &'static str,
+    n: usize,
+    q: usize,
+    snapshot_us: f64,
+    rebuild_us: f64,
+}
+
+/// Times the lie-retracting `observe_batch` of a q-wide constant-liar
+/// round, under snapshot-restore vs rebuild-and-replay retraction.
+fn retract_row(
+    optimizer: &'static str,
+    factory: fn() -> Box<dyn Optimizer>,
+    n: usize,
+    q: usize,
+    rounds: usize,
+) -> RetractRow {
+    let mut medians = [0.0, 0.0];
+    for (slot, mode) in [(0, RetractionMode::Snapshot), (1, RetractionMode::Rebuild)] {
+        let mut wrapped = BatchSuggest::new(Box::new(factory)).with_retraction(mode);
+        wrapped.observe_batch(synthetic_history(n));
+        let mut times = Vec::new();
+        for _ in 0..rounds {
+            let batch = wrapped.suggest_batch(q);
+            let obs: Vec<Observation> = batch
+                .into_iter()
+                .map(|x| {
+                    let y = -x.iter().map(|v| (v - 0.5) * (v - 0.5)).sum::<f64>();
+                    Observation { x, y, metrics: vec![] }
+                })
+                .collect();
+            let t = Instant::now();
+            wrapped.observe_batch(obs);
+            times.push(t.elapsed().as_secs_f64() * 1e6);
+        }
+        medians[slot] = median_us(times);
+    }
+    RetractRow { optimizer, n, q, snapshot_us: medians[0], rebuild_us: medians[1] }
+}
+
+fn ratio(slow: f64, fast: f64) -> f64 {
+    if fast <= 0.0 {
+        f64::INFINITY
+    } else {
+        slow / fast
+    }
+}
+
+fn main() {
+    let quick = std::env::var("LLAMATUNE_QUICK").is_ok_and(|v| v == "1");
+    // History sizes are chosen so the probing observation does not land
+    // on a refit boundary (refit_every = 5), which both paths pay alike.
+    let (ns, reps, q, rounds): (&[usize], usize, usize, usize) =
+        if quick { (&[12, 26], 5, 4, 2) } else { (&[50, 100, 200], 9, 8, 3) };
+
+    print_header(
+        "Optimizer hot path",
+        &format!(
+            "suggest/observe/retract latency vs history size; {DIMS}-dim space, \
+             medians over {reps} reps (retract: {rounds} rounds), q = {q}"
+        ),
+    );
+
+    let gp_rows: Vec<GpObserveRow> = ns.iter().map(|&n| gp_observe_row(n, reps)).collect();
+    println!("\nGP-BO observe (one new observation at history n):");
+    println!("{:>6} {:>16} {:>16} {:>10}", "n", "incremental", "full rebuild", "speedup");
+    for r in &gp_rows {
+        println!(
+            "{:>6} {:>14.1}us {:>14.1}us {:>9.1}x",
+            r.n,
+            r.incremental_us,
+            r.rebuild_us,
+            ratio(r.rebuild_us, r.incremental_us)
+        );
+    }
+
+    let smac_rows: Vec<SmacSuggestRow> = ns.iter().map(|&n| smac_suggest_row(n, reps)).collect();
+    println!("\nSMAC suggest (forest cold vs cached):");
+    println!("{:>6} {:>16} {:>16} {:>10}", "n", "cold (fit)", "warm (cached)", "speedup");
+    for r in &smac_rows {
+        println!(
+            "{:>6} {:>14.1}us {:>14.1}us {:>9.1}x",
+            r.n,
+            r.cold_us,
+            r.warm_us,
+            ratio(r.cold_us, r.warm_us)
+        );
+    }
+
+    let retract_ns: &[usize] = if quick { &[26] } else { &[100, 200] };
+    let mut retract_rows = Vec::new();
+    for &n in retract_ns {
+        retract_rows.push(retract_row(
+            "gp_bo",
+            || Box::new(GpBo::new(SearchSpec::continuous(DIMS), GpConfig::default(), SEED)),
+            n,
+            q,
+            rounds,
+        ));
+        retract_rows.push(retract_row(
+            "smac",
+            || Box::new(Smac::new(SearchSpec::continuous(DIMS), SmacConfig::default(), SEED)),
+            n,
+            q,
+            rounds,
+        ));
+    }
+    println!("\nConstant-liar retract (observe_batch of a q = {q} round):");
+    println!(
+        "{:>8} {:>6} {:>16} {:>18} {:>10}",
+        "opt", "n", "snapshot", "rebuild+replay", "speedup"
+    );
+    for r in &retract_rows {
+        println!(
+            "{:>8} {:>6} {:>14.1}us {:>16.1}us {:>9.1}x",
+            r.optimizer,
+            r.n,
+            r.snapshot_us,
+            r.rebuild_us,
+            ratio(r.rebuild_us, r.snapshot_us)
+        );
+    }
+
+    // The regression artifact.
+    let mut json = String::from("{\n");
+    json.push_str(&format!(
+        "  \"config\": {{\"dims\": {DIMS}, \"quick\": {quick}, \"reps\": {reps}, \
+         \"q\": {q}, \"rounds\": {rounds}}},\n"
+    ));
+    json.push_str("  \"gp_observe\": [\n");
+    for (i, r) in gp_rows.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"n\": {}, \"incremental_us\": {:.2}, \"rebuild_us\": {:.2}, \
+             \"speedup\": {:.2}}}{}\n",
+            r.n,
+            r.incremental_us,
+            r.rebuild_us,
+            ratio(r.rebuild_us, r.incremental_us),
+            if i + 1 < gp_rows.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ],\n  \"smac_suggest\": [\n");
+    for (i, r) in smac_rows.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"n\": {}, \"cold_us\": {:.2}, \"warm_us\": {:.2}, \"speedup\": {:.2}}}{}\n",
+            r.n,
+            r.cold_us,
+            r.warm_us,
+            ratio(r.cold_us, r.warm_us),
+            if i + 1 < smac_rows.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ],\n  \"retract\": [\n");
+    for (i, r) in retract_rows.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"optimizer\": \"{}\", \"n\": {}, \"q\": {}, \"snapshot_us\": {:.2}, \
+             \"rebuild_us\": {:.2}, \"speedup\": {:.2}}}{}\n",
+            r.optimizer,
+            r.n,
+            r.q,
+            r.snapshot_us,
+            r.rebuild_us,
+            ratio(r.rebuild_us, r.snapshot_us),
+            if i + 1 < retract_rows.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    // Anchor the artifact at the workspace root regardless of the
+    // working directory cargo launches the bench from.
+    let path =
+        std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../..").join("BENCH_optimizer.json");
+    let mut f = std::fs::File::create(&path).expect("create BENCH_optimizer.json");
+    f.write_all(json.as_bytes()).expect("write BENCH_optimizer.json");
+    println!("\nrecorded {}", path.display());
+}

@@ -318,10 +318,13 @@ pub fn replay_cutoff(recorded: usize, opts: &SessionOptions, batch_size: usize) 
 ///   session (contiguous from iteration 0). They are truncated to the
 ///   last round boundary ([`replay_cutoff`]), folded into the history
 ///   with penalties and the best curve recomputed, and their
-///   observations re-fed to the optimizer in iteration order; a partial
-///   trailing round is re-evaluated (deterministically) by the live
-///   loop. Early stopping is re-checked during replay, so a session
-///   that had already stopped returns immediately.
+///   observations re-fed to the optimizer in iteration order — as one
+///   [`Optimizer::observe_batch`] call, so surrogates with incremental
+///   batch paths (the GP's deferred weight refresh) replay a long
+///   history without per-trial rebuild costs. A partial trailing round
+///   is re-evaluated (deterministically) by the live loop. Early
+///   stopping is re-checked during replay, so a session that had
+///   already stopped returns immediately.
 /// * **Checkpointing** — `sink`, when present, receives a
 ///   [`TrialRecord`] for every freshly evaluated trial as soon as its
 ///   result is folded in (replayed trials are *not* re-emitted).

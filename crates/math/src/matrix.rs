@@ -131,6 +131,51 @@ impl Matrix {
         Ok(l)
     }
 
+    /// Extends a Cholesky factor by one row in O(n²): given `self` = the
+    /// lower-triangular factor `L` of an `n x n` SPD matrix `A`, and the
+    /// new bordering row `row = [A[n,0], .., A[n,n-1], A[n,n]]` (its last
+    /// entry is the new diagonal element), returns the `(n+1) x (n+1)`
+    /// factor of the bordered matrix. `jitter` is added to the new
+    /// diagonal entry exactly as [`Matrix::cholesky`] would.
+    ///
+    /// The new row is computed with the same recurrences (and the same
+    /// floating-point operation order) as a full refactorization, so the
+    /// result is bit-identical to `bordered_A.cholesky(jitter)` — which
+    /// is what lets the GP surrogate append observations incrementally
+    /// without perturbing any recorded history.
+    ///
+    /// # Panics
+    /// Panics if `self` is not square or `row.len() != self.rows() + 1`.
+    pub fn cholesky_append_row(&self, row: &[f64], jitter: f64) -> Result<Matrix, CholeskyError> {
+        assert_eq!(self.rows, self.cols, "cholesky_append_row requires a square factor");
+        let n = self.rows;
+        assert_eq!(row.len(), n + 1, "bordering row must have n + 1 entries");
+        let mut l = Matrix::zeros(n + 1, n + 1);
+        for i in 0..n {
+            let (dst, src) = (&mut l.data[i * (n + 1)..i * (n + 1) + n], self.row(i));
+            dst.copy_from_slice(src);
+        }
+        // New off-diagonal entries: the forward-substitution recurrence
+        // w[j] = (A[n,j] - Σ_{k<j} L[j,k] w[k]) / L[j,j] is exactly the
+        // full factorization's formula for row n.
+        for j in 0..n {
+            let mut sum = row[j];
+            for k in 0..j {
+                sum -= l[(n, k)] * l[(j, k)];
+            }
+            l[(n, j)] = sum / l[(j, j)];
+        }
+        let mut diag = row[n] + jitter;
+        for k in 0..n {
+            diag -= l[(n, k)] * l[(n, k)];
+        }
+        if diag <= 0.0 || !diag.is_finite() {
+            return Err(CholeskyError { pivot: n });
+        }
+        l[(n, n)] = diag.sqrt();
+        Ok(l)
+    }
+
     /// Solves `L * x = b` where `self` is lower triangular (forward
     /// substitution).
     pub fn solve_lower(&self, b: &[f64]) -> Vec<f64> {
@@ -144,6 +189,42 @@ impl Matrix {
                 sum -= self[(i, j)] * x[j];
             }
             x[i] = sum / self[(i, i)];
+        }
+        x
+    }
+
+    /// Solves `L * X = B` for many right-hand sides at once, where `self`
+    /// is lower triangular and `B` is `n x m` (one RHS per column).
+    /// Returns `X` with the same shape.
+    ///
+    /// The substitution runs row-outer / column-inner, so every `L` row
+    /// is streamed through the cache once per *batch* rather than once
+    /// per RHS — the blocked layout that makes scoring thousands of EI
+    /// candidates against one factor cheap. Each column's arithmetic is
+    /// performed in the same order as [`Matrix::solve_lower`], so results
+    /// are bit-identical to m independent solves.
+    ///
+    /// # Panics
+    /// Panics if `self` is not square or `b.rows() != self.rows()`.
+    pub fn solve_lower_batch(&self, b: &Matrix) -> Matrix {
+        assert_eq!(self.rows, self.cols);
+        assert_eq!(b.rows, self.rows, "RHS row count must match the factor dimension");
+        let (n, m) = (self.rows, b.cols);
+        let mut x = b.clone();
+        for i in 0..n {
+            let (solved, rest) = x.data.split_at_mut(i * m);
+            let xi = &mut rest[..m];
+            let li = self.row(i);
+            for (j, &lij) in li[..i].iter().enumerate() {
+                let xj = &solved[j * m..(j + 1) * m];
+                for (acc, &v) in xi.iter_mut().zip(xj) {
+                    *acc -= lij * v;
+                }
+            }
+            let d = li[i];
+            for acc in xi.iter_mut() {
+                *acc /= d;
+            }
         }
         x
     }
@@ -254,6 +335,100 @@ mod tests {
         let a = Matrix::from_vec(2, 2, vec![4.0, 2.0, 2.0, 3.0]);
         let l = a.cholesky(0.0).unwrap();
         assert!(approx_eq(2.0 * l.log_diag_sum(), 8.0_f64.ln(), 1e-12));
+    }
+
+    #[test]
+    fn from_symmetric_fn_evaluates_each_pair_once() {
+        // The kernel is the hot callback: symmetric fill must evaluate
+        // it once per unordered (i, j) pair, not once per cell.
+        let mut calls = 0usize;
+        let m = Matrix::from_symmetric_fn(5, |i, j| {
+            calls += 1;
+            (i + j) as f64
+        });
+        assert_eq!(calls, 5 * 6 / 2, "n(n+1)/2 evaluations for n = 5");
+        for i in 0..5 {
+            for j in 0..5 {
+                assert_eq!(m[(i, j)], (i + j) as f64);
+                assert_eq!(m[(i, j)], m[(j, i)]);
+            }
+        }
+    }
+
+    /// Builds a random SPD matrix of size n (B*Bᵀ + n*I).
+    fn random_spd(n: usize, seed: u64) -> Matrix {
+        use rand::rngs::StdRng;
+        use rand::{RngExt, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(seed);
+        let b = Matrix::from_vec(n, n, (0..n * n).map(|_| rng.random_range(-2.0..2.0)).collect());
+        let mut a = Matrix::zeros(n, n);
+        for i in 0..n {
+            for j in 0..n {
+                let mut s = 0.0;
+                for k in 0..n {
+                    s += b[(i, k)] * b[(j, k)];
+                }
+                a[(i, j)] = s + if i == j { n as f64 } else { 0.0 };
+            }
+        }
+        a
+    }
+
+    #[test]
+    fn cholesky_append_row_matches_full_rebuild_bitwise() {
+        // Grow a factor one bordered row at a time and compare against
+        // refactorizing from scratch at every size: the incremental
+        // update must agree not merely to 1e-9 but to the last bit,
+        // because the GP's recorded histories are compared bitwise.
+        for seed in 0..5u64 {
+            let a = random_spd(12, seed);
+            let jitter = 1e-8;
+            let l = a.cholesky(jitter).unwrap();
+            // Start from the 1x1 factor and regrow one border at a time.
+            let mut small = Matrix::from_vec(1, 1, vec![(a[(0, 0)] + jitter).sqrt()]);
+            for n in 1..12 {
+                let row: Vec<f64> = (0..=n).map(|j| a[(n, j)]).collect();
+                small = small.cholesky_append_row(&row, jitter).unwrap();
+            }
+            for i in 0..12 {
+                for j in 0..12 {
+                    assert_eq!(
+                        small[(i, j)].to_bits(),
+                        l[(i, j)].to_bits(),
+                        "entry ({i}, {j}) diverged at seed {seed}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn cholesky_append_row_rejects_non_spd_borders() {
+        let a = Matrix::from_vec(2, 2, vec![4.0, 2.0, 2.0, 3.0]);
+        let l = a.cholesky(0.0).unwrap();
+        // A bordering row that makes the matrix singular: the new row
+        // equals the first row, so the Schur complement is <= 0.
+        let err = l.cholesky_append_row(&[4.0, 2.0, 4.0], 0.0).unwrap_err();
+        assert_eq!(err.pivot, 2);
+    }
+
+    #[test]
+    fn solve_lower_batch_matches_columnwise_solves_bitwise() {
+        let a = random_spd(9, 3);
+        let l = a.cholesky(0.0).unwrap();
+        let m = 7;
+        use rand::rngs::StdRng;
+        use rand::{RngExt, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(17);
+        let b = Matrix::from_vec(9, m, (0..9 * m).map(|_| rng.random_range(-5.0..5.0)).collect());
+        let x = l.solve_lower_batch(&b);
+        for j in 0..m {
+            let col: Vec<f64> = (0..9).map(|i| b[(i, j)]).collect();
+            let single = l.solve_lower(&col);
+            for i in 0..9 {
+                assert_eq!(x[(i, j)].to_bits(), single[i].to_bits(), "column {j} row {i}");
+            }
+        }
     }
 
     proptest! {

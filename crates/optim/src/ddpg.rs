@@ -6,6 +6,12 @@
 //! * **action** — the next configuration, as a unit-space vector;
 //! * **reward** — CDBTune's compound delta against both the initial and
 //!   the previous performance.
+//!
+//! DDPG deliberately keeps the [`Optimizer::snapshot`] default (`None`):
+//! its mutable state — replay buffer, actor/critic and their target
+//! networks, OU noise — is as large as anything a checkpoint would save,
+//! so batch wrappers retract fantasized observations against it via the
+//! documented rebuild-and-replay fallback instead.
 
 use crate::nn::{Activation, Mlp};
 use crate::spec::{Observation, Optimizer, SearchSpec};

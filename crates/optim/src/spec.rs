@@ -124,6 +124,31 @@ pub trait Optimizer: Send {
             self.observe(o);
         }
     }
+
+    /// Captures the optimizer's complete mutable state as an opaque
+    /// checkpoint, or `None` when the optimizer cannot be checkpointed
+    /// (the default — e.g. DDPG, whose replay buffer and target networks
+    /// make a copy as expensive as the state it would save).
+    ///
+    /// Contract: a successful [`Optimizer::restore`] of this snapshot
+    /// must return the optimizer to a state *bit-identical* to the one
+    /// captured — every subsequent `suggest`/`observe` behaves exactly
+    /// as it would have had the intervening calls never happened. The
+    /// runtime's constant-liar wrapper relies on this to retract
+    /// fantasized observations in O(state copy) instead of rebuilding
+    /// and replaying the whole history.
+    fn snapshot(&self) -> Option<Box<dyn std::any::Any + Send>> {
+        None
+    }
+
+    /// Restores state previously captured by [`Optimizer::snapshot`].
+    /// Returns `false` (leaving the optimizer untouched) when the
+    /// snapshot is of a foreign type or the optimizer does not support
+    /// checkpointing; callers must then fall back to rebuild-and-replay.
+    fn restore(&mut self, snapshot: &(dyn std::any::Any + Send)) -> bool {
+        let _ = snapshot;
+        false
+    }
 }
 
 /// Dimension of the DBMS's internal-metrics vector fed to DDPG's state
@@ -218,6 +243,21 @@ impl Optimizer for RandomSearch {
 
     fn name(&self) -> &'static str {
         "random"
+    }
+
+    fn snapshot(&self) -> Option<Box<dyn std::any::Any + Send>> {
+        // The RNG is the entire mutable state.
+        Some(Box::new(self.rng.clone()))
+    }
+
+    fn restore(&mut self, snapshot: &(dyn std::any::Any + Send)) -> bool {
+        match snapshot.downcast_ref::<StdRng>() {
+            Some(rng) => {
+                self.rng = rng.clone();
+                true
+            }
+            None => false,
+        }
     }
 }
 

@@ -11,17 +11,53 @@
 //!    (the "lie": the worst real score seen so far), which pushes the
 //!    optimizer's model away from the pending point;
 //! 3. repeat until q points are collected;
-//! 4. when real results arrive, *retract* the lies: rebuild the optimizer
-//!    from its factory and replay only real observations, in iteration
-//!    order.
+//! 4. when real results arrive, *retract* the lies.
 //!
-//! Rebuild-and-replay is how retraction stays exact for optimizers whose
-//! internal state cannot be unwound (SMAC's forest, DDPG's replay
-//! buffer): the factory recreates the identically-seeded optimizer, so
-//! the post-retraction state is a pure function of the real history —
-//! which is also what makes batched campaigns reproducible.
+//! Retraction has two implementations:
+//!
+//! * **Snapshot-restore** (the default, [`RetractionMode::Snapshot`]):
+//!   before fantasizing, the wrapper captures the inner optimizer's
+//!   state via [`Optimizer::snapshot`]; retracting restores it and feeds
+//!   only the real observations that arrived since — O(state copy)
+//!   instead of O(rebuild + full-history replay). Restoration is exact
+//!   by contract (bit-identical state), so this path preserves the
+//!   reproducibility guarantees unchanged.
+//! * **Rebuild-and-replay** ([`RetractionMode::Rebuild`], and the
+//!   automatic fallback whenever `snapshot()` returns `None`): rebuild
+//!   the optimizer from its factory and replay every real observation in
+//!   iteration order. This is how retraction stays exact for optimizers
+//!   whose state cannot be copied out (DDPG's replay buffer and target
+//!   networks).
+//!
+//! For campaigns driven entirely through `suggest_batch`/`observe_batch`
+//! rounds — the only way the session loops use the wrapper — the two
+//! modes are interchangeable: each round starts from a state that is a
+//! pure function of the real history, so retraction by exact restore
+//! and retraction by rebuild-and-replay land on identical states and
+//! the suggestion streams match (pinned by
+//! `retraction_modes_produce_identical_streams` below); the snapshot
+//! path is just asymptotically cheaper, which the `optimizer_hot_path`
+//! bench quantifies. Interleaving *bare* `suggest()` calls between
+//! rounds voids that equivalence: a single suggest advances inner RNG
+//! that a later snapshot preserves but a rebuild discards (sequential
+//! use must degenerate to the wrapped optimizer, so the wrapper cannot
+//! unwind it). Resumable campaigns never do this.
 
 use llamatune_optim::{Observation, Optimizer};
+
+/// How [`BatchSuggest`] retracts fantasized observations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RetractionMode {
+    /// Restore the optimizer's pre-batch snapshot and feed it the real
+    /// results (falls back to [`RetractionMode::Rebuild`] when the
+    /// optimizer does not support snapshots).
+    #[default]
+    Snapshot,
+    /// Always rebuild from the factory and replay the full real history
+    /// (the pre-snapshot behavior, kept for benchmarking and as the
+    /// reference semantics).
+    Rebuild,
+}
 
 /// How the lie value is chosen from the real observations so far.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -65,6 +101,10 @@ pub struct BatchSuggest {
     /// Number of fantasized observations currently inside `inner`.
     fantasized: usize,
     strategy: LiarStrategy,
+    mode: RetractionMode,
+    /// The inner optimizer's state captured just before the current
+    /// round's fantasizing, plus the real-history length it covers.
+    snapshot: Option<(Box<dyn std::any::Any + Send>, usize)>,
 }
 
 impl BatchSuggest {
@@ -78,6 +118,8 @@ impl BatchSuggest {
             real: Vec::new(),
             fantasized: 0,
             strategy: LiarStrategy::default(),
+            mode: RetractionMode::default(),
+            snapshot: None,
         }
     }
 
@@ -87,17 +129,38 @@ impl BatchSuggest {
         self
     }
 
+    /// Selects how lies are retracted (default: snapshot-restore with a
+    /// rebuild fallback).
+    pub fn with_retraction(mut self, mode: RetractionMode) -> Self {
+        self.mode = mode;
+        self
+    }
+
     /// Number of real observations replayed into the wrapped optimizer.
     pub fn observed(&self) -> usize {
         self.real.len()
     }
 
-    /// Retracts any outstanding lies: rebuilds the wrapped optimizer and
-    /// replays the real history in order.
+    /// Retracts any outstanding lies. Fast path: restore the pre-batch
+    /// snapshot and feed only the real observations recorded since it
+    /// was taken. Fallback (no snapshot, restore refused, or
+    /// [`RetractionMode::Rebuild`]): rebuild the wrapped optimizer from
+    /// the factory and replay the whole real history in order.
     fn retract(&mut self) {
-        self.inner = (self.factory)();
-        for o in &self.real {
-            self.inner.observe(o.clone());
+        // Observations are handed to the inner optimizer as batches so
+        // surrogates with batched incremental paths (the GP's deferred
+        // weight refresh) pay their per-batch costs once — the trait
+        // contract makes `observe_batch` sequentially equivalent.
+        let restored = match self.snapshot.take() {
+            Some((snap, covered)) if self.inner.restore(snap.as_ref()) => {
+                self.inner.observe_batch(self.real[covered..].to_vec());
+                true
+            }
+            _ => false,
+        };
+        if !restored {
+            self.inner = (self.factory)();
+            self.inner.observe_batch(self.real.clone());
         }
         self.fantasized = 0;
     }
@@ -130,6 +193,13 @@ impl Optimizer for BatchSuggest {
 
     fn suggest_batch(&mut self, q: usize) -> Vec<Vec<f64>> {
         self.ensure_clean();
+        // Capture the pre-fantasy state so retraction is an O(copy)
+        // restore instead of a rebuild; optimizers that cannot snapshot
+        // (DDPG) return None here and keep the rebuild fallback.
+        self.snapshot = match self.mode {
+            RetractionMode::Snapshot => self.inner.snapshot().map(|snap| (snap, self.real.len())),
+            RetractionMode::Rebuild => None,
+        };
         let lie = self.strategy.lie(&self.real);
         let mut batch = Vec::with_capacity(q);
         for _ in 0..q {
@@ -148,12 +218,11 @@ impl Optimizer for BatchSuggest {
             self.real.extend(obs);
             self.retract();
         } else {
-            // No outstanding lies (e.g. LHS-init rounds): feed the
-            // results straight through instead of rebuilding.
-            for o in obs {
-                self.real.push(o.clone());
-                self.inner.observe(o);
-            }
+            // No outstanding lies (LHS-init rounds, history replay on
+            // resume): feed the results straight through as one batch,
+            // hitting the inner optimizer's incremental batch path.
+            self.real.extend(obs.iter().cloned());
+            self.inner.observe_batch(obs);
         }
     }
 }
@@ -264,5 +333,66 @@ mod tests {
         let all = drive(opt, 4, 10);
         let best = all.iter().map(|x| sphere(x)).fold(f64::NEG_INFINITY, f64::max);
         assert!(best > -0.05, "40 evaluations in batches of 4 should near (0.5, 0.5): {best}");
+    }
+
+    /// The determinism contract of snapshot-based retraction: restoring
+    /// the pre-batch snapshot and feeding the new reals leaves the inner
+    /// optimizer in exactly the state rebuild-and-replay would — so both
+    /// modes emit bit-identical suggestion streams over a whole
+    /// batched campaign, for every snapshot-capable optimizer.
+    #[test]
+    fn retraction_modes_produce_identical_streams() {
+        use llamatune_optim::{GpBo, GpConfig, OptimizerKind};
+        type TestFactory = fn() -> Box<dyn Optimizer>;
+        let factories: Vec<(&str, TestFactory)> = vec![
+            ("smac", || Box::new(Smac::new(SearchSpec::continuous(2), SmacConfig::default(), 5))),
+            ("gp-bo", || Box::new(GpBo::new(SearchSpec::continuous(2), GpConfig::default(), 5))),
+            ("random", || Box::new(RandomSearch::new(SearchSpec::continuous(2), 5))),
+            ("ddpg", || OptimizerKind::Ddpg.build(&SearchSpec::continuous(2), 5)),
+        ];
+        for (name, factory) in factories {
+            let fast = BatchSuggest::new(Box::new(factory));
+            let slow =
+                BatchSuggest::new(Box::new(factory)).with_retraction(RetractionMode::Rebuild);
+            let a = drive(fast, 3, 5);
+            let b = drive(slow, 3, 5);
+            assert_eq!(a, b, "{name}: retraction mode changed the suggestion stream");
+        }
+    }
+
+    /// A snapshot-capable optimizer retracts without touching the
+    /// factory; one that cannot snapshot (DDPG) falls back to it.
+    #[test]
+    fn snapshot_retraction_skips_the_factory_rebuild() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        use std::sync::Arc;
+        let rebuilds = Arc::new(AtomicUsize::new(0));
+        let counter = rebuilds.clone();
+        let mut opt = BatchSuggest::new(Box::new(move || -> Box<dyn Optimizer> {
+            counter.fetch_add(1, Ordering::SeqCst);
+            Box::new(Smac::new(SearchSpec::continuous(2), SmacConfig::default(), 3))
+        }));
+        assert_eq!(rebuilds.load(Ordering::SeqCst), 1, "one build at construction");
+        drop(drive_mut(&mut opt, 3, 4));
+        assert_eq!(
+            rebuilds.load(Ordering::SeqCst),
+            1,
+            "snapshot retraction must never rebuild a snapshot-capable optimizer"
+        );
+    }
+
+    /// Like `drive` but borrowing, so the caller keeps the wrapper.
+    fn drive_mut(opt: &mut BatchSuggest, q: usize, rounds: usize) -> Vec<Vec<f64>> {
+        let mut all = Vec::new();
+        for _ in 0..rounds {
+            let batch = opt.suggest_batch(q);
+            let obs: Vec<Observation> = batch
+                .iter()
+                .map(|x| Observation { x: x.clone(), y: sphere(x), metrics: vec![] })
+                .collect();
+            all.extend(batch);
+            opt.observe_batch(obs);
+        }
+        all
     }
 }

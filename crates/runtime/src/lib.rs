@@ -48,7 +48,7 @@ pub mod cache;
 pub mod campaign;
 pub mod executor;
 
-pub use batch::{BatchSuggest, LiarStrategy, OptimizerFactory};
+pub use batch::{BatchSuggest, LiarStrategy, OptimizerFactory, RetractionMode};
 pub use cache::{config_key, CacheStats, EvalCache};
 pub use campaign::{
     AdapterKind, Campaign, CampaignOptions, CampaignResult, CampaignSpec, OptimizerKind,

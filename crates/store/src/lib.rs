@@ -35,5 +35,5 @@ pub use record::{
     knob_value_from_token, knob_value_to_token, record_from_json, record_to_json, SessionMeta,
     SessionStatus, StoreRecord, StoredTrial,
 };
-pub use store::{lock_recover, rebuild_history, StoreOptions, TrialStore};
+pub use store::{lock_recover, rebuild_history, CompactionStats, StoreOptions, TrialStore};
 pub use transfer::{cosine_distance, SessionMatch};

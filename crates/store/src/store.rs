@@ -45,6 +45,19 @@ use std::sync::Mutex;
 
 const MANIFEST_HEADER: &str = "llamatune-store v1";
 
+/// What one [`TrialStore::compact`] pass accomplished.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CompactionStats {
+    /// Trial records on disk before compaction (duplicates included).
+    pub trial_records_before: usize,
+    /// Trial records after — one per distinct `(session, iteration)`.
+    pub trial_records_after: usize,
+    /// Segment files before (sealed + active).
+    pub segments_before: usize,
+    /// Segment files after (sealed + the fresh empty active).
+    pub segments_after: usize,
+}
+
 /// Store tuning knobs.
 #[derive(Debug, Clone)]
 pub struct StoreOptions {
@@ -70,6 +83,11 @@ struct SessionEntry {
 struct Inner {
     sealed: Vec<String>,
     active_name: String,
+    /// Numeric index of the active segment. Segment numbering is
+    /// monotonically increasing but — after a [`TrialStore::compact`] —
+    /// not necessarily dense, so the index is tracked explicitly rather
+    /// than derived from `sealed.len()`.
+    active_index: usize,
     active: File,
     active_records: usize,
     sessions: BTreeMap<String, SessionEntry>,
@@ -91,6 +109,11 @@ fn corrupt(msg: impl Into<String>) -> io::Error {
 
 fn segment_name(index: usize) -> String {
     format!("seg-{index:06}.jsonl")
+}
+
+/// Inverse of [`segment_name`]: the numeric index of a segment file.
+fn segment_index(name: &str) -> Option<usize> {
+    name.strip_prefix("seg-")?.strip_suffix(".jsonl")?.parse().ok()
 }
 
 /// Locks a mutex, recovering from poisoning: one panicked worker thread
@@ -142,10 +165,19 @@ impl TrialStore {
             }
         }
 
+        // The active segment follows the highest sealed index (indices
+        // are monotonic but, after compaction, not necessarily dense).
+        let mut max_index = 0usize;
+        for name in &sealed {
+            let idx = segment_index(name)
+                .ok_or_else(|| corrupt(format!("unparsable segment name {name:?} in manifest")))?;
+            max_index = max_index.max(idx);
+        }
+        let active_index = max_index + 1;
         // The active segment may end in a torn append: drop (and truncate
         // away) an unparsable *final* line; reject garbage followed by
         // valid records.
-        let active_name = segment_name(sealed.len() + 1);
+        let active_name = segment_name(active_index);
         let active_path = dir.join(&active_name);
         let mut active_records = 0usize;
         if active_path.exists() {
@@ -207,6 +239,7 @@ impl TrialStore {
             inner: Mutex::new(Inner {
                 sealed,
                 active_name,
+                active_index,
                 active,
                 active_records,
                 sessions,
@@ -254,13 +287,20 @@ impl TrialStore {
         // Open the next segment *before* committing the manifest: a
         // failure here leaves only an empty, unlisted file behind, and
         // the store state (in memory and on disk) is unchanged.
-        let next_name = segment_name(inner.sealed.len() + 2);
-        let next = OpenOptions::new().create(true).append(true).open(self.dir.join(&next_name))?;
+        let next_index = inner.active_index + 1;
+        let next_name = segment_name(next_index);
+        // Truncate before adopting: a compaction that crashed before its
+        // manifest rename can leave a stray file at this index whose
+        // stale records would otherwise be replayed *after* newer ones
+        // and win the last-wins resolution.
+        File::create(self.dir.join(&next_name))?.sync_data()?;
+        let next = OpenOptions::new().append(true).open(self.dir.join(&next_name))?;
         let mut sealed = inner.sealed.clone();
         sealed.push(inner.active_name.clone());
         write_manifest_atomically(&self.dir, &sealed)?;
         inner.sealed = sealed;
         inner.active_name = next_name;
+        inner.active_index = next_index;
         inner.active = next;
         inner.active_records = 0;
         Ok(())
@@ -325,6 +365,93 @@ impl TrialStore {
     /// Whether the store holds no trials.
     pub fn is_empty(&self) -> bool {
         self.trial_count() == 0
+    }
+
+    /// Rewrites the store with its logical state only: one metadata
+    /// record per session (the latest — superseded status updates are
+    /// dropped) followed by its trials with `(session, iteration)`
+    /// last-wins deduplication applied. Resumed campaigns re-run partial
+    /// trailing rounds and append duplicate records by design; a
+    /// campaign resumed many times accretes them, and compaction
+    /// reclaims the space without changing anything a reader can see:
+    /// [`TrialStore::export_jsonl`], [`TrialStore::trials_for`], and
+    /// session metadata are identical before and after (pinned by the
+    /// checkpoint-resume test suite).
+    ///
+    /// Crash safety follows the rotation protocol: compacted segments
+    /// are written to fresh (higher-numbered) files and fsynced, then a
+    /// manifest naming exactly those segments is committed by atomic
+    /// rename, then the superseded files are deleted best-effort. A
+    /// crash before the rename leaves the old manifest — and therefore
+    /// the old store — fully intact; stray compacted files are inert
+    /// (recovery only reads manifest-listed segments plus the derived
+    /// active name) and are truncated before reuse when the segment
+    /// sequence later reaches their index.
+    pub fn compact(&self) -> io::Result<CompactionStats> {
+        let mut guard = lock_recover(&self.inner);
+        let inner = &mut *guard;
+        inner.active.sync_data()?;
+        let old_segments: Vec<String> =
+            inner.sealed.iter().cloned().chain([inner.active_name.clone()]).collect();
+        let records_before = inner.trial_records;
+
+        // Serialize the deduplicated state, session by session.
+        let mut records: Vec<String> = Vec::new();
+        for entry in inner.sessions.values() {
+            if let Some(m) = &entry.meta {
+                records.push(record_to_json(&StoreRecord::Session(m.clone())));
+            }
+            for t in entry.trials.values() {
+                records.push(record_to_json(&StoreRecord::Trial(t.clone())));
+            }
+        }
+
+        // Write the compacted run into fresh segment files past the
+        // current active index, fully synced before the manifest commit.
+        let mut new_sealed = Vec::new();
+        let mut idx = inner.active_index;
+        for chunk in records.chunks(self.opts.segment_records.max(1)) {
+            idx += 1;
+            let name = segment_name(idx);
+            let mut text = String::with_capacity(chunk.iter().map(|r| r.len() + 1).sum());
+            for rec in chunk {
+                text.push_str(rec);
+                text.push('\n');
+            }
+            let mut f = File::create(self.dir.join(&name))?;
+            f.write_all(text.as_bytes())?;
+            f.sync_data()?;
+            new_sealed.push(name);
+        }
+        let new_active_index = idx + 1;
+        let new_active_name = segment_name(new_active_index);
+        // Truncate any stray file left by an earlier interrupted
+        // compaction, then reopen in append mode as the active segment.
+        File::create(self.dir.join(&new_active_name))?.sync_data()?;
+        let new_active = OpenOptions::new().append(true).open(self.dir.join(&new_active_name))?;
+
+        // Commit point.
+        write_manifest_atomically(&self.dir, &new_sealed)?;
+        let segments_before = old_segments.len();
+        inner.sealed = new_sealed;
+        inner.active_name = new_active_name;
+        inner.active_index = new_active_index;
+        inner.active = new_active;
+        inner.active_records = 0;
+        inner.trial_records = inner.sessions.values().map(|e| e.trials.len()).sum();
+        let stats = CompactionStats {
+            trial_records_before: records_before,
+            trial_records_after: inner.trial_records,
+            segments_before,
+            segments_after: inner.sealed.len() + 1,
+        };
+
+        // The old files are unreachable from the new manifest; deletion
+        // is cleanup, not correctness.
+        for name in old_segments {
+            let _ = std::fs::remove_file(self.dir.join(name));
+        }
+        Ok(stats)
     }
 
     /// Every stored trial projected onto the core JSONL event schema,
@@ -654,6 +781,117 @@ mod tests {
         assert_eq!(h.default_score(), 5.0);
         let stopped = rebuild_history(&trials, Some(4));
         assert_eq!(stopped.stopped_at, Some(4));
+    }
+
+    #[test]
+    fn compact_dedups_trials_and_drops_superseded_meta() {
+        let dir = tmp_dir("compact");
+        let store = TrialStore::open_with(&dir, StoreOptions { segment_records: 4 }).unwrap();
+        store.append_session(&meta("s1", SessionStatus::Running)).unwrap();
+        for i in 0..5 {
+            store.append_trial(&trial("s1", i, i as f64)).unwrap();
+        }
+        // A resumed partial round re-runs iterations 3 and 4.
+        store.append_trial(&trial("s1", 3, 33.0)).unwrap();
+        store.append_trial(&trial("s1", 4, 44.0)).unwrap();
+        store.append_session(&meta("s1", SessionStatus::Done)).unwrap();
+        let export_before = store.export_jsonl();
+        assert_eq!(store.trial_records(), 7);
+        assert_eq!(store.trial_count(), 5);
+
+        let stats = store.compact().unwrap();
+        assert_eq!(stats.trial_records_before, 7);
+        assert_eq!(stats.trial_records_after, 5);
+        assert!(stats.segments_after <= stats.segments_before);
+        assert_eq!(store.trial_records(), 5, "duplicates rewritten away");
+        assert_eq!(store.export_jsonl(), export_before, "logical state unchanged");
+        assert_eq!(store.session_meta("s1").unwrap().status, SessionStatus::Done);
+        assert_eq!(store.trials_for("s1")[3].score, 33.0, "last-wins winners survive");
+
+        // The rewritten store reopens cleanly (non-dense segment
+        // numbering) and keeps accepting appends.
+        drop(store);
+        let store = TrialStore::open(&dir).unwrap();
+        assert_eq!(store.export_jsonl(), export_before);
+        assert_eq!(store.trial_records(), 5);
+        store.append_trial(&trial("s1", 5, 55.0)).unwrap();
+        drop(store);
+        let store = TrialStore::open(&dir).unwrap();
+        assert_eq!(store.trial_count(), 6);
+        // Exactly one metadata record per session remains on disk.
+        let mut meta_lines = 0;
+        for name in store.sealed_segments() {
+            let text = std::fs::read_to_string(dir.join(&name)).unwrap();
+            meta_lines += text.lines().filter(|l| l.contains("\"kind\":\"session\"")).count();
+        }
+        assert_eq!(meta_lines, 1, "superseded Running meta dropped");
+        std::fs::remove_dir_all(store.dir()).unwrap();
+    }
+
+    #[test]
+    fn compact_is_idempotent_and_handles_empty_stores() {
+        let dir = tmp_dir("compact_idem");
+        let store = TrialStore::open(&dir).unwrap();
+        let stats = store.compact().unwrap();
+        assert_eq!(stats.trial_records_after, 0);
+        store.append_trial(&trial("s1", 0, 1.0)).unwrap();
+        store.compact().unwrap();
+        let export = store.export_jsonl();
+        let again = store.compact().unwrap();
+        assert_eq!(again.trial_records_before, again.trial_records_after);
+        assert_eq!(store.export_jsonl(), export);
+        std::fs::remove_dir_all(store.dir()).unwrap();
+    }
+
+    #[test]
+    fn rotation_continues_after_compaction() {
+        let dir = tmp_dir("compact_rotate");
+        let store = TrialStore::open_with(&dir, StoreOptions { segment_records: 3 }).unwrap();
+        for i in 0..7 {
+            store.append_trial(&trial("s1", i, i as f64)).unwrap();
+        }
+        store.compact().unwrap();
+        // Keep appending past the rotation threshold: sealing must use
+        // fresh indices beyond the compacted ones.
+        for i in 7..14 {
+            store.append_trial(&trial("s1", i, i as f64)).unwrap();
+        }
+        drop(store);
+        let store = TrialStore::open(&dir).unwrap();
+        assert_eq!(store.trial_count(), 14);
+        let names = store.sealed_segments();
+        let indices: Vec<usize> = names.iter().map(|n| super::segment_index(n).unwrap()).collect();
+        assert!(
+            indices.windows(2).all(|w| w[0] < w[1]),
+            "manifest indices strictly increase (no reuse after compaction): {names:?}"
+        );
+        std::fs::remove_dir_all(store.dir()).unwrap();
+    }
+
+    #[test]
+    fn rotation_truncates_stray_segment_files() {
+        let dir = tmp_dir("stray");
+        let store = TrialStore::open_with(&dir, StoreOptions { segment_records: 2 }).unwrap();
+        // A compaction that crashed before its manifest rename leaves a
+        // stray file at a future segment index; its stale records must
+        // not be adopted when rotation reaches that index.
+        let stale = format!(
+            "{}\n",
+            record_to_json(&StoreRecord::Session(meta("ghost", SessionStatus::Running)))
+        );
+        std::fs::write(dir.join(segment_name(2)), stale).unwrap();
+        for i in 0..3 {
+            store.append_trial(&trial("s1", i, i as f64)).unwrap();
+        }
+        assert_eq!(store.sealed_segments(), vec![segment_name(1)], "rotation happened");
+        drop(store);
+        let store = TrialStore::open(&dir).unwrap();
+        assert_eq!(store.trial_count(), 3);
+        assert!(
+            store.session_meta("ghost").is_none(),
+            "stale records in a stray segment must not resurface"
+        );
+        std::fs::remove_dir_all(store.dir()).unwrap();
     }
 
     #[test]

@@ -143,6 +143,65 @@ fn resume_after_a_torn_write_reproduces_the_uninterrupted_history() {
 }
 
 #[test]
+fn resumed_thrice_campaign_compacts_to_the_same_export() {
+    let campaign = campaign();
+
+    // Ground truth: the uninterrupted campaign.
+    let truth_dir = tmp_dir("compact_truth");
+    let truth_store = TrialStore::open(&truth_dir).unwrap();
+    campaign.run_with_store(&truth_store).unwrap();
+    let truth_export = truth_store.export_jsonl();
+
+    // Kill-and-resume the campaign three times: each cycle truncates
+    // the previous cycle's record stream mid-flight and resumes from
+    // the survivors, re-running the partial trailing round and thereby
+    // appending duplicate (session, iteration) records.
+    let mut stream = record_stream(&truth_dir);
+    let mut final_dir = None;
+    for (cycle, frac) in [(1, 0.3), (2, 0.55), (3, 0.8)] {
+        let lines: Vec<&str> = stream.lines().collect();
+        let keep = ((lines.len() as f64 * frac) as usize).max(1);
+        let prefix: String = lines[..keep].iter().map(|l| format!("{l}\n")).collect();
+        let dir = tmp_dir(&format!("compact_cycle_{cycle}"));
+        store_from_prefix(&dir, &prefix);
+        let store = TrialStore::open(&dir).unwrap();
+        campaign.resume(&store).unwrap();
+        assert_eq!(store.export_jsonl(), truth_export, "cycle {cycle} resumed to truth");
+        stream = record_stream(&dir);
+        if let Some(old) = final_dir.replace(dir) {
+            std::fs::remove_dir_all(old).unwrap();
+        }
+    }
+
+    // The thrice-resumed store drags duplicate records and superseded
+    // metadata; compaction rewrites them away without changing the
+    // exported history — byte for byte.
+    let dir = final_dir.unwrap();
+    let store = TrialStore::open(&dir).unwrap();
+    assert!(
+        store.trial_records() > store.trial_count(),
+        "resume cycles must have appended duplicates for this test to bite"
+    );
+    let stats = store.compact().unwrap();
+    assert_eq!(stats.trial_records_after, store.trial_count());
+    assert!(stats.trial_records_before > stats.trial_records_after);
+    assert_eq!(store.export_jsonl(), truth_export, "compaction preserves the export");
+
+    // And the compacted store still resumes for free: rebuilt
+    // histories, zero re-evaluation, identical export.
+    drop(store);
+    let store = TrialStore::open(&dir).unwrap();
+    assert_eq!(store.export_jsonl(), truth_export);
+    let records_before = store.trial_records();
+    campaign.resume(&store).unwrap();
+    assert_eq!(store.trial_records(), records_before, "no re-evaluation after compaction");
+    assert_eq!(store.export_jsonl(), truth_export);
+
+    std::fs::remove_dir_all(&dir).unwrap();
+    std::fs::remove_dir_all(&truth_dir).unwrap();
+}
+
+#[test]
 fn warm_started_campaign_resumes_with_its_recorded_warm_points() {
     // A warm-started session interrupted during initialization must
     // resume with the warm points recorded in its metadata — not
