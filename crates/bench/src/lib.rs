@@ -11,6 +11,7 @@
 //!   simulated runs, for smoke-testing the harness.
 
 pub mod exp;
+pub mod gate;
 pub mod printing;
 
 pub use exp::{

@@ -365,10 +365,32 @@ pub fn events_from_jsonl(text: &str) -> Result<Vec<TrialEvent>, String> {
         .collect()
 }
 
+/// Collapses event streams that may carry duplicates into the canonical
+/// single-history view: the *last* record wins per `(session,
+/// iteration)`, and the output is sorted by session label then
+/// iteration — the same order the trial store's export produces.
+///
+/// Duplicates are a feature of the persistence layer, not an error:
+/// resumed campaigns re-run their partial trailing round, and in a
+/// fleet a worker that takes over a dead peer's session re-appends the
+/// records the kill left behind. Concatenating such logs (or several
+/// workers' logs) and deduplicating here recovers exactly the
+/// transcript of the uninterrupted run, which is what makes merged
+/// multi-writer histories consumable by [`session_curves`] and the
+/// rest of the sequential tooling.
+pub fn dedup_events(events: &[TrialEvent]) -> Vec<TrialEvent> {
+    let mut merged: BTreeMap<(String, usize), TrialEvent> = BTreeMap::new();
+    for e in events {
+        merged.insert((e.session.clone(), e.iteration), e.clone());
+    }
+    merged.into_values().collect()
+}
+
 /// Regroups an interleaved event log into per-session `(scores,
 /// raw_scores)` curves, ordered by iteration index — the JSONL
 /// counterpart of [`curves_from_tsv`]. Fails on missing or duplicate
-/// iterations (a torn log).
+/// iterations (a torn log); deduplicate a resumed or multi-writer log
+/// with [`dedup_events`] first.
 #[allow(clippy::type_complexity)]
 pub fn session_curves(
     events: &[TrialEvent],
@@ -506,6 +528,39 @@ mod tests {
             assert_eq!(raw, &h.raw_scores);
             assert_eq!(best_curve_from_scores(scores), h.best_curve);
         }
+    }
+
+    #[test]
+    fn dedup_events_merges_resumed_and_multi_writer_logs_last_wins() {
+        let (_, h) = tiny_history();
+        let truth = history_to_events("arm_a", &h);
+        // Worker 1 recorded a prefix before dying; worker 2 re-ran the
+        // tail (same content, as determinism guarantees) plus a stale
+        // duplicate of iteration 1 with a different score — the later
+        // record must win.
+        let mut log: Vec<TrialEvent> = truth[..3].to_vec();
+        log.extend(truth[1..].iter().cloned());
+        assert!(log.len() > truth.len());
+        let merged = dedup_events(&log);
+        assert_eq!(merged, truth, "merged view equals the uninterrupted transcript");
+        // Last-wins: a re-run with a *changed* record overrides.
+        let mut override_log = truth.clone();
+        let mut rerun = truth[2].clone();
+        rerun.score += 1.0;
+        override_log.push(rerun.clone());
+        let merged = dedup_events(&override_log);
+        assert_eq!(merged[2], rerun);
+        // The merged view is curve-consumable even when the raw log
+        // is not (session_curves rejects duplicates).
+        assert!(session_curves(&override_log).is_err());
+        assert!(session_curves(&merged).is_ok());
+        // Multi-session merges come back sorted by label then iteration.
+        let mut two = history_to_events("arm_b", &h);
+        two.extend(truth.clone());
+        let merged = dedup_events(&two);
+        assert!(merged
+            .windows(2)
+            .all(|w| (&w[0].session, w[0].iteration) < (&w[1].session, w[1].iteration)));
     }
 
     #[test]

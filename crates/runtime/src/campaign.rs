@@ -29,10 +29,14 @@ use llamatune::session::{
 use llamatune_engine::RunOptions;
 use llamatune_optim::Optimizer;
 use llamatune_space::{Config, ConfigSpace};
-use llamatune_store::{rebuild_history, SessionMeta, SessionStatus, StoredTrial, TrialStore};
+use llamatune_store::{
+    rebuild_history, SessionMeta, SessionStatus, StoreBackend, StoreOptions, StoredTrial,
+    TrialStore,
+};
 use llamatune_workloads::{
     workload_by_name, workload_fingerprint, WorkloadRunner, FINGERPRINT_PROBE_SEED,
 };
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 
 /// Which search-space adapter a campaign arm uses.
@@ -379,6 +383,93 @@ impl Campaign {
         self.run_with_store(store)
     }
 
+    /// Runs the campaign as a *fleet*: `workers` threads each register
+    /// as a shared writer on `backend` (tags `w0..`, via
+    /// [`TrialStore::open_shared`]) and pull sessions from a shared
+    /// queue, so N workers append into one knowledge base — local
+    /// directory or object store alike. Each worker leases the sessions
+    /// it runs through [`SessionMeta::lease`], refreshes its merged
+    /// view of the store before every claim (finished sessions are
+    /// rebuilt without re-evaluation, and warm-start transfer sees what
+    /// the whole fleet has learned so far), and checkpoints per trial
+    /// exactly like [`Campaign::run_with_store`].
+    ///
+    /// Crash/resume semantics are the fleet generalization of the
+    /// single-store contract: kill any worker (or the whole fleet) at
+    /// any point, call `run_shared` again with any worker count, and
+    /// the store's exported event history converges to the
+    /// uninterrupted run's, byte for byte — sessions are pure functions
+    /// of their recorded history, dead workers' partial rounds are
+    /// re-run deterministically, and dead workers' registered active
+    /// segments are reclaimed by the next fleet. A worker that fails to
+    /// open the store steps aside — its error surfaces only for
+    /// sessions no healthy worker ended up running. A worker that hits
+    /// a storage error mid-session reports it for that session and
+    /// moves on; the first error is returned after every queued session
+    /// has been attempted.
+    pub fn run_shared(
+        &self,
+        backend: Arc<dyn StoreBackend>,
+        workers: usize,
+        store_opts: StoreOptions,
+    ) -> std::io::Result<Vec<CampaignResult>> {
+        let cells = self.cells();
+        let workers = workers.clamp(1, cells.len().max(1));
+        let next = AtomicUsize::new(0);
+        let results: Vec<Mutex<Option<std::io::Result<CampaignResult>>>> =
+            (0..cells.len()).map(|_| Mutex::new(None)).collect();
+        let open_failure: Mutex<Option<String>> = Mutex::new(None);
+        std::thread::scope(|scope| {
+            for w in 0..workers {
+                let tag = format!("w{w}");
+                let (next, results, cells) = (&next, &results, &cells);
+                let open_failure = &open_failure;
+                let backend = backend.clone();
+                let store_opts = store_opts.clone();
+                scope.spawn(move || {
+                    let store = match TrialStore::open_shared(backend, &tag, store_opts) {
+                        Ok(store) => store,
+                        Err(e) => {
+                            // Step aside: the healthy workers drain the
+                            // whole queue; this error only surfaces for
+                            // sessions no worker ended up running.
+                            lock_recover(open_failure).get_or_insert(format!("worker {tag}: {e}"));
+                            return;
+                        }
+                    };
+                    loop {
+                        let i = next.fetch_add(1, Ordering::SeqCst);
+                        if i >= cells.len() {
+                            return;
+                        }
+                        let res = store
+                            .refresh()
+                            .and_then(|()| self.run_session_cell_store(&cells[i], &store));
+                        *lock_recover(&results[i]) = Some(res);
+                    }
+                });
+            }
+        });
+        let open_failure = open_failure.into_inner().unwrap_or_else(|e| e.into_inner());
+        results
+            .into_iter()
+            .zip(&cells)
+            .map(|(slot, cell)| {
+                slot.into_inner().unwrap_or_else(|e| e.into_inner()).unwrap_or_else(|| {
+                    Err(std::io::Error::other(match &open_failure {
+                        Some(msg) => format!(
+                            "session {} never ran: a fleet worker failed to open the store ({msg})",
+                            cell.label
+                        ),
+                        None => {
+                            format!("fleet worker died before running session {}", cell.label)
+                        }
+                    }))
+                })
+            })
+            .collect()
+    }
+
     fn run_session_cell_store(
         &self,
         cell: &Cell,
@@ -415,7 +506,18 @@ impl Campaign {
         // Session metadata: reuse the recorded fingerprint and warm
         // points (determinism across resumes), or probe and match afresh.
         let meta = match meta {
-            Some(m) => m,
+            Some(mut m) => {
+                // Fleet takeover: a resumed running session is re-leased
+                // to the worker that now owns it (the previous holder is
+                // dead — live fleet workers never contend for a cell).
+                if let Some(w) = store.writer() {
+                    if m.lease.as_deref() != Some(w) {
+                        m.lease = Some(w.to_string());
+                        store.append_session(&m)?;
+                    }
+                }
+                m
+            }
             None => {
                 let fingerprint = workload_fingerprint(&runner, FINGERPRINT_PROBE_SEED);
                 let warm_points = self.transfer_warm_points(store, cell, &*adapter, &fingerprint);
@@ -427,6 +529,7 @@ impl Campaign {
                     stopped_at: None,
                     fingerprint,
                     warm_points,
+                    lease: store.writer().map(str::to_string),
                 };
                 store.append_session(&m)?;
                 m
@@ -510,6 +613,7 @@ impl Campaign {
         store.append_session(&SessionMeta {
             status: SessionStatus::Done,
             stopped_at: history.stopped_at,
+            lease: None, // released on completion
             ..meta
         })?;
         Ok(result(history, cache.map(|c| c.stats())))

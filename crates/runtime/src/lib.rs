@@ -28,7 +28,12 @@
 //!   checkpoints every trial as it completes, survives crashes
 //!   (resuming bit-identically from the last recorded round boundary),
 //!   and can warm-start new sessions from the best configurations of
-//!   fingerprint-similar past campaigns.
+//!   fingerprint-similar past campaigns. `Campaign::run_shared` scales
+//!   the same contract to a *fleet*: N workers register as shared
+//!   writers on one store backend (local directory or S3-style object
+//!   store — `llamatune_store::backend`), lease sessions, and append
+//!   into one common knowledge base; killing any worker and re-running
+//!   converges to the identical exported history.
 //!
 //! [`WorkloadRunner`]: llamatune_workloads::WorkloadRunner
 //! [`Optimizer`]: llamatune_optim::Optimizer

@@ -7,11 +7,22 @@
 //!
 //! * [`TrialStore`] — an append-only, crash-safe store of trial and
 //!   session records: JSONL segments sealed through an atomically
-//!   renamed manifest, torn-write recovery on the active segment, and
+//!   committed manifest, torn-write recovery on the active segment, and
 //!   an in-memory index keyed by session label and iteration (see
-//!   [`store`] for the on-disk format). Records are a superset of the
+//!   [`store`] for the format). Records are a superset of the
 //!   core crate's `TrialEvent` schema, so a store exports the exact
 //!   campaign transcript the sequential tooling already reads.
+//! * **Pluggable backends** ([`backend`]) — the store reads and writes
+//!   named objects through the [`StoreBackend`] trait:
+//!   [`LocalDirBackend`] keeps the original one-file-per-object layout
+//!   (manifest committed by atomic rename), [`ObjectStoreBackend`]
+//!   emulates S3-style object storage (no rename; manifest committed
+//!   by conditional put). Fleet mode ([`TrialStore::open_shared`])
+//!   lets N tuning workers append into one store through per-writer
+//!   active segments and a manifest CAS retry loop, with
+//!   [`TrialStore::open_reader`] serving the merged view. [`faults`]
+//!   injects deterministic kill-at-byte failures at this seam for the
+//!   CI crash suites.
 //! * **Checkpoint/resume** — the runtime crate's `Campaign` flushes
 //!   every completed trial through the store and, on restart,
 //!   `Campaign::resume` replays recorded trials to rebuild optimizer
@@ -27,13 +38,20 @@
 //! `grep`, exportable with [`TrialStore::export_jsonl`], and robust to
 //! partial writes by construction rather than by checksum machinery.
 
+pub mod backend;
+pub mod faults;
 pub mod record;
 pub mod store;
 pub mod transfer;
 
+pub use backend::{
+    lock_recover, revision_of, CasConflict, LocalDirBackend, ObjectStoreBackend,
+    ObjectStoreOptions, Revision, StoreBackend, MANIFEST_NAME,
+};
+pub use faults::{FailingBackend, FaultPlan};
 pub use record::{
     knob_value_from_token, knob_value_to_token, record_from_json, record_to_json, SessionMeta,
     SessionStatus, StoreRecord, StoredTrial,
 };
-pub use store::{lock_recover, rebuild_history, CompactionStats, StoreOptions, TrialStore};
+pub use store::{rebuild_history, CompactionStats, StoreOptions, TrialStore};
 pub use transfer::{cosine_distance, SessionMatch};

@@ -100,6 +100,14 @@ pub struct SessionMeta {
     pub fingerprint: Vec<f64>,
     /// Warm-start points the session was seeded with (optimizer space).
     pub warm_points: Vec<Vec<f64>>,
+    /// Fleet writer currently leasing the session (`None` outside
+    /// shared campaigns, and cleared when the session finishes). Live
+    /// workers of one fleet never run the same session; after a worker
+    /// dies, a resuming fleet re-leases its `running` sessions — the
+    /// field records who owns what, making takeovers auditable. The
+    /// key is omitted from the serialized record when `None`, so
+    /// single-writer stores are byte-identical to the pre-lease format.
+    pub lease: Option<String>,
 }
 
 /// One line of a store segment.
@@ -169,8 +177,14 @@ pub fn record_to_json(r: &StoreRecord) -> String {
             };
             let warm =
                 m.warm_points.iter().map(|p| f64_array_json(p)).collect::<Vec<_>>().join(",");
+            let lease = match &m.lease {
+                Some(w) => {
+                    format!(",\"lease\":\"{}\"", llamatune::history_io::json_escape(w))
+                }
+                None => String::new(),
+            };
             format!(
-                "{{\"kind\":\"session\",\"session\":\"{}\",\"workload\":\"{}\",\"adapter\":\"{}\",\"status\":\"{status}\",\"stopped_at\":{stopped},\"fingerprint\":{},\"warm_points\":[{warm}]}}",
+                "{{\"kind\":\"session\",\"session\":\"{}\",\"workload\":\"{}\",\"adapter\":\"{}\",\"status\":\"{status}\",\"stopped_at\":{stopped},\"fingerprint\":{},\"warm_points\":[{warm}]{lease}}}",
                 llamatune::history_io::json_escape(&m.session),
                 llamatune::history_io::json_escape(&m.workload),
                 llamatune::history_io::json_escape(&m.adapter),
@@ -200,6 +214,7 @@ pub fn record_from_json(line: &str) -> Result<StoreRecord, String> {
     let mut stopped_at = None;
     let mut fingerprint = None;
     let mut warm_points = None;
+    let mut lease = None;
     loop {
         let key = sc.string()?;
         sc.expect(b':')?;
@@ -254,6 +269,7 @@ pub fn record_from_json(line: &str) -> Result<StoreRecord, String> {
                 }
                 warm_points = Some(pts);
             }
+            "lease" => lease = Some(sc.string()?),
             other => return Err(format!("unknown key {other:?}")),
         }
         match sc.peek() {
@@ -285,6 +301,7 @@ pub fn record_from_json(line: &str) -> Result<StoreRecord, String> {
             stopped_at: stopped_at.ok_or("missing stopped_at")?,
             fingerprint: fingerprint.ok_or("missing fingerprint")?,
             warm_points: warm_points.ok_or("missing warm_points")?,
+            lease,
         })),
         Some(other) => Err(format!("unknown record kind {other:?}")),
         None => Err("missing kind".to_string()),
@@ -316,6 +333,7 @@ mod tests {
             stopped_at: None,
             fingerprint: vec![0.3, -0.1, 0.955],
             warm_points: vec![vec![0.5, 0.25], vec![0.75, 0.125]],
+            lease: None,
         }
     }
 
@@ -342,6 +360,20 @@ mod tests {
             ..sample_meta()
         });
         assert_eq!(record_from_json(&record_to_json(&done)).unwrap(), done);
+    }
+
+    #[test]
+    fn leases_roundtrip_and_are_omitted_when_absent() {
+        let leased =
+            StoreRecord::Session(SessionMeta { lease: Some("w3".to_string()), ..sample_meta() });
+        let line = record_to_json(&leased);
+        assert!(line.contains("\"lease\":\"w3\""));
+        assert_eq!(record_from_json(&line).unwrap(), leased);
+        // No lease → no key: single-writer records keep their exact
+        // pre-lease byte layout.
+        let unleased = record_to_json(&StoreRecord::Session(sample_meta()));
+        assert!(!unleased.contains("lease"));
+        assert_eq!(record_from_json(&unleased).unwrap(), StoreRecord::Session(sample_meta()));
     }
 
     #[test]

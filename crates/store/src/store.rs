@@ -1,47 +1,68 @@
 //! The append-only, crash-safe trial store.
 //!
-//! ## On-disk layout
+//! ## Layout
 //!
 //! ```text
-//! <dir>/
-//!   MANIFEST            # "llamatune-store v1" + one sealed segment per line
-//!   seg-000001.jsonl    # sealed: listed in MANIFEST, immutable, fully valid
-//!   seg-000002.jsonl    # active: highest-numbered, append-only, may be torn
+//! MANIFEST            # header + sealed segment names (+ "active" lines
+//!                     # for fleet writers — see below)
+//! seg-000001.jsonl    # sealed: listed in MANIFEST, immutable, fully valid
+//! seg-000002.jsonl    # active: append-only, may be torn
 //! ```
 //!
-//! Every segment line is one [`StoreRecord`] (see [`crate::record`]).
-//! Appends go to the *active* segment — one `write` syscall per record,
-//! flushed before the session loop starts its next round, so a crash
-//! loses at most the round in flight. When the active segment reaches
-//! [`StoreOptions::segment_records`] records it is *sealed*: the file is
-//! fsynced, a new `MANIFEST` naming it is written to a temp file and
-//! atomically renamed over the old one, and a fresh active segment
-//! starts. The manifest rename is the commit point — a crash during
-//! rotation leaves either the old manifest (segment still active, fully
-//! replayable) or the new one (segment sealed); no state in between.
+//! Objects live behind a [`StoreBackend`] — a local directory
+//! ([`crate::backend::LocalDirBackend`]) or S3-style object storage
+//! ([`crate::backend::ObjectStoreBackend`]); the store never touches
+//! the filesystem directly. Every segment line is one [`StoreRecord`]
+//! (see [`crate::record`]). Appends go to the *active* segment — one
+//! backend `append` per record. When the active segment reaches
+//! [`StoreOptions::segment_records`] records it is *sealed*: the
+//! segment is synced, then a new `MANIFEST` naming it is committed —
+//! by atomic rename on local directories, by conditional put (CAS) on
+//! object stores (see [`crate::backend`] for the two protocols). The
+//! manifest commit is the commit point — a crash during rotation leaves
+//! either the old manifest (segment still active, fully replayable) or
+//! the new one (segment sealed); no state in between.
 //!
 //! ## Recovery
 //!
 //! Opening a store replays the manifest's sealed segments *strictly*
-//! (they were fsynced before sealing, so any damage is real corruption
-//! and surfaces as an error) and the active segment *leniently*: a final
+//! (they were synced before sealing, so any damage is real corruption
+//! and surfaces as an error) and active segments *leniently*: a final
 //! line that fails to parse is a torn append — it is dropped and the
-//! file truncated back to the last good record — while an unparsable
+//! segment truncated back to the last good record — while an unparsable
 //! line with valid records after it means interleaved garbage and is
 //! rejected. Duplicate `(session, iteration)` trials are legal and
 //! resolve last-wins: a resumed session re-runs its partial trailing
 //! round, deterministically overwriting the records the crash left
-//! behind. (These are exactly the behaviors pinned by the core crate's
-//! `events_from_jsonl` error-path tests.)
+//! behind.
+//!
+//! ## Fleet mode (multi-writer)
+//!
+//! [`TrialStore::open_shared`] registers a named writer on the store: a
+//! writer owns a private active segment (`seg-<writer>-NNNNNN.jsonl`),
+//! listed in the manifest as an `active` entry so every other writer —
+//! and [`TrialStore::open_reader`] — can see its uncommitted records.
+//! Rotation and compaction commit through a manifest CAS retry loop: a
+//! writer that loses the race re-reads the winning manifest, merges its
+//! change, and retries, so concurrent rotations and compactions never
+//! drop a committed segment. Live writers never share a session (the
+//! campaign layer leases sessions through [`SessionMeta::lease`]), and
+//! a takeover after a kill re-runs deterministically, so cross-writer
+//! duplicate records are always content-identical and last-wins merge
+//! order does not matter. Single-writer stores are unchanged on disk:
+//! their manifests carry no `active` entries and their segment names no
+//! writer tag.
+//!
+//! [`SessionMeta::lease`]: crate::record::SessionMeta::lease
 
+use crate::backend::{lock_recover, LocalDirBackend, Revision, StoreBackend};
 use crate::record::{record_from_json, record_to_json, SessionMeta, StoreRecord, StoredTrial};
 use llamatune::history_io::{events_to_jsonl, TrialEvent};
 use llamatune::session::PriorTrial;
 use std::collections::BTreeMap;
-use std::fs::{File, OpenOptions};
-use std::io::{self, Write};
+use std::io;
 use std::path::{Path, PathBuf};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 
 const MANIFEST_HEADER: &str = "llamatune-store v1";
 
@@ -79,17 +100,75 @@ struct SessionEntry {
     meta: Option<SessionMeta>,
 }
 
+/// The parsed `MANIFEST`: sealed segments in commit order, then the
+/// registered active segments of fleet writers (empty for single-writer
+/// stores, whose active segment is derived, not listed).
+#[derive(Debug, Clone, Default)]
+struct Manifest {
+    sealed: Vec<String>,
+    actives: Vec<String>,
+}
+
+impl Manifest {
+    fn parse(bytes: &[u8]) -> io::Result<Manifest> {
+        let text = std::str::from_utf8(bytes).map_err(|_| corrupt("manifest is not UTF-8"))?;
+        let mut lines = text.lines();
+        match lines.next() {
+            Some(MANIFEST_HEADER) => {}
+            other => return Err(corrupt(format!("bad manifest header {other:?}"))),
+        }
+        let mut m = Manifest::default();
+        for line in lines {
+            let line = line.trim();
+            if line.is_empty() {
+                continue;
+            }
+            match line.strip_prefix("active ") {
+                Some(name) => m.actives.push(name.to_string()),
+                None => m.sealed.push(line.to_string()),
+            }
+        }
+        Ok(m)
+    }
+
+    fn to_bytes(&self) -> Vec<u8> {
+        let mut text = String::from(MANIFEST_HEADER);
+        text.push('\n');
+        for name in &self.sealed {
+            text.push_str(name);
+            text.push('\n');
+        }
+        for name in &self.actives {
+            text.push_str("active ");
+            text.push_str(name);
+            text.push('\n');
+        }
+        text.into_bytes()
+    }
+
+    /// Highest segment index across every listed segment, any writer.
+    fn max_index(&self) -> usize {
+        self.sealed.iter().chain(&self.actives).filter_map(|n| segment_index(n)).max().unwrap_or(0)
+    }
+}
+
 #[derive(Debug)]
 struct Inner {
+    /// Sealed segments, in manifest (commit) order — fleet-wide in
+    /// shared mode.
     sealed: Vec<String>,
+    /// Manifest-listed active segments of *other* writers (shared mode).
+    foreign_active: Vec<String>,
+    /// Our active segment (empty string in reader mode).
     active_name: String,
     /// Numeric index of the active segment. Segment numbering is
     /// monotonically increasing but — after a [`TrialStore::compact`] —
     /// not necessarily dense, so the index is tracked explicitly rather
     /// than derived from `sealed.len()`.
     active_index: usize,
-    active: File,
     active_records: usize,
+    /// Manifest revision this handle last observed or committed.
+    manifest_revision: Revision,
     sessions: BTreeMap<String, SessionEntry>,
     trial_records: usize,
 }
@@ -98,7 +177,14 @@ struct Inner {
 /// sessions of a campaign append through one shared handle.
 #[derive(Debug)]
 pub struct TrialStore {
-    dir: PathBuf,
+    backend: Arc<dyn StoreBackend>,
+    /// Backing directory, when the backend is a local directory opened
+    /// through [`TrialStore::open`] / [`TrialStore::open_with`].
+    dir: Option<PathBuf>,
+    /// Fleet writer tag ([`TrialStore::open_shared`]); `None` for
+    /// single-writer and reader handles.
+    writer: Option<String>,
+    read_only: bool,
     opts: StoreOptions,
     inner: Mutex<Inner>,
 }
@@ -107,23 +193,174 @@ fn corrupt(msg: impl Into<String>) -> io::Error {
     io::Error::new(io::ErrorKind::InvalidData, msg.into())
 }
 
-fn segment_name(index: usize) -> String {
-    format!("seg-{index:06}.jsonl")
+fn read_only_err() -> io::Error {
+    io::Error::new(io::ErrorKind::Unsupported, "store opened read-only (open_reader)")
+}
+
+/// Segment object name: `seg-NNNNNN.jsonl` for single-writer stores,
+/// `seg-<writer>-NNNNNN.jsonl` in a fleet writer's private namespace
+/// (private namespaces make concurrent index allocation collision-free
+/// by construction).
+fn segment_name(writer: Option<&str>, index: usize) -> String {
+    match writer {
+        Some(w) => format!("seg-{w}-{index:06}.jsonl"),
+        None => format!("seg-{index:06}.jsonl"),
+    }
+}
+
+/// Splits a segment name into its optional writer tag and index.
+fn segment_parts(name: &str) -> Option<(Option<&str>, usize)> {
+    let core = name.strip_prefix("seg-")?.strip_suffix(".jsonl")?;
+    match core.rsplit_once('-') {
+        Some((writer, index)) => Some((Some(writer), index.parse().ok()?)),
+        None => Some((None, core.parse().ok()?)),
+    }
 }
 
 /// Inverse of [`segment_name`]: the numeric index of a segment file.
 fn segment_index(name: &str) -> Option<usize> {
-    name.strip_prefix("seg-")?.strip_suffix(".jsonl")?.parse().ok()
+    segment_parts(name).map(|(_, index)| index)
 }
 
-/// Locks a mutex, recovering from poisoning: one panicked worker thread
-/// must not wedge every other session sharing the lock. Safe wherever
-/// the protected structure is only mutated through small non-panicking
-/// critical sections (true of the store's index and the runtime's
-/// caches, which share this helper) — the panic that poisoned the lock
-/// happened in user code outside them.
-pub fn lock_recover<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
-    m.lock().unwrap_or_else(|e| e.into_inner())
+/// The writer tag embedded in a fleet segment name, if any.
+fn segment_writer(name: &str) -> Option<&str> {
+    segment_parts(name).and_then(|(writer, _)| writer)
+}
+
+/// Reads a sealed segment strictly: it was synced before the manifest
+/// named it, so any unparsable line is corruption. A *missing* object
+/// surfaces as [`io::ErrorKind::NotFound`]: under a fleet it usually
+/// means a concurrent compaction committed a new manifest and deleted
+/// this segment while we were replaying the old one — callers re-read
+/// the manifest and retry, and only treat it as corruption when the
+/// manifest has not moved.
+fn load_segment_strict(backend: &dyn StoreBackend, name: &str) -> io::Result<Vec<StoreRecord>> {
+    let bytes = backend.get(name)?.ok_or_else(|| {
+        io::Error::new(io::ErrorKind::NotFound, format!("manifest names missing segment {name}"))
+    })?;
+    let text = std::str::from_utf8(&bytes).map_err(|_| corrupt(format!("{name}: not UTF-8")))?;
+    text.lines()
+        .enumerate()
+        .map(|(i, line)| {
+            record_from_json(line).map_err(|e| corrupt(format!("{name} line {}: {e}", i + 1)))
+        })
+        .collect()
+}
+
+/// Reads an active segment leniently: an unparsable *final* line is a
+/// torn append and is dropped; garbage followed by valid records is
+/// rejected. With `repair`, the torn tail is truncated away on the
+/// backend and a missing final newline (a tear between the closing
+/// brace and the terminator) is repaired in place — only call with
+/// `repair` on a segment this handle owns.
+fn load_segment_lenient(
+    backend: &dyn StoreBackend,
+    name: &str,
+    repair: bool,
+) -> io::Result<Vec<StoreRecord>> {
+    let Some(bytes) = backend.get(name)? else {
+        return Ok(Vec::new());
+    };
+    let text = std::str::from_utf8(&bytes).map_err(|_| corrupt(format!("{name}: not UTF-8")))?;
+    let mut good_len = 0usize;
+    let mut pending: Vec<StoreRecord> = Vec::new();
+    let mut torn: Option<String> = None;
+    for (i, line) in text.lines().enumerate() {
+        match record_from_json(line) {
+            Ok(rec) => {
+                if let Some(bad) = &torn {
+                    return Err(corrupt(format!(
+                        "{name} line {}: unparsable record {bad:?} followed by valid records",
+                        i
+                    )));
+                }
+                pending.push(rec);
+                // `lines()` strips the terminator; count it back.
+                good_len += line.len() + 1;
+            }
+            Err(e) => {
+                if torn.is_some() {
+                    return Err(corrupt(format!(
+                        "{name} line {}: {e} (multiple unparsable lines)",
+                        i + 1
+                    )));
+                }
+                torn = Some(format!("line {}: {e}", i + 1));
+            }
+        }
+    }
+    if repair {
+        if torn.is_some() && good_len < text.len() {
+            // Torn final append: truncate the segment back to the last
+            // complete record before appending continues.
+            backend.truncate(name, good_len as u64)?;
+        } else if torn.is_none() && !text.is_empty() && !text.ends_with('\n') {
+            // A tear can also land *between* the closing brace and the
+            // newline: the final record is complete and kept, but its
+            // terminator must be repaired — otherwise the next append
+            // would concatenate onto this line and a later recovery
+            // would mis-read the merged line as torn, silently dropping
+            // an acknowledged record.
+            backend.append(name, b"\n")?;
+            backend.sync(name)?;
+        }
+    }
+    Ok(pending)
+}
+
+/// A manifest's replayed contents.
+struct Replay {
+    sessions: BTreeMap<String, SessionEntry>,
+    trial_records: usize,
+    /// Record count per active segment, by name.
+    active_counts: BTreeMap<String, usize>,
+}
+
+/// Replays one manifest view: sealed segments strictly (in manifest
+/// order), then active segments leniently, then — when the manifest
+/// registers no fleet writers — the implicit single-writer active at
+/// the derived index. Propagates [`io::ErrorKind::NotFound`] from
+/// sealed reads so callers can retry against a manifest a concurrent
+/// compaction just committed.
+fn replay_manifest(backend: &dyn StoreBackend, m: &Manifest) -> io::Result<Replay> {
+    let mut replay =
+        Replay { sessions: BTreeMap::new(), trial_records: 0, active_counts: BTreeMap::new() };
+    for name in &m.sealed {
+        for rec in load_segment_strict(backend, name)? {
+            apply_record(&mut replay.sessions, &mut replay.trial_records, rec);
+        }
+    }
+    for name in &m.actives {
+        let recs = load_segment_lenient(backend, name, false)?;
+        replay.active_counts.insert(name.clone(), recs.len());
+        for rec in recs {
+            apply_record(&mut replay.sessions, &mut replay.trial_records, rec);
+        }
+    }
+    if m.actives.is_empty() {
+        let derived = segment_name(None, m.max_index() + 1);
+        for rec in load_segment_lenient(backend, &derived, false)? {
+            apply_record(&mut replay.sessions, &mut replay.trial_records, rec);
+        }
+    }
+    Ok(replay)
+}
+
+/// Reads the manifest, committing an empty one first if the store is
+/// brand new (CAS-raced creators simply re-read the winner's).
+fn read_or_init_manifest(backend: &dyn StoreBackend) -> io::Result<(Manifest, Revision)> {
+    loop {
+        let (bytes, revision) = backend.read_manifest()?;
+        match bytes {
+            Some(b) => return Ok((Manifest::parse(&b)?, revision)),
+            None => {
+                let empty = Manifest::default().to_bytes();
+                if let Ok(rev) = backend.commit_manifest(&empty, 0)? {
+                    return Ok((Manifest::default(), rev));
+                }
+            }
+        }
+    }
 }
 
 impl TrialStore {
@@ -135,32 +372,34 @@ impl TrialStore {
     /// Opens (or creates) the store rooted at `dir`.
     pub fn open_with(dir: impl AsRef<Path>, opts: StoreOptions) -> io::Result<TrialStore> {
         let dir = dir.as_ref().to_path_buf();
-        std::fs::create_dir_all(&dir)?;
-        let manifest_path = dir.join("MANIFEST");
-        let sealed: Vec<String> = if manifest_path.exists() {
-            let text = std::fs::read_to_string(&manifest_path)?;
-            let mut lines = text.lines();
-            match lines.next() {
-                Some(MANIFEST_HEADER) => {}
-                other => {
-                    return Err(corrupt(format!("bad manifest header {other:?}")));
-                }
-            }
-            lines.filter(|l| !l.trim().is_empty()).map(str::to_string).collect()
-        } else {
-            write_manifest_atomically(&dir, &[])?;
-            Vec::new()
-        };
+        let backend = Arc::new(LocalDirBackend::create(&dir)?);
+        TrialStore::open_single(backend, Some(dir), opts)
+    }
+
+    /// Opens (or creates) a single-writer store on any backend.
+    pub fn open_backend(
+        backend: Arc<dyn StoreBackend>,
+        opts: StoreOptions,
+    ) -> io::Result<TrialStore> {
+        TrialStore::open_single(backend, None, opts)
+    }
+
+    fn open_single(
+        backend: Arc<dyn StoreBackend>,
+        dir: Option<PathBuf>,
+        opts: StoreOptions,
+    ) -> io::Result<TrialStore> {
+        let (manifest, revision) = read_or_init_manifest(&*backend)?;
+        if !manifest.actives.is_empty() {
+            return Err(corrupt(
+                "store has registered fleet writers; open it with open_shared or open_reader",
+            ));
+        }
 
         let mut sessions = BTreeMap::new();
         let mut trial_records = 0usize;
-        // Sealed segments were fsynced before the manifest named them:
-        // parse strictly.
-        for name in &sealed {
-            let text = std::fs::read_to_string(dir.join(name))?;
-            for (i, line) in text.lines().enumerate() {
-                let rec = record_from_json(line)
-                    .map_err(|e| corrupt(format!("{name} line {}: {e}", i + 1)))?;
+        for name in &manifest.sealed {
+            for rec in load_segment_strict(&*backend, name)? {
                 apply_record(&mut sessions, &mut trial_records, rec);
             }
         }
@@ -168,93 +407,257 @@ impl TrialStore {
         // The active segment follows the highest sealed index (indices
         // are monotonic but, after compaction, not necessarily dense).
         let mut max_index = 0usize;
-        for name in &sealed {
+        for name in &manifest.sealed {
             let idx = segment_index(name)
                 .ok_or_else(|| corrupt(format!("unparsable segment name {name:?} in manifest")))?;
             max_index = max_index.max(idx);
         }
         let active_index = max_index + 1;
-        // The active segment may end in a torn append: drop (and truncate
-        // away) an unparsable *final* line; reject garbage followed by
-        // valid records.
-        let active_name = segment_name(active_index);
-        let active_path = dir.join(&active_name);
-        let mut active_records = 0usize;
-        if active_path.exists() {
-            let text = std::fs::read_to_string(&active_path)?;
-            let mut good_len = 0usize;
-            let mut pending: Vec<StoreRecord> = Vec::new();
-            let mut torn: Option<String> = None;
-            for (i, line) in text.lines().enumerate() {
-                match record_from_json(line) {
-                    Ok(rec) => {
-                        if let Some(bad) = &torn {
-                            return Err(corrupt(format!(
-                                "{active_name} line {}: unparsable record {bad:?} followed by valid records",
-                                i
-                            )));
-                        }
-                        pending.push(rec);
-                        // `lines()` strips the terminator; count it back.
-                        good_len += line.len() + 1;
-                    }
-                    Err(e) => {
-                        if torn.is_some() {
-                            return Err(corrupt(format!(
-                                "{active_name} line {}: {e} (multiple unparsable lines)",
-                                i + 1
-                            )));
-                        }
-                        torn = Some(format!("line {}: {e}", i + 1));
-                    }
-                }
-            }
-            if torn.is_some() && good_len < text.len() {
-                // Torn final append: truncate the segment back to the
-                // last complete record before reopening for append.
-                let f = OpenOptions::new().write(true).open(&active_path)?;
-                f.set_len(good_len as u64)?;
-                f.sync_data()?;
-            } else if torn.is_none() && !text.is_empty() && !text.ends_with('\n') {
-                // A tear can also land *between* the closing brace and
-                // the newline: the final record is complete and kept,
-                // but its terminator must be repaired — otherwise the
-                // next append would concatenate onto this line and a
-                // later recovery would mis-read the merged line as torn,
-                // silently dropping an acknowledged record.
-                let mut f = OpenOptions::new().append(true).open(&active_path)?;
-                f.write_all(b"\n")?;
-                f.sync_data()?;
-            }
-            active_records = pending.len();
-            for rec in pending {
-                apply_record(&mut sessions, &mut trial_records, rec);
-            }
+        let active_name = segment_name(None, active_index);
+        let recs = load_segment_lenient(&*backend, &active_name, true)?;
+        let active_records = recs.len();
+        for rec in recs {
+            apply_record(&mut sessions, &mut trial_records, rec);
         }
 
-        let active = OpenOptions::new().create(true).append(true).open(&active_path)?;
         Ok(TrialStore {
+            backend,
             dir,
+            writer: None,
+            read_only: false,
             opts,
             inner: Mutex::new(Inner {
-                sealed,
+                sealed: manifest.sealed,
+                foreign_active: Vec::new(),
                 active_name,
                 active_index,
-                active,
                 active_records,
+                manifest_revision: revision,
                 sessions,
                 trial_records,
             }),
         })
     }
 
-    /// The store's root directory.
-    pub fn dir(&self) -> &Path {
-        &self.dir
+    /// Opens (or creates) a *fleet* store: this handle registers itself
+    /// as writer `writer` and appends into a private active segment
+    /// listed in the manifest, so every other writer and reader can see
+    /// its records. Writer tags must be unique among *live* workers —
+    /// reopening a dead worker's tag reclaims (repairs and adopts) the
+    /// active segment it left behind. See the module docs for the
+    /// multi-writer commit protocol.
+    pub fn open_shared(
+        backend: Arc<dyn StoreBackend>,
+        writer: &str,
+        opts: StoreOptions,
+    ) -> io::Result<TrialStore> {
+        if writer.is_empty() || !writer.bytes().all(|b| b.is_ascii_alphanumeric() || b == b'_') {
+            return Err(corrupt(format!(
+                "writer tag {writer:?} must be non-empty [A-Za-z0-9_] \
+                 (it is embedded in segment names)"
+            )));
+        }
+        loop {
+            let (mut m, revision) = read_or_init_manifest(&*backend)?;
+            let mut changed = false;
+
+            // A store previously written single-writer has an implicit
+            // (derived, unlisted) active segment; fold it into the
+            // sealed list so fleet writers can see it. Safe under the
+            // same assumption every shared open makes: no other handle
+            // with authority over that segment is live.
+            if m.actives.is_empty() {
+                let derived = segment_name(None, m.max_index() + 1);
+                if !load_segment_lenient(&*backend, &derived, true)?.is_empty() {
+                    m.sealed.push(derived);
+                    changed = true;
+                }
+            }
+
+            // Reclaim active segments a dead incarnation of this writer
+            // left behind: repair their torn tails, adopt the newest as
+            // our active segment, seal the rest.
+            let mut mine: Vec<(usize, String)> = m
+                .actives
+                .iter()
+                .filter(|n| segment_writer(n) == Some(writer))
+                .map(|n| (segment_index(n).unwrap_or(0), n.clone()))
+                .collect();
+            mine.sort();
+            let adopted = mine.pop();
+            for (_, name) in &mine {
+                load_segment_lenient(&*backend, name, true)?;
+                m.actives.retain(|n| n != name);
+                m.sealed.push(name.clone());
+                changed = true;
+            }
+            let mut created: Option<String> = None;
+            let (active_name, active_index) = match adopted {
+                Some((index, name)) => {
+                    load_segment_lenient(&*backend, &name, true)?;
+                    (name, index)
+                }
+                None => {
+                    let index = m.max_index() + 1;
+                    let name = segment_name(Some(writer), index);
+                    // Truncate any stray left by a dead incarnation's
+                    // interrupted compaction (private namespace: no
+                    // race with other writers).
+                    backend.put(&name, b"")?;
+                    m.actives.push(name.clone());
+                    created = Some(name.clone());
+                    changed = true;
+                    (name, index)
+                }
+            };
+
+            let revision = if changed {
+                match backend.commit_manifest(&m.to_bytes(), revision)? {
+                    Ok(rev) => rev,
+                    Err(_) => {
+                        // Lost the registration race; discard the
+                        // pre-created segment (the redo recomputes its
+                        // index against the winner's manifest) and redo.
+                        if let Some(name) = created {
+                            let _ = backend.delete(&name);
+                        }
+                        continue;
+                    }
+                }
+            } else {
+                revision
+            };
+
+            // Replay the committed view: sealed strictly, actives
+            // leniently (other writers may be mid-append; ours was
+            // just repaired). A NotFound means a concurrent compaction
+            // deleted a segment from under our manifest view — restart
+            // against the manifest it committed (our registration is
+            // already durable, so the retry adopts it unchanged).
+            let replay = match replay_manifest(&*backend, &m) {
+                Ok(r) => r,
+                Err(e) if e.kind() == io::ErrorKind::NotFound => continue,
+                Err(e) => return Err(e),
+            };
+            let active_records = replay.active_counts.get(&active_name).copied().unwrap_or(0);
+            let foreign_active = m.actives.iter().filter(|n| **n != active_name).cloned().collect();
+            return Ok(TrialStore {
+                backend,
+                dir: None,
+                writer: Some(writer.to_string()),
+                read_only: false,
+                opts,
+                inner: Mutex::new(Inner {
+                    sealed: m.sealed,
+                    foreign_active,
+                    active_name,
+                    active_index,
+                    active_records,
+                    manifest_revision: revision,
+                    sessions: replay.sessions,
+                    trial_records: replay.trial_records,
+                }),
+            });
+        }
     }
 
-    /// Appends one trial record (one `write` syscall; the record is
-    /// durable in the filesystem cache when this returns).
+    /// Opens a read-only *merged view* of a store: sealed segments plus
+    /// every registered writer's active segment (and the implicit
+    /// active of a single-writer store). Registers nothing and repairs
+    /// nothing; appends and compaction return errors. Call
+    /// [`TrialStore::refresh`] to re-read the current state.
+    pub fn open_reader(
+        backend: Arc<dyn StoreBackend>,
+        opts: StoreOptions,
+    ) -> io::Result<TrialStore> {
+        let store = TrialStore {
+            backend,
+            dir: None,
+            writer: None,
+            read_only: true,
+            opts,
+            inner: Mutex::new(Inner {
+                sealed: Vec::new(),
+                foreign_active: Vec::new(),
+                active_name: String::new(),
+                active_index: 0,
+                active_records: 0,
+                manifest_revision: 0,
+                sessions: BTreeMap::new(),
+                trial_records: 0,
+            }),
+        };
+        store.refresh()?;
+        Ok(store)
+    }
+
+    /// Re-reads the store's committed state from the backend, merging
+    /// in what other fleet writers have appended since this handle
+    /// opened (or last refreshed). The handle's own active segment and
+    /// append position are untouched. No-op on single-writer handles —
+    /// their in-memory index is already authoritative.
+    pub fn refresh(&self) -> io::Result<()> {
+        if self.writer.is_none() && !self.read_only {
+            return Ok(());
+        }
+        let mut guard = lock_recover(&self.inner);
+        let inner = &mut *guard;
+        loop {
+            let (bytes, revision) = self.backend.read_manifest()?;
+            let Some(bytes) = bytes else {
+                return Ok(());
+            };
+            let m = Manifest::parse(&bytes)?;
+            let replay = match replay_manifest(&*self.backend, &m) {
+                Ok(r) => r,
+                Err(e) if e.kind() == io::ErrorKind::NotFound => {
+                    // A concurrent compaction deleted a segment from
+                    // under this manifest view; retry against the
+                    // manifest it committed. If nothing moved, the
+                    // segment is genuinely gone: real corruption.
+                    let (_, now) = self.backend.read_manifest()?;
+                    if now == revision {
+                        return Err(e);
+                    }
+                    continue;
+                }
+                Err(e) => return Err(e),
+            };
+            inner.foreign_active =
+                m.actives.iter().filter(|n| **n != inner.active_name).cloned().collect();
+            inner.active_records = replay
+                .active_counts
+                .get(&inner.active_name)
+                .copied()
+                .unwrap_or(inner.active_records);
+            inner.sealed = m.sealed;
+            inner.sessions = replay.sessions;
+            inner.trial_records = replay.trial_records;
+            inner.manifest_revision = revision;
+            return Ok(());
+        }
+    }
+
+    /// The store's root directory (local-directory stores only).
+    ///
+    /// # Panics
+    /// When the store was opened on a non-directory backend.
+    pub fn dir(&self) -> &Path {
+        self.dir.as_deref().expect("dir() requires a local-directory store")
+    }
+
+    /// The backend this store reads and writes through.
+    pub fn backend(&self) -> &Arc<dyn StoreBackend> {
+        &self.backend
+    }
+
+    /// The fleet writer tag of this handle ([`TrialStore::open_shared`]).
+    pub fn writer(&self) -> Option<&str> {
+        self.writer.as_deref()
+    }
+
+    /// Appends one trial record (one backend `append` per record; the
+    /// record is durable to the backend's append contract on return).
     pub fn append_trial(&self, trial: &StoredTrial) -> io::Result<()> {
         self.append(StoreRecord::Trial(trial.clone()))
     }
@@ -265,10 +668,13 @@ impl TrialStore {
     }
 
     fn append(&self, rec: StoreRecord) -> io::Result<()> {
+        if self.read_only {
+            return Err(read_only_err());
+        }
         let mut guard = lock_recover(&self.inner);
         let inner = &mut *guard;
         let line = format!("{}\n", record_to_json(&rec));
-        inner.active.write_all(line.as_bytes())?;
+        self.backend.append(&inner.active_name, line.as_bytes())?;
         inner.active_records += 1;
         apply_record(&mut inner.sessions, &mut inner.trial_records, rec);
         if inner.active_records >= self.opts.segment_records {
@@ -277,39 +683,101 @@ impl TrialStore {
         Ok(())
     }
 
-    /// Seals the active segment: fsync it, commit a manifest naming it
-    /// (atomic rename), start a fresh active segment. On any failure the
-    /// current active handle is left in place, so appends keep working
-    /// (returning errors rather than panicking) and rotation is retried
-    /// at the next threshold crossing.
+    /// Seals the active segment: sync it, commit a manifest naming it,
+    /// start a fresh active segment. On any failure the current active
+    /// segment stays in place, so appends keep working (returning
+    /// errors rather than panicking) and rotation is retried at the
+    /// next threshold crossing.
     fn rotate(&self, inner: &mut Inner) -> io::Result<()> {
-        inner.active.sync_data()?;
+        self.backend.sync(&inner.active_name)?;
+        match self.writer.clone() {
+            None => self.rotate_single(inner),
+            Some(w) => self.rotate_shared(inner, &w),
+        }
+    }
+
+    fn rotate_single(&self, inner: &mut Inner) -> io::Result<()> {
         // Open the next segment *before* committing the manifest: a
         // failure here leaves only an empty, unlisted file behind, and
-        // the store state (in memory and on disk) is unchanged.
+        // the store state (in memory and on backend) is unchanged.
         let next_index = inner.active_index + 1;
-        let next_name = segment_name(next_index);
-        // Truncate before adopting: a compaction that crashed before its
-        // manifest rename can leave a stray file at this index whose
-        // stale records would otherwise be replayed *after* newer ones
-        // and win the last-wins resolution.
-        File::create(self.dir.join(&next_name))?.sync_data()?;
-        let next = OpenOptions::new().append(true).open(self.dir.join(&next_name))?;
+        let next_name = segment_name(None, next_index);
+        // Truncate before adopting: a compaction that crashed before
+        // its manifest commit can leave a stray file at this index
+        // whose stale records would otherwise be replayed *after* newer
+        // ones and win the last-wins resolution.
+        self.backend.put(&next_name, b"")?;
         let mut sealed = inner.sealed.clone();
         sealed.push(inner.active_name.clone());
-        write_manifest_atomically(&self.dir, &sealed)?;
+        let manifest = Manifest { sealed: sealed.clone(), actives: Vec::new() };
+        let revision = self
+            .backend
+            .commit_manifest(&manifest.to_bytes(), inner.manifest_revision)?
+            .map_err(|_| {
+                io::Error::other(
+                    "manifest changed under a single-writer store: another writer is live",
+                )
+            })?;
         inner.sealed = sealed;
         inner.active_name = next_name;
         inner.active_index = next_index;
-        inner.active = next;
         inner.active_records = 0;
+        inner.manifest_revision = revision;
         Ok(())
     }
 
-    /// Fsyncs the active segment (sealed segments are already synced).
+    fn rotate_shared(&self, inner: &mut Inner, writer: &str) -> io::Result<()> {
+        // CAS retry loop: rebase the seal onto whatever manifest is
+        // current. Losing the race never drops anyone's segment — the
+        // retry re-reads the winner's list and adds to it.
+        loop {
+            let (bytes, revision) = self.backend.read_manifest()?;
+            let bytes = bytes.ok_or_else(|| corrupt("fleet store manifest vanished"))?;
+            let mut m = Manifest::parse(&bytes)?;
+            let pos = m.actives.iter().position(|n| n == &inner.active_name).ok_or_else(|| {
+                corrupt(format!(
+                    "active segment {} missing from the manifest: writer tag {writer:?} \
+                     reclaimed by another live worker?",
+                    inner.active_name
+                ))
+            })?;
+            m.actives.remove(pos);
+            m.sealed.push(inner.active_name.clone());
+            let next_index = m.max_index().max(inner.active_index) + 1;
+            let next_name = segment_name(Some(writer), next_index);
+            self.backend.put(&next_name, b"")?;
+            m.actives.push(next_name.clone());
+            match self.backend.commit_manifest(&m.to_bytes(), revision)? {
+                Ok(rev) => {
+                    inner.foreign_active =
+                        m.actives.iter().filter(|n| **n != next_name).cloned().collect();
+                    inner.sealed = m.sealed;
+                    inner.active_name = next_name;
+                    inner.active_index = next_index;
+                    inner.active_records = 0;
+                    inner.manifest_revision = rev;
+                    return Ok(());
+                }
+                Err(_) => {
+                    // Lost the race: discard the pre-created segment —
+                    // the retry recomputes a fresh index against the
+                    // winner's manifest, and nothing ever references
+                    // this one (unlisted objects would otherwise leak
+                    // forever on a real object store).
+                    let _ = self.backend.delete(&next_name);
+                    continue;
+                }
+            }
+        }
+    }
+
+    /// Syncs the active segment (sealed segments are already synced).
     pub fn sync(&self) -> io::Result<()> {
+        if self.read_only {
+            return Ok(());
+        }
         let inner = lock_recover(&self.inner);
-        inner.active.sync_data()
+        self.backend.sync(&inner.active_name)
     }
 
     /// Sealed segment names, in manifest order (for tests and tooling).
@@ -376,68 +844,80 @@ impl TrialStore {
     /// reclaims the space without changing anything a reader can see:
     /// [`TrialStore::export_jsonl`], [`TrialStore::trials_for`], and
     /// session metadata are identical before and after (pinned by the
-    /// checkpoint-resume test suite).
+    /// checkpoint-resume test suite). An *empty* store is left
+    /// untouched — no fresh manifest revision is committed, so idle
+    /// workers polling `compact` do not churn shared backends.
     ///
     /// Crash safety follows the rotation protocol: compacted segments
-    /// are written to fresh (higher-numbered) files and fsynced, then a
-    /// manifest naming exactly those segments is committed by atomic
-    /// rename, then the superseded files are deleted best-effort. A
-    /// crash before the rename leaves the old manifest — and therefore
-    /// the old store — fully intact; stray compacted files are inert
-    /// (recovery only reads manifest-listed segments plus the derived
-    /// active name) and are truncated before reuse when the segment
-    /// sequence later reaches their index.
+    /// are written to fresh (higher-numbered) objects, then a manifest
+    /// naming exactly those segments is committed (rename on local
+    /// directories, CAS on object stores), then the superseded objects
+    /// are deleted best-effort. A crash before the commit leaves the
+    /// old manifest — and therefore the old store — fully intact; stray
+    /// compacted objects are inert (recovery only reads manifest-listed
+    /// segments plus the derived active name) and are truncated before
+    /// reuse when the segment sequence later reaches their index.
+    ///
+    /// On a fleet store the pass rebuilds the merged state from the
+    /// *current* manifest under a CAS retry loop, folds this writer's
+    /// active segment in, and leaves every other writer's active
+    /// segment registered and untouched — racing rotations retry on
+    /// top of the compacted manifest, so no committed trial is lost.
     pub fn compact(&self) -> io::Result<CompactionStats> {
+        if self.read_only {
+            return Err(read_only_err());
+        }
         let mut guard = lock_recover(&self.inner);
         let inner = &mut *guard;
-        inner.active.sync_data()?;
+        // Satellite of the backend work: a store with nothing on the
+        // backend but an (empty or absent) active segment has nothing
+        // to rewrite; committing a fresh manifest revision would only
+        // churn revisions and mtimes on shared backends.
+        if inner.sealed.is_empty() && inner.foreign_active.is_empty() && inner.active_records == 0 {
+            return Ok(CompactionStats {
+                trial_records_before: inner.trial_records,
+                trial_records_after: inner.trial_records,
+                segments_before: 1,
+                segments_after: 1,
+            });
+        }
+        match self.writer.clone() {
+            None => self.compact_single(inner),
+            Some(w) => self.compact_shared(inner, &w),
+        }
+    }
+
+    fn compact_single(&self, inner: &mut Inner) -> io::Result<CompactionStats> {
+        self.backend.sync(&inner.active_name)?;
         let old_segments: Vec<String> =
             inner.sealed.iter().cloned().chain([inner.active_name.clone()]).collect();
         let records_before = inner.trial_records;
 
         // Serialize the deduplicated state, session by session.
-        let mut records: Vec<String> = Vec::new();
-        for entry in inner.sessions.values() {
-            if let Some(m) = &entry.meta {
-                records.push(record_to_json(&StoreRecord::Session(m.clone())));
-            }
-            for t in entry.trials.values() {
-                records.push(record_to_json(&StoreRecord::Trial(t.clone())));
-            }
-        }
+        let records = serialize_sessions(&inner.sessions);
 
         // Write the compacted run into fresh segment files past the
         // current active index, fully synced before the manifest commit.
-        let mut new_sealed = Vec::new();
-        let mut idx = inner.active_index;
-        for chunk in records.chunks(self.opts.segment_records.max(1)) {
-            idx += 1;
-            let name = segment_name(idx);
-            let mut text = String::with_capacity(chunk.iter().map(|r| r.len() + 1).sum());
-            for rec in chunk {
-                text.push_str(rec);
-                text.push('\n');
-            }
-            let mut f = File::create(self.dir.join(&name))?;
-            f.write_all(text.as_bytes())?;
-            f.sync_data()?;
-            new_sealed.push(name);
-        }
-        let new_active_index = idx + 1;
-        let new_active_name = segment_name(new_active_index);
-        // Truncate any stray file left by an earlier interrupted
-        // compaction, then reopen in append mode as the active segment.
-        File::create(self.dir.join(&new_active_name))?.sync_data()?;
-        let new_active = OpenOptions::new().append(true).open(self.dir.join(&new_active_name))?;
+        let (new_sealed, new_active_index) =
+            self.write_compacted(&records, inner.active_index, None)?;
+        let new_active_name = segment_name(None, new_active_index);
 
         // Commit point.
-        write_manifest_atomically(&self.dir, &new_sealed)?;
+        let manifest = Manifest { sealed: new_sealed.clone(), actives: Vec::new() };
+        let revision = self
+            .backend
+            .commit_manifest(&manifest.to_bytes(), inner.manifest_revision)?
+            .map_err(|_| {
+                io::Error::other(
+                    "manifest changed under a single-writer store: another writer is live",
+                )
+            })?;
         let segments_before = old_segments.len();
         inner.sealed = new_sealed;
         inner.active_name = new_active_name;
         inner.active_index = new_active_index;
-        inner.active = new_active;
         inner.active_records = 0;
+        inner.manifest_revision = revision;
         inner.trial_records = inner.sessions.values().map(|e| e.trials.len()).sum();
         let stats = CompactionStats {
             trial_records_before: records_before,
@@ -446,12 +926,121 @@ impl TrialStore {
             segments_after: inner.sealed.len() + 1,
         };
 
-        // The old files are unreachable from the new manifest; deletion
-        // is cleanup, not correctness.
+        // The old objects are unreachable from the new manifest;
+        // deletion is cleanup, not correctness.
         for name in old_segments {
-            let _ = std::fs::remove_file(self.dir.join(name));
+            let _ = self.backend.delete(&name);
         }
         Ok(stats)
+    }
+
+    fn compact_shared(&self, inner: &mut Inner, writer: &str) -> io::Result<CompactionStats> {
+        self.backend.sync(&inner.active_name)?;
+        loop {
+            // Rebuild the merged state fresh from the *current*
+            // manifest — this handle's index may lag other writers.
+            let (bytes, revision) = self.backend.read_manifest()?;
+            let bytes = bytes.ok_or_else(|| corrupt("fleet store manifest vanished"))?;
+            let m = Manifest::parse(&bytes)?;
+            if !m.actives.contains(&inner.active_name) {
+                return Err(corrupt(format!(
+                    "active segment {} missing from the manifest: writer tag {writer:?} \
+                     reclaimed by another live worker?",
+                    inner.active_name
+                )));
+            }
+            let replay = match replay_manifest(&*self.backend, &m) {
+                Ok(r) => r,
+                Err(e) if e.kind() == io::ErrorKind::NotFound => {
+                    // A concurrent compaction won and deleted segments
+                    // from under this view; rebase onto its manifest.
+                    let (_, now) = self.backend.read_manifest()?;
+                    if now == revision {
+                        return Err(e);
+                    }
+                    continue;
+                }
+                Err(e) => return Err(e),
+            };
+            let (sessions, records_before) = (replay.sessions, replay.trial_records);
+            let records = serialize_sessions(&sessions);
+
+            let base_index = m.max_index().max(inner.active_index);
+            let (new_sealed, new_active_index) =
+                self.write_compacted(&records, base_index, Some(writer))?;
+            let new_active_name = segment_name(Some(writer), new_active_index);
+
+            // Every other writer's active segment stays registered and
+            // untouched: its owner keeps appending to it, and the
+            // records of it we folded into the compacted segments are
+            // merely benign duplicates under last-wins.
+            let mut actives: Vec<String> =
+                m.actives.iter().filter(|n| **n != inner.active_name).cloned().collect();
+            actives.push(new_active_name.clone());
+            let manifest = Manifest { sealed: new_sealed.clone(), actives: actives.clone() };
+            match self.backend.commit_manifest(&manifest.to_bytes(), revision)? {
+                Ok(rev) => {
+                    let segments_before = m.sealed.len() + m.actives.len();
+                    for name in m.sealed.iter().chain([&inner.active_name]) {
+                        let _ = self.backend.delete(name);
+                    }
+                    inner.foreign_active =
+                        actives.iter().filter(|n| **n != new_active_name).cloned().collect();
+                    inner.sealed = new_sealed;
+                    inner.active_name = new_active_name;
+                    inner.active_index = new_active_index;
+                    inner.active_records = 0;
+                    inner.manifest_revision = rev;
+                    inner.trial_records = sessions.values().map(|e| e.trials.len()).sum::<usize>();
+                    let trial_records_after = inner.trial_records;
+                    inner.sessions = sessions;
+                    return Ok(CompactionStats {
+                        trial_records_before: records_before,
+                        trial_records_after,
+                        segments_before,
+                        segments_after: inner.sealed.len() + inner.foreign_active.len() + 1,
+                    });
+                }
+                Err(_) => {
+                    // Lost the race: discard this attempt's objects and
+                    // rebuild against the winner's manifest.
+                    for name in new_sealed.iter().chain([&new_active_name]) {
+                        let _ = self.backend.delete(name);
+                    }
+                    continue;
+                }
+            }
+        }
+    }
+
+    /// Writes `records` into fresh sealed segments numbered past
+    /// `base_index` (in `writer`'s namespace), plus a fresh empty
+    /// active segment after them. Returns the sealed names and the new
+    /// active index.
+    fn write_compacted(
+        &self,
+        records: &[String],
+        base_index: usize,
+        writer: Option<&str>,
+    ) -> io::Result<(Vec<String>, usize)> {
+        let mut new_sealed = Vec::new();
+        let mut idx = base_index;
+        for chunk in records.chunks(self.opts.segment_records.max(1)) {
+            idx += 1;
+            let name = segment_name(writer, idx);
+            let mut text = String::with_capacity(chunk.iter().map(|r| r.len() + 1).sum());
+            for rec in chunk {
+                text.push_str(rec);
+                text.push('\n');
+            }
+            self.backend.put(&name, text.as_bytes())?;
+            new_sealed.push(name);
+        }
+        let new_active_index = idx + 1;
+        // Truncate any stray file left by an earlier interrupted
+        // compaction, then adopt as the (empty) active segment.
+        self.backend.put(&segment_name(writer, new_active_index), b"")?;
+        Ok((new_sealed, new_active_index))
     }
 
     /// Every stored trial projected onto the core JSONL event schema,
@@ -473,6 +1062,21 @@ impl TrialStore {
     }
 }
 
+/// One JSON line per logical record: each session's latest metadata,
+/// then its deduplicated trials in iteration order.
+fn serialize_sessions(sessions: &BTreeMap<String, SessionEntry>) -> Vec<String> {
+    let mut records: Vec<String> = Vec::new();
+    for entry in sessions.values() {
+        if let Some(m) = &entry.meta {
+            records.push(record_to_json(&StoreRecord::Session(m.clone())));
+        }
+        for t in entry.trials.values() {
+            records.push(record_to_json(&StoreRecord::Trial(t.clone())));
+        }
+    }
+    records
+}
+
 fn apply_record(
     sessions: &mut BTreeMap<String, SessionEntry>,
     trial_records: &mut usize,
@@ -488,22 +1092,6 @@ fn apply_record(
             sessions.entry(label).or_default().meta = Some(m);
         }
     }
-}
-
-fn write_manifest_atomically(dir: &Path, sealed: &[String]) -> io::Result<()> {
-    let mut text = String::from(MANIFEST_HEADER);
-    text.push('\n');
-    for name in sealed {
-        text.push_str(name);
-        text.push('\n');
-    }
-    let tmp = dir.join("MANIFEST.tmp");
-    {
-        let mut f = File::create(&tmp)?;
-        f.write_all(text.as_bytes())?;
-        f.sync_data()?;
-    }
-    std::fs::rename(&tmp, dir.join("MANIFEST"))
 }
 
 /// Rebuilds a [`llamatune::session::SessionHistory`] from a *complete*
@@ -541,6 +1129,8 @@ pub fn rebuild_history(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::backend::{ObjectStoreBackend, ObjectStoreOptions};
+    use crate::record::SessionStatus;
     use llamatune_space::KnobValue;
 
     fn tmp_dir(tag: &str) -> PathBuf {
@@ -572,10 +1162,9 @@ mod tests {
             stopped_at: None,
             fingerprint: vec![0.6, 0.8],
             warm_points: vec![],
+            lease: None,
         }
     }
-
-    use crate::record::SessionStatus;
 
     #[test]
     fn append_reopen_preserves_everything() {
@@ -844,6 +1433,27 @@ mod tests {
     }
 
     #[test]
+    fn compact_on_an_empty_store_is_a_true_noop() {
+        let dir = tmp_dir("compact_noop");
+        let store = TrialStore::open(&dir).unwrap();
+        let manifest_before = std::fs::read_to_string(dir.join("MANIFEST")).unwrap();
+        let files_before: Vec<String> = store.backend().list().unwrap();
+        let stats = store.compact().unwrap();
+        assert_eq!(stats.segments_before, stats.segments_after);
+        assert_eq!(
+            std::fs::read_to_string(dir.join("MANIFEST")).unwrap(),
+            manifest_before,
+            "no fresh manifest revision on an empty store"
+        );
+        assert_eq!(store.backend().list().unwrap(), files_before, "no new objects either");
+        // Once the store holds anything, compaction works as usual.
+        store.append_trial(&trial("s1", 0, 1.0)).unwrap();
+        let stats = store.compact().unwrap();
+        assert_eq!(stats.trial_records_after, 1);
+        std::fs::remove_dir_all(store.dir()).unwrap();
+    }
+
+    #[test]
     fn rotation_continues_after_compaction() {
         let dir = tmp_dir("compact_rotate");
         let store = TrialStore::open_with(&dir, StoreOptions { segment_records: 3 }).unwrap();
@@ -879,11 +1489,11 @@ mod tests {
             "{}\n",
             record_to_json(&StoreRecord::Session(meta("ghost", SessionStatus::Running)))
         );
-        std::fs::write(dir.join(segment_name(2)), stale).unwrap();
+        std::fs::write(dir.join(segment_name(None, 2)), stale).unwrap();
         for i in 0..3 {
             store.append_trial(&trial("s1", i, i as f64)).unwrap();
         }
-        assert_eq!(store.sealed_segments(), vec![segment_name(1)], "rotation happened");
+        assert_eq!(store.sealed_segments(), vec![segment_name(None, 1)], "rotation happened");
         drop(store);
         let store = TrialStore::open(&dir).unwrap();
         assert_eq!(store.trial_count(), 3);
@@ -904,5 +1514,179 @@ mod tests {
         assert!(store.export_events().is_empty());
         store.sync().unwrap();
         std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    // ------------------------------------------------------------------
+    // Backend-parameterized and fleet-mode behavior
+    // ------------------------------------------------------------------
+
+    fn object_backend() -> Arc<ObjectStoreBackend> {
+        Arc::new(ObjectStoreBackend::new(ObjectStoreOptions { eventual_list: true }))
+    }
+
+    #[test]
+    fn single_writer_store_works_identically_on_an_object_backend() {
+        let be = object_backend();
+        {
+            let store =
+                TrialStore::open_backend(be.clone(), StoreOptions { segment_records: 3 }).unwrap();
+            store.append_session(&meta("s1", SessionStatus::Running)).unwrap();
+            for i in 0..8 {
+                store.append_trial(&trial("s1", i, i as f64)).unwrap();
+            }
+            store.append_session(&meta("s1", SessionStatus::Done)).unwrap();
+            assert!(store.sealed_segments().len() >= 2, "rotation CAS-committed");
+        }
+        // Reopen on the same backend: everything survives, including
+        // through a compaction cycle.
+        let store = TrialStore::open_backend(be.clone(), StoreOptions::default()).unwrap();
+        assert_eq!(store.trial_count(), 8);
+        assert_eq!(store.session_meta("s1").unwrap().status, SessionStatus::Done);
+        let export = store.export_jsonl();
+        store.compact().unwrap();
+        assert_eq!(store.export_jsonl(), export);
+        drop(store);
+        let store = TrialStore::open_backend(be, StoreOptions::default()).unwrap();
+        assert_eq!(store.export_jsonl(), export);
+    }
+
+    #[test]
+    fn torn_object_append_recovers_like_a_torn_file() {
+        let be = object_backend();
+        {
+            let store = TrialStore::open_backend(be.clone(), StoreOptions::default()).unwrap();
+            for i in 0..4 {
+                store.append_trial(&trial("s1", i, i as f64)).unwrap();
+            }
+        }
+        let seg = "seg-000001.jsonl";
+        let bytes = be.get(seg).unwrap().unwrap();
+        be.put(seg, &bytes[..bytes.len() - 17]).unwrap();
+        let store = TrialStore::open_backend(be, StoreOptions::default()).unwrap();
+        assert_eq!(store.trial_count(), 3, "torn trial dropped");
+        store.append_trial(&trial("s1", 3, 30.0)).unwrap();
+        assert_eq!(store.trials_for("s1")[3].score, 30.0);
+    }
+
+    #[test]
+    fn two_fleet_writers_share_one_store_through_manifest_cas() {
+        let be = object_backend();
+        let a =
+            TrialStore::open_shared(be.clone(), "wa", StoreOptions { segment_records: 2 }).unwrap();
+        let b =
+            TrialStore::open_shared(be.clone(), "wb", StoreOptions { segment_records: 2 }).unwrap();
+        for i in 0..5 {
+            a.append_trial(&trial("sa", i, i as f64)).unwrap();
+            b.append_trial(&trial("sb", i, 100.0 + i as f64)).unwrap();
+        }
+        // Each handle sees its open-time snapshot plus its own appends;
+        // refresh merges in the other writer's records.
+        assert_eq!(a.trials_for("sa").len(), 5);
+        a.refresh().unwrap();
+        assert_eq!(a.trials_for("sb").len(), 5, "refresh sees the other writer");
+        // A reader sees the merged view without registering anything.
+        let reader = TrialStore::open_reader(be.clone(), StoreOptions::default()).unwrap();
+        assert_eq!(reader.trial_count(), 10);
+        assert!(reader.append_trial(&trial("sx", 0, 1.0)).is_err(), "readers cannot write");
+        assert!(reader.compact().is_err(), "readers cannot compact");
+        // Compaction by one writer must not lose the other's records.
+        a.compact().unwrap();
+        for i in 5..8 {
+            b.append_trial(&trial("sb", i, 100.0 + i as f64)).unwrap();
+        }
+        let reader = TrialStore::open_reader(be, StoreOptions::default()).unwrap();
+        assert_eq!(reader.trials_for("sa").len(), 5);
+        assert_eq!(reader.trials_for("sb").len(), 8);
+    }
+
+    #[test]
+    fn fleet_writer_reclaims_its_dead_incarnations_segments() {
+        let be = object_backend();
+        {
+            let w = TrialStore::open_shared(be.clone(), "w0", StoreOptions::default()).unwrap();
+            for i in 0..3 {
+                w.append_trial(&trial("s1", i, i as f64)).unwrap();
+            }
+            // The worker "dies" here: its active segment stays listed.
+        }
+        // Tear the dead worker's active segment mid-record.
+        let name = segment_name(Some("w0"), 1);
+        let bytes = be.get(&name).unwrap().unwrap();
+        be.put(&name, &bytes[..bytes.len() - 9]).unwrap();
+        // The reborn worker repairs and adopts the segment and appends on.
+        let w = TrialStore::open_shared(be.clone(), "w0", StoreOptions::default()).unwrap();
+        assert_eq!(w.trial_count(), 2, "torn record dropped by the reclaim repair");
+        w.append_trial(&trial("s1", 2, 2.0)).unwrap();
+        let reader = TrialStore::open_reader(be, StoreOptions::default()).unwrap();
+        assert_eq!(reader.trials_for("s1").len(), 3);
+    }
+
+    #[test]
+    fn shared_open_adopts_a_single_writer_store_and_single_open_rejects_fleet_stores() {
+        let dir = tmp_dir("adopt");
+        {
+            let store = TrialStore::open(&dir).unwrap();
+            for i in 0..4 {
+                store.append_trial(&trial("s1", i, i as f64)).unwrap();
+            }
+        }
+        // Fleet writers fold the single-writer store's implicit active
+        // segment into the manifest and see its records.
+        let be: Arc<dyn StoreBackend> = Arc::new(LocalDirBackend::create(&dir).unwrap());
+        let w = TrialStore::open_shared(be.clone(), "w0", StoreOptions::default()).unwrap();
+        assert_eq!(w.trial_count(), 4);
+        w.append_trial(&trial("s1", 4, 4.0)).unwrap();
+        drop(w);
+        // A fleet store refuses the single-writer entry points.
+        let err = TrialStore::open(&dir).unwrap_err();
+        assert!(err.to_string().contains("fleet"), "{err}");
+        // ...but the reader still serves the merged view.
+        let reader = TrialStore::open_reader(be, StoreOptions::default()).unwrap();
+        assert_eq!(reader.trials_for("s1").len(), 5);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn fleet_rotation_and_compaction_race_on_a_local_backend_too() {
+        // The same shared protocol runs on a local directory: the
+        // backend's in-process CAS gate serializes the commits.
+        let dir = tmp_dir("fleet_local");
+        let be: Arc<dyn StoreBackend> = Arc::new(LocalDirBackend::create(&dir).unwrap());
+        let a =
+            TrialStore::open_shared(be.clone(), "a", StoreOptions { segment_records: 2 }).unwrap();
+        let b =
+            TrialStore::open_shared(be.clone(), "b", StoreOptions { segment_records: 2 }).unwrap();
+        for i in 0..6 {
+            a.append_trial(&trial("sa", i, i as f64)).unwrap();
+            b.append_trial(&trial("sb", i, i as f64)).unwrap();
+        }
+        b.compact().unwrap();
+        a.append_trial(&trial("sa", 6, 6.0)).unwrap();
+        let reader = TrialStore::open_reader(be, StoreOptions::default()).unwrap();
+        assert_eq!(reader.trials_for("sa").len(), 7);
+        assert_eq!(reader.trials_for("sb").len(), 6);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn invalid_writer_tags_are_rejected() {
+        let be = object_backend();
+        for bad in ["", "w-0", "w 0", "w/0"] {
+            assert!(
+                TrialStore::open_shared(be.clone(), bad, StoreOptions::default()).is_err(),
+                "tag {bad:?} must be rejected"
+            );
+        }
+    }
+
+    #[test]
+    fn session_lease_records_roundtrip_through_the_store() {
+        let be = object_backend();
+        let w = TrialStore::open_shared(be.clone(), "w1", StoreOptions::default()).unwrap();
+        let mut m = meta("s1", SessionStatus::Running);
+        m.lease = Some("w1".to_string());
+        w.append_session(&m).unwrap();
+        let reader = TrialStore::open_reader(be, StoreOptions::default()).unwrap();
+        assert_eq!(reader.session_meta("s1").unwrap().lease.as_deref(), Some("w1"));
     }
 }

@@ -135,6 +135,7 @@ mod tests {
             stopped_at: None,
             fingerprint: fp,
             warm_points: vec![],
+            lease: None,
         }
     }
 
