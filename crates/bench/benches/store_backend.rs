@@ -54,6 +54,8 @@ fn trial(session: &str, iteration: usize) -> StoredTrial {
             KnobValue::Int(8),
         ],
         metrics: (0..12).map(|m| (iteration + m) as f64).collect(),
+        status: llamatune::session::TrialStatus::Ok,
+        attempts: 1,
     }
 }
 

@@ -90,7 +90,11 @@ pub fn run_tuning_arm(
                     };
                     let objective = |cfg: &llamatune_space::Config| {
                         let out = runner.evaluate(tuned_space, cfg, seed ^ 0x5EED);
-                        EvalResult { score: out.score, metrics: out.result.metrics }
+                        EvalResult {
+                            score: out.score,
+                            metrics: out.result.metrics,
+                            ..Default::default()
+                        }
                     };
                     *slot = Some(run_session(adapter.as_ref(), opt, objective, &opts));
                 }
@@ -190,6 +194,9 @@ mod tests {
             raw_scores: Vec::new(),
             best_curve: curve,
             stopped_at: None,
+            statuses: Vec::new(),
+            attempts: Vec::new(),
+            degradations: Vec::new(),
         }
     }
 

@@ -14,7 +14,7 @@
 //!   parallel runtime's campaign transcript). [`session_curves`] regroups
 //!   a mixed log back into per-session score curves.
 
-use crate::session::SessionHistory;
+use crate::session::{SessionHistory, TrialStatus};
 use llamatune_space::{Config, ConfigSpace};
 use std::collections::BTreeMap;
 
@@ -93,6 +93,12 @@ pub struct TrialEvent {
     pub score: f64,
     /// Optimizer-space point (empty for iteration 0).
     pub point: Vec<f64>,
+    /// How the evaluation concluded. Serialized only when it differs
+    /// from [`TrialStatus::derived`] of the raw score, so events that
+    /// carry no extra information keep the pre-status byte layout.
+    pub status: TrialStatus,
+    /// Evaluation attempts consumed (serialized only when > 1).
+    pub attempts: u32,
 }
 
 /// Flattens a finished session into its trial events.
@@ -104,6 +110,12 @@ pub fn history_to_events(session: &str, history: &SessionHistory) -> Vec<TrialEv
             raw_score: history.raw_scores[i],
             score: history.scores[i],
             point: history.points[i].clone(),
+            status: history
+                .statuses
+                .get(i)
+                .copied()
+                .unwrap_or(TrialStatus::derived(history.raw_scores[i])),
+            attempts: history.attempts.get(i).copied().unwrap_or(1),
         })
         .collect()
 }
@@ -135,8 +147,19 @@ pub fn event_to_json(e: &TrialEvent) -> String {
         None => "null".to_string(),
     };
     let point = e.point.iter().map(|v| format!("{v}")).collect::<Vec<_>>().join(",");
+    // Fault-tolerance keys are omitted when they carry no information
+    // beyond the raw score (the derived status, first-try attempts), so
+    // pre-status transcripts and fault-free sessions are byte-identical
+    // to the original schema.
+    let status = if e.status == TrialStatus::derived(e.raw_score) {
+        String::new()
+    } else {
+        format!(",\"status\":\"{}\"", e.status.as_str())
+    };
+    let attempts =
+        if e.attempts <= 1 { String::new() } else { format!(",\"attempts\":{}", e.attempts) };
     format!(
-        "{{\"session\":\"{}\",\"iteration\":{},\"raw_score\":{},\"score\":{},\"point\":[{}]}}",
+        "{{\"session\":\"{}\",\"iteration\":{},\"raw_score\":{},\"score\":{},\"point\":[{}]{status}{attempts}}}",
         json_escape(&e.session),
         e.iteration,
         raw,
@@ -326,6 +349,7 @@ pub fn event_from_json(line: &str) -> Result<TrialEvent, String> {
     sc.expect(b'{')?;
     let (mut session, mut iteration, mut raw_score, mut score, mut point) =
         (None, None, None, None, None);
+    let (mut status, mut attempts) = (None, None);
     loop {
         let key = sc.string()?;
         sc.expect(b':')?;
@@ -337,6 +361,8 @@ pub fn event_from_json(line: &str) -> Result<TrialEvent, String> {
             }
             "score" => score = Some(sc.number()?),
             "point" => point = Some(sc.number_array()?),
+            "status" => status = Some(TrialStatus::parse(&sc.string()?)?),
+            "attempts" => attempts = Some(sc.number()? as u32),
             other => return Err(format!("unknown key {other:?}")),
         }
         match sc.peek() {
@@ -347,12 +373,15 @@ pub fn event_from_json(line: &str) -> Result<TrialEvent, String> {
             }
         }
     }
+    let raw_score = raw_score.ok_or("missing raw_score")?;
     Ok(TrialEvent {
         session: session.ok_or("missing session")?,
         iteration: iteration.ok_or("missing iteration")?,
-        raw_score: raw_score.ok_or("missing raw_score")?,
+        raw_score,
         score: score.ok_or("missing score")?,
         point: point.ok_or("missing point")?,
+        status: status.unwrap_or(TrialStatus::derived(raw_score)),
+        attempts: attempts.unwrap_or(1),
     })
 }
 
@@ -443,9 +472,14 @@ mod tests {
             move |cfg| {
                 calls += 1;
                 if calls == 3 {
-                    EvalResult { score: None, metrics: vec![] } // one crash
+                    EvalResult { score: None, metrics: vec![], ..Default::default() }
+                // one crash
                 } else {
-                    EvalResult { score: Some(cfg.values()[sb].as_float() / 1e4), metrics: vec![] }
+                    EvalResult {
+                        score: Some(cfg.values()[sb].as_float() / 1e4),
+                        metrics: vec![],
+                        ..Default::default()
+                    }
                 }
             },
             &SessionOptions { iterations: 6, n_init: 2, ..Default::default() },
@@ -571,9 +605,56 @@ mod tests {
             raw_score: None,
             score: -12.5,
             point: vec![0.25, 1.0],
+            status: TrialStatus::Crashed,
+            attempts: 1,
         };
         let parsed = event_from_json(&event_to_json(&e)).unwrap();
         assert_eq!(parsed, e);
+    }
+
+    #[test]
+    fn status_and_attempts_roundtrip_and_are_omitted_when_derivable() {
+        // Ok-with-score and crashed-without-score are the derived
+        // defaults: their serialization must not mention the new keys,
+        // so fault-free transcripts keep the pre-status byte layout.
+        let ok = TrialEvent {
+            session: "s".into(),
+            iteration: 1,
+            raw_score: Some(2.5),
+            score: 2.5,
+            point: vec![0.5],
+            status: TrialStatus::Ok,
+            attempts: 1,
+        };
+        let line = event_to_json(&ok);
+        assert!(!line.contains("status") && !line.contains("attempts"), "{line}");
+        assert_eq!(event_from_json(&line).unwrap(), ok);
+        let crashed = TrialEvent {
+            raw_score: None,
+            score: 0.625,
+            status: TrialStatus::Crashed,
+            ..ok.clone()
+        };
+        let line = event_to_json(&crashed);
+        assert!(!line.contains("status"), "derived crash needs no status key: {line}");
+        assert_eq!(event_from_json(&line).unwrap(), crashed);
+        // Non-derivable statuses and retry counts round-trip explicitly.
+        let timed_out = TrialEvent {
+            raw_score: None,
+            status: TrialStatus::TimedOut,
+            attempts: 3,
+            ..ok.clone()
+        };
+        let line = event_to_json(&timed_out);
+        assert!(line.contains("\"status\":\"timed_out\""), "{line}");
+        assert!(line.contains("\"attempts\":3"), "{line}");
+        assert_eq!(event_from_json(&line).unwrap(), timed_out);
+        let quarantined =
+            TrialEvent { raw_score: None, status: TrialStatus::Quarantined, ..ok.clone() };
+        assert_eq!(event_from_json(&event_to_json(&quarantined)).unwrap(), quarantined);
+        // Unknown status tokens are rejected (closed schema).
+        let bad = event_to_json(&timed_out).replace("timed_out", "exploded");
+        assert!(event_from_json(&bad).is_err());
     }
 
     #[test]
@@ -594,6 +675,8 @@ mod tests {
             raw_score: Some(1.0),
             score: 1.0,
             point: vec![],
+            status: TrialStatus::Ok,
+            attempts: 1,
         };
         assert!(session_curves(&[e.clone(), e]).is_err());
     }

@@ -49,13 +49,14 @@
 //!         // Run your DBMS benchmark here; higher scores are better.
 //!         let throughput = 0.0; // measure...
 //!         let _ = config;
-//!         EvalResult { score: Some(throughput), metrics: Vec::new() }
+//!         EvalResult { score: Some(throughput), metrics: Vec::new(), ..Default::default() }
 //!     },
 //!     &SessionOptions::default(),
 //! );
 //! println!("best = {:?}", history.best_score());
 //! ```
 
+pub mod backoff;
 pub mod bias;
 pub mod early_stop;
 pub mod history_io;
@@ -64,6 +65,7 @@ pub mod projection;
 pub mod report;
 pub mod session;
 
+pub use backoff::{Backoff, BackoffPolicy};
 pub use bias::apply_special_value_bias;
 pub use early_stop::EarlyStopPolicy;
 pub use pipeline::{
@@ -74,4 +76,5 @@ pub use report::{convergence_map, final_improvement_pct, time_to_optimal};
 pub use session::{
     replay_cutoff, run_session, run_session_parallel, run_session_resumable, EvalResult,
     FnExecutor, PriorTrial, SessionHistory, SessionOptions, Trial, TrialExecutor, TrialRecord,
+    TrialStatus,
 };

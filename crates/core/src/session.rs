@@ -35,18 +35,97 @@
 use crate::early_stop::EarlyStopPolicy;
 use crate::pipeline::SearchSpaceAdapter;
 use llamatune_math::latin_hypercube;
-use llamatune_optim::{Observation, Optimizer};
+use llamatune_optim::{DegradationEvent, Observation, Optimizer};
 use llamatune_space::Config;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
+/// How a trial's evaluation concluded. Every non-`Ok` status carries no
+/// raw score and receives the paper's crash penalty (§6: a quarter of
+/// the worst throughput observed so far); the distinctions exist so operators and the
+/// execution policy can tell a DBMS crash from a watchdog timeout from
+/// a config the quarantine refused to re-run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TrialStatus {
+    /// The evaluation completed and returned a score.
+    #[default]
+    Ok,
+    /// The DBMS (or the evaluation itself) crashed.
+    Crashed,
+    /// The watchdog timed the evaluation out.
+    TimedOut,
+    /// The configuration was quarantined after earlier failures and was
+    /// scored without being re-run.
+    Quarantined,
+}
+
+impl TrialStatus {
+    /// Stable serialization token.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            TrialStatus::Ok => "ok",
+            TrialStatus::Crashed => "crashed",
+            TrialStatus::TimedOut => "timed_out",
+            TrialStatus::Quarantined => "quarantined",
+        }
+    }
+
+    /// Parses an [`TrialStatus::as_str`] token.
+    pub fn parse(s: &str) -> Result<TrialStatus, String> {
+        match s {
+            "ok" => Ok(TrialStatus::Ok),
+            "crashed" => Ok(TrialStatus::Crashed),
+            "timed_out" => Ok(TrialStatus::TimedOut),
+            "quarantined" => Ok(TrialStatus::Quarantined),
+            other => Err(format!("unknown trial status {other:?}")),
+        }
+    }
+
+    /// The status implied by a raw score alone — the rule of the
+    /// pre-status schema, used as the serialization default so records
+    /// carrying only the implied status keep their old byte layout.
+    pub fn derived(raw_score: Option<f64>) -> TrialStatus {
+        if raw_score.is_some() {
+            TrialStatus::Ok
+        } else {
+            TrialStatus::Crashed
+        }
+    }
+
+    /// Whether the trial failed (its score is a penalty substitute).
+    pub fn is_failure(&self) -> bool {
+        !matches!(self, TrialStatus::Ok)
+    }
+}
+
 /// Result of one configuration evaluation. `score` is `None` when the
-/// configuration crashed the DBMS.
+/// configuration crashed the DBMS (or timed out, or was quarantined —
+/// `status` tells them apart).
 #[derive(Debug, Clone)]
 pub struct EvalResult {
     pub score: Option<f64>,
     /// Internal DBMS metrics (feeds DDPG's state; empty is fine).
     pub metrics: Vec<f64>,
+    /// How the evaluation concluded.
+    pub status: TrialStatus,
+    /// Evaluation attempts consumed (1 = first try; >1 after retries).
+    pub attempts: u32,
+}
+
+impl Default for EvalResult {
+    fn default() -> Self {
+        EvalResult { score: None, metrics: Vec::new(), status: TrialStatus::Ok, attempts: 1 }
+    }
+}
+
+impl EvalResult {
+    /// Whether this outcome could change on a re-run — a crash, timeout,
+    /// quarantine hit, or scoreless evaluation. Retryable results must
+    /// never be memoized (a cache that replays a transient crash forever
+    /// turns one fault into a permanent penalty); caches gate on this.
+    pub fn is_retryable(&self) -> bool {
+        self.status.is_failure() || self.score.is_none()
+    }
 }
 
 /// Session parameters (Section 6.1 defaults: 100 iterations, first 10 from
@@ -102,6 +181,17 @@ pub struct SessionHistory {
     pub best_curve: Vec<f64>,
     /// Iteration at which early stopping fired, if it did.
     pub stopped_at: Option<usize>,
+    /// Per-iteration outcome status (aligned with `scores`).
+    pub statuses: Vec<TrialStatus>,
+    /// Per-iteration evaluation attempts (aligned with `scores`; 1
+    /// unless the execution policy retried).
+    pub attempts: Vec<u32>,
+    /// Optimizer degradation events of the live run, stamped with the
+    /// first iteration of the round they affected. Observability only:
+    /// a resumed session replays recorded rounds without re-suggesting,
+    /// so degradations are *not* part of the byte-identical resume
+    /// contract and are not persisted by the store.
+    pub degradations: Vec<DegradationEvent>,
 }
 
 impl SessionHistory {
@@ -128,9 +218,18 @@ impl SessionHistory {
     }
 }
 
-/// Applies the paper's crash penalty: non-crashed scores pass through and
-/// lower `worst_seen`; crashes score one fourth of the worst performance
-/// seen so far (generalized to negative, latency-style scores).
+/// Applies the paper's crash penalty (Kanellis et al., VLDB 2022, §6):
+/// *"runs that crash the DBMS are assigned a throughput of one fourth
+/// of the worst throughput seen so far"*. Non-failed scores pass
+/// through and lower `worst_seen`; a failed trial — crashed, timed out,
+/// or quarantined, anything with `raw = None` — scores
+/// `w - 0.75·|w|` where `w` is the worst score seen so far (`0` if
+/// nothing succeeded yet). For positive, throughput-style scores this
+/// is exactly ¼·w; the `|w|` generalization keeps the penalty *strictly
+/// worse than the worst* for negated-latency scores too, so a failure
+/// can never look attractive to the optimizer. The same rule covers
+/// every [`TrialStatus`] failure: timeouts and quarantined configs are
+/// penalized identically to crashes.
 fn crash_penalty(raw: Option<f64>, worst_seen: &mut Option<f64>) -> f64 {
     match raw {
         Some(v) => {
@@ -149,6 +248,18 @@ fn crash_penalty(raw: Option<f64>, worst_seen: &mut Option<f64>) -> f64 {
     }
 }
 
+/// A trial with no raw score whose status still claims success — e.g. a
+/// record from the pre-status schema, or an executor that only set the
+/// score — folds as crashed, so `statuses` can never contradict
+/// `raw_scores`.
+fn normalize_status(status: TrialStatus, raw: Option<f64>) -> TrialStatus {
+    if raw.is_none() && status == TrialStatus::Ok {
+        TrialStatus::Crashed
+    } else {
+        status
+    }
+}
+
 fn empty_history(iterations: usize) -> SessionHistory {
     SessionHistory {
         configs: Vec::with_capacity(iterations + 1),
@@ -157,6 +268,9 @@ fn empty_history(iterations: usize) -> SessionHistory {
         raw_scores: Vec::with_capacity(iterations + 1),
         best_curve: Vec::with_capacity(iterations + 1),
         stopped_at: None,
+        statuses: Vec::with_capacity(iterations + 1),
+        attempts: Vec::with_capacity(iterations + 1),
+        degradations: Vec::new(),
     }
 }
 
@@ -259,6 +373,10 @@ pub struct PriorTrial {
     pub raw_score: Option<f64>,
     /// Internal DBMS metrics of the run (replayed into the optimizer).
     pub metrics: Vec<f64>,
+    /// How the recorded evaluation concluded.
+    pub status: TrialStatus,
+    /// Evaluation attempts the recorded trial consumed.
+    pub attempts: u32,
 }
 
 /// A freshly folded trial streamed out of the session loop — the
@@ -279,6 +397,10 @@ pub struct TrialRecord<'a> {
     pub score: f64,
     /// Internal DBMS metrics of the run.
     pub metrics: &'a [f64],
+    /// How the evaluation concluded.
+    pub status: TrialStatus,
+    /// Evaluation attempts consumed.
+    pub attempts: u32,
 }
 
 /// Largest prefix of `recorded` trials that ends on a *round boundary*
@@ -376,6 +498,8 @@ pub fn run_session_resumable(
         history.points.push(t.point.clone());
         history.scores.push(score);
         history.raw_scores.push(t.raw_score);
+        history.statuses.push(normalize_status(t.status, t.raw_score));
+        history.attempts.push(t.attempts.max(1));
         if t.iteration == 0 {
             history.best_curve.push(score);
             continue;
@@ -392,6 +516,10 @@ pub fn run_session_resumable(
         }
     }
     optimizer.observe_batch(replayed);
+    for mut e in optimizer.drain_degradations() {
+        e.iteration = history.scores.len();
+        history.degradations.push(e);
+    }
     if stopped {
         return Ok(history);
     }
@@ -404,6 +532,8 @@ pub fn run_session_resumable(
         assert_eq!(results.len(), 1, "executor must return one result per trial");
         let default_eval = results.remove(0);
         let default_score = crash_penalty(default_eval.score, &mut worst_seen);
+        let default_status = normalize_status(default_eval.status, default_eval.score);
+        let default_attempts = default_eval.attempts.max(1);
         if let Some(f) = sink.as_mut() {
             f(TrialRecord {
                 iteration: 0,
@@ -412,6 +542,8 @@ pub fn run_session_resumable(
                 raw_score: default_eval.score,
                 score: default_score,
                 metrics: &default_eval.metrics,
+                status: default_status,
+                attempts: default_attempts,
             });
         }
         history.configs.push(default_cfg);
@@ -419,6 +551,8 @@ pub fn run_session_resumable(
         history.scores.push(default_score);
         history.raw_scores.push(default_eval.score);
         history.best_curve.push(default_score);
+        history.statuses.push(default_status);
+        history.attempts.push(default_attempts);
     }
 
     // Initialization design in the optimizer's space: the seeded LHS
@@ -443,6 +577,10 @@ pub fn run_session_resumable(
         } else {
             optimizer.suggest_batch(round_q)
         };
+        for mut e in optimizer.drain_degradations() {
+            e.iteration = iter;
+            history.degradations.push(e);
+        }
         let trials: Vec<Trial> = points
             .iter()
             .enumerate()
@@ -457,6 +595,8 @@ pub fn run_session_resumable(
         let mut stopped = false;
         for ((point, trial), eval) in points.into_iter().zip(trials).zip(results) {
             let score = crash_penalty(eval.score, &mut worst_seen);
+            let status = normalize_status(eval.status, eval.score);
+            let attempts = eval.attempts.max(1);
             if let Some(f) = sink.as_mut() {
                 f(TrialRecord {
                     iteration: trial.iteration,
@@ -465,6 +605,8 @@ pub fn run_session_resumable(
                     raw_score: eval.score,
                     score,
                     metrics: &eval.metrics,
+                    status,
+                    attempts,
                 });
             }
             observations.push(Observation { x: point.clone(), y: score, metrics: eval.metrics });
@@ -472,6 +614,8 @@ pub fn run_session_resumable(
             history.points.push(point);
             history.scores.push(score);
             history.raw_scores.push(eval.score);
+            history.statuses.push(status);
+            history.attempts.push(attempts);
             best = best.max(score);
             history.best_curve.push(best);
             if let Some(policy) = &opts.early_stop {
@@ -483,6 +627,10 @@ pub fn run_session_resumable(
             }
         }
         optimizer.observe_batch(observations);
+        for mut e in optimizer.drain_degradations() {
+            e.iteration = iter;
+            history.degradations.push(e);
+        }
         if stopped {
             break;
         }
@@ -509,10 +657,10 @@ mod tests {
             let sbv = cfg.values()[sb].as_float();
             let cdv = cfg.values()[cd].as_float();
             if sbv > 0.9 * 2_097_152.0 {
-                return EvalResult { score: None, metrics: vec![] };
+                return EvalResult { score: None, metrics: vec![], ..Default::default() };
             }
             let score = sbv / 2_097_152.0 * 100.0 + cdv / 100_000.0 * 20.0;
-            EvalResult { score: Some(score), metrics: vec![score] }
+            EvalResult { score: Some(score), metrics: vec![score], ..Default::default() }
         }
     }
 
@@ -550,9 +698,9 @@ mod tests {
         let obj = move |_cfg: &Config| {
             if first {
                 first = false;
-                EvalResult { score: Some(40.0), metrics: vec![] }
+                EvalResult { score: Some(40.0), metrics: vec![], ..Default::default() }
             } else {
-                EvalResult { score: None, metrics: vec![] }
+                EvalResult { score: None, metrics: vec![], ..Default::default() }
             }
         };
         let opt = RandomSearch::new(adapter.optimizer_spec().clone(), 3);
@@ -566,6 +714,47 @@ mod tests {
     }
 
     #[test]
+    fn statuses_and_attempts_are_recorded_per_iteration() {
+        let space = postgres_v9_6();
+        let adapter = IdentityAdapter::new(&space);
+        // Default succeeds after a retry; everything else times out.
+        let mut first = true;
+        let obj = move |_cfg: &Config| {
+            if first {
+                first = false;
+                EvalResult { score: Some(40.0), metrics: vec![], attempts: 2, ..Default::default() }
+            } else {
+                EvalResult {
+                    score: None,
+                    metrics: vec![],
+                    status: TrialStatus::TimedOut,
+                    attempts: 3,
+                }
+            }
+        };
+        let opt = RandomSearch::new(adapter.optimizer_spec().clone(), 3);
+        let opts = SessionOptions { iterations: 3, n_init: 1, ..Default::default() };
+        let h = run_session(&adapter, Box::new(opt), obj, &opts);
+        assert_eq!(h.statuses[0], TrialStatus::Ok);
+        assert_eq!(h.attempts[0], 2);
+        for i in 1..=3 {
+            assert_eq!(h.statuses[i], TrialStatus::TimedOut);
+            assert_eq!(h.attempts[i], 3);
+            assert_eq!(h.scores[i], 10.0, "timeouts get the crash penalty");
+        }
+        // A score-less result claiming Ok normalizes to Crashed.
+        let mut e = FnExecutor(|_: &Config| EvalResult::default());
+        let h = run_session_parallel(
+            &adapter,
+            Box::new(RandomSearch::new(adapter.optimizer_spec().clone(), 3)),
+            &mut e,
+            &SessionOptions { iterations: 1, n_init: 1, ..Default::default() },
+            1,
+        );
+        assert!(h.statuses.iter().all(|s| *s == TrialStatus::Crashed));
+    }
+
+    #[test]
     fn latency_style_crash_penalty_is_worse_than_worst() {
         let space = postgres_v9_6();
         let adapter = IdentityAdapter::new(&space);
@@ -574,9 +763,9 @@ mod tests {
         let obj = move |_cfg: &Config| {
             calls += 1;
             if calls == 1 {
-                EvalResult { score: Some(-50.0), metrics: vec![] }
+                EvalResult { score: Some(-50.0), metrics: vec![], ..Default::default() }
             } else {
-                EvalResult { score: None, metrics: vec![] }
+                EvalResult { score: None, metrics: vec![], ..Default::default() }
             }
         };
         let opt = RandomSearch::new(adapter.optimizer_spec().clone(), 4);
@@ -605,7 +794,8 @@ mod tests {
         let space = postgres_v9_6();
         let adapter = IdentityAdapter::new(&space);
         // Constant objective: no improvement ever.
-        let obj = |_: &Config| EvalResult { score: Some(5.0), metrics: vec![] };
+        let obj =
+            |_: &Config| EvalResult { score: Some(5.0), metrics: vec![], ..Default::default() };
         let opt = RandomSearch::new(adapter.optimizer_spec().clone(), 5);
         let opts = SessionOptions {
             iterations: 100,
@@ -708,9 +898,9 @@ mod tests {
         let obj = move |_cfg: &Config| {
             if first {
                 first = false;
-                EvalResult { score: Some(40.0), metrics: vec![] }
+                EvalResult { score: Some(40.0), metrics: vec![], ..Default::default() }
             } else {
-                EvalResult { score: None, metrics: vec![] }
+                EvalResult { score: None, metrics: vec![], ..Default::default() }
             }
         };
         let mut executor = FnExecutor(obj);
@@ -732,7 +922,8 @@ mod tests {
     fn parallel_early_stop_discards_the_rest_of_the_batch() {
         let space = postgres_v9_6();
         let adapter = IdentityAdapter::new(&space);
-        let obj = |_: &Config| EvalResult { score: Some(5.0), metrics: vec![] };
+        let obj =
+            |_: &Config| EvalResult { score: Some(5.0), metrics: vec![], ..Default::default() };
         let mut executor = FnExecutor(obj);
         let opts = SessionOptions {
             iterations: 60,
@@ -805,6 +996,8 @@ mod tests {
                 config: h.configs[i].clone(),
                 raw_score: h.raw_scores[i],
                 metrics: vec![],
+                status: h.statuses[i],
+                attempts: h.attempts[i],
             })
             .collect()
     }
@@ -814,6 +1007,8 @@ mod tests {
         assert_eq!(a.points, b.points);
         assert_eq!(a.raw_scores, b.raw_scores);
         assert_eq!(a.stopped_at, b.stopped_at);
+        assert_eq!(a.statuses, b.statuses);
+        assert_eq!(a.attempts, b.attempts);
         let bits = |v: &[f64]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
         assert_eq!(bits(&a.scores), bits(&b.scores));
         assert_eq!(bits(&a.best_curve), bits(&b.best_curve));
@@ -947,7 +1142,8 @@ mod tests {
     fn replay_applies_early_stopping_without_running_trials() {
         let space = postgres_v9_6();
         let adapter = IdentityAdapter::new(&space);
-        let obj = |_: &Config| EvalResult { score: Some(5.0), metrics: vec![] };
+        let obj =
+            |_: &Config| EvalResult { score: Some(5.0), metrics: vec![], ..Default::default() };
         let opts = SessionOptions {
             iterations: 40,
             n_init: 3,
@@ -969,7 +1165,7 @@ mod tests {
         let mut calls = 0usize;
         let mut e = FnExecutor(|_: &Config| {
             calls += 1;
-            EvalResult { score: Some(5.0), metrics: vec![] }
+            EvalResult { score: Some(5.0), metrics: vec![], ..Default::default() }
         });
         let resumed = run_session_resumable(
             &adapter,
@@ -1030,6 +1226,8 @@ mod tests {
             config: space.default_config(),
             raw_score: Some(1.0),
             metrics: vec![],
+            status: TrialStatus::Ok,
+            attempts: 1,
         }];
         assert!(run_session_resumable(
             &adapter,

@@ -1,0 +1,337 @@
+//! Graceful degradation for model-driven optimizers.
+//!
+//! GP-BO and SMAC fail numerically in ways random search cannot: a
+//! near-singular kernel matrix makes the Cholesky factorization non-PD,
+//! an Expected-Improvement computation underflows to NaN, a forest
+//! score goes infinite on a degenerate split. Unguarded, any of these
+//! either panics the session or poisons it with NaN suggestions that
+//! crash the decode path. [`GuardedOptimizer`] wraps any [`Optimizer`]
+//! and turns both failure shapes — a panic inside the optimizer, or a
+//! suggestion that is not a finite point of the unit hypercube — into a
+//! *degradation*: the round's suggestions come from a seeded
+//! [`RandomSearch`] instead, the inner optimizer is rebuilt from its
+//! factory and replayed with every real observation seen so far (the
+//! same rebuild-and-replay contract the resume path uses), and a
+//! structured [`DegradationEvent`] is recorded for the session history.
+//!
+//! The fallback RNG advances only when a degradation actually fires, so
+//! a healthy optimizer's trajectory is byte-identical with or without
+//! the guard.
+
+use crate::spec::{Observation, Optimizer, RandomSearch, SearchSpec};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// One recovery from an optimizer failure, as recorded in the session
+/// history (`SessionHistory::degradations` in the core crate).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DegradationEvent {
+    /// Session iteration of the first trial of the degraded round
+    /// (stamped by the session loop; 0 until stamped).
+    pub iteration: usize,
+    /// Name of the optimizer that failed.
+    pub optimizer: String,
+    /// What failed — e.g. `"panic in suggest"` or
+    /// `"non-finite or out-of-bounds suggestion"`.
+    pub reason: String,
+}
+
+/// Builds a fresh inner optimizer, for rebuild-and-replay recovery.
+pub type GuardFactory = Box<dyn Fn() -> Box<dyn Optimizer> + Send>;
+
+/// An [`Optimizer`] wrapper that isolates panics and numerical failures
+/// of its inner optimizer; see the module docs.
+pub struct GuardedOptimizer {
+    factory: GuardFactory,
+    inner: Box<dyn Optimizer>,
+    fallback: RandomSearch,
+    spec: SearchSpec,
+    /// Every real observation fed through the guard, for replay into a
+    /// rebuilt inner optimizer.
+    seen: Vec<Observation>,
+    events: Vec<DegradationEvent>,
+}
+
+impl std::fmt::Debug for GuardedOptimizer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("GuardedOptimizer")
+            .field("inner", &self.inner.name())
+            .field("seen", &self.seen.len())
+            .field("events", &self.events.len())
+            .finish()
+    }
+}
+
+impl GuardedOptimizer {
+    /// Wraps `factory()`'s optimizer over `spec`; `seed` drives the
+    /// random-search fallback (advanced only on degradation).
+    pub fn new(factory: GuardFactory, spec: SearchSpec, seed: u64) -> GuardedOptimizer {
+        let inner = factory();
+        GuardedOptimizer {
+            factory,
+            inner,
+            fallback: RandomSearch::new(spec.clone(), seed ^ 0xDE64_ADE0),
+            spec,
+            seen: Vec::new(),
+            events: Vec::new(),
+        }
+    }
+
+    /// Whether `x` is a finite point of the unit hypercube with the
+    /// space's arity.
+    fn valid(&self, x: &[f64]) -> bool {
+        x.len() == self.spec.len() && x.iter().all(|v| v.is_finite() && (0.0..=1.0).contains(v))
+    }
+
+    /// Records a degradation and rebuilds the inner optimizer from the
+    /// factory, replaying every real observation. If the replay itself
+    /// fails, the fresh (empty) optimizer is kept — random-search
+    /// fallback keeps the session moving either way.
+    fn degrade(&mut self, reason: &str) {
+        self.events.push(DegradationEvent {
+            iteration: 0,
+            optimizer: self.inner.name().to_string(),
+            reason: reason.to_string(),
+        });
+        let mut fresh = (self.factory)();
+        let replay = self.seen.clone();
+        let replayed = catch_unwind(AssertUnwindSafe(|| {
+            fresh.observe_batch(replay);
+            fresh
+        }));
+        self.inner = match replayed {
+            Ok(fresh) => fresh,
+            Err(_) => (self.factory)(),
+        };
+    }
+
+    fn guarded_suggest_batch(&mut self, q: usize) -> Vec<Vec<f64>> {
+        let attempt = catch_unwind(AssertUnwindSafe(|| self.inner.suggest_batch(q)));
+        match attempt {
+            Ok(points) if points.len() == q && points.iter().all(|x| self.valid(x)) => points,
+            Ok(_) => {
+                self.degrade("non-finite or out-of-bounds suggestion");
+                (0..q).map(|_| self.fallback.suggest()).collect()
+            }
+            Err(_) => {
+                self.degrade("panic in suggest");
+                (0..q).map(|_| self.fallback.suggest()).collect()
+            }
+        }
+    }
+}
+
+impl Optimizer for GuardedOptimizer {
+    fn suggest(&mut self) -> Vec<f64> {
+        self.guarded_suggest_batch(1).pop().expect("q=1 yields one point")
+    }
+
+    fn suggest_batch(&mut self, q: usize) -> Vec<Vec<f64>> {
+        self.guarded_suggest_batch(q)
+    }
+
+    fn observe(&mut self, obs: Observation) {
+        self.observe_batch(vec![obs]);
+    }
+
+    fn observe_batch(&mut self, obs: Vec<Observation>) {
+        self.seen.extend(obs.iter().cloned());
+        let attempt = catch_unwind(AssertUnwindSafe(|| self.inner.observe_batch(obs)));
+        if attempt.is_err() {
+            // `seen` already holds the batch, so the rebuild replays it.
+            self.degrade("panic in observe");
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        self.inner.name()
+    }
+
+    fn drain_degradations(&mut self) -> Vec<DegradationEvent> {
+        std::mem::take(&mut self.events)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::OptimizerKind;
+
+    /// Misbehaves on a script: panics or emits NaN at chosen calls.
+    struct Flaky {
+        rng_points: RandomSearch,
+        calls: usize,
+        panic_on: Vec<usize>,
+        nan_on: Vec<usize>,
+        observed: usize,
+        panic_on_observe: Option<usize>,
+    }
+
+    impl Flaky {
+        fn new(spec: SearchSpec) -> Flaky {
+            Flaky {
+                rng_points: RandomSearch::new(spec, 99),
+                calls: 0,
+                panic_on: Vec::new(),
+                nan_on: Vec::new(),
+                observed: 0,
+                panic_on_observe: None,
+            }
+        }
+    }
+
+    impl Optimizer for Flaky {
+        fn suggest(&mut self) -> Vec<f64> {
+            let call = self.calls;
+            self.calls += 1;
+            if self.panic_on.contains(&call) {
+                panic!("injected non-PD Cholesky");
+            }
+            if self.nan_on.contains(&call) {
+                return vec![f64::NAN; 2];
+            }
+            self.rng_points.suggest()
+        }
+
+        fn observe(&mut self, _obs: Observation) {
+            self.observed += 1;
+            if Some(self.observed) == self.panic_on_observe {
+                panic!("injected observe failure");
+            }
+        }
+
+        fn name(&self) -> &'static str {
+            "flaky"
+        }
+    }
+
+    fn spec2() -> SearchSpec {
+        SearchSpec::continuous(2)
+    }
+
+    fn obs(t: f64) -> Observation {
+        Observation { x: vec![t, 1.0 - t], y: t, metrics: vec![] }
+    }
+
+    #[test]
+    fn healthy_optimizer_is_untouched_by_the_guard() {
+        let mut guarded =
+            GuardedOptimizer::new(Box::new(|| OptimizerKind::Smac.build(&spec2(), 7)), spec2(), 7);
+        let mut plain = OptimizerKind::Smac.build(&spec2(), 7);
+        for i in 0..6 {
+            let a = guarded.suggest();
+            let b = plain.suggest();
+            assert_eq!(a, b, "guard must be transparent on the healthy path");
+            guarded.observe(obs(i as f64 / 6.0));
+            plain.observe(obs(i as f64 / 6.0));
+        }
+        assert!(guarded.drain_degradations().is_empty());
+    }
+
+    #[test]
+    fn panic_in_suggest_degrades_to_random_and_records_an_event() {
+        let mut g = GuardedOptimizer::new(
+            Box::new(|| {
+                let mut f = Flaky::new(spec2());
+                f.panic_on = vec![0];
+                Box::new(f)
+            }),
+            spec2(),
+            3,
+        );
+        let x = g.suggest();
+        assert_eq!(x.len(), 2);
+        assert!(x.iter().all(|v| v.is_finite() && (0.0..=1.0).contains(v)));
+        let events = g.drain_degradations();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].optimizer, "flaky");
+        assert!(events[0].reason.contains("panic"));
+        assert!(g.drain_degradations().is_empty(), "drain takes the events");
+        // The rebuilt inner (fresh Flaky, panics again on ITS call 0)
+        // degrades again — the guard never lets a panic escape.
+        let y = g.suggest();
+        assert!(y.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn nan_suggestions_are_replaced_not_propagated() {
+        let mut g = GuardedOptimizer::new(
+            Box::new(|| {
+                let mut f = Flaky::new(spec2());
+                f.nan_on = vec![0];
+                Box::new(f)
+            }),
+            spec2(),
+            5,
+        );
+        let batch = g.suggest_batch(3);
+        assert_eq!(batch.len(), 3);
+        for x in &batch {
+            assert!(x.iter().all(|v| v.is_finite() && (0.0..=1.0).contains(v)));
+        }
+        let events = g.drain_degradations();
+        assert_eq!(events.len(), 1);
+        assert!(events[0].reason.contains("out-of-bounds") || events[0].reason.contains("finite"));
+    }
+
+    #[test]
+    fn degradation_is_deterministic() {
+        let run = || {
+            let mut g = GuardedOptimizer::new(
+                Box::new(|| {
+                    let mut f = Flaky::new(spec2());
+                    f.nan_on = vec![2];
+                    Box::new(f)
+                }),
+                spec2(),
+                11,
+            );
+            let mut out = Vec::new();
+            for i in 0..6 {
+                out.push(g.suggest());
+                g.observe(obs(i as f64 / 7.0));
+            }
+            out
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn rebuild_replays_observations_into_the_fresh_inner() {
+        // After a degradation, the rebuilt inner must hold the full
+        // observation history: a SMAC rebuilt with 6 observations
+        // suggests what a fresh SMAC fed the same 6 would.
+        let mut g = GuardedOptimizer::new(
+            Box::new(|| OptimizerKind::Smac.build(&spec2(), 13)),
+            spec2(),
+            13,
+        );
+        let history: Vec<Observation> = (0..6).map(|i| obs(i as f64 / 6.0)).collect();
+        g.observe_batch(history.clone());
+        g.degrade("test-forced");
+        let mut replayed = OptimizerKind::Smac.build(&spec2(), 13);
+        replayed.observe_batch(history);
+        assert_eq!(g.suggest(), replayed.suggest());
+        assert_eq!(g.drain_degradations().len(), 1);
+    }
+
+    #[test]
+    fn panic_in_observe_is_contained() {
+        let mut g = GuardedOptimizer::new(
+            Box::new(|| {
+                let mut f = Flaky::new(spec2());
+                f.panic_on_observe = Some(3);
+                Box::new(f)
+            }),
+            spec2(),
+            17,
+        );
+        for i in 0..5 {
+            g.observe(obs(i as f64 / 5.0));
+        }
+        // Observation 3 panicked; the rebuilt inner replays all 1..=3
+        // then panics again at its own 3rd — degradations accrue but
+        // nothing escapes, and suggesting still works.
+        assert!(!g.drain_degradations().is_empty());
+        assert_eq!(g.suggest().len(), 2);
+    }
+}

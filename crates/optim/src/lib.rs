@@ -17,6 +17,7 @@
 
 pub mod ddpg;
 pub mod gp;
+pub mod guard;
 pub mod nn;
 pub mod rf;
 pub mod smac;
@@ -24,6 +25,7 @@ pub mod spec;
 
 pub use ddpg::{Ddpg, DdpgConfig};
 pub use gp::{GpBo, GpConfig};
+pub use guard::{DegradationEvent, GuardFactory, GuardedOptimizer};
 pub use rf::{RandomForest, RandomForestConfig, Tree, TreeNode};
 pub use smac::{Smac, SmacConfig};
 pub use spec::{

@@ -149,6 +149,15 @@ pub trait Optimizer: Send {
         let _ = snapshot;
         false
     }
+
+    /// Takes the degradation events accumulated since the last call.
+    /// Only wrappers that can degrade (the numerical-failure guard in
+    /// [`crate::guard`]) produce any; plain optimizers return nothing.
+    /// Batch wrappers forward to their inner optimizer so events
+    /// surface through any composition.
+    fn drain_degradations(&mut self) -> Vec<crate::guard::DegradationEvent> {
+        Vec::new()
+    }
 }
 
 /// Dimension of the DBMS's internal-metrics vector fed to DDPG's state

@@ -225,6 +225,10 @@ impl Optimizer for BatchSuggest {
             self.inner.observe_batch(obs);
         }
     }
+
+    fn drain_degradations(&mut self) -> Vec<llamatune_optim::DegradationEvent> {
+        self.inner.drain_degradations()
+    }
 }
 
 #[cfg(test)]

@@ -140,7 +140,17 @@ impl EvalCache {
     /// Records an evaluation result, evicting the oldest insertion if
     /// the cache is at capacity. Re-inserting an existing key replaces
     /// its value without touching the insertion order.
+    ///
+    /// Retryable outcomes ([`EvalResult::is_retryable`]: crashes,
+    /// timeouts, quarantine hits, anything scoreless) are refused —
+    /// memoizing one would replay a possibly-transient failure forever.
+    /// Deciding whether a failed configuration is worth re-running is
+    /// the execution policy's job (retry budget + quarantine), not the
+    /// cache's.
     pub fn insert(&self, config: &Config, result: EvalResult) {
+        if result.is_retryable() {
+            return;
+        }
         let key = config_key(config);
         let mut inner = lock_recover(&self.inner);
         if inner.map.insert(key, result).is_some() {
@@ -198,7 +208,10 @@ mod tests {
         let cfg = space.default_config();
         let cache = EvalCache::new();
         assert!(cache.lookup(&cfg).is_none());
-        cache.insert(&cfg, EvalResult { score: Some(123.0), metrics: vec![1.0] });
+        cache.insert(
+            &cfg,
+            EvalResult { score: Some(123.0), metrics: vec![1.0], ..Default::default() },
+        );
         let hit = cache.lookup(&cfg).expect("cached");
         assert_eq!(hit.score, Some(123.0));
         assert_eq!(hit.metrics, vec![1.0]);
@@ -209,12 +222,24 @@ mod tests {
     }
 
     #[test]
-    fn crashed_results_are_cacheable() {
+    fn failed_evaluations_are_never_cached() {
+        // Regression test: crashed results used to be cacheable, which
+        // turned any transient fault into a permanently memoized penalty.
+        use llamatune::session::TrialStatus;
         let space = postgres_v9_6();
         let cfg = space.default_config();
         let cache = EvalCache::new();
-        cache.insert(&cfg, EvalResult { score: None, metrics: vec![] });
-        assert!(cache.lookup(&cfg).expect("cached crash").score.is_none());
+        cache.insert(&cfg, EvalResult { score: None, ..Default::default() });
+        assert!(cache.lookup(&cfg).is_none(), "scoreless results must not be cached");
+        cache.insert(
+            &cfg,
+            EvalResult { score: Some(5.0), status: TrialStatus::TimedOut, ..Default::default() },
+        );
+        assert!(cache.lookup(&cfg).is_none(), "failure statuses must not be cached");
+        assert!(cache.is_empty());
+        // A later healthy result for the same configuration is welcome.
+        cache.insert(&cfg, EvalResult { score: Some(5.0), attempts: 2, ..Default::default() });
+        assert_eq!(cache.lookup(&cfg).expect("cached").attempts, 2);
     }
 
     fn config_with_sb(space: &llamatune_space::ConfigSpace, sb: i64) -> Config {
@@ -230,7 +255,7 @@ mod tests {
         let cache = EvalCache::with_capacity(2);
         let cfgs: Vec<Config> = (1..=3).map(|i| config_with_sb(&space, i * 1000)).collect();
         for (i, cfg) in cfgs.iter().enumerate() {
-            cache.insert(cfg, EvalResult { score: Some(i as f64), metrics: vec![] });
+            cache.insert(cfg, EvalResult { score: Some(i as f64), ..Default::default() });
         }
         assert_eq!(cache.len(), 2);
         assert_eq!(cache.stats().evictions, 1);
@@ -246,16 +271,16 @@ mod tests {
         let cache = EvalCache::with_capacity(2);
         let a = config_with_sb(&space, 1000);
         let b = config_with_sb(&space, 2000);
-        cache.insert(&a, EvalResult { score: Some(1.0), metrics: vec![] });
-        cache.insert(&b, EvalResult { score: Some(2.0), metrics: vec![] });
+        cache.insert(&a, EvalResult { score: Some(1.0), ..Default::default() });
+        cache.insert(&b, EvalResult { score: Some(2.0), ..Default::default() });
         // Refresh `a`'s value: still 2 entries, zero evictions, and `a`
         // keeps its original (oldest) insertion slot.
-        cache.insert(&a, EvalResult { score: Some(10.0), metrics: vec![] });
+        cache.insert(&a, EvalResult { score: Some(10.0), ..Default::default() });
         assert_eq!(cache.len(), 2);
         assert_eq!(cache.stats().evictions, 0);
         assert_eq!(cache.lookup(&a).unwrap().score, Some(10.0));
         let c = config_with_sb(&space, 3000);
-        cache.insert(&c, EvalResult { score: Some(3.0), metrics: vec![] });
+        cache.insert(&c, EvalResult { score: Some(3.0), ..Default::default() });
         assert!(cache.lookup(&a).is_none(), "a was still the oldest insertion");
         assert!(cache.lookup(&b).is_some());
     }
@@ -265,7 +290,7 @@ mod tests {
         let space = postgres_v9_6();
         let cache = EvalCache::with_capacity(0);
         let cfg = space.default_config();
-        cache.insert(&cfg, EvalResult { score: Some(1.0), metrics: vec![] });
+        cache.insert(&cfg, EvalResult { score: Some(1.0), ..Default::default() });
         assert!(cache.is_empty());
         assert_eq!(cache.stats().evictions, 1);
         assert!(cache.lookup(&cfg).is_none());
@@ -277,7 +302,7 @@ mod tests {
         let cache = EvalCache::new();
         for i in 1..=64 {
             let cfg = config_with_sb(&space, i * 512);
-            cache.insert(&cfg, EvalResult { score: Some(i as f64), metrics: vec![] });
+            cache.insert(&cfg, EvalResult { score: Some(i as f64), ..Default::default() });
         }
         assert_eq!(cache.len(), 64);
         assert_eq!(cache.stats().evictions, 0);
@@ -290,7 +315,7 @@ mod tests {
         let space = postgres_v9_6();
         let cache = Arc::new(EvalCache::new());
         let cfg = space.default_config();
-        cache.insert(&cfg, EvalResult { score: Some(7.0), metrics: vec![] });
+        cache.insert(&cfg, EvalResult { score: Some(7.0), ..Default::default() });
         // Poison the mutex: panic while holding the guard.
         let poisoner = cache.clone();
         let _ = std::thread::spawn(move || {
@@ -302,7 +327,7 @@ mod tests {
         // Every operation still works on the recovered guard.
         assert_eq!(cache.lookup(&cfg).unwrap().score, Some(7.0));
         let other = config_with_sb(&space, 4242);
-        cache.insert(&other, EvalResult { score: Some(1.0), metrics: vec![] });
+        cache.insert(&other, EvalResult { score: Some(1.0), ..Default::default() });
         assert_eq!(cache.len(), 2);
     }
 }

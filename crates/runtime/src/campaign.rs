@@ -19,6 +19,7 @@
 use crate::batch::BatchSuggest;
 use crate::cache::{lock_recover, CacheStats, EvalCache};
 use crate::executor::WorkloadExecutor;
+use crate::policy::{ExecutionPolicy, FaultStatsSnapshot};
 use llamatune::history_io::{events_to_jsonl, history_to_events, TrialEvent};
 use llamatune::pipeline::{
     IdentityAdapter, LlamaTuneConfig, LlamaTunePipeline, SearchSpaceAdapter,
@@ -27,14 +28,15 @@ use llamatune::session::{
     run_session_parallel, run_session_resumable, SessionHistory, SessionOptions, TrialRecord,
 };
 use llamatune_engine::RunOptions;
-use llamatune_optim::Optimizer;
+use llamatune_optim::{GuardFactory, GuardedOptimizer, Optimizer, SearchSpec};
 use llamatune_space::{Config, ConfigSpace};
 use llamatune_store::{
     rebuild_history, SessionMeta, SessionStatus, StoreBackend, StoreOptions, StoredTrial,
     TrialStore,
 };
 use llamatune_workloads::{
-    workload_by_name, workload_fingerprint, WorkloadRunner, FINGERPRINT_PROBE_SEED,
+    workload_by_name, workload_fingerprint, FaultPlan, FaultyRunner, TrialRunner, WorkloadRunner,
+    FINGERPRINT_PROBE_SEED,
 };
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
@@ -155,6 +157,21 @@ pub struct CampaignOptions {
     /// Override the runner's simulation window (tests and benches use
     /// shorter windows than the per-workload defaults).
     pub run_options: Option<RunOptions>,
+    /// Deterministic fault injection: wrap every session's runner in a
+    /// [`FaultyRunner`] with this plan (`None` = faults off). Chaos
+    /// testing only; the plan's seed is part of the determinism
+    /// contract, exactly like the session seed.
+    pub fault_plan: Option<FaultPlan>,
+    /// Trial-level fault-tolerance policy (watchdog, retry, hedging,
+    /// quarantine). The default is inert on healthy evaluations.
+    pub policy: ExecutionPolicy,
+    /// Wrap each session's optimizer in a `GuardedOptimizer`: a panic
+    /// or numerical failure inside the optimizer degrades that round to
+    /// random-search suggestions (recorded in
+    /// `SessionHistory::degradations`) instead of killing the session.
+    /// Pass-through on healthy runs — the fallback RNG advances only on
+    /// degradation.
+    pub guard: bool,
 }
 
 impl Default for CampaignOptions {
@@ -169,6 +186,9 @@ impl Default for CampaignOptions {
             cache_capacity: None,
             warm_start: None,
             run_options: None,
+            fault_plan: None,
+            policy: ExecutionPolicy::default(),
+            guard: true,
         }
     }
 }
@@ -183,8 +203,17 @@ pub struct CampaignResult {
     pub optimizer: String,
     pub seed: u64,
     pub history: SessionHistory,
-    /// Cache counters, when the campaign ran with a cache.
+    /// Cache counters, when the campaign ran with a cache. Hits count
+    /// only healthy repeats: failed evaluations are never cached, so
+    /// re-encounters of poisoned configurations show up in
+    /// [`CampaignResult::faults`] as quarantine hits instead.
     pub cache: Option<CacheStats>,
+    /// What the execution-policy layer did: timeouts, retries, caught
+    /// panics, quarantine short-circuits, hedges. All zero under the
+    /// inert default policy on healthy workloads — except
+    /// `quarantine_hits`, which fires whenever a crashed configuration
+    /// is re-suggested.
+    pub faults: FaultStatsSnapshot,
 }
 
 /// A configured campaign, ready to run.
@@ -280,25 +309,14 @@ impl Campaign {
         }
         let adapter = cell.adapter.build(&self.catalog, cell.seed);
 
-        let base_spec = adapter.optimizer_spec().clone();
-        let kind = cell.optimizer;
-        let seed = cell.seed;
-        let optimizer: Box<dyn Optimizer> = if self.opts.constant_liar && self.opts.batch_size > 1 {
-            Box::new(BatchSuggest::new(Box::new(move || kind.build(&base_spec, seed))))
-        } else {
-            kind.build(&base_spec, seed)
-        };
+        let optimizer =
+            self.build_optimizer(adapter.optimizer_spec().clone(), cell, self.opts.batch_size > 1);
 
         // Evaluation seed: fixed per session, derived from the session
         // seed exactly as the sequential harness does.
         let eval_seed = cell.seed ^ 0x5EED;
         let cache = self.opts.cache.then(|| Arc::new(self.build_cache()));
-        let mut executor = WorkloadExecutor::new(
-            &runner,
-            self.catalog.clone(),
-            eval_seed,
-            self.opts.trial_workers,
-        );
+        let mut executor = self.build_executor(&runner, eval_seed);
         if let Some(c) = &cache {
             executor = executor.with_cache(c.clone());
         }
@@ -325,6 +343,7 @@ impl Campaign {
             seed: cell.seed,
             history,
             cache: cache.map(|c| c.stats()),
+            faults: executor.fault_stats(),
         }
     }
 
@@ -475,15 +494,19 @@ impl Campaign {
         cell: &Cell,
         store: &TrialStore,
     ) -> std::io::Result<CampaignResult> {
-        let result = |history: SessionHistory, cache: Option<CacheStats>| CampaignResult {
-            label: cell.label.clone(),
-            workload: cell.workload.clone(),
-            adapter: cell.adapter.label().to_string(),
-            optimizer: cell.optimizer.label().to_string(),
-            seed: cell.seed,
-            history,
-            cache,
-        };
+        let result =
+            |history: SessionHistory, cache: Option<CacheStats>, faults: FaultStatsSnapshot| {
+                CampaignResult {
+                    label: cell.label.clone(),
+                    workload: cell.workload.clone(),
+                    adapter: cell.adapter.label().to_string(),
+                    optimizer: cell.optimizer.label().to_string(),
+                    seed: cell.seed,
+                    history,
+                    cache,
+                    faults,
+                }
+            };
 
         // A session the store knows is finished is rebuilt from its
         // records — zero evaluations.
@@ -491,7 +514,8 @@ impl Campaign {
         if let Some(m) = &meta {
             if m.status == SessionStatus::Done {
                 let history = rebuild_history(&store.trials_for(&cell.label), m.stopped_at);
-                return Ok(result(history, None));
+                // Rebuilt without an executor: nothing ran, no faults.
+                return Ok(result(history, None, FaultStatsSnapshot::default()));
             }
         }
 
@@ -536,18 +560,11 @@ impl Campaign {
             }
         };
 
-        let base_spec = adapter.optimizer_spec().clone();
-        let kind = cell.optimizer;
-        let seed = cell.seed;
         // Always wrap under `constant_liar`, even at batch size 1: the
         // wrapper's rebuild-and-replay makes optimizer state a pure
         // function of the recorded history, which is what lets a resume
         // continue bit-identically.
-        let optimizer: Box<dyn Optimizer> = if self.opts.constant_liar {
-            Box::new(BatchSuggest::new(Box::new(move || kind.build(&base_spec, seed))))
-        } else {
-            kind.build(&base_spec, seed)
-        };
+        let optimizer = self.build_optimizer(adapter.optimizer_spec().clone(), cell, true);
 
         let eval_seed = cell.seed ^ 0x5EED;
         let cache = self.opts.cache.then(|| Arc::new(self.build_cache()));
@@ -555,20 +572,21 @@ impl Campaign {
             // The persistent half of the evaluation cache: every trial
             // already recorded for this session is a measurement already
             // paid for — a resumed partial round replays from here
-            // instead of re-running the DBMS.
+            // instead of re-running the DBMS. (Failed trials are refused
+            // by the cache; quarantine preloading below covers them.)
             for t in store.trials_for(&cell.label) {
                 c.insert(
                     &Config::new(t.config.clone()),
-                    llamatune::session::EvalResult { score: t.raw_score, metrics: t.metrics },
+                    llamatune::session::EvalResult {
+                        score: t.raw_score,
+                        metrics: t.metrics,
+                        status: t.status,
+                        attempts: t.attempts,
+                    },
                 );
             }
         }
-        let mut executor = WorkloadExecutor::new(
-            &runner,
-            self.catalog.clone(),
-            eval_seed,
-            self.opts.trial_workers,
-        );
+        let mut executor = self.build_executor(&runner, eval_seed);
         if let Some(c) = &cache {
             executor = executor.with_cache(c.clone());
         }
@@ -579,6 +597,19 @@ impl Campaign {
             ..self.opts.session.clone()
         };
         let prior = store.prior_trials(&cell.label);
+        if self.opts.policy.quarantine {
+            // Quarantine preload, replayed prefix only: configurations
+            // whose recorded trials failed terminally must enter
+            // quarantine before the first live round — the uninterrupted
+            // run would answer their re-encounters from quarantine, and
+            // a byte-identical resume must do the same. Trials past the
+            // round boundary are re-run, and re-quarantine themselves.
+            let cut =
+                llamatune::session::replay_cutoff(prior.len(), &session_opts, self.opts.batch_size);
+            executor.preload_quarantine(
+                prior[..cut].iter().filter(|t| t.status.is_failure()).map(|t| &t.config),
+            );
+        }
         let mut sink_err: Option<std::io::Error> = None;
         let mut sink = |t: TrialRecord<'_>| {
             if sink_err.is_some() {
@@ -592,6 +623,8 @@ impl Campaign {
                 point: t.point.to_vec(),
                 config: t.config.values().to_vec(),
                 metrics: t.metrics.to_vec(),
+                status: t.status,
+                attempts: t.attempts,
             };
             if let Err(e) = store.append_trial(&rec) {
                 sink_err = Some(e);
@@ -616,7 +649,57 @@ impl Campaign {
             lease: None, // released on completion
             ..meta
         })?;
-        Ok(result(history, cache.map(|c| c.stats())))
+        Ok(result(history, cache.map(|c| c.stats()), executor.fault_stats()))
+    }
+
+    /// Builds the session optimizer stack. Inside out: the raw
+    /// optimizer, under constant-liar [`BatchSuggest`] when `wrap_liar`,
+    /// under [`GuardedOptimizer`] when `opts.guard`. The guard sits
+    /// outermost so its rebuild-and-replay recovery reconstructs the
+    /// same batch wrapper the session loop drives.
+    fn build_optimizer(
+        &self,
+        spec: SearchSpec,
+        cell: &Cell,
+        wrap_liar: bool,
+    ) -> Box<dyn Optimizer> {
+        let kind = cell.optimizer;
+        let seed = cell.seed;
+        let liar = self.opts.constant_liar && wrap_liar;
+        let make: GuardFactory = {
+            let spec = spec.clone();
+            Box::new(move || -> Box<dyn Optimizer> {
+                if liar {
+                    let spec = spec.clone();
+                    Box::new(BatchSuggest::new(Box::new(move || kind.build(&spec, seed))))
+                } else {
+                    kind.build(&spec, seed)
+                }
+            })
+        };
+        if self.opts.guard {
+            Box::new(GuardedOptimizer::new(make, spec, seed))
+        } else {
+            make()
+        }
+    }
+
+    /// Builds the trial executor: the workload runner — wrapped for
+    /// seeded fault injection when a plan is set — under the campaign's
+    /// execution policy.
+    fn build_executor(&self, runner: &WorkloadRunner, eval_seed: u64) -> WorkloadExecutor {
+        let base: Arc<dyn TrialRunner> = Arc::new(runner.clone());
+        let trial_runner: Arc<dyn TrialRunner> = match &self.opts.fault_plan {
+            Some(plan) => Arc::new(FaultyRunner::new(base, *plan)),
+            None => base,
+        };
+        WorkloadExecutor::from_trial_runner(
+            trial_runner,
+            self.catalog.clone(),
+            eval_seed,
+            self.opts.trial_workers,
+        )
+        .with_policy(self.opts.policy)
     }
 
     fn build_cache(&self) -> EvalCache {
@@ -888,13 +971,19 @@ mod tests {
 
     #[test]
     fn bounded_cache_campaign_reports_evictions() {
+        // Capacity 1: the second distinct *successful* configuration
+        // must evict the first. (Failed evaluations are refused by the
+        // cache since the fault-tolerance work, so the bound only sees
+        // successful trials — this session produces two of them.)
         let opts =
-            CampaignOptions { cache_capacity: Some(2), session_parallelism: 1, ..quick_opts() };
+            CampaignOptions { cache_capacity: Some(1), session_parallelism: 1, ..quick_opts() };
         let spec =
             CampaignSpec { seeds: vec![1], workloads: vec!["ycsb_b".into()], ..small_spec() };
         let results = Campaign::new(postgres_v9_6(), spec, opts).run();
+        let ok = results[0].history.raw_scores.iter().flatten().count();
+        assert!(ok >= 2, "session must land at least two successful trials");
         let stats = results[0].cache.expect("cache enabled");
-        assert!(stats.evictions > 0, "9 trials through a 2-entry cache must evict: {stats:?}");
+        assert!(stats.evictions > 0, "a 1-entry cache must evict: {stats:?}");
     }
 
     #[test]

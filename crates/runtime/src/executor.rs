@@ -7,26 +7,34 @@
 //! first — the property `run_session_parallel` relies on for
 //! worker-count-independent histories.
 //!
-//! [`WorkloadExecutor`] is the DBMS-benchmark instantiation: every worker
-//! owns its own [`WorkloadRunner`] clone (cheap — runners are Arc-backed)
-//! and an optional shared [`EvalCache`] short-circuits configurations
-//! that were already measured.
+//! [`WorkloadExecutor`] is the DBMS-benchmark instantiation: trials run
+//! against a shared [`TrialRunner`] (a plain [`WorkloadRunner`], or a
+//! fault-injecting wrapper around one) under an [`ExecutionPolicy`] —
+//! watchdog, retry, hedging, quarantine — and an optional shared
+//! [`EvalCache`] short-circuits configurations that were already
+//! measured. Quarantine is consulted through a per-batch snapshot and
+//! new keys are committed only after the batch folds, so recorded
+//! statuses stay independent of worker count and completion order.
 
 use crate::cache::{config_key, CacheStats, EvalCache};
-use llamatune::session::{EvalResult, Trial, TrialExecutor};
+use crate::policy::{
+    run_trial_policy, ExecutionPolicy, FaultStats, FaultStatsSnapshot, TrialOutcome,
+};
+use llamatune::session::{EvalResult, Trial, TrialExecutor, TrialStatus};
 use llamatune_space::{Config, ConfigSpace};
-use llamatune_workloads::WorkloadRunner;
-use std::collections::HashMap;
-use std::sync::Arc;
+use llamatune_workloads::{config_fingerprint, TrialRunner, WorkloadRunner};
+use std::collections::{HashMap, HashSet};
+use std::sync::{Arc, Mutex};
 
 /// Evaluates `jobs` across `slots.len()`-aligned chunks, one worker per
 /// chunk, calling `eval(worker_index, job_index, config)`.
-fn eval_chunked<F>(workers: usize, jobs: &[&Config], eval: F) -> Vec<EvalResult>
+fn eval_chunked<T, F>(workers: usize, jobs: &[&Config], eval: F) -> Vec<T>
 where
-    F: Fn(usize, usize, &Config) -> EvalResult + Sync,
+    T: Send,
+    F: Fn(usize, usize, &Config) -> T + Sync,
 {
     let n = jobs.len();
-    let mut out: Vec<Option<EvalResult>> = vec![None; n];
+    let mut out: Vec<Option<T>> = (0..n).map(|_| None).collect();
     let workers = workers.clamp(1, n.max(1));
     if workers <= 1 || n <= 1 {
         for (i, cfg) in jobs.iter().enumerate() {
@@ -136,34 +144,62 @@ impl<F: Fn(&Config) -> EvalResult + Sync> TrialExecutor for ParallelExecutor<F> 
     }
 }
 
-/// The DBMS-benchmark [`TrialExecutor`]: one [`WorkloadRunner`] per
-/// worker, a fixed evaluation seed (the paper evaluates every
-/// configuration of a session under the same simulated conditions), and
-/// an optional deduplicating cache.
+/// The DBMS-benchmark [`TrialExecutor`]: a shared [`TrialRunner`]
+/// evaluated by `workers` scoped threads, a fixed evaluation seed (the
+/// paper evaluates every configuration of a session under the same
+/// simulated conditions), an [`ExecutionPolicy`] shepherding each trial
+/// through failures, and an optional deduplicating cache.
 pub struct WorkloadExecutor {
-    runners: Vec<WorkloadRunner>,
+    runner: Arc<dyn TrialRunner>,
+    workers: usize,
     space: ConfigSpace,
     eval_seed: u64,
     cache: Option<Arc<EvalCache>>,
+    policy: ExecutionPolicy,
+    /// Fingerprints of configurations that failed terminally. Consulted
+    /// via per-batch snapshot; new keys merge after each batch.
+    quarantined: Mutex<HashSet<u64>>,
+    stats: FaultStats,
 }
 
 impl WorkloadExecutor {
-    /// Creates an executor with `workers` runner clones. `space` is the
-    /// tuned knob space (may be a subset of the runner's catalog);
-    /// `eval_seed` drives the simulated benchmark.
+    /// Creates an executor over `workers` threads sharing one runner.
+    /// `space` is the tuned knob space (may be a subset of the runner's
+    /// catalog); `eval_seed` drives the simulated benchmark.
     pub fn new(
         runner: &WorkloadRunner,
         space: ConfigSpace,
         eval_seed: u64,
         workers: usize,
     ) -> Self {
-        let workers = workers.max(1);
+        WorkloadExecutor::from_trial_runner(Arc::new(runner.clone()), space, eval_seed, workers)
+    }
+
+    /// Creates an executor over an arbitrary [`TrialRunner`] — a plain
+    /// workload runner, or a fault-injecting wrapper around one.
+    pub fn from_trial_runner(
+        runner: Arc<dyn TrialRunner>,
+        space: ConfigSpace,
+        eval_seed: u64,
+        workers: usize,
+    ) -> Self {
         WorkloadExecutor {
-            runners: (0..workers).map(|_| runner.clone()).collect(),
+            runner,
+            workers: workers.max(1),
             space,
             eval_seed,
             cache: None,
+            policy: ExecutionPolicy::default(),
+            quarantined: Mutex::new(HashSet::new()),
+            stats: FaultStats::default(),
         }
+    }
+
+    /// Sets the execution policy (the default is inert: one attempt, no
+    /// watchdog, no hedging).
+    pub fn with_policy(mut self, policy: ExecutionPolicy) -> Self {
+        self.policy = policy;
+        self
     }
 
     /// Attaches a (possibly shared) evaluation cache. Share a cache only
@@ -177,17 +213,114 @@ impl WorkloadExecutor {
     pub fn cache_stats(&self) -> Option<CacheStats> {
         self.cache.as_ref().map(|c| c.stats())
     }
+
+    /// What the policy layer actually did so far.
+    pub fn fault_stats(&self) -> FaultStatsSnapshot {
+        self.stats.snapshot()
+    }
+
+    /// Number of quarantined configurations.
+    pub fn quarantine_len(&self) -> usize {
+        self.lock_quarantine().len()
+    }
+
+    /// Seeds the quarantine set, used on resume: configurations whose
+    /// replayed trials failed terminally must be quarantined *before*
+    /// the first live round, or a resumed campaign would re-run (and
+    /// possibly re-score) a poisoned config that the uninterrupted run
+    /// answered from quarantine — breaking byte-identical resume.
+    pub fn preload_quarantine<'a>(&self, configs: impl IntoIterator<Item = &'a Config>) {
+        let mut q = self.lock_quarantine();
+        for cfg in configs {
+            q.insert(config_fingerprint(cfg));
+        }
+    }
+
+    fn lock_quarantine(&self) -> std::sync::MutexGuard<'_, HashSet<u64>> {
+        // A worker panicking between lock and unlock cannot leave the
+        // set logically torn (inserts are atomic); recover the data.
+        self.quarantined.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+
+    /// Evaluates `configs` under the execution policy: quarantine
+    /// snapshot, per-trial retry loop, straggler hedging, then a single
+    /// post-batch quarantine merge (deterministic in worker count).
+    fn eval_with_policy(&self, configs: &[&Config]) -> Vec<EvalResult> {
+        let snapshot: HashSet<u64> = self.lock_quarantine().clone();
+        let (space, seed, policy, stats) = (&self.space, self.eval_seed, &self.policy, &self.stats);
+        let runner = &*self.runner;
+        let mut outs: Vec<TrialOutcome> = eval_chunked(self.workers, configs, |_, _, cfg| {
+            run_trial_policy(
+                runner,
+                space,
+                cfg,
+                seed,
+                policy,
+                &snapshot,
+                stats,
+                1,
+                policy.max_attempts.max(1),
+            )
+        });
+        if policy.hedge_ms.is_finite() {
+            self.hedge_stragglers(configs, &mut outs, &snapshot);
+        }
+        if policy.quarantine {
+            let mut q = self.lock_quarantine();
+            for out in &outs {
+                if let Some(key) = out.quarantine_key {
+                    q.insert(key);
+                }
+            }
+        }
+        outs.into_iter().map(|o| o.result).collect()
+    }
+
+    /// Straggler hedging: any successful trial whose virtual time
+    /// exceeds the policy's absolute `hedge_ms` threshold gets one
+    /// extra attempt, and the faster successful outcome wins. The
+    /// threshold is per-trial, never batch-relative, so whether a trial
+    /// hedges is a pure function of the trial itself — a batch median
+    /// would shift when part of a round is answered by the cache (on
+    /// resume, or under bucketized repeats) and recorded attempt
+    /// counts would diverge from the uninterrupted run.
+    fn hedge_stragglers(
+        &self,
+        configs: &[&Config],
+        outs: &mut [TrialOutcome],
+        snapshot: &HashSet<u64>,
+    ) {
+        let threshold = self.policy.hedge_ms;
+        for (i, cfg) in configs.iter().enumerate() {
+            if outs[i].result.status != TrialStatus::Ok || outs[i].virtual_ms <= threshold {
+                continue;
+            }
+            self.stats.add_hedge();
+            let hedge = run_trial_policy(
+                &*self.runner,
+                &self.space,
+                cfg,
+                self.eval_seed,
+                &self.policy,
+                snapshot,
+                &self.stats,
+                outs[i].result.attempts + 1,
+                1,
+            );
+            if hedge.result.status == TrialStatus::Ok && hedge.virtual_ms < outs[i].virtual_ms {
+                outs[i] = hedge;
+            } else {
+                // The original stands, but the hedge attempt happened:
+                // account for it so attempt counts stay truthful.
+                outs[i].result.attempts = hedge.result.attempts;
+            }
+        }
+    }
 }
 
 impl TrialExecutor for WorkloadExecutor {
     fn run_batch(&mut self, trials: &[Trial]) -> Vec<EvalResult> {
-        let (runners, space, seed) = (&self.runners, &self.space, self.eval_seed);
-        let eval_all = |configs: &[&Config]| {
-            eval_chunked(runners.len(), configs, |w, _, cfg| {
-                let out = runners[w].evaluate(space, cfg, seed);
-                EvalResult { score: out.score, metrics: out.result.metrics }
-            })
-        };
+        let eval_all = |configs: &[&Config]| self.eval_with_policy(configs);
         match &self.cache {
             Some(cache) => run_batch_cached(cache, trials, eval_all),
             None => {
@@ -198,7 +331,7 @@ impl TrialExecutor for WorkloadExecutor {
     }
 
     fn max_parallelism(&self) -> usize {
-        self.runners.len()
+        self.workers
     }
 }
 
@@ -219,7 +352,7 @@ mod tests {
         let idx = space.index_of("shared_buffers").unwrap();
         move |cfg: &Config| EvalResult {
             score: Some(cfg.values()[idx].as_float()),
-            metrics: vec![],
+            ..Default::default()
         }
     }
 
@@ -244,7 +377,7 @@ mod tests {
         let idx = space.index_of("shared_buffers").unwrap();
         let eval = |cfg: &Config| {
             evals.fetch_add(1, Ordering::SeqCst);
-            EvalResult { score: Some(cfg.values()[idx].as_float()), metrics: vec![] }
+            EvalResult { score: Some(cfg.values()[idx].as_float()), ..Default::default() }
         };
         let cache = Arc::new(EvalCache::new());
         let mut ex = ParallelExecutor::new(2, eval).with_cache(cache.clone());
@@ -280,5 +413,61 @@ mod tests {
                 ex.run_batch(&trials).into_iter().map(|r| r.score).collect();
             assert_eq!(scores, direct, "workers = {workers}");
         }
+    }
+
+    #[test]
+    fn quarantine_snapshot_keeps_statuses_worker_count_independent() {
+        use llamatune_workloads::{AttemptOutcome, FaultPlan, FaultyRunner};
+        // A plan aggressive enough that several configs fail terminally.
+        struct Flat;
+        impl TrialRunner for Flat {
+            fn evaluate_attempt(
+                &self,
+                _space: &ConfigSpace,
+                _config: &Config,
+                _seed: u64,
+                _attempt: u32,
+            ) -> AttemptOutcome {
+                AttemptOutcome {
+                    score: Some(1.0),
+                    metrics: vec![],
+                    virtual_ms: 100.0,
+                    retryable: false,
+                }
+            }
+        }
+        let catalog = postgres_v9_6();
+        let plan = FaultPlan { seed: 3, panic_per_mille: 250, ..Default::default() };
+        let batches: Vec<Vec<Trial>> = (0..3)
+            .map(|round| {
+                (0..8).map(|i| trial(&catalog, 1_000 + round * 8_000 + i * 1_000)).collect()
+            })
+            .collect();
+        // Round 2 repeats round 0's configs: by then the failed ones are
+        // quarantined, and that disposition must not depend on workers.
+        let mut rounds = batches.clone();
+        rounds.push(batches[0].clone());
+
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {})); // silence injected panics
+        let mut per_worker: Vec<Vec<TrialStatus>> = Vec::new();
+        for workers in [1, 4] {
+            let runner = Arc::new(FaultyRunner::new(Arc::new(Flat), plan)) as Arc<dyn TrialRunner>;
+            let mut ex = WorkloadExecutor::from_trial_runner(runner, catalog.clone(), 7, workers);
+            let mut statuses = Vec::new();
+            for batch in &rounds {
+                for r in ex.run_batch(batch) {
+                    statuses.push(r.status);
+                }
+            }
+            assert!(ex.quarantine_len() > 0, "plan must quarantine something");
+            assert!(
+                statuses.contains(&TrialStatus::Quarantined),
+                "repeated round must hit quarantine"
+            );
+            per_worker.push(statuses);
+        }
+        std::panic::set_hook(prev);
+        assert_eq!(per_worker[0], per_worker[1], "statuses depend on worker count");
     }
 }

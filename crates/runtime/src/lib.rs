@@ -18,6 +18,18 @@
 //!   decoded configuration. LlamaTune's bucketization collapses many
 //!   suggestions onto identical configs, so repeats are common by
 //!   design; the cache makes them free and reports hit statistics.
+//! * [`ExecutionPolicy`] — trial-level fault tolerance: per-attempt
+//!   watchdog timeouts on the *virtual* clock, bounded retry with
+//!   deterministic backoff (`llamatune::backoff`), straggler hedging
+//!   for batch rounds, panic isolation per worker, and quarantine of
+//!   configurations that failed terminally. Paired with
+//!   `llamatune_workloads::FaultyRunner` (seeded fault injection) it
+//!   makes campaigns survivable under chaos while keeping histories a
+//!   pure function of seeds. Failures never abort a campaign: they are
+//!   recorded with the paper's §6 penalty score and a
+//!   `TrialStatus`/attempt count, and `GuardedOptimizer` (optim crate)
+//!   degrades suggestion to random search if the optimizer itself
+//!   fails.
 //! * [`Campaign`] — fans a (workload × adapter × optimizer × seed) grid
 //!   across the pool, appends per-trial events to a JSONL log (flushed
 //!   as each session completes, so partial campaigns keep their
@@ -52,6 +64,7 @@ pub mod batch;
 pub mod cache;
 pub mod campaign;
 pub mod executor;
+pub mod policy;
 
 pub use batch::{BatchSuggest, LiarStrategy, OptimizerFactory, RetractionMode};
 pub use cache::{config_key, CacheStats, EvalCache};
@@ -60,3 +73,4 @@ pub use campaign::{
     WarmStartOptions,
 };
 pub use executor::{ParallelExecutor, WorkloadExecutor};
+pub use policy::{ExecutionPolicy, FaultStats, FaultStatsSnapshot};

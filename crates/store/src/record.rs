@@ -21,7 +21,7 @@
 //! byte-identical resume guarantee rests on.
 
 use llamatune::history_io::{event_to_json, JsonScanner, TrialEvent};
-use llamatune::session::PriorTrial;
+use llamatune::session::{PriorTrial, TrialStatus};
 use llamatune_space::{Config, KnobValue};
 
 /// One evaluated trial, as persisted.
@@ -41,6 +41,13 @@ pub struct StoredTrial {
     pub config: Vec<KnobValue>,
     /// Internal DBMS metrics of the run.
     pub metrics: Vec<f64>,
+    /// Final disposition of the trial after the execution policy settled
+    /// (serialized only when it differs from what `raw_score` implies, so
+    /// pre-fault-tolerance stores keep their exact byte layout).
+    pub status: TrialStatus,
+    /// Number of evaluation attempts the policy made (serialized only
+    /// when > 1, for the same byte-compat reason).
+    pub attempts: u32,
 }
 
 impl StoredTrial {
@@ -52,6 +59,8 @@ impl StoredTrial {
             raw_score: self.raw_score,
             score: self.score,
             point: self.point.clone(),
+            status: self.status,
+            attempts: self.attempts,
         }
     }
 
@@ -63,6 +72,8 @@ impl StoredTrial {
             config: Config::new(self.config.clone()),
             raw_score: self.raw_score,
             metrics: self.metrics.clone(),
+            status: self.status,
+            attempts: self.attempts,
         }
     }
 }
@@ -210,7 +221,8 @@ pub fn record_from_json(line: &str) -> Result<StoreRecord, String> {
     let mut metrics = None;
     let mut workload = None;
     let mut adapter = None;
-    let mut status = None;
+    let mut status: Option<String> = None;
+    let mut attempts = None;
     let mut stopped_at = None;
     let mut fingerprint = None;
     let mut warm_points = None;
@@ -238,13 +250,10 @@ pub fn record_from_json(line: &str) -> Result<StoreRecord, String> {
             "metrics" => metrics = Some(sc.number_array()?),
             "workload" => workload = Some(sc.string()?),
             "adapter" => adapter = Some(sc.string()?),
-            "status" => {
-                status = Some(match sc.string()?.as_str() {
-                    "running" => SessionStatus::Running,
-                    "done" => SessionStatus::Done,
-                    other => return Err(format!("unknown session status {other:?}")),
-                })
-            }
+            // Shared by both kinds with disjoint value sets; resolved
+            // against `kind` once the whole line is scanned.
+            "status" => status = Some(sc.string()?),
+            "attempts" => attempts = Some(sc.number()? as u32),
             "stopped_at" => {
                 stopped_at =
                     Some(if sc.literal("null") { None } else { Some(sc.number()? as usize) })
@@ -284,25 +293,44 @@ pub fn record_from_json(line: &str) -> Result<StoreRecord, String> {
         return Err("trailing bytes after record".to_string());
     }
     match kind.as_deref() {
-        Some("trial") => Ok(StoreRecord::Trial(StoredTrial {
-            session: session.ok_or("missing session")?,
-            iteration: iteration.ok_or("missing iteration")?,
-            raw_score: raw_score.ok_or("missing raw_score")?,
-            score: score.ok_or("missing score")?,
-            point: point.ok_or("missing point")?,
-            config: config.ok_or("missing config")?,
-            metrics: metrics.ok_or("missing metrics")?,
-        })),
-        Some("session") => Ok(StoreRecord::Session(SessionMeta {
-            session: session.ok_or("missing session")?,
-            workload: workload.ok_or("missing workload")?,
-            adapter: adapter.ok_or("missing adapter")?,
-            status: status.ok_or("missing status")?,
-            stopped_at: stopped_at.ok_or("missing stopped_at")?,
-            fingerprint: fingerprint.ok_or("missing fingerprint")?,
-            warm_points: warm_points.ok_or("missing warm_points")?,
-            lease,
-        })),
+        Some("trial") => {
+            let raw_score = raw_score.ok_or("missing raw_score")?;
+            let status = match status {
+                Some(s) => TrialStatus::parse(&s)?,
+                None => TrialStatus::derived(raw_score),
+            };
+            Ok(StoreRecord::Trial(StoredTrial {
+                session: session.ok_or("missing session")?,
+                iteration: iteration.ok_or("missing iteration")?,
+                raw_score,
+                score: score.ok_or("missing score")?,
+                point: point.ok_or("missing point")?,
+                config: config.ok_or("missing config")?,
+                metrics: metrics.ok_or("missing metrics")?,
+                status,
+                attempts: attempts.unwrap_or(1),
+            }))
+        }
+        Some("session") => {
+            let status = match status.ok_or("missing status")?.as_str() {
+                "running" => SessionStatus::Running,
+                "done" => SessionStatus::Done,
+                other => return Err(format!("unknown session status {other:?}")),
+            };
+            if attempts.is_some() {
+                return Err("unknown key \"attempts\"".to_string());
+            }
+            Ok(StoreRecord::Session(SessionMeta {
+                session: session.ok_or("missing session")?,
+                workload: workload.ok_or("missing workload")?,
+                adapter: adapter.ok_or("missing adapter")?,
+                status,
+                stopped_at: stopped_at.ok_or("missing stopped_at")?,
+                fingerprint: fingerprint.ok_or("missing fingerprint")?,
+                warm_points: warm_points.ok_or("missing warm_points")?,
+                lease,
+            }))
+        }
         Some(other) => Err(format!("unknown record kind {other:?}")),
         None => Err("missing kind".to_string()),
     }
@@ -321,6 +349,8 @@ mod tests {
             point: vec![0.1, 0.25, 1.0 / 3.0],
             config: vec![KnobValue::Int(16_384), KnobValue::Float(0.5), KnobValue::Cat(2)],
             metrics: vec![0.0, 42.0, 1e-9],
+            status: TrialStatus::Ok,
+            attempts: 1,
         }
     }
 
@@ -378,8 +408,53 @@ mod tests {
 
     #[test]
     fn crashed_trials_roundtrip() {
-        let t = StoreRecord::Trial(StoredTrial { raw_score: None, score: -87.5, ..sample_trial() });
+        let t = StoreRecord::Trial(StoredTrial {
+            raw_score: None,
+            score: -87.5,
+            status: TrialStatus::Crashed,
+            ..sample_trial()
+        });
         assert_eq!(record_from_json(&record_to_json(&t)).unwrap(), t);
+    }
+
+    #[test]
+    fn trial_status_and_attempts_roundtrip_and_are_omitted_when_derivable() {
+        // A scored, single-attempt trial serializes without either key:
+        // pre-fault-tolerance stores parse and re-serialize byte-exactly.
+        let plain = record_to_json(&StoreRecord::Trial(sample_trial()));
+        assert!(!plain.contains("\"status\""));
+        assert!(!plain.contains("\"attempts\""));
+
+        // A timed-out, retried trial carries both keys and round-trips.
+        let t = StoreRecord::Trial(StoredTrial {
+            raw_score: None,
+            score: -87.5,
+            status: TrialStatus::TimedOut,
+            attempts: 3,
+            ..sample_trial()
+        });
+        let line = record_to_json(&t);
+        assert!(line.contains("\"status\":\"timed_out\""));
+        assert!(line.contains("\"attempts\":3"));
+        assert_eq!(record_from_json(&line).unwrap(), t);
+
+        // Quarantined-with-score also round-trips (status contradicts
+        // what raw_score alone would imply).
+        let q = StoreRecord::Trial(StoredTrial {
+            status: TrialStatus::Quarantined,
+            attempts: 2,
+            ..sample_trial()
+        });
+        assert_eq!(record_from_json(&record_to_json(&q)).unwrap(), q);
+
+        // Unknown trial statuses are rejected; session status tokens do
+        // not leak into the trial schema.
+        let bad = line.replace("timed_out", "running");
+        assert!(record_from_json(&bad).is_err());
+        // `attempts` on a session record is rejected (closed schema).
+        let meta = record_to_json(&StoreRecord::Session(sample_meta()));
+        let bad_meta = meta.replace("\"stopped_at\"", "\"attempts\":2,\"stopped_at\"");
+        assert!(record_from_json(&bad_meta).is_err());
     }
 
     #[test]

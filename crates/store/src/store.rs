@@ -57,6 +57,7 @@
 
 use crate::backend::{lock_recover, LocalDirBackend, Revision, StoreBackend};
 use crate::record::{record_from_json, record_to_json, SessionMeta, StoreRecord, StoredTrial};
+use llamatune::backoff::{Backoff, BackoffPolicy};
 use llamatune::history_io::{events_to_jsonl, TrialEvent};
 use llamatune::session::PriorTrial;
 use std::collections::BTreeMap;
@@ -65,6 +66,39 @@ use std::path::{Path, PathBuf};
 use std::sync::{Arc, Mutex};
 
 const MANIFEST_HEADER: &str = "llamatune-store v1";
+
+/// Starts the store's CAS-loop backoff schedule, seeded from whatever
+/// identifies the contender (the writer tag) so contending writers
+/// draw decorrelated delays.
+fn cas_backoff(tag: &str) -> Backoff {
+    let mut seed: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in tag.bytes() {
+        seed ^= u64::from(b);
+        seed = seed.wrapping_mul(0x1_0000_0000_01b3);
+    }
+    Backoff::new(BackoffPolicy::STORE_CAS, seed)
+}
+
+/// Sleeps out one step of a CAS backoff schedule (ticks are
+/// microseconds here), or errors once the retry budget is exhausted —
+/// a livelocked manifest race becomes a clean error instead of a spin.
+fn cas_retry(backoff: &mut Backoff, what: &str) -> io::Result<()> {
+    match backoff.next() {
+        Some(us) => {
+            if us > 0 {
+                std::thread::sleep(std::time::Duration::from_micros(us));
+            }
+            Ok(())
+        }
+        None => Err(io::Error::new(
+            io::ErrorKind::TimedOut,
+            format!(
+                "manifest CAS contention: {what} lost {} consecutive races",
+                backoff.attempts()
+            ),
+        )),
+    }
+}
 
 /// What one [`TrialStore::compact`] pass accomplished.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -457,6 +491,7 @@ impl TrialStore {
                  (it is embedded in segment names)"
             )));
         }
+        let mut backoff = cas_backoff(writer);
         loop {
             let (mut m, revision) = read_or_init_manifest(&*backend)?;
             let mut changed = false;
@@ -521,6 +556,7 @@ impl TrialStore {
                         if let Some(name) = created {
                             let _ = backend.delete(&name);
                         }
+                        cas_retry(&mut backoff, "writer registration")?;
                         continue;
                     }
                 }
@@ -536,7 +572,10 @@ impl TrialStore {
             // already durable, so the retry adopts it unchanged).
             let replay = match replay_manifest(&*backend, &m) {
                 Ok(r) => r,
-                Err(e) if e.kind() == io::ErrorKind::NotFound => continue,
+                Err(e) if e.kind() == io::ErrorKind::NotFound => {
+                    cas_retry(&mut backoff, "open replay")?;
+                    continue;
+                }
                 Err(e) => return Err(e),
             };
             let active_records = replay.active_counts.get(&active_name).copied().unwrap_or(0);
@@ -602,6 +641,7 @@ impl TrialStore {
         }
         let mut guard = lock_recover(&self.inner);
         let inner = &mut *guard;
+        let mut backoff = cas_backoff(self.writer.as_deref().unwrap_or("reader"));
         loop {
             let (bytes, revision) = self.backend.read_manifest()?;
             let Some(bytes) = bytes else {
@@ -619,6 +659,7 @@ impl TrialStore {
                     if now == revision {
                         return Err(e);
                     }
+                    cas_retry(&mut backoff, "refresh replay")?;
                     continue;
                 }
                 Err(e) => return Err(e),
@@ -730,6 +771,7 @@ impl TrialStore {
         // CAS retry loop: rebase the seal onto whatever manifest is
         // current. Losing the race never drops anyone's segment — the
         // retry re-reads the winner's list and adds to it.
+        let mut backoff = cas_backoff(writer);
         loop {
             let (bytes, revision) = self.backend.read_manifest()?;
             let bytes = bytes.ok_or_else(|| corrupt("fleet store manifest vanished"))?;
@@ -765,6 +807,7 @@ impl TrialStore {
                     // this one (unlisted objects would otherwise leak
                     // forever on a real object store).
                     let _ = self.backend.delete(&next_name);
+                    cas_retry(&mut backoff, "rotation")?;
                     continue;
                 }
             }
@@ -936,6 +979,7 @@ impl TrialStore {
 
     fn compact_shared(&self, inner: &mut Inner, writer: &str) -> io::Result<CompactionStats> {
         self.backend.sync(&inner.active_name)?;
+        let mut backoff = cas_backoff(writer);
         loop {
             // Rebuild the merged state fresh from the *current*
             // manifest — this handle's index may lag other writers.
@@ -958,6 +1002,7 @@ impl TrialStore {
                     if now == revision {
                         return Err(e);
                     }
+                    cas_retry(&mut backoff, "compaction replay")?;
                     continue;
                 }
                 Err(e) => return Err(e),
@@ -1007,6 +1052,7 @@ impl TrialStore {
                     for name in new_sealed.iter().chain([&new_active_name]) {
                         let _ = self.backend.delete(name);
                     }
+                    cas_retry(&mut backoff, "compaction")?;
                     continue;
                 }
             }
@@ -1108,6 +1154,9 @@ pub fn rebuild_history(
         scores: Vec::with_capacity(trials.len()),
         raw_scores: Vec::with_capacity(trials.len()),
         best_curve: Vec::with_capacity(trials.len()),
+        statuses: Vec::with_capacity(trials.len()),
+        attempts: Vec::with_capacity(trials.len()),
+        degradations: Vec::new(),
         stopped_at,
     };
     let mut best = f64::NEG_INFINITY;
@@ -1116,6 +1165,8 @@ pub fn rebuild_history(
         history.points.push(t.point.clone());
         history.scores.push(t.score);
         history.raw_scores.push(t.raw_score);
+        history.statuses.push(t.status);
+        history.attempts.push(t.attempts.max(1));
         if t.iteration == 0 {
             history.best_curve.push(t.score);
         } else {
@@ -1150,6 +1201,8 @@ mod tests {
             point: if iteration == 0 { vec![] } else { vec![score / 10.0, 0.5] },
             config: vec![KnobValue::Int(iteration as i64), KnobValue::Cat(1)],
             metrics: vec![score, 0.0],
+            status: llamatune::session::TrialStatus::Ok,
+            attempts: 1,
         }
     }
 

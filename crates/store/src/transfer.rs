@@ -148,6 +148,12 @@ mod tests {
             point: if iteration == 0 { vec![] } else { vec![iteration as f64 / 10.0, 0.5] },
             config: vec![KnobValue::Int(iteration as i64)],
             metrics: vec![],
+            status: llamatune::session::TrialStatus::derived(if crashed {
+                None
+            } else {
+                Some(score)
+            }),
+            attempts: 1,
         }
     }
 

@@ -12,9 +12,12 @@
 //! keep-foreign-actives-registered rule are all exercised on every
 //! run.
 
+use llamatune::backoff::BackoffPolicy;
 use llamatune_store::{
-    ObjectStoreBackend, ObjectStoreOptions, StoreBackend, StoreOptions, StoredTrial, TrialStore,
+    CasConflict, ObjectStoreBackend, ObjectStoreOptions, Revision, StoreBackend, StoreOptions,
+    StoredTrial, TrialStore,
 };
+use std::io;
 use std::sync::Arc;
 
 fn trial(session: &str, iteration: usize, score: f64) -> StoredTrial {
@@ -26,6 +29,8 @@ fn trial(session: &str, iteration: usize, score: f64) -> StoredTrial {
         point: vec![score / 100.0],
         config: vec![llamatune_space::KnobValue::Int(iteration as i64)],
         metrics: vec![score],
+        status: llamatune::session::TrialStatus::Ok,
+        attempts: 1,
     }
 }
 
@@ -105,6 +110,92 @@ fn one_shared_handle_is_safe_across_threads_too() {
     for t in 0..4 {
         assert_eq!(reader.trials_for(&format!("lane_{t}")).len(), 25);
     }
+}
+
+/// A backend on which every manifest commit loses the race: it mimics
+/// a peer fleet that always commits first. All other operations pass
+/// through. The conflict reports the inner backend's real manifest, so
+/// retrying CAS loops re-read a consistent view and lose again.
+#[derive(Debug)]
+struct AlwaysContendedBackend {
+    inner: Arc<dyn StoreBackend>,
+}
+
+impl StoreBackend for AlwaysContendedBackend {
+    fn kind(&self) -> &'static str {
+        self.inner.kind()
+    }
+    fn get(&self, name: &str) -> io::Result<Option<Vec<u8>>> {
+        self.inner.get(name)
+    }
+    fn put(&self, name: &str, data: &[u8]) -> io::Result<()> {
+        self.inner.put(name, data)
+    }
+    fn append(&self, name: &str, data: &[u8]) -> io::Result<()> {
+        self.inner.append(name, data)
+    }
+    fn sync(&self, name: &str) -> io::Result<()> {
+        self.inner.sync(name)
+    }
+    fn truncate(&self, name: &str, len: u64) -> io::Result<()> {
+        self.inner.truncate(name, len)
+    }
+    fn list(&self) -> io::Result<Vec<String>> {
+        self.inner.list()
+    }
+    fn delete(&self, name: &str) -> io::Result<()> {
+        self.inner.delete(name)
+    }
+    fn rename(&self, from: &str, to: &str) -> io::Result<()> {
+        self.inner.rename(from, to)
+    }
+    fn read_manifest(&self) -> io::Result<(Option<Vec<u8>>, Revision)> {
+        self.inner.read_manifest()
+    }
+    fn commit_manifest(
+        &self,
+        _data: &[u8],
+        _expected: Revision,
+    ) -> io::Result<Result<Revision, CasConflict>> {
+        let (current, revision) = self.inner.read_manifest()?;
+        Ok(Err(CasConflict { current, revision }))
+    }
+}
+
+/// Pins the CAS retry budget: a writer that loses *every* manifest race
+/// must give up after exactly [`BackoffPolicy::STORE_CAS`]'s 32
+/// attempts with a clean `TimedOut` error naming the contended step —
+/// never spin forever, never panic, never corrupt the winning store.
+#[test]
+fn cas_exhaustion_is_a_clean_timeout_after_the_pinned_budget() {
+    let inner: Arc<dyn StoreBackend> = eventual_object_backend();
+    // A healthy writer installs the manifest the loser will keep losing
+    // against.
+    let winner =
+        TrialStore::open_shared(inner.clone(), "w0", StoreOptions { segment_records: 2 }).unwrap();
+    winner.append_trial(&trial("sess_w0", 0, 7.0)).unwrap();
+
+    let contended: Arc<dyn StoreBackend> =
+        Arc::new(AlwaysContendedBackend { inner: inner.clone() });
+    let err = TrialStore::open_shared(contended, "loser", StoreOptions::default())
+        .expect_err("registration against a permanently contended manifest must fail");
+    assert_eq!(err.kind(), io::ErrorKind::TimedOut, "livelock surfaces as a timeout: {err}");
+    let msg = err.to_string();
+    assert!(msg.contains("manifest CAS contention"), "unexpected message: {msg}");
+    // The budget is pinned to the shared policy — if STORE_CAS changes,
+    // this string (and the latency envelope of every CAS loop) changes
+    // with it, and this assertion is the reminder to re-justify it.
+    assert_eq!(BackoffPolicy::STORE_CAS.max_retries, 32);
+    assert!(
+        msg.contains("lost 32 consecutive races"),
+        "retry count must match STORE_CAS's budget: {msg}"
+    );
+
+    // The loser's failed registration leaked nothing into the winning
+    // store: no stray segments, the acked trial intact.
+    drop(winner);
+    let reader = TrialStore::open_reader(inner, StoreOptions::default()).unwrap();
+    assert_eq!(reader.trials_for("sess_w0").len(), 1);
 }
 
 #[test]

@@ -43,6 +43,8 @@ fn trial(session: &str, iteration: usize, score: f64) -> StoredTrial {
         point: vec![score / 1000.0, 0.25],
         config: vec![llamatune_space::KnobValue::Int(iteration as i64)],
         metrics: vec![score, 1.0],
+        status: llamatune::session::TrialStatus::Ok,
+        attempts: 1,
     }
 }
 

@@ -74,6 +74,13 @@ impl WorkloadRunner {
         self.objective
     }
 
+    /// Virtual milliseconds one evaluation simulates (the run window).
+    /// The engine is a simulator, so this — not wall time — is what the
+    /// execution policy's watchdog compares against its timeout.
+    pub fn virtual_duration_ms(&self) -> f64 {
+        self.opts.duration_s * 1000.0
+    }
+
     /// Runs one evaluation. `space` may be a subset of the catalog; any
     /// knob it does not mention stays at its default.
     pub fn run(&self, space: &ConfigSpace, config: &Config, seed: u64) -> RunResult {

@@ -31,7 +31,7 @@ fn main() {
             optimizer,
             |config| {
                 let out = runner.evaluate(&catalog, config, 5);
-                EvalResult { score: out.score, metrics: out.result.metrics }
+                EvalResult { score: out.score, metrics: out.result.metrics, ..Default::default() }
             },
             &opts,
         );

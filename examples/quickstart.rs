@@ -36,7 +36,7 @@ fn main() {
         Box::new(optimizer),
         |config| {
             let out = runner.evaluate(&catalog, config, 42);
-            EvalResult { score: out.score, metrics: out.result.metrics }
+            EvalResult { score: out.score, metrics: out.result.metrics, ..Default::default() }
         },
         &SessionOptions { iterations: 30, ..Default::default() },
     );

@@ -27,7 +27,7 @@ fn main() {
         Box::new(Smac::new(pipeline.optimizer_spec().clone(), SmacConfig::default(), 3)),
         |config| {
             let out = runner.evaluate(&catalog, config, 3);
-            EvalResult { score: out.score, metrics: out.result.metrics }
+            EvalResult { score: out.score, metrics: out.result.metrics, ..Default::default() }
         },
         &SessionOptions { iterations: 30, ..Default::default() },
     );

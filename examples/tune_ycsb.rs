@@ -21,7 +21,7 @@ fn main() {
 
     let objective = |config: &llamatune_space::Config| {
         let out = runner.evaluate(&catalog, config, 11);
-        EvalResult { score: out.score, metrics: out.result.metrics }
+        EvalResult { score: out.score, metrics: out.result.metrics, ..Default::default() }
     };
 
     println!("Tuning YCSB-A for {iterations} iterations with each method...\n");

@@ -37,7 +37,7 @@ fn tune(
         optimizer,
         |config| {
             let out = runner.evaluate(adapter.space(), config, seed);
-            EvalResult { score: out.score, metrics: out.result.metrics }
+            EvalResult { score: out.score, metrics: out.result.metrics, ..Default::default() }
         },
         &SessionOptions { iterations, seed, ..Default::default() },
     )
@@ -191,7 +191,7 @@ fn crashed_configs_do_not_derail_sessions() {
         Box::new(smac),
         |config| {
             let out = runner.evaluate(&sub, config, 3);
-            EvalResult { score: out.score, metrics: out.result.metrics }
+            EvalResult { score: out.score, metrics: out.result.metrics, ..Default::default() }
         },
         &SessionOptions { iterations: 25, seed: 3, ..Default::default() },
     );
