@@ -10,7 +10,7 @@
 
 use llamatune::pipeline::{LlamaTuneConfig, LlamaTunePipeline, SearchSpaceAdapter};
 use llamatune::session::{run_session, EvalResult, SessionOptions};
-use llamatune_bench::print_header;
+use llamatune_bench::{print_header, print_table};
 use llamatune_engine::RunOptions;
 use llamatune_runtime::{AdapterKind, Campaign, CampaignOptions, CampaignSpec, OptimizerKind};
 use llamatune_space::catalog::postgres_v9_6;
@@ -98,18 +98,22 @@ fn main() {
     );
 
     let seq = sequential_campaign(&catalog);
-    println!("{:<26} {:>9.2}s {:>9}", "sequential run_session", seq, "1.00x");
-
+    let mut rows = vec![vec![
+        "sequential run_session".to_string(),
+        format!("{seq:.2}s"),
+        "1.00x".to_string(),
+        String::new(),
+    ]];
     for workers in [1usize, 2, 4, 8] {
         let t = parallel_campaign(&catalog, workers, false);
-        println!(
-            "{:<26} {:>9.2}s {:>8.2}x{}",
+        rows.push(vec![
             format!("parallel, {workers} worker(s)"),
-            t,
-            seq / t,
-            if workers > cores { "  (more workers than cores)" } else { "" }
-        );
+            format!("{t:.2}s"),
+            format!("{:.2}x", seq / t),
+            if workers > cores { "(more workers than cores)".to_string() } else { String::new() },
+        ]);
     }
+    print_table(&["config", "time", "speedup", ""], &rows);
 
     print_header(
         "EvalCache ablation: bucketized session (bucket_count = 4)",
@@ -130,6 +134,7 @@ fn main() {
         optimizers: vec![OptimizerKind::Random],
         seeds: vec![0],
     };
+    let mut rows = Vec::new();
     for cache in [false, true] {
         let opts = CampaignOptions {
             session: SessionOptions { iterations: 60, n_init: 10, ..Default::default() },
@@ -144,21 +149,21 @@ fn main() {
         let results = campaign.run();
         let elapsed = t.elapsed().as_secs_f64();
         let quarantined = results[0].faults.quarantine_hits;
-        match results[0].cache {
-            Some(stats) => println!(
-                "{:<26} {:>9.2}s   {} hits / {} misses ({:.0}% hit rate), {} quarantine \
-                 short-circuits",
-                "with cache",
-                elapsed,
+        let cache_cell = match results[0].cache {
+            Some(stats) => format!(
+                "{} hits / {} misses ({:.0}% hit rate)",
                 stats.hits,
                 stats.misses,
-                stats.hit_rate() * 100.0,
-                quarantined,
+                stats.hit_rate() * 100.0
             ),
-            None => println!(
-                "{:<26} {:>9.2}s   {} quarantine short-circuits",
-                "without cache", elapsed, quarantined,
-            ),
-        }
+            None => "-".to_string(),
+        };
+        rows.push(vec![
+            if cache { "with cache" } else { "without cache" }.to_string(),
+            format!("{elapsed:.2}s"),
+            cache_cell,
+            format!("{quarantined}"),
+        ]);
     }
+    print_table(&["config", "time", "cache", "quarantine short-circuits"], &rows);
 }

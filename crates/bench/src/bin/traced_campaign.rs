@@ -1,0 +1,86 @@
+//! Runs a small store-backed campaign with a live [`RecordingTracer`]
+//! and leaves the telemetry on disk — the CI observability job's
+//! driver, and a worked example of the tracing stack end to end.
+//!
+//! Usage: `traced_campaign <dir>`. The directory receives the trial
+//! store (MANIFEST + seg-*.jsonl) plus `telemetry-local.trace.jsonl`
+//! and `telemetry-local.metrics.json`, which `llamatune-report` renders
+//! into the session report. The trace is validated through the
+//! schema-checking parser before the process exits, so a zero exit
+//! status certifies well-formed telemetry.
+
+use llamatune::pipeline::LlamaTuneConfig;
+use llamatune::session::SessionOptions;
+use llamatune_engine::RunOptions;
+use llamatune_obs::trace::{parse_trace_jsonl, RecordingTracer};
+use llamatune_runtime::{AdapterKind, Campaign, CampaignOptions, CampaignSpec, OptimizerKind};
+use llamatune_space::catalog::postgres_v9_6;
+use llamatune_store::TrialStore;
+use std::process::ExitCode;
+use std::sync::Arc;
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let (Some(dir), None) = (args.next(), args.next()) else {
+        eprintln!("usage: traced_campaign <dir>");
+        return ExitCode::FAILURE;
+    };
+    match run(&dir) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("traced_campaign: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(dir: &str) -> Result<(), String> {
+    let tracer = Arc::new(RecordingTracer::new());
+    let opts = CampaignOptions {
+        session: SessionOptions { iterations: 8, n_init: 3, ..Default::default() },
+        batch_size: 3,
+        trial_workers: 2,
+        session_parallelism: 2,
+        run_options: Some(RunOptions {
+            duration_s: 0.2,
+            warmup_s: 0.05,
+            max_txns: 20_000,
+            ..Default::default()
+        }),
+        tracer: tracer.clone(),
+        ..Default::default()
+    };
+    let spec = CampaignSpec {
+        workloads: vec!["ycsb_b".to_string(), "ycsb_f".to_string()],
+        adapters: vec![AdapterKind::LlamaTune(LlamaTuneConfig::default())],
+        optimizers: vec![OptimizerKind::Smac],
+        seeds: vec![1],
+    };
+    let campaign = Campaign::new(postgres_v9_6(), spec, opts);
+    let store = TrialStore::open(dir).map_err(|e| format!("open store {dir}: {e}"))?;
+    let results = campaign.run_with_store(&store).map_err(|e| format!("campaign: {e}"))?;
+
+    // Re-read the persisted telemetry through the schema-validating
+    // parser: the exit status certifies what is on disk, not what was
+    // in memory.
+    let trace = store
+        .read_telemetry("local.trace.jsonl")
+        .map_err(|e| format!("read trace: {e}"))?
+        .ok_or("telemetry-local.trace.jsonl was not written")?;
+    let trace = String::from_utf8(trace).map_err(|e| format!("trace not UTF-8: {e}"))?;
+    let events = parse_trace_jsonl(&trace).map_err(|e| format!("trace validation: {e}"))?;
+    let metrics = store
+        .read_telemetry("local.metrics.json")
+        .map_err(|e| format!("read metrics: {e}"))?
+        .ok_or("telemetry-local.metrics.json was not written")?;
+    let metrics = String::from_utf8(metrics).map_err(|e| format!("metrics not UTF-8: {e}"))?;
+    llamatune_obs::MetricsSnapshot::from_json(&metrics)
+        .map_err(|e| format!("metrics validation: {e}"))?;
+
+    println!(
+        "traced {} sessions: {} trace events, telemetry in {dir}",
+        results.len(),
+        events.len()
+    );
+    Ok(())
+}

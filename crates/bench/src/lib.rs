@@ -18,4 +18,4 @@ pub use exp::{
     aggregate_curves, arm_summary, paired_rows, run_tuning_arm, ArmResult, ExpScale, OptimizerKind,
     PairedRow,
 };
-pub use printing::{print_curve_table, print_header, print_row};
+pub use printing::{print_curve_table, print_header, print_row, print_table};

@@ -1,17 +1,14 @@
 //! Text rendering of tables and figure series (the harness prints the
-//! same rows the paper reports).
+//! same rows the paper reports). Rendering itself lives in
+//! [`llamatune_obs::fmt`] so bench output and `llamatune-report`
+//! session reports share one set of shapes; this module binds those
+//! renderers to the harness's row types and to stdout.
 
 use crate::exp::PairedRow;
 
 /// Prints an experiment header banner.
 pub fn print_header(title: &str, detail: &str) {
-    println!();
-    println!("================================================================");
-    println!("{title}");
-    if !detail.is_empty() {
-        println!("{detail}");
-    }
-    println!("================================================================");
+    print!("{}", llamatune_obs::fmt::header(title, detail));
 }
 
 /// Prints one paired-comparison row in the style of Tables 5-9.
@@ -36,35 +33,12 @@ pub fn print_row(row: &PairedRow, _metric: &str) {
 /// Prints best-so-far curves as an iteration-indexed table (one column per
 /// labelled series), sampled every `step` iterations.
 pub fn print_curve_table(labels: &[&str], curves: &[Vec<f64>], step: usize) {
-    assert_eq!(labels.len(), curves.len());
-    print!("{:>6}", "iter");
-    for l in labels {
-        print!(" {l:>18}");
-    }
-    println!();
-    let len = curves.iter().map(Vec::len).max().unwrap_or(0);
-    let mut i = 0;
-    while i < len {
-        print!("{i:>6}");
-        for c in curves {
-            match c.get(i).or(c.last()) {
-                Some(v) => print!(" {v:>18.1}"),
-                None => print!(" {:>18}", "-"),
-            }
-        }
-        println!();
-        i += step.max(1);
-    }
-    // Always close with the final iteration.
-    if (len > 0) && (len - 1) % step.max(1) != 0 {
-        let i = len - 1;
-        print!("{i:>6}");
-        for c in curves {
-            match c.get(i).or(c.last()) {
-                Some(v) => print!(" {v:>18.1}"),
-                None => print!(" {:>18}", "-"),
-            }
-        }
-        println!();
-    }
+    print!("{}", llamatune_obs::fmt::curve_table(labels, curves, step));
+}
+
+/// Prints a column-aligned table (first column left-aligned, the rest
+/// right-aligned) — ad-hoc bench rows go through here instead of
+/// hand-padded `println!` format strings.
+pub fn print_table(headers: &[&str], rows: &[Vec<String>]) {
+    print!("{}", llamatune_obs::fmt::table(headers, rows));
 }

@@ -35,10 +35,14 @@
 use crate::early_stop::EarlyStopPolicy;
 use crate::pipeline::SearchSpaceAdapter;
 use llamatune_math::latin_hypercube;
+use llamatune_obs::trace::{NoopTracer, TraceEvent, Tracer};
+use llamatune_obs::MetricsRegistry;
 use llamatune_optim::{DegradationEvent, Observation, Optimizer};
 use llamatune_space::Config;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use std::sync::Arc;
+use std::time::Instant;
 
 /// How a trial's evaluation concluded. Every non-`Ok` status carries no
 /// raw score and receives the paper's crash penalty (§6: a quarter of
@@ -110,11 +114,22 @@ pub struct EvalResult {
     pub status: TrialStatus,
     /// Evaluation attempts consumed (1 = first try; >1 after retries).
     pub attempts: u32,
+    /// Simulated (virtual-clock) milliseconds the evaluation consumed,
+    /// totalled across attempts. Observability only — never persisted,
+    /// never folded into scores — so executors that don't track time
+    /// leave the default `0.0`.
+    pub virtual_ms: f64,
 }
 
 impl Default for EvalResult {
     fn default() -> Self {
-        EvalResult { score: None, metrics: Vec::new(), status: TrialStatus::Ok, attempts: 1 }
+        EvalResult {
+            score: None,
+            metrics: Vec::new(),
+            status: TrialStatus::Ok,
+            attempts: 1,
+            virtual_ms: 0.0,
+        }
     }
 }
 
@@ -150,6 +165,22 @@ pub struct SessionOptions {
     /// the optimizer space's dimensionality. Empty (the default) keeps
     /// the pure-LHS initialization of the paper.
     pub warm_points: Vec<Vec<f64>>,
+    /// Structured-trace sink. The default [`NoopTracer`] reports
+    /// disabled and every emission site is gated on
+    /// [`Tracer::enabled`], so untraced sessions pay one virtual call
+    /// per round. Traces are emitted from the single-threaded fold loop
+    /// against iteration indices and virtual time only, so a recorded
+    /// trace is a pure function of (seeds, batch size) — byte-identical
+    /// across worker counts.
+    pub tracer: Arc<dyn Tracer>,
+    /// Session label used for the trace `session` field (and nothing
+    /// else). Empty for unlabelled sessions.
+    pub trace_label: String,
+    /// Metrics registry receiving the `session.*_ms` phase-latency
+    /// histograms (wall clock — explicitly outside the determinism
+    /// contract, unlike traces). Campaign runners share one registry per
+    /// session cell; the default is a fresh private registry.
+    pub metrics: Arc<MetricsRegistry>,
 }
 
 impl Default for SessionOptions {
@@ -160,6 +191,9 @@ impl Default for SessionOptions {
             seed: 0,
             early_stop: None,
             warm_points: Vec::new(),
+            tracer: Arc::new(NoopTracer),
+            trace_label: String::new(),
+            metrics: Arc::new(MetricsRegistry::new()),
         }
     }
 }
@@ -258,6 +292,56 @@ fn normalize_status(status: TrialStatus, raw: Option<f64>) -> TrialStatus {
     } else {
         status
     }
+}
+
+/// Builds the `trial` span shared by the replay and live fold paths.
+/// Every field is deterministic (iteration, penalized score, status,
+/// attempts, virtual time); `raw_score` is present only for successful
+/// runs and `replayed` only on resume.
+#[allow(clippy::too_many_arguments)]
+fn trial_span(
+    label: &str,
+    iteration: usize,
+    score: f64,
+    raw_score: Option<f64>,
+    status: TrialStatus,
+    attempts: u32,
+    virtual_ms: f64,
+    replayed: bool,
+) -> TraceEvent {
+    let mut e = TraceEvent::new(label, "trial")
+        .field("iteration", iteration as u64)
+        .field("score", score)
+        .field("status", status.as_str())
+        .field("attempts", u64::from(attempts))
+        .field("virtual_ms", virtual_ms);
+    if let Some(r) = raw_score {
+        e = e.field("raw_score", r);
+    }
+    if replayed {
+        e = e.field("replayed", 1u64);
+    }
+    e
+}
+
+fn session_end_span(label: &str, history: &SessionHistory) -> TraceEvent {
+    let mut e = TraceEvent::new(label, "session.end")
+        .field("iterations_run", history.scores.len() as u64)
+        .field("degradations", history.degradations.len() as u64);
+    if let Some(best) = history.best_score() {
+        e = e.field("best", best);
+    }
+    if let Some(at) = history.stopped_at {
+        e = e.field("stopped_at", at as u64);
+    }
+    e
+}
+
+fn degraded_span(label: &str, e: &DegradationEvent) -> TraceEvent {
+    TraceEvent::new(label, "optimizer.degraded")
+        .field("iteration", e.iteration as u64)
+        .field("optimizer", e.optimizer.as_str())
+        .field("reason", e.reason.as_str())
 }
 
 fn empty_history(iterations: usize) -> SessionHistory {
@@ -484,6 +568,24 @@ pub fn run_session_resumable(
     }
     let prior = &prior[..replay_cutoff(prior.len(), opts, q)];
 
+    // All trace emission happens here in the single-threaded fold path,
+    // gated on `enabled()`, carrying only deterministic fields
+    // (iterations, scores, virtual time) — so traces are byte-identical
+    // across worker counts and tracing cannot perturb the run.
+    let tracer = Arc::clone(&opts.tracer);
+    let traced = tracer.enabled();
+    let label = opts.trace_label.as_str();
+    if traced {
+        tracer.record(
+            TraceEvent::new(label, "session.start")
+                .field("iterations", opts.iterations as u64)
+                .field("n_init", opts.n_init as u64)
+                .field("seed", opts.seed)
+                .field("batch_size", q as u64)
+                .field("replayed", prior.len() as u64),
+        );
+    }
+
     let mut history = empty_history(opts.iterations);
     let mut worst_seen: Option<f64> = None;
     let mut best = f64::NEG_INFINITY;
@@ -494,12 +596,28 @@ pub fn run_session_resumable(
     let mut stopped = false;
     for t in prior {
         let score = crash_penalty(t.raw_score, &mut worst_seen);
+        let status = normalize_status(t.status, t.raw_score);
+        let attempts = t.attempts.max(1);
         history.configs.push(t.config.clone());
         history.points.push(t.point.clone());
         history.scores.push(score);
         history.raw_scores.push(t.raw_score);
-        history.statuses.push(normalize_status(t.status, t.raw_score));
-        history.attempts.push(t.attempts.max(1));
+        history.statuses.push(status);
+        history.attempts.push(attempts);
+        if traced {
+            // Replayed trials carry no recorded virtual time (it is not
+            // persisted); the report still sees a contiguous session.
+            tracer.record(trial_span(
+                label,
+                t.iteration,
+                score,
+                t.raw_score,
+                status,
+                attempts,
+                0.0,
+                true,
+            ));
+        }
         if t.iteration == 0 {
             history.best_curve.push(score);
             continue;
@@ -518,23 +636,40 @@ pub fn run_session_resumable(
     optimizer.observe_batch(replayed);
     for mut e in optimizer.drain_degradations() {
         e.iteration = history.scores.len();
+        if traced {
+            tracer.record(degraded_span(label, &e));
+        }
         history.degradations.push(e);
     }
     if stopped {
+        if traced {
+            tracer.record(session_end_span(label, &history));
+        }
         return Ok(history);
     }
 
     // Iteration 0: the server default configuration (unless replayed).
     if history.scores.is_empty() {
+        if traced {
+            tracer.record(
+                TraceEvent::new(label, "round")
+                    .field("iteration", 0u64)
+                    .field("size", 1u64)
+                    .field("source", "default"),
+            );
+        }
         let default_cfg = adapter.space().default_config();
+        let eval_start = Instant::now();
         let mut results =
             executor.run_batch(&[Trial { iteration: 0, config: default_cfg.clone() }]);
+        opts.metrics.observe("session.evaluate_ms", eval_start.elapsed().as_secs_f64() * 1e3);
         assert_eq!(results.len(), 1, "executor must return one result per trial");
         let default_eval = results.remove(0);
         let default_score = crash_penalty(default_eval.score, &mut worst_seen);
         let default_status = normalize_status(default_eval.status, default_eval.score);
         let default_attempts = default_eval.attempts.max(1);
         if let Some(f) = sink.as_mut() {
+            let persist_start = Instant::now();
             f(TrialRecord {
                 iteration: 0,
                 config: &default_cfg,
@@ -545,6 +680,19 @@ pub fn run_session_resumable(
                 status: default_status,
                 attempts: default_attempts,
             });
+            opts.metrics.observe("session.persist_ms", persist_start.elapsed().as_secs_f64() * 1e3);
+        }
+        if traced {
+            tracer.record(trial_span(
+                label,
+                0,
+                default_score,
+                default_eval.score,
+                default_status,
+                default_attempts,
+                default_eval.virtual_ms,
+                false,
+            ));
         }
         history.configs.push(default_cfg);
         history.points.push(Vec::new());
@@ -571,14 +719,36 @@ pub fn run_session_resumable(
         // A round never mixes LHS and optimizer points: the LHS phase is
         // truncated at its boundary so the optimizer's first batch starts
         // with the full initialization observed.
-        let points: Vec<Vec<f64>> = if iter <= init_points.len() {
+        let lhs_round = iter <= init_points.len();
+        if traced {
+            tracer.record(
+                TraceEvent::new(label, "round")
+                    .field("iteration", iter as u64)
+                    .field("size", round_q as u64)
+                    .field("source", if lhs_round { "lhs" } else { "optimizer" }),
+            );
+        }
+        let points: Vec<Vec<f64>> = if lhs_round {
             let end = (iter + round_q - 1).min(init_points.len());
             (iter..=end).map(|i| spec.snap(&init_points[i - 1])).collect()
         } else {
-            optimizer.suggest_batch(round_q)
+            let suggest_start = Instant::now();
+            let points = optimizer.suggest_batch(round_q);
+            opts.metrics.observe("session.suggest_ms", suggest_start.elapsed().as_secs_f64() * 1e3);
+            if traced {
+                tracer.record(
+                    TraceEvent::new(label, "optimizer.suggest")
+                        .field("iteration", iter as u64)
+                        .field("count", points.len() as u64),
+                );
+            }
+            points
         };
         for mut e in optimizer.drain_degradations() {
             e.iteration = iter;
+            if traced {
+                tracer.record(degraded_span(label, &e));
+            }
             history.degradations.push(e);
         }
         let trials: Vec<Trial> = points
@@ -586,7 +756,9 @@ pub fn run_session_resumable(
             .enumerate()
             .map(|(k, p)| Trial { iteration: iter + k, config: adapter.decode(p) })
             .collect();
+        let eval_start = Instant::now();
         let results = executor.run_batch(&trials);
+        opts.metrics.observe("session.evaluate_ms", eval_start.elapsed().as_secs_f64() * 1e3);
         assert_eq!(results.len(), trials.len(), "executor must return one result per trial");
 
         // Fold results back in iteration order — penalties, best curve,
@@ -598,6 +770,7 @@ pub fn run_session_resumable(
             let status = normalize_status(eval.status, eval.score);
             let attempts = eval.attempts.max(1);
             if let Some(f) = sink.as_mut() {
+                let persist_start = Instant::now();
                 f(TrialRecord {
                     iteration: trial.iteration,
                     config: &trial.config,
@@ -608,6 +781,20 @@ pub fn run_session_resumable(
                     status,
                     attempts,
                 });
+                opts.metrics
+                    .observe("session.persist_ms", persist_start.elapsed().as_secs_f64() * 1e3);
+            }
+            if traced {
+                tracer.record(trial_span(
+                    label,
+                    trial.iteration,
+                    score,
+                    eval.score,
+                    status,
+                    attempts,
+                    eval.virtual_ms,
+                    false,
+                ));
             }
             observations.push(Observation { x: point.clone(), y: score, metrics: eval.metrics });
             history.configs.push(trial.config);
@@ -626,15 +813,29 @@ pub fn run_session_resumable(
                 }
             }
         }
+        let observed = observations.len();
         optimizer.observe_batch(observations);
+        if traced {
+            tracer.record(
+                TraceEvent::new(label, "optimizer.observe")
+                    .field("iteration", iter as u64)
+                    .field("count", observed as u64),
+            );
+        }
         for mut e in optimizer.drain_degradations() {
             e.iteration = iter;
+            if traced {
+                tracer.record(degraded_span(label, &e));
+            }
             history.degradations.push(e);
         }
         if stopped {
             break;
         }
         iter = history.scores.len();
+    }
+    if traced {
+        tracer.record(session_end_span(label, &history));
     }
     Ok(history)
 }
@@ -729,6 +930,7 @@ mod tests {
                     metrics: vec![],
                     status: TrialStatus::TimedOut,
                     attempts: 3,
+                    ..Default::default()
                 }
             }
         };

@@ -1,0 +1,51 @@
+//! `llamatune-report`: renders a session diagnostic from stored
+//! telemetry alone.
+//!
+//! Usage: `llamatune-report <trace.jsonl> [metrics.json]`
+//!
+//! Loads a trace JSONL export (schema-validated), optionally a metrics
+//! snapshot, and prints best-so-far/regret curves, fault totals,
+//! per-phase latencies, and optimizer hot-path timings. Exits nonzero
+//! on unreadable input or schema violations.
+
+use llamatune_obs::{build_report, parse_trace_jsonl, render_report, MetricsSnapshot};
+use std::process::ExitCode;
+
+fn run() -> Result<String, String> {
+    let mut args = std::env::args().skip(1);
+    let trace_path = args.next().ok_or("usage: llamatune-report <trace.jsonl> [metrics.json]")?;
+    let metrics_path = args.next();
+    if args.next().is_some() {
+        return Err("usage: llamatune-report <trace.jsonl> [metrics.json]".to_string());
+    }
+    let trace_text = std::fs::read_to_string(&trace_path)
+        .map_err(|e| format!("cannot read {trace_path}: {e}"))?;
+    let events =
+        parse_trace_jsonl(&trace_text).map_err(|e| format!("invalid trace {trace_path}: {e}"))?;
+    let metrics = match metrics_path {
+        Some(path) => {
+            let text =
+                std::fs::read_to_string(&path).map_err(|e| format!("cannot read {path}: {e}"))?;
+            Some(
+                MetricsSnapshot::from_json(&text)
+                    .map_err(|e| format!("invalid metrics {path}: {e}"))?,
+            )
+        }
+        None => None,
+    };
+    let report = build_report(&events, metrics)?;
+    Ok(render_report(&report))
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(text) => {
+            print!("{text}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("llamatune-report: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

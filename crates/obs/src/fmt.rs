@@ -1,0 +1,132 @@
+//! Text rendering shared by bench output and session reports: one
+//! banner/table/curve renderer, so every harness prints the same shapes
+//! (the bench crate's `printing` module delegates here).
+
+/// Renders an experiment header banner (BENCH-compatible shape).
+pub fn header(title: &str, detail: &str) -> String {
+    let mut out = String::from("\n");
+    out.push_str("================================================================\n");
+    out.push_str(title);
+    out.push('\n');
+    if !detail.is_empty() {
+        out.push_str(detail);
+        out.push('\n');
+    }
+    out.push_str("================================================================\n");
+    out
+}
+
+/// Renders a column-aligned table: the first column left-aligned,
+/// the rest right-aligned, widths fitted to content. `headers` may be
+/// empty to render bare rows.
+pub fn table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let cols = headers.len().max(rows.iter().map(Vec::len).max().unwrap_or(0));
+    let mut widths = vec![0usize; cols];
+    for (i, h) in headers.iter().enumerate() {
+        widths[i] = widths[i].max(h.len());
+    }
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let render_row = |cells: &[String]| -> String {
+        let mut line = String::new();
+        for (i, w) in widths.iter().enumerate() {
+            let cell = cells.get(i).map(String::as_str).unwrap_or("");
+            if i > 0 {
+                line.push_str("  ");
+            }
+            if i == 0 {
+                line.push_str(&format!("{cell:<w$}"));
+            } else {
+                line.push_str(&format!("{cell:>w$}"));
+            }
+        }
+        while line.ends_with(' ') {
+            line.pop();
+        }
+        line.push('\n');
+        line
+    };
+    let mut out = String::new();
+    if !headers.is_empty() {
+        out.push_str(&render_row(&headers.iter().map(|h| h.to_string()).collect::<Vec<_>>()));
+    }
+    for row in rows {
+        out.push_str(&render_row(row));
+    }
+    out
+}
+
+/// Renders best-so-far curves as an iteration-indexed table (one column
+/// per labelled series), sampled every `step` iterations and always
+/// closing with the final iteration.
+pub fn curve_table(labels: &[&str], curves: &[Vec<f64>], step: usize) -> String {
+    assert_eq!(labels.len(), curves.len());
+    let mut out = format!("{:>6}", "iter");
+    for l in labels {
+        out.push_str(&format!(" {l:>18}"));
+    }
+    out.push('\n');
+    let len = curves.iter().map(Vec::len).max().unwrap_or(0);
+    let emit = |i: usize, out: &mut String| {
+        out.push_str(&format!("{i:>6}"));
+        for c in curves {
+            match c.get(i).or(c.last()) {
+                Some(v) => out.push_str(&format!(" {v:>18.1}")),
+                None => out.push_str(&format!(" {:>18}", "-")),
+            }
+        }
+        out.push('\n');
+    };
+    let step = step.max(1);
+    let mut i = 0;
+    while i < len {
+        emit(i, &mut out);
+        i += step;
+    }
+    if len > 0 && (len - 1) % step != 0 {
+        emit(len - 1, &mut out);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_aligns_columns() {
+        let rows = vec![
+            vec!["sequential".to_string(), "9.21s".to_string(), "1.00x".to_string()],
+            vec!["parallel, 8".to_string(), "1.55s".to_string(), "5.94x".to_string()],
+        ];
+        let text = table(&["config", "time", "speedup"], &rows);
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 3);
+        // Right-aligned numeric columns line up on their last character.
+        let end = |l: &str, pat: &str| l.find(pat).unwrap() + pat.len();
+        assert_eq!(end(lines[1], "9.21s"), end(lines[2], "1.55s"));
+        assert_eq!(end(lines[1], "1.00x"), end(lines[2], "5.94x"));
+    }
+
+    #[test]
+    fn curve_table_samples_and_closes_with_last_iteration() {
+        let text = curve_table(&["a"], &[vec![1.0, 2.0, 3.0, 4.0, 5.0]], 2);
+        let iters: Vec<&str> =
+            text.lines().skip(1).map(|l| l.split_whitespace().next().unwrap()).collect();
+        assert_eq!(iters, vec!["0", "2", "4"]);
+        let text = curve_table(&["a"], &[vec![1.0, 2.0, 3.0, 4.0]], 2);
+        let iters: Vec<&str> =
+            text.lines().skip(1).map(|l| l.split_whitespace().next().unwrap()).collect();
+        assert_eq!(iters, vec!["0", "2", "3"], "closing row appended");
+    }
+
+    #[test]
+    fn header_renders_banner() {
+        let h = header("Title", "detail");
+        assert!(h.contains("Title\ndetail\n"));
+        assert!(header("Title", "").lines().filter(|l| l.contains("====")).count() == 2);
+    }
+}

@@ -1,0 +1,44 @@
+//! # llamatune-obs: deterministic tracing, metrics, and reporting
+//!
+//! The observability substrate of the tuning stack. Three pieces:
+//!
+//! * **Tracing** ([`trace`]) — a [`Tracer`] trait recording structured,
+//!   hierarchical span events (campaign → round → trial → attempt,
+//!   optimizer suggest/observe/degrade, store append/rotate/compact,
+//!   cache lookups, quarantine commits). Events carry only
+//!   deterministic fields — iteration indices, *virtual*-clock
+//!   durations, scores, statuses — and are emitted from the session
+//!   loop's fold path in iteration order, so a recorded trace is a pure
+//!   function of (seed, config): byte-identical across trial-worker
+//!   counts and session-parallelism levels. Wall-clock time never
+//!   appears in a trace event; it lives in the metrics registry, which
+//!   is explicitly outside the determinism contract.
+//! * **Metrics** ([`metrics`]) — a registry of named counters, gauges,
+//!   and fixed-bucket histograms with mergeable snapshots. It absorbs
+//!   the runtime crate's former `FaultStats` counters (`policy.*`) and
+//!   adds per-phase session latencies (`session.*_ms`) and optimizer
+//!   hot-path timings (`optim.*`, recorded into the process-global
+//!   registry, [`global`]).
+//! * **Reporting** ([`report`], [`fmt`]) — a schema-validating trace
+//!   parser, one table renderer shared by bench output and session
+//!   reports, and the `llamatune-report` binary, which rebuilds
+//!   best-so-far and regret curves plus fault and hot-path totals from
+//!   a stored session's telemetry alone.
+//!
+//! Instrumentation is strictly out-of-band: with tracing enabled or
+//! disabled, recorded histories and checkpoints are bit-identical
+//! (pinned by `crates/runtime/tests/observability.rs`), and the inert
+//! [`NoopTracer`] costs one virtual call returning a constant on the
+//! hot path.
+
+pub mod fmt;
+pub mod json;
+pub mod metrics;
+pub mod report;
+pub mod trace;
+
+pub use metrics::{global, HistSnapshot, MetricsRegistry, MetricsSnapshot};
+pub use report::{build_report, render_report, Report, SessionCurves};
+pub use trace::{
+    parse_trace_jsonl, FieldValue, NoopTracer, RecordingTracer, TraceEvent, Tracer, SPAN_TAXONOMY,
+};

@@ -1,0 +1,373 @@
+//! Deterministic structured tracing.
+//!
+//! A [`TraceEvent`] is one span of the tuning stack's execution,
+//! identified by a name from the closed [`SPAN_TAXONOMY`] and carrying
+//! only deterministic fields: iteration indices, batch sizes,
+//! *virtual*-clock durations, scores, statuses. Events are emitted from
+//! single-threaded fold paths (the session loop, the executor's batch
+//! epilogue, the store's append path under its lock), each stamped with
+//! its session label; the recorder assigns a per-session sequence
+//! number, and exports sort by session — so the exported trace of a run
+//! is a pure function of (seed, config), byte-identical across
+//! trial-worker counts and session-parallelism levels. Wall-clock time
+//! never enters a trace event; it belongs in [`crate::MetricsRegistry`].
+//!
+//! The hierarchy is encoded in span names and shared fields rather than
+//! explicit parent ids: a `trial` span's parents are the `round` with
+//! the same session and covering iteration range, and the session
+//! itself. `trial.attempt` spans are children of the `trial` with the
+//! same iteration.
+
+use crate::json::{self, JsonValue};
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+
+/// Every span name the stack emits, one row per taxonomy entry:
+///
+/// | span | emitted by | key fields |
+/// |---|---|---|
+/// | `session.start` | session loop | `iterations`, `n_init`, `batch`, `replayed` |
+/// | `round` | session loop | `iteration`, `size`, `phase` (`init`/`optimizer`) |
+/// | `optimizer.suggest` | session loop | `iteration`, `q` |
+/// | `trial.attempt` | executor epilogue | `iteration`, `attempt`, `virtual_ms`, `disposition` |
+/// | `trial` | session fold | `iteration`, `score`, `raw_score`?, `status`, `attempts`, `virtual_ms` |
+/// | `optimizer.observe` | session loop | `iteration`, `count` |
+/// | `optimizer.degraded` | session loop | `iteration`, `optimizer`, `reason` |
+/// | `cache.lookup` | executor | `iteration`, `hits`, `misses` |
+/// | `policy.quarantine` | executor | `iteration`, `committed` |
+/// | `store.append` | store | `object`, `record` (`trial`/`session`) |
+/// | `store.rotate` | store | `sealed`, `next` |
+/// | `store.compact` | store | `segments_before`, `segments_after` |
+/// | `session.end` | session loop | `iterations_run`, `stopped_at`? |
+pub const SPAN_TAXONOMY: &[&str] = &[
+    "session.start",
+    "round",
+    "optimizer.suggest",
+    "trial.attempt",
+    "trial",
+    "optimizer.observe",
+    "optimizer.degraded",
+    "cache.lookup",
+    "policy.quarantine",
+    "store.append",
+    "store.rotate",
+    "store.compact",
+    "session.end",
+];
+
+/// One structured field value. Only deterministic scalars: u64 indices
+/// and counts, f64 scores and virtual durations, status strings.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FieldValue {
+    U64(u64),
+    F64(f64),
+    Str(String),
+}
+
+impl From<u64> for FieldValue {
+    fn from(v: u64) -> Self {
+        FieldValue::U64(v)
+    }
+}
+impl From<usize> for FieldValue {
+    fn from(v: usize) -> Self {
+        FieldValue::U64(v as u64)
+    }
+}
+impl From<u32> for FieldValue {
+    fn from(v: u32) -> Self {
+        FieldValue::U64(u64::from(v))
+    }
+}
+impl From<f64> for FieldValue {
+    fn from(v: f64) -> Self {
+        FieldValue::F64(v)
+    }
+}
+impl From<&str> for FieldValue {
+    fn from(v: &str) -> Self {
+        FieldValue::Str(v.to_string())
+    }
+}
+impl From<String> for FieldValue {
+    fn from(v: String) -> Self {
+        FieldValue::Str(v)
+    }
+}
+
+/// One recorded span event. `seq` is assigned by the recorder, counting
+/// per session, so per-session streams are totally ordered no matter
+/// how sessions interleave.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceEvent {
+    /// Session label (empty for store-scope events like compaction).
+    pub session: String,
+    /// Per-session sequence number, assigned on record.
+    pub seq: u64,
+    /// Span name, from [`SPAN_TAXONOMY`].
+    pub span: String,
+    /// Deterministic fields, in emission order.
+    pub fields: Vec<(String, FieldValue)>,
+}
+
+impl TraceEvent {
+    /// Starts an event for `span` in `session`.
+    pub fn new(session: impl Into<String>, span: &str) -> TraceEvent {
+        TraceEvent { session: session.into(), seq: 0, span: span.to_string(), fields: Vec::new() }
+    }
+
+    /// Appends a field (builder style).
+    pub fn field(mut self, key: &str, value: impl Into<FieldValue>) -> TraceEvent {
+        self.fields.push((key.to_string(), value.into()));
+        self
+    }
+
+    /// Looks up a field by key.
+    pub fn get(&self, key: &str) -> Option<&FieldValue> {
+        self.fields.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+
+    /// A u64 field, if present with that type.
+    pub fn get_u64(&self, key: &str) -> Option<u64> {
+        match self.get(key) {
+            Some(FieldValue::U64(v)) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// An f64 field, if present (u64 fields widen losslessly-enough for
+    /// report arithmetic).
+    pub fn get_f64(&self, key: &str) -> Option<f64> {
+        match self.get(key) {
+            Some(FieldValue::F64(v)) => Some(*v),
+            Some(FieldValue::U64(v)) => Some(*v as f64),
+            _ => None,
+        }
+    }
+
+    /// A string field, if present with that type.
+    pub fn get_str(&self, key: &str) -> Option<&str> {
+        match self.get(key) {
+            Some(FieldValue::Str(s)) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Serializes the event as one JSON line (no trailing newline).
+    pub fn to_json(&self) -> String {
+        let mut out = format!(
+            "{{\"session\":\"{}\",\"seq\":{},\"span\":\"{}\",\"fields\":{{",
+            json::escape(&self.session),
+            self.seq,
+            json::escape(&self.span)
+        );
+        for (i, (k, v)) in self.fields.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("\"{}\":", json::escape(k)));
+            match v {
+                FieldValue::U64(n) => out.push_str(&n.to_string()),
+                FieldValue::F64(x) => out.push_str(&json::format_f64(*x)),
+                FieldValue::Str(s) => out.push_str(&format!("\"{}\"", json::escape(s))),
+            }
+        }
+        out.push_str("}}");
+        out
+    }
+}
+
+/// The tracing seam. Implementations must be cheap when disabled: every
+/// instrumentation site guards on [`Tracer::enabled`] before building
+/// an event, so the inert default costs one virtual call returning a
+/// constant.
+pub trait Tracer: Send + Sync + std::fmt::Debug {
+    /// Whether events should be built and recorded at all.
+    fn enabled(&self) -> bool {
+        false
+    }
+
+    /// Records one event (ignored by the inert default).
+    fn record(&self, _event: TraceEvent) {}
+
+    /// Exports every recorded event as sorted JSONL, when this tracer
+    /// retains events (`None` for the inert default).
+    fn export_jsonl(&self) -> Option<String> {
+        None
+    }
+}
+
+/// The inert tracer: every session runs under it unless a recording
+/// tracer is wired in.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoopTracer;
+
+impl Tracer for NoopTracer {}
+
+#[derive(Debug, Default)]
+struct RecordingState {
+    /// Next sequence number per session label.
+    seqs: BTreeMap<String, u64>,
+    events: Vec<TraceEvent>,
+}
+
+/// A tracer that retains every event in memory and exports them as
+/// deterministic JSONL: events are stamped with per-session sequence
+/// numbers on arrival and exported stably sorted by session label, so
+/// the export is invariant to how concurrent sessions interleaved.
+#[derive(Debug, Default)]
+pub struct RecordingTracer {
+    inner: Mutex<RecordingState>,
+}
+
+impl RecordingTracer {
+    pub fn new() -> RecordingTracer {
+        RecordingTracer::default()
+    }
+
+    /// Every recorded event, in export order (sorted by session, then
+    /// sequence).
+    pub fn events(&self) -> Vec<TraceEvent> {
+        let state = self.inner.lock().unwrap_or_else(|p| p.into_inner());
+        let mut events = state.events.clone();
+        events.sort_by(|a, b| a.session.cmp(&b.session).then(a.seq.cmp(&b.seq)));
+        events
+    }
+}
+
+impl Tracer for RecordingTracer {
+    fn enabled(&self) -> bool {
+        true
+    }
+
+    fn record(&self, mut event: TraceEvent) {
+        let mut state = self.inner.lock().unwrap_or_else(|p| p.into_inner());
+        let seq = state.seqs.entry(event.session.clone()).or_insert(0);
+        event.seq = *seq;
+        *seq += 1;
+        state.events.push(event);
+    }
+
+    fn export_jsonl(&self) -> Option<String> {
+        let mut out = String::new();
+        for e in self.events() {
+            out.push_str(&e.to_json());
+            out.push('\n');
+        }
+        Some(out)
+    }
+}
+
+/// Parses trace JSONL, validating each line against the schema: the
+/// required `session`/`seq`/`span`/`fields` keys with their types, a
+/// span name from [`SPAN_TAXONOMY`], and scalar-only field values.
+pub fn parse_trace_jsonl(text: &str) -> Result<Vec<TraceEvent>, String> {
+    let mut events = Vec::new();
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let doc = json::parse(line).map_err(|e| format!("line {}: {e}", lineno + 1))?;
+        events.push(event_from_json(&doc).map_err(|e| format!("line {}: {e}", lineno + 1))?);
+    }
+    Ok(events)
+}
+
+fn event_from_json(doc: &JsonValue) -> Result<TraceEvent, String> {
+    let session = doc
+        .get("session")
+        .and_then(JsonValue::as_str)
+        .ok_or_else(|| "missing string \"session\"".to_string())?;
+    let seq = doc
+        .get("seq")
+        .and_then(JsonValue::as_u64)
+        .ok_or_else(|| "missing u64 \"seq\"".to_string())?;
+    let span = doc
+        .get("span")
+        .and_then(JsonValue::as_str)
+        .ok_or_else(|| "missing string \"span\"".to_string())?;
+    if !SPAN_TAXONOMY.contains(&span) {
+        return Err(format!("span {span:?} is not in the taxonomy"));
+    }
+    let fields = doc.get("fields").ok_or_else(|| "missing \"fields\"".to_string())?;
+    let JsonValue::Obj(members) = fields else {
+        return Err("\"fields\" must be an object".to_string());
+    };
+    let mut out = TraceEvent::new(session, span);
+    out.seq = seq;
+    for (k, v) in members {
+        let fv = match v {
+            JsonValue::Str(s) => FieldValue::Str(s.clone()),
+            JsonValue::Num(_) => match v.as_u64() {
+                Some(n) => FieldValue::U64(n),
+                None => FieldValue::F64(v.as_f64().unwrap()),
+            },
+            other => return Err(format!("field {k:?} has non-scalar value {other:?}")),
+        };
+        out.fields.push((k.clone(), fv));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recorder_assigns_per_session_sequence_numbers() {
+        let t = RecordingTracer::new();
+        t.record(TraceEvent::new("b", "trial").field("iteration", 0u64));
+        t.record(TraceEvent::new("a", "trial").field("iteration", 0u64));
+        t.record(TraceEvent::new("b", "trial").field("iteration", 1u64));
+        let events = t.events();
+        assert_eq!(
+            events.iter().map(|e| (e.session.as_str(), e.seq)).collect::<Vec<_>>(),
+            vec![("a", 0), ("b", 0), ("b", 1)],
+            "export sorts by session, seq"
+        );
+    }
+
+    #[test]
+    fn jsonl_round_trips_byte_identically() {
+        let t = RecordingTracer::new();
+        t.record(
+            TraceEvent::new("w/llamatune/smac/s1", "trial")
+                .field("iteration", 3u64)
+                .field("score", 12.5)
+                .field("status", "ok")
+                .field("attempts", 1u32),
+        );
+        t.record(
+            TraceEvent::new("w/llamatune/smac/s1", "session.end").field("iterations_run", 4u64),
+        );
+        let text = t.export_jsonl().unwrap();
+        let parsed = parse_trace_jsonl(&text).unwrap();
+        assert_eq!(parsed.len(), 2);
+        let reserialized: String = parsed.iter().map(|e| format!("{}\n", e.to_json())).collect();
+        assert_eq!(reserialized, text, "parse → serialize must be byte-stable");
+        assert_eq!(parsed[0].get_u64("iteration"), Some(3));
+        assert_eq!(parsed[0].get_f64("score"), Some(12.5));
+        assert_eq!(parsed[0].get_str("status"), Some("ok"));
+    }
+
+    #[test]
+    fn schema_validation_rejects_unknown_spans_and_bad_types() {
+        for bad in [
+            r#"{"session":"s","seq":0,"span":"not.a.span","fields":{}}"#,
+            r#"{"session":"s","seq":-1,"span":"trial","fields":{}}"#,
+            r#"{"session":"s","seq":0,"span":"trial","fields":{"x":[1]}}"#,
+            r#"{"seq":0,"span":"trial","fields":{}}"#,
+        ] {
+            assert!(parse_trace_jsonl(bad).is_err(), "{bad} must be rejected");
+        }
+    }
+
+    #[test]
+    fn noop_tracer_is_disabled_and_silent() {
+        let t = NoopTracer;
+        assert!(!t.enabled());
+        t.record(TraceEvent::new("s", "trial"));
+        assert!(t.export_jsonl().is_none());
+    }
+}

@@ -218,7 +218,18 @@ impl GpBo {
     /// ([`Matrix::solve_lower_batch`]), and the standard normal is
     /// constructed once per batch instead of once per candidate.
     /// Per-candidate arithmetic matches [`GpBo::predict`] bit for bit.
+    ///
+    /// Wall time lands in the process-global `optim.gp.ei_score_ms`
+    /// histogram (timing only — nothing about the result depends on it).
     fn ei_batch(&self, candidates: &[Vec<f64>], best_standardized: f64) -> Vec<f64> {
+        let hot_path_start = std::time::Instant::now();
+        let eis = self.ei_batch_inner(candidates, best_standardized);
+        llamatune_obs::global()
+            .observe("optim.gp.ei_score_ms", hot_path_start.elapsed().as_secs_f64() * 1e3);
+        eis
+    }
+
+    fn ei_batch_inner(&self, candidates: &[Vec<f64>], best_standardized: f64) -> Vec<f64> {
         let std_norm = Normal::new(0.0, 1.0);
         let ei_of = |mean: f64, var: f64| {
             let sigma = var.sqrt().max(1e-9);
@@ -271,8 +282,17 @@ impl GpBo {
     /// the kernel row only, leaving `alpha` and the y standardization
     /// stale (callers must [`GpBo::refresh_alpha`] before the next
     /// prediction). Returns `false` if the border is not positive
-    /// definite.
+    /// definite. Wall time lands in the process-global
+    /// `optim.gp.cholesky_append_ms` histogram.
     fn append_row_to_factor(&mut self) -> bool {
+        let hot_path_start = std::time::Instant::now();
+        let ok = self.append_row_to_factor_inner();
+        llamatune_obs::global()
+            .observe("optim.gp.cholesky_append_ms", hot_path_start.elapsed().as_secs_f64() * 1e3);
+        ok
+    }
+
+    fn append_row_to_factor_inner(&mut self) -> bool {
         let n = self.xs.len();
         let x_new = &self.xs[n - 1];
         let h = self.hyper;

@@ -126,13 +126,19 @@ impl Optimizer for Smac {
         // cached (observations invalidate it); `take` releases the
         // borrow so local search can perturb through `&mut self`.
         let forest = self.forest.take().unwrap_or_else(|| {
-            RandomForest::fit(
+            // Wall time lands in the process-global
+            // `optim.smac.forest_fit_ms` histogram (timing only).
+            let hot_path_start = std::time::Instant::now();
+            let forest = RandomForest::fit(
                 &self.spec,
                 &self.xs,
                 &self.ys,
                 &self.config.forest,
                 self.seed ^ (self.suggestions as u64) << 17,
-            )
+            );
+            llamatune_obs::global()
+                .observe("optim.smac.forest_fit_ms", hot_path_start.elapsed().as_secs_f64() * 1e3);
+            forest
         });
         let best = self.best_y();
         let xi = self.config.xi;

@@ -28,6 +28,8 @@ use llamatune::session::{
     run_session_parallel, run_session_resumable, SessionHistory, SessionOptions, TrialRecord,
 };
 use llamatune_engine::RunOptions;
+use llamatune_obs::trace::{NoopTracer, Tracer};
+use llamatune_obs::{MetricsRegistry, MetricsSnapshot};
 use llamatune_optim::{GuardFactory, GuardedOptimizer, Optimizer, SearchSpec};
 use llamatune_space::{Config, ConfigSpace};
 use llamatune_store::{
@@ -172,6 +174,13 @@ pub struct CampaignOptions {
     /// Pass-through on healthy runs — the fallback RNG advances only on
     /// degradation.
     pub guard: bool,
+    /// Structured-trace sink shared by every session of the campaign;
+    /// each session labels its spans with its cell label. The default
+    /// [`NoopTracer`] keeps tracing compiled-out-cheap; pass a
+    /// `RecordingTracer` to capture the campaign's span stream.
+    /// Strictly out-of-band: recorded histories and checkpoints are
+    /// byte-identical with tracing on or off.
+    pub tracer: Arc<dyn Tracer>,
 }
 
 impl Default for CampaignOptions {
@@ -189,6 +198,7 @@ impl Default for CampaignOptions {
             fault_plan: None,
             policy: ExecutionPolicy::default(),
             guard: true,
+            tracer: Arc::new(NoopTracer),
         }
     }
 }
@@ -213,7 +223,14 @@ pub struct CampaignResult {
     /// inert default policy on healthy workloads — except
     /// `quarantine_hits`, which fires whenever a crashed configuration
     /// is re-suggested.
+    ///
+    /// This is a typed view over `metrics` (the `policy.*` counters);
+    /// kept for ergonomic access and compatibility.
     pub faults: FaultStatsSnapshot,
+    /// Full per-session metrics snapshot: fault counters, cache
+    /// counters, and the `session.*_ms` phase-latency histograms.
+    /// Empty for sessions rebuilt from a store without running.
+    pub metrics: MetricsSnapshot,
 }
 
 /// A configured campaign, ready to run.
@@ -316,12 +333,23 @@ impl Campaign {
         // seed exactly as the sequential harness does.
         let eval_seed = cell.seed ^ 0x5EED;
         let cache = self.opts.cache.then(|| Arc::new(self.build_cache()));
-        let mut executor = self.build_executor(&runner, eval_seed);
+        let metrics = Arc::new(MetricsRegistry::new());
+        let mut executor = self.build_executor(&runner, eval_seed).with_observability(
+            metrics.clone(),
+            self.opts.tracer.clone(),
+            cell.label.clone(),
+        );
         if let Some(c) = &cache {
             executor = executor.with_cache(c.clone());
         }
 
-        let session_opts = SessionOptions { seed: cell.seed, ..self.opts.session.clone() };
+        let session_opts = SessionOptions {
+            seed: cell.seed,
+            tracer: self.opts.tracer.clone(),
+            trace_label: cell.label.clone(),
+            metrics: metrics.clone(),
+            ..self.opts.session.clone()
+        };
         let history = run_session_parallel(
             adapter.as_ref(),
             optimizer,
@@ -335,6 +363,7 @@ impl Campaign {
             log.append(&events_to_jsonl(&events));
         }
 
+        let metrics = metrics.snapshot();
         CampaignResult {
             label: cell.label.clone(),
             workload: cell.workload.clone(),
@@ -343,7 +372,8 @@ impl Campaign {
             seed: cell.seed,
             history,
             cache: cache.map(|c| c.stats()),
-            faults: executor.fault_stats(),
+            faults: FaultStatsSnapshot::from_metrics(&metrics),
+            metrics,
         }
     }
 
@@ -371,6 +401,7 @@ impl Campaign {
     /// in the session's metadata — a resume reuses them verbatim even
     /// if the store has since learned better candidates.
     pub fn run_with_store(&self, store: &TrialStore) -> std::io::Result<Vec<CampaignResult>> {
+        store.set_tracer(self.opts.tracer.clone());
         let cells = self.cells();
         let lanes = self.opts.session_parallelism.clamp(1, cells.len().max(1));
         let mut results: Vec<Option<std::io::Result<CampaignResult>>> =
@@ -391,7 +422,10 @@ impl Campaign {
                 }
             });
         }
-        results.into_iter().map(|r| r.expect("session ran")).collect()
+        let results: Vec<CampaignResult> =
+            results.into_iter().map(|r| r.expect("session ran")).collect::<std::io::Result<_>>()?;
+        self.persist_telemetry(store.backend().as_ref(), "local", &results)?;
+        Ok(results)
     }
 
     /// Resumes (or starts) the campaign from a persistent store — an
@@ -447,7 +481,10 @@ impl Campaign {
                 let store_opts = store_opts.clone();
                 scope.spawn(move || {
                     let store = match TrialStore::open_shared(backend, &tag, store_opts) {
-                        Ok(store) => store,
+                        Ok(store) => {
+                            store.set_tracer(self.opts.tracer.clone());
+                            store
+                        }
                         Err(e) => {
                             // Step aside: the healthy workers drain the
                             // whole queue; this error only surfaces for
@@ -470,7 +507,7 @@ impl Campaign {
             }
         });
         let open_failure = open_failure.into_inner().unwrap_or_else(|e| e.into_inner());
-        results
+        let results: Vec<CampaignResult> = results
             .into_iter()
             .zip(&cells)
             .map(|(slot, cell)| {
@@ -486,7 +523,35 @@ impl Campaign {
                     }))
                 })
             })
-            .collect()
+            .collect::<std::io::Result<_>>()?;
+        self.persist_telemetry(backend.as_ref(), "fleet", &results)?;
+        Ok(results)
+    }
+
+    /// Writes the campaign's telemetry (`telemetry-<tag>.trace.jsonl`
+    /// and `telemetry-<tag>.metrics.json`) next to the trial segments
+    /// — only when a live tracer is installed, so untraced runs leave
+    /// backend contents byte-identical. Telemetry objects never match
+    /// the `seg-` pattern and never enter the manifest, so they cannot
+    /// perturb recovery or checkpoint bytes either way. The metrics
+    /// object merges every session's registry with the process-global
+    /// registry (optimizer hot-path timings, store CAS retries).
+    fn persist_telemetry(
+        &self,
+        backend: &dyn StoreBackend,
+        tag: &str,
+        results: &[CampaignResult],
+    ) -> std::io::Result<()> {
+        let tracer = &self.opts.tracer;
+        if !tracer.enabled() {
+            return Ok(());
+        }
+        if let Some(jsonl) = tracer.export_jsonl() {
+            backend.put(&format!("telemetry-{tag}.trace.jsonl"), jsonl.as_bytes())?;
+        }
+        let mut merged = MetricsSnapshot::merged(results.iter().map(|r| &r.metrics));
+        merged.merge(&llamatune_obs::global().snapshot());
+        backend.put(&format!("telemetry-{tag}.metrics.json"), merged.to_json().as_bytes())
     }
 
     fn run_session_cell_store(
@@ -495,7 +560,7 @@ impl Campaign {
         store: &TrialStore,
     ) -> std::io::Result<CampaignResult> {
         let result =
-            |history: SessionHistory, cache: Option<CacheStats>, faults: FaultStatsSnapshot| {
+            |history: SessionHistory, cache: Option<CacheStats>, metrics: MetricsSnapshot| {
                 CampaignResult {
                     label: cell.label.clone(),
                     workload: cell.workload.clone(),
@@ -504,7 +569,8 @@ impl Campaign {
                     seed: cell.seed,
                     history,
                     cache,
-                    faults,
+                    faults: FaultStatsSnapshot::from_metrics(&metrics),
+                    metrics,
                 }
             };
 
@@ -515,7 +581,7 @@ impl Campaign {
             if m.status == SessionStatus::Done {
                 let history = rebuild_history(&store.trials_for(&cell.label), m.stopped_at);
                 // Rebuilt without an executor: nothing ran, no faults.
-                return Ok(result(history, None, FaultStatsSnapshot::default()));
+                return Ok(result(history, None, MetricsSnapshot::default()));
             }
         }
 
@@ -568,6 +634,7 @@ impl Campaign {
 
         let eval_seed = cell.seed ^ 0x5EED;
         let cache = self.opts.cache.then(|| Arc::new(self.build_cache()));
+        let metrics = Arc::new(MetricsRegistry::new());
         if let Some(c) = &cache {
             // The persistent half of the evaluation cache: every trial
             // already recorded for this session is a measurement already
@@ -582,11 +649,16 @@ impl Campaign {
                         metrics: t.metrics,
                         status: t.status,
                         attempts: t.attempts,
+                        virtual_ms: 0.0,
                     },
                 );
             }
         }
-        let mut executor = self.build_executor(&runner, eval_seed);
+        let mut executor = self.build_executor(&runner, eval_seed).with_observability(
+            metrics.clone(),
+            self.opts.tracer.clone(),
+            cell.label.clone(),
+        );
         if let Some(c) = &cache {
             executor = executor.with_cache(c.clone());
         }
@@ -594,6 +666,9 @@ impl Campaign {
         let session_opts = SessionOptions {
             seed: cell.seed,
             warm_points: meta.warm_points.clone(),
+            tracer: self.opts.tracer.clone(),
+            trace_label: cell.label.clone(),
+            metrics: metrics.clone(),
             ..self.opts.session.clone()
         };
         let prior = store.prior_trials(&cell.label);
@@ -649,7 +724,7 @@ impl Campaign {
             lease: None, // released on completion
             ..meta
         })?;
-        Ok(result(history, cache.map(|c| c.stats()), executor.fault_stats()))
+        Ok(result(history, cache.map(|c| c.stats()), metrics.snapshot()))
     }
 
     /// Builds the session optimizer stack. Inside out: the raw

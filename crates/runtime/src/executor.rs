@@ -17,10 +17,10 @@
 //! statuses stay independent of worker count and completion order.
 
 use crate::cache::{config_key, CacheStats, EvalCache};
-use crate::policy::{
-    run_trial_policy, ExecutionPolicy, FaultStats, FaultStatsSnapshot, TrialOutcome,
-};
+use crate::policy::{run_trial_policy, ExecutionPolicy, FaultStatsSnapshot, TrialOutcome};
 use llamatune::session::{EvalResult, Trial, TrialExecutor, TrialStatus};
+use llamatune_obs::trace::{NoopTracer, TraceEvent, Tracer};
+use llamatune_obs::MetricsRegistry;
 use llamatune_space::{Config, ConfigSpace};
 use llamatune_workloads::{config_fingerprint, TrialRunner, WorkloadRunner};
 use std::collections::{HashMap, HashSet};
@@ -58,15 +58,29 @@ where
     out.into_iter().map(|r| r.expect("every slot evaluated")).collect()
 }
 
+/// What one batch resolved against the cache — counted locally (not by
+/// delta against the shared [`CacheStats`], which other sessions may be
+/// advancing concurrently), so the `cache.lookup` trace span stays
+/// deterministic.
+#[derive(Debug, Clone, Copy, Default)]
+struct BatchCacheOutcome {
+    /// Trials answered from the cache.
+    hits: u64,
+    /// Distinct configurations that had to run.
+    misses: u64,
+    /// Trials served from a within-batch duplicate's fresh result.
+    duplicates: u64,
+}
+
 /// Runs a batch through the cache: cached configurations short-circuit,
 /// within-batch duplicates are evaluated once, and fresh results are
-/// recorded. `eval_all` receives only the configurations that actually
-/// need a run and must return results positionally.
+/// recorded. `eval_all` receives the trial indices and configurations
+/// that actually need a run and must return results positionally.
 fn run_batch_cached(
     cache: &EvalCache,
     trials: &[Trial],
-    eval_all: impl FnOnce(&[&Config]) -> Vec<EvalResult>,
-) -> Vec<EvalResult> {
+    eval_all: impl FnOnce(&[usize], &[&Config]) -> Vec<EvalResult>,
+) -> (Vec<EvalResult>, BatchCacheOutcome) {
     let mut resolved: Vec<Option<EvalResult>> = vec![None; trials.len()];
     // Key -> index into `unique` for within-batch duplicates.
     let mut seen: HashMap<u64, usize> = HashMap::new();
@@ -85,8 +99,13 @@ fn run_batch_cached(
             }
         }
     }
+    let outcome = BatchCacheOutcome {
+        hits: (trials.len() - unique.len() - dup_of.len()) as u64,
+        misses: unique.len() as u64,
+        duplicates: dup_of.len() as u64,
+    };
     let configs: Vec<&Config> = unique.iter().map(|&i| &trials[i].config).collect();
-    let fresh = eval_all(&configs);
+    let fresh = eval_all(&unique, &configs);
     assert_eq!(fresh.len(), configs.len(), "eval_all must be positional");
     for (&i, r) in unique.iter().zip(&fresh) {
         cache.insert(&trials[i].config, r.clone());
@@ -95,7 +114,7 @@ fn run_batch_cached(
     for (i, u) in dup_of {
         resolved[i] = Some(fresh[u].clone());
     }
-    resolved.into_iter().map(|r| r.expect("resolved or evaluated")).collect()
+    (resolved.into_iter().map(|r| r.expect("resolved or evaluated")).collect(), outcome)
 }
 
 /// A [`TrialExecutor`] over an arbitrary `Sync` objective closure,
@@ -128,13 +147,14 @@ impl<F: Fn(&Config) -> EvalResult + Sync> ParallelExecutor<F> {
 
 impl<F: Fn(&Config) -> EvalResult + Sync> TrialExecutor for ParallelExecutor<F> {
     fn run_batch(&mut self, trials: &[Trial]) -> Vec<EvalResult> {
-        let eval_all =
-            |configs: &[&Config]| eval_chunked(self.workers, configs, |_, _, cfg| (self.eval)(cfg));
+        let eval_all = |_idxs: &[usize], configs: &[&Config]| {
+            eval_chunked(self.workers, configs, |_, _, cfg| (self.eval)(cfg))
+        };
         match &self.cache {
-            Some(cache) => run_batch_cached(cache, trials, eval_all),
+            Some(cache) => run_batch_cached(cache, trials, eval_all).0,
             None => {
                 let configs: Vec<&Config> = trials.iter().map(|t| &t.config).collect();
-                eval_all(&configs)
+                eval_all(&[], &configs)
             }
         }
     }
@@ -159,7 +179,13 @@ pub struct WorkloadExecutor {
     /// Fingerprints of configurations that failed terminally. Consulted
     /// via per-batch snapshot; new keys merge after each batch.
     quarantined: Mutex<HashSet<u64>>,
-    stats: FaultStats,
+    /// Receives the `policy.*` fault counters.
+    metrics: Arc<MetricsRegistry>,
+    /// Receives `trial.attempt`, `cache.lookup`, and `policy.quarantine`
+    /// spans — emitted only from the caller's thread after a batch
+    /// settles (never from worker threads), so traces stay deterministic.
+    tracer: Arc<dyn Tracer>,
+    trace_label: String,
 }
 
 impl WorkloadExecutor {
@@ -191,8 +217,24 @@ impl WorkloadExecutor {
             cache: None,
             policy: ExecutionPolicy::default(),
             quarantined: Mutex::new(HashSet::new()),
-            stats: FaultStats::default(),
+            metrics: Arc::new(MetricsRegistry::new()),
+            tracer: Arc::new(NoopTracer),
+            trace_label: String::new(),
         }
+    }
+
+    /// Attaches a (possibly shared) metrics registry and a tracer whose
+    /// spans carry `label` as their session field.
+    pub fn with_observability(
+        mut self,
+        metrics: Arc<MetricsRegistry>,
+        tracer: Arc<dyn Tracer>,
+        label: String,
+    ) -> Self {
+        self.metrics = metrics;
+        self.tracer = tracer;
+        self.trace_label = label;
+        self
     }
 
     /// Sets the execution policy (the default is inert: one attempt, no
@@ -214,9 +256,10 @@ impl WorkloadExecutor {
         self.cache.as_ref().map(|c| c.stats())
     }
 
-    /// What the policy layer actually did so far.
+    /// What the policy layer actually did so far (a typed view over the
+    /// registry's `policy.*` counters).
     pub fn fault_stats(&self) -> FaultStatsSnapshot {
-        self.stats.snapshot()
+        FaultStatsSnapshot::from_metrics(&self.metrics.snapshot())
     }
 
     /// Number of quarantined configurations.
@@ -245,9 +288,11 @@ impl WorkloadExecutor {
     /// Evaluates `configs` under the execution policy: quarantine
     /// snapshot, per-trial retry loop, straggler hedging, then a single
     /// post-batch quarantine merge (deterministic in worker count).
-    fn eval_with_policy(&self, configs: &[&Config]) -> Vec<EvalResult> {
+    /// `iterations` aligns with `configs` and only labels trace spans.
+    fn eval_with_policy(&self, iterations: &[usize], configs: &[&Config]) -> Vec<EvalResult> {
         let snapshot: HashSet<u64> = self.lock_quarantine().clone();
-        let (space, seed, policy, stats) = (&self.space, self.eval_seed, &self.policy, &self.stats);
+        let (space, seed, policy) = (&self.space, self.eval_seed, &self.policy);
+        let metrics = &*self.metrics;
         let runner = &*self.runner;
         let mut outs: Vec<TrialOutcome> = eval_chunked(self.workers, configs, |_, _, cfg| {
             run_trial_policy(
@@ -257,7 +302,7 @@ impl WorkloadExecutor {
                 seed,
                 policy,
                 &snapshot,
-                stats,
+                metrics,
                 1,
                 policy.max_attempts.max(1),
             )
@@ -267,9 +312,38 @@ impl WorkloadExecutor {
         }
         if policy.quarantine {
             let mut q = self.lock_quarantine();
+            let mut committed = 0u64;
             for out in &outs {
                 if let Some(key) = out.quarantine_key {
-                    q.insert(key);
+                    if q.insert(key) {
+                        committed += 1;
+                    }
+                }
+            }
+            if self.tracer.enabled() && committed > 0 {
+                self.tracer.record(
+                    TraceEvent::new(&self.trace_label, "policy.quarantine")
+                        .field("iteration", iterations.first().copied().unwrap_or(0) as u64)
+                        .field("committed", committed)
+                        .field("total", q.len() as u64),
+                );
+            }
+        }
+        // Attempt spans, emitted positionally from the caller's thread
+        // after the whole batch (including hedges) has settled. Every
+        // field is virtual-clock or attempt-count data, so the spans are
+        // identical at any worker count.
+        if self.tracer.enabled() {
+            for (k, out) in outs.iter().enumerate() {
+                let iteration = iterations.get(k).copied().unwrap_or(0) as u64;
+                for a in &out.attempts_log {
+                    self.tracer.record(
+                        TraceEvent::new(&self.trace_label, "trial.attempt")
+                            .field("iteration", iteration)
+                            .field("attempt", u64::from(a.attempt))
+                            .field("virtual_ms", a.virtual_ms)
+                            .field("disposition", a.disposition),
+                    );
                 }
             }
         }
@@ -295,24 +369,30 @@ impl WorkloadExecutor {
             if outs[i].result.status != TrialStatus::Ok || outs[i].virtual_ms <= threshold {
                 continue;
             }
-            self.stats.add_hedge();
-            let hedge = run_trial_policy(
+            self.metrics.incr("policy.hedges", 1);
+            let mut hedge = run_trial_policy(
                 &*self.runner,
                 &self.space,
                 cfg,
                 self.eval_seed,
                 &self.policy,
                 snapshot,
-                &self.stats,
+                &self.metrics,
                 outs[i].result.attempts + 1,
                 1,
             );
             if hedge.result.status == TrialStatus::Ok && hedge.virtual_ms < outs[i].virtual_ms {
+                // The hedge wins, but its attempt log still records the
+                // original's attempts (attempt numbers are absolute).
+                let mut log = std::mem::take(&mut outs[i].attempts_log);
+                log.append(&mut hedge.attempts_log);
+                hedge.attempts_log = log;
                 outs[i] = hedge;
             } else {
                 // The original stands, but the hedge attempt happened:
                 // account for it so attempt counts stay truthful.
                 outs[i].result.attempts = hedge.result.attempts;
+                outs[i].attempts_log.append(&mut hedge.attempts_log);
             }
         }
     }
@@ -320,12 +400,33 @@ impl WorkloadExecutor {
 
 impl TrialExecutor for WorkloadExecutor {
     fn run_batch(&mut self, trials: &[Trial]) -> Vec<EvalResult> {
-        let eval_all = |configs: &[&Config]| self.eval_with_policy(configs);
+        let eval_all = |idxs: &[usize], configs: &[&Config]| {
+            let iterations: Vec<usize> = idxs.iter().map(|&i| trials[i].iteration).collect();
+            self.eval_with_policy(&iterations, configs)
+        };
         match &self.cache {
-            Some(cache) => run_batch_cached(cache, trials, eval_all),
+            Some(cache) => {
+                let (results, batch) = run_batch_cached(cache, trials, eval_all);
+                if self.tracer.enabled() {
+                    self.tracer.record(
+                        TraceEvent::new(&self.trace_label, "cache.lookup")
+                            .field(
+                                "iteration",
+                                trials.first().map(|t| t.iteration).unwrap_or(0) as u64,
+                            )
+                            .field("hits", batch.hits)
+                            .field("misses", batch.misses)
+                            .field("duplicates", batch.duplicates),
+                    );
+                }
+                self.metrics.incr("cache.hits", batch.hits);
+                self.metrics.incr("cache.misses", batch.misses);
+                results
+            }
             None => {
+                let iterations: Vec<usize> = trials.iter().map(|t| t.iteration).collect();
                 let configs: Vec<&Config> = trials.iter().map(|t| &t.config).collect();
-                eval_all(&configs)
+                self.eval_with_policy(&iterations, &configs)
             }
         }
     }

@@ -73,4 +73,4 @@ pub use campaign::{
     WarmStartOptions,
 };
 pub use executor::{ParallelExecutor, WorkloadExecutor};
-pub use policy::{ExecutionPolicy, FaultStats, FaultStatsSnapshot};
+pub use policy::{ExecutionPolicy, FaultStatsSnapshot};

@@ -25,11 +25,11 @@
 
 use llamatune::backoff::{Backoff, BackoffPolicy};
 use llamatune::session::{EvalResult, TrialStatus};
+use llamatune_obs::{MetricsRegistry, MetricsSnapshot};
 use llamatune_space::{Config, ConfigSpace};
 use llamatune_workloads::{config_fingerprint, TrialRunner};
 use std::collections::HashSet;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicU64, Ordering};
 
 /// How the executor shepherds each trial through failure modes.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -90,18 +90,11 @@ impl ExecutionPolicy {
     }
 }
 
-/// Counters of what the policy actually did (observability for the
-/// chaos suites: a green run that never retried proves nothing).
-#[derive(Debug, Default)]
-pub struct FaultStats {
-    timeouts: AtomicU64,
-    retries: AtomicU64,
-    panics_caught: AtomicU64,
-    quarantine_hits: AtomicU64,
-    hedges: AtomicU64,
-}
-
-/// A point-in-time copy of [`FaultStats`].
+/// Fault totals as a typed view over the metrics registry's `policy.*`
+/// counters (observability for the chaos suites: a green run that never
+/// retried proves nothing). The policy layer itself counts straight
+/// into a [`MetricsRegistry`]; this struct survives as the convenient
+/// read side on [`crate::CampaignResult`].
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct FaultStatsSnapshot {
     /// Attempts the watchdog timed out.
@@ -116,21 +109,32 @@ pub struct FaultStatsSnapshot {
     pub hedges: u64,
 }
 
-impl FaultStats {
-    pub(crate) fn add_hedge(&self) {
-        self.hedges.fetch_add(1, Ordering::Relaxed);
-    }
-
-    /// Snapshot of the counters.
-    pub fn snapshot(&self) -> FaultStatsSnapshot {
+impl FaultStatsSnapshot {
+    /// Reads the `policy.*` counters out of a metrics snapshot.
+    pub fn from_metrics(snapshot: &MetricsSnapshot) -> FaultStatsSnapshot {
         FaultStatsSnapshot {
-            timeouts: self.timeouts.load(Ordering::Relaxed),
-            retries: self.retries.load(Ordering::Relaxed),
-            panics_caught: self.panics_caught.load(Ordering::Relaxed),
-            quarantine_hits: self.quarantine_hits.load(Ordering::Relaxed),
-            hedges: self.hedges.load(Ordering::Relaxed),
+            timeouts: snapshot.counter("policy.timeouts"),
+            retries: snapshot.counter("policy.retries"),
+            panics_caught: snapshot.counter("policy.panics_caught"),
+            quarantine_hits: snapshot.counter("policy.quarantine_hits"),
+            hedges: snapshot.counter("policy.hedges"),
         }
     }
+}
+
+/// One attempt's settled disposition, logged by [`run_trial_policy`] so
+/// the executor can emit `trial.attempt` spans after the batch folds —
+/// attempts run on worker threads, and recording them out-of-band keeps
+/// trace emission on the session thread.
+#[derive(Debug, Clone)]
+pub(crate) struct AttemptTrace {
+    /// Absolute attempt number (hedge re-runs continue the count).
+    pub attempt: u32,
+    /// Virtual milliseconds this attempt consumed.
+    pub virtual_ms: f64,
+    /// How the attempt settled: `ok`, `crashed`, `timed_out`,
+    /// `panicked`, or `quarantined`.
+    pub disposition: &'static str,
 }
 
 /// One trial's settled outcome plus the policy-internal context the
@@ -143,6 +147,8 @@ pub(crate) struct TrialOutcome {
     pub virtual_ms: f64,
     /// Fingerprint to quarantine, when the trial failed terminally.
     pub quarantine_key: Option<u64>,
+    /// Per-attempt dispositions, in attempt order.
+    pub attempts_log: Vec<AttemptTrace>,
 }
 
 /// Runs one trial to a settled disposition under `policy`.
@@ -160,22 +166,28 @@ pub(crate) fn run_trial_policy(
     seed: u64,
     policy: &ExecutionPolicy,
     quarantined: &HashSet<u64>,
-    stats: &FaultStats,
+    metrics_reg: &MetricsRegistry,
     first_attempt: u32,
     budget: u32,
 ) -> TrialOutcome {
     let fp = config_fingerprint(config);
     if policy.quarantine && first_attempt == 1 && quarantined.contains(&fp) {
-        stats.quarantine_hits.fetch_add(1, Ordering::Relaxed);
+        metrics_reg.incr("policy.quarantine_hits", 1);
         return TrialOutcome {
             result: EvalResult {
                 score: None,
                 metrics: Vec::new(),
                 status: TrialStatus::Quarantined,
                 attempts: 1,
+                virtual_ms: 0.0,
             },
             virtual_ms: 0.0,
             quarantine_key: None,
+            attempts_log: vec![AttemptTrace {
+                attempt: 1,
+                virtual_ms: 0.0,
+                disposition: "quarantined",
+            }],
         };
     }
 
@@ -183,6 +195,7 @@ pub(crate) fn run_trial_policy(
     let mut backoff = Backoff::new(policy.retry_backoff, seed ^ fp);
     let mut attempt = first_attempt;
     let last_attempt = first_attempt.saturating_add(budget.max(1)) - 1;
+    let mut attempts_log = Vec::new();
     loop {
         let outcome = catch_unwind(AssertUnwindSafe(|| {
             runner.evaluate_attempt(space, config, seed, attempt)
@@ -192,21 +205,41 @@ pub(crate) fn run_trial_policy(
             Err(_) => {
                 // Panic isolation: the worker slot survives, the trial
                 // folds as a crashed (retryable) attempt.
-                stats.panics_caught.fetch_add(1, Ordering::Relaxed);
+                metrics_reg.incr("policy.panics_caught", 1);
                 (None, Vec::new(), 1.0, true, true)
             }
         };
         clock += virtual_ms;
         let timed_out = virtual_ms > policy.timeout_ms;
         if timed_out {
-            stats.timeouts.fetch_add(1, Ordering::Relaxed);
+            metrics_reg.incr("policy.timeouts", 1);
         }
+        attempts_log.push(AttemptTrace {
+            attempt,
+            virtual_ms,
+            disposition: if timed_out {
+                "timed_out"
+            } else if panicked {
+                "panicked"
+            } else if score.is_some() {
+                "ok"
+            } else {
+                "crashed"
+            },
+        });
 
         if !timed_out && !panicked && score.is_some() {
             return TrialOutcome {
-                result: EvalResult { score, metrics, status: TrialStatus::Ok, attempts: attempt },
+                result: EvalResult {
+                    score,
+                    metrics,
+                    status: TrialStatus::Ok,
+                    attempts: attempt,
+                    virtual_ms: clock,
+                },
                 virtual_ms: clock,
                 quarantine_key: None,
+                attempts_log,
             };
         }
 
@@ -215,7 +248,7 @@ pub(crate) fn run_trial_policy(
         // retries while attempts and the backoff budget allow.
         if attempt < last_attempt && (timed_out || retryable) {
             if let Some(delay) = backoff.next() {
-                stats.retries.fetch_add(1, Ordering::Relaxed);
+                metrics_reg.incr("policy.retries", 1);
                 clock += delay as f64;
                 attempt += 1;
                 continue;
@@ -226,9 +259,16 @@ pub(crate) fn run_trial_policy(
         // still report partial counters) — matching what a plain runner
         // records for a crashed configuration.
         return TrialOutcome {
-            result: EvalResult { score: None, metrics, status, attempts: attempt },
+            result: EvalResult {
+                score: None,
+                metrics,
+                status,
+                attempts: attempt,
+                virtual_ms: clock,
+            },
             virtual_ms: clock,
             quarantine_key: policy.quarantine.then_some(fp),
+            attempts_log,
         };
     }
 }
@@ -237,7 +277,7 @@ pub(crate) fn run_trial_policy(
 mod tests {
     use super::*;
     use llamatune_workloads::AttemptOutcome;
-    use std::sync::atomic::AtomicU32;
+    use std::sync::atomic::{AtomicU32, Ordering};
 
     /// Scripted runner: fails the first `fail_first` attempts
     /// retryably, then succeeds with the given virtual duration.
@@ -302,8 +342,18 @@ mod tests {
     ) -> TrialOutcome {
         let sp = space();
         let cfg = sp.default_config();
-        let stats = FaultStats::default();
-        run_trial_policy(runner, &sp, &cfg, 7, policy, quarantined, &stats, 1, policy.max_attempts)
+        let metrics = MetricsRegistry::new();
+        run_trial_policy(
+            runner,
+            &sp,
+            &cfg,
+            7,
+            policy,
+            quarantined,
+            &metrics,
+            1,
+            policy.max_attempts,
+        )
     }
 
     #[test]
@@ -389,6 +439,24 @@ mod tests {
         let policy = ExecutionPolicy { quarantine: false, ..Default::default() };
         let out = run(&r, &policy, &HashSet::from([fp]));
         assert_eq!(out.result.status, TrialStatus::Ok);
+    }
+
+    #[test]
+    fn policy_counters_land_in_the_metrics_registry_with_attempt_log() {
+        let r = Scripted { fail_first: 2, ..Scripted::ok(100.0) };
+        let policy = ExecutionPolicy { max_attempts: 3, ..Default::default() };
+        let sp = space();
+        let cfg = sp.default_config();
+        let metrics = MetricsRegistry::new();
+        let out = run_trial_policy(&r, &sp, &cfg, 7, &policy, &HashSet::new(), &metrics, 1, 3);
+        let snap = metrics.snapshot();
+        assert_eq!(snap.counter("policy.retries"), 2);
+        let faults = FaultStatsSnapshot::from_metrics(&snap);
+        assert_eq!(faults.retries, 2);
+        assert_eq!(faults.timeouts, 0);
+        let dispositions: Vec<&str> = out.attempts_log.iter().map(|a| a.disposition).collect();
+        assert_eq!(dispositions, vec!["crashed", "crashed", "ok"]);
+        assert_eq!(out.result.virtual_ms, out.virtual_ms);
     }
 
     #[test]

@@ -1,0 +1,187 @@
+//! The observability stack's out-of-band contract, pinned end to end:
+//! tracing never perturbs what a campaign records or persists, traces
+//! themselves are deterministic across worker counts, and the session
+//! report is reproducible from the stored telemetry alone.
+
+use llamatune::pipeline::LlamaTuneConfig;
+use llamatune::session::SessionOptions;
+use llamatune_engine::RunOptions;
+use llamatune_obs::trace::{parse_trace_jsonl, RecordingTracer, Tracer};
+use llamatune_obs::{build_report, MetricsSnapshot};
+use llamatune_runtime::{
+    AdapterKind, Campaign, CampaignOptions, CampaignResult, CampaignSpec, OptimizerKind,
+};
+use llamatune_space::catalog::postgres_v9_6;
+use llamatune_store::TrialStore;
+use std::collections::BTreeMap;
+use std::path::Path;
+use std::sync::Arc;
+
+fn quick_run_options() -> RunOptions {
+    RunOptions { duration_s: 0.2, warmup_s: 0.05, max_txns: 20_000, ..Default::default() }
+}
+
+fn spec() -> CampaignSpec {
+    CampaignSpec {
+        workloads: vec!["ycsb_b".into(), "ycsb_f".into()],
+        adapters: vec![AdapterKind::LlamaTune(LlamaTuneConfig::default())],
+        optimizers: vec![OptimizerKind::Smac],
+        seeds: vec![1],
+    }
+}
+
+fn opts(trial_workers: usize, tracer: Option<Arc<RecordingTracer>>) -> CampaignOptions {
+    let mut opts = CampaignOptions {
+        session: SessionOptions { iterations: 8, n_init: 3, ..Default::default() },
+        batch_size: 3,
+        trial_workers,
+        session_parallelism: 1,
+        run_options: Some(quick_run_options()),
+        ..Default::default()
+    };
+    if let Some(t) = tracer {
+        opts.tracer = t;
+    }
+    opts
+}
+
+fn history_bits(results: &[CampaignResult]) -> Vec<(String, Vec<u64>, Vec<u64>)> {
+    results
+        .iter()
+        .map(|r| {
+            let bits = |h: &[f64]| h.iter().map(|v| v.to_bits()).collect::<Vec<_>>();
+            (r.label.clone(), bits(&r.history.scores), bits(&r.history.best_curve))
+        })
+        .collect()
+}
+
+fn tmp_dir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir()
+        .join("llamatune_obs_test")
+        .join(format!("{tag}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Every store artifact that belongs to the checkpoint: the manifest
+/// and the trial segments — telemetry objects excluded by name.
+fn checkpoint_bytes(dir: &Path) -> BTreeMap<String, Vec<u8>> {
+    let mut out = BTreeMap::new();
+    for entry in std::fs::read_dir(dir).unwrap() {
+        let entry = entry.unwrap();
+        let name = entry.file_name().into_string().unwrap();
+        if name == "MANIFEST" || name.starts_with("seg-") {
+            out.insert(name, std::fs::read(entry.path()).unwrap());
+        }
+    }
+    out
+}
+
+/// Tracing is strictly out-of-band: a traced campaign records
+/// bit-identical histories to an untraced one, at every worker count.
+#[test]
+fn traced_and_untraced_histories_are_bit_identical() {
+    let catalog = postgres_v9_6();
+    for workers in [1usize, 4] {
+        let untraced = Campaign::new(catalog.clone(), spec(), opts(workers, None)).run();
+        let tracer = Arc::new(RecordingTracer::new());
+        let traced =
+            Campaign::new(catalog.clone(), spec(), opts(workers, Some(tracer.clone()))).run();
+        assert_eq!(
+            history_bits(&untraced),
+            history_bits(&traced),
+            "histories diverged under tracing at {workers} workers"
+        );
+        assert!(tracer.export_jsonl().is_some(), "tracer saw no events at {workers} workers");
+    }
+}
+
+/// Store-backed campaigns persist byte-identical checkpoints traced vs
+/// untraced; the traced store additionally carries telemetry objects
+/// that never enter the manifest.
+#[test]
+fn tracing_never_changes_checkpoint_bytes() {
+    let catalog = postgres_v9_6();
+
+    let plain_dir = tmp_dir("untraced");
+    let store = TrialStore::open(&plain_dir).unwrap();
+    Campaign::new(catalog.clone(), spec(), opts(2, None)).run_with_store(&store).unwrap();
+
+    let traced_dir = tmp_dir("traced");
+    let store = TrialStore::open(&traced_dir).unwrap();
+    let tracer = Arc::new(RecordingTracer::new());
+    Campaign::new(catalog, spec(), opts(2, Some(tracer))).run_with_store(&store).unwrap();
+
+    assert_eq!(
+        checkpoint_bytes(&plain_dir),
+        checkpoint_bytes(&traced_dir),
+        "tracing perturbed the persisted checkpoint"
+    );
+    let telemetry = |dir: &Path| {
+        let mut names: Vec<String> = std::fs::read_dir(dir)
+            .unwrap()
+            .map(|e| e.unwrap().file_name().into_string().unwrap())
+            .filter(|n| n.starts_with("telemetry-"))
+            .collect();
+        names.sort();
+        names
+    };
+    assert_eq!(telemetry(&plain_dir), Vec::<String>::new());
+    assert_eq!(
+        telemetry(&traced_dir),
+        vec!["telemetry-local.metrics.json".to_string(), "telemetry-local.trace.jsonl".to_string()]
+    );
+}
+
+/// Traces are a pure function of (seed, config): the exported JSONL is
+/// byte-identical across worker counts, and round-trips through the
+/// schema-validating parser.
+#[test]
+fn trace_export_is_worker_count_invariant_and_round_trips() {
+    let catalog = postgres_v9_6();
+    let export = |workers: usize| {
+        let tracer = Arc::new(RecordingTracer::new());
+        Campaign::new(catalog.clone(), spec(), opts(workers, Some(tracer.clone()))).run();
+        tracer.export_jsonl().expect("traced campaign produced no events")
+    };
+    let reference = export(1);
+    assert_eq!(reference, export(4), "trace bytes diverged across worker counts");
+
+    let events = parse_trace_jsonl(&reference).unwrap();
+    assert!(!events.is_empty());
+    let rendered: String = events.iter().map(|e| format!("{}\n", e.to_json())).collect();
+    assert_eq!(rendered, reference, "trace JSONL did not round-trip through the parser");
+    for span in ["session.start", "round", "trial", "session.end"] {
+        assert!(events.iter().any(|e| e.span == span), "no {span} span in the trace");
+    }
+}
+
+/// `llamatune-report`'s input contract: the report built from the
+/// *stored* telemetry alone reproduces the campaign's best-so-far
+/// curves and fault totals.
+#[test]
+fn report_is_reproducible_from_stored_telemetry_alone() {
+    let catalog = postgres_v9_6();
+    let dir = tmp_dir("report");
+    let store = TrialStore::open(&dir).unwrap();
+    let tracer = Arc::new(RecordingTracer::new());
+    let results =
+        Campaign::new(catalog, spec(), opts(2, Some(tracer))).run_with_store(&store).unwrap();
+
+    let trace = store.read_telemetry("local.trace.jsonl").unwrap().unwrap();
+    let events = parse_trace_jsonl(std::str::from_utf8(&trace).unwrap()).unwrap();
+    let metrics = store.read_telemetry("local.metrics.json").unwrap().unwrap();
+    let metrics = MetricsSnapshot::from_json(std::str::from_utf8(&metrics).unwrap()).unwrap();
+    let report = build_report(&events, Some(metrics)).unwrap();
+
+    assert_eq!(report.sessions.len(), results.len());
+    for (s, r) in report.sessions.iter().zip(&results) {
+        assert_eq!(s.session, r.label);
+        assert_eq!(s.best_curve, r.history.best_curve, "{}: best curve diverged", r.label);
+    }
+    let totals = report.metrics.as_ref().unwrap();
+    let expected: u64 = results.iter().map(|r| r.faults.quarantine_hits).sum();
+    assert_eq!(totals.counter("policy.quarantine_hits"), expected);
+    let expected: u64 = results.iter().map(|r| r.faults.retries).sum();
+    assert_eq!(totals.counter("policy.retries"), expected);
+}

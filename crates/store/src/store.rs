@@ -60,6 +60,7 @@ use crate::record::{record_from_json, record_to_json, SessionMeta, StoreRecord, 
 use llamatune::backoff::{Backoff, BackoffPolicy};
 use llamatune::history_io::{events_to_jsonl, TrialEvent};
 use llamatune::session::PriorTrial;
+use llamatune_obs::trace::{NoopTracer, TraceEvent, Tracer};
 use std::collections::BTreeMap;
 use std::io;
 use std::path::{Path, PathBuf};
@@ -83,6 +84,9 @@ fn cas_backoff(tag: &str) -> Backoff {
 /// microseconds here), or errors once the retry budget is exhausted —
 /// a livelocked manifest race becomes a clean error instead of a spin.
 fn cas_retry(backoff: &mut Backoff, what: &str) -> io::Result<()> {
+    // Contention is scheduling-dependent, so retries are a process-wide
+    // metric, never a trace span (traces stay deterministic).
+    llamatune_obs::global().incr("store.cas_retries", 1);
     match backoff.next() {
         Some(us) => {
             if us > 0 {
@@ -98,6 +102,19 @@ fn cas_retry(backoff: &mut Backoff, what: &str) -> io::Result<()> {
             ),
         )),
     }
+}
+
+/// The trace span summarising one compaction pass. Attributed to the
+/// synthetic `"store"` session: compaction runs from one thread at a
+/// time per handle, so the span order is deterministic for
+/// single-writer runs (multi-writer ordering is explicitly outside the
+/// determinism contract).
+fn compact_span(stats: &CompactionStats) -> TraceEvent {
+    TraceEvent::new("store", "store.compact")
+        .field("segments_before", stats.segments_before)
+        .field("segments_after", stats.segments_after)
+        .field("records_before", stats.trial_records_before)
+        .field("records_after", stats.trial_records_after)
 }
 
 /// What one [`TrialStore::compact`] pass accomplished.
@@ -221,6 +238,10 @@ pub struct TrialStore {
     read_only: bool,
     opts: StoreOptions,
     inner: Mutex<Inner>,
+    /// Observability sink ([`TrialStore::set_tracer`]); [`NoopTracer`]
+    /// by default, so untraced stores pay one relaxed load per span
+    /// site and emit nothing.
+    tracer: Mutex<Arc<dyn Tracer>>,
 }
 
 fn corrupt(msg: impl Into<String>) -> io::Error {
@@ -460,6 +481,7 @@ impl TrialStore {
             writer: None,
             read_only: false,
             opts,
+            tracer: Mutex::new(Arc::new(NoopTracer)),
             inner: Mutex::new(Inner {
                 sealed: manifest.sealed,
                 foreign_active: Vec::new(),
@@ -586,6 +608,7 @@ impl TrialStore {
                 writer: Some(writer.to_string()),
                 read_only: false,
                 opts,
+                tracer: Mutex::new(Arc::new(NoopTracer)),
                 inner: Mutex::new(Inner {
                     sealed: m.sealed,
                     foreign_active,
@@ -615,6 +638,7 @@ impl TrialStore {
             writer: None,
             read_only: true,
             opts,
+            tracer: Mutex::new(Arc::new(NoopTracer)),
             inner: Mutex::new(Inner {
                 sealed: Vec::new(),
                 foreign_active: Vec::new(),
@@ -697,6 +721,35 @@ impl TrialStore {
         self.writer.as_deref()
     }
 
+    /// Installs an observability tracer on this handle. Store spans
+    /// (`store.append`, `store.rotate`, `store.compact`) flow to it;
+    /// the default is [`NoopTracer`], which discards everything.
+    pub fn set_tracer(&self, tracer: Arc<dyn Tracer>) {
+        *lock_recover(&self.tracer) = tracer;
+    }
+
+    /// Records one span if a live tracer is installed. `make` runs only
+    /// when tracing is on, so untraced stores skip field formatting.
+    fn trace(&self, make: impl FnOnce() -> TraceEvent) {
+        let tracer = lock_recover(&self.tracer).clone();
+        if tracer.enabled() {
+            tracer.record(make());
+        }
+    }
+
+    /// Writes a telemetry object (`telemetry-<name>`) next to the trial
+    /// segments. Telemetry objects never match the `seg-` pattern and
+    /// are never listed in the manifest, so they cannot perturb
+    /// recovery, checkpoint bytes, or compaction.
+    pub fn put_telemetry(&self, name: &str, bytes: &[u8]) -> io::Result<()> {
+        self.backend.put(&format!("telemetry-{name}"), bytes)
+    }
+
+    /// Reads a telemetry object written by [`TrialStore::put_telemetry`].
+    pub fn read_telemetry(&self, name: &str) -> io::Result<Option<Vec<u8>>> {
+        self.backend.get(&format!("telemetry-{name}"))
+    }
+
     /// Appends one trial record (one backend `append` per record; the
     /// record is durable to the backend's append contract on return).
     pub fn append_trial(&self, trial: &StoredTrial) -> io::Result<()> {
@@ -717,6 +770,18 @@ impl TrialStore {
         let line = format!("{}\n", record_to_json(&rec));
         self.backend.append(&inner.active_name, line.as_bytes())?;
         inner.active_records += 1;
+        // Attributed to the record's session: each live session appends
+        // from exactly one thread, so per-session span order is
+        // deterministic even when sessions interleave on the store.
+        self.trace(|| {
+            let (session, kind) = match &rec {
+                StoreRecord::Trial(t) => (t.session.clone(), "trial"),
+                StoreRecord::Session(m) => (m.session.clone(), "session"),
+            };
+            TraceEvent::new(session, "store.append")
+                .field("object", inner.active_name.clone())
+                .field("kind", kind)
+        });
         apply_record(&mut inner.sessions, &mut inner.trial_records, rec);
         if inner.active_records >= self.opts.segment_records {
             self.rotate(inner)?;
@@ -759,6 +824,11 @@ impl TrialStore {
                     "manifest changed under a single-writer store: another writer is live",
                 )
             })?;
+        self.trace(|| {
+            TraceEvent::new("store", "store.rotate")
+                .field("sealed", inner.active_name.clone())
+                .field("next", next_name.clone())
+        });
         inner.sealed = sealed;
         inner.active_name = next_name;
         inner.active_index = next_index;
@@ -791,6 +861,11 @@ impl TrialStore {
             m.actives.push(next_name.clone());
             match self.backend.commit_manifest(&m.to_bytes(), revision)? {
                 Ok(rev) => {
+                    self.trace(|| {
+                        TraceEvent::new("store", "store.rotate")
+                            .field("sealed", inner.active_name.clone())
+                            .field("next", next_name.clone())
+                    });
                     inner.foreign_active =
                         m.actives.iter().filter(|n| **n != next_name).cloned().collect();
                     inner.sealed = m.sealed;
@@ -968,6 +1043,7 @@ impl TrialStore {
             segments_before,
             segments_after: inner.sealed.len() + 1,
         };
+        self.trace(|| compact_span(&stats));
 
         // The old objects are unreachable from the new manifest;
         // deletion is cleanup, not correctness.
@@ -1039,12 +1115,14 @@ impl TrialStore {
                     inner.trial_records = sessions.values().map(|e| e.trials.len()).sum::<usize>();
                     let trial_records_after = inner.trial_records;
                     inner.sessions = sessions;
-                    return Ok(CompactionStats {
+                    let stats = CompactionStats {
                         trial_records_before: records_before,
                         trial_records_after,
                         segments_before,
                         segments_after: inner.sealed.len() + inner.foreign_active.len() + 1,
-                    });
+                    };
+                    self.trace(|| compact_span(&stats));
+                    return Ok(stats);
                 }
                 Err(_) => {
                     // Lost the race: discard this attempt's objects and
