@@ -36,7 +36,7 @@ use crate::early_stop::EarlyStopPolicy;
 use crate::pipeline::SearchSpaceAdapter;
 use llamatune_math::latin_hypercube;
 use llamatune_obs::trace::{NoopTracer, TraceEvent, Tracer};
-use llamatune_obs::MetricsRegistry;
+use llamatune_obs::{MetricsRegistry, ProgressSink, ProgressUpdate};
 use llamatune_optim::{DegradationEvent, Observation, Optimizer};
 use llamatune_space::Config;
 use rand::rngs::StdRng;
@@ -181,6 +181,10 @@ pub struct SessionOptions {
     /// contract, unlike traces). Campaign runners share one registry per
     /// session cell; the default is a fresh private registry.
     pub metrics: Arc<MetricsRegistry>,
+    /// Live progress sink: receives one [`ProgressUpdate`] per freshly
+    /// evaluated round (replayed rounds are not re-emitted — progress is
+    /// monitoring, not history). `None` (the default) emits nothing.
+    pub progress: Option<Arc<dyn ProgressSink>>,
 }
 
 impl Default for SessionOptions {
@@ -194,6 +198,7 @@ impl Default for SessionOptions {
             tracer: Arc::new(NoopTracer),
             trace_label: String::new(),
             metrics: Arc::new(MetricsRegistry::new()),
+            progress: None,
         }
     }
 }
@@ -590,6 +595,37 @@ pub fn run_session_resumable(
     let mut worst_seen: Option<f64> = None;
     let mut best = f64::NEG_INFINITY;
 
+    // Cumulative fold totals feeding the live progress sink. Like
+    // traces, updates are emitted from this single-threaded fold path
+    // only, so monitoring can never perturb the run.
+    let mut cum_failures = 0u64;
+    let mut cum_attempts = 0u64;
+    let mut cum_virtual_ms = 0.0f64;
+    let progress = opts.progress.clone();
+    let emit_progress = |iteration: u64,
+                         size: u64,
+                         source: &str,
+                         best_so_far: f64,
+                         round_best: f64,
+                         failures: u64,
+                         attempts: u64,
+                         virtual_ms: f64| {
+        if let Some(p) = &progress {
+            p.emit(ProgressUpdate {
+                session: label.to_string(),
+                iteration,
+                round_size: size,
+                phase: source.to_string(),
+                best_so_far,
+                round_best,
+                regret: (best_so_far - round_best).max(0.0),
+                failures,
+                attempts,
+                virtual_ms,
+            });
+        }
+    };
+
     // Replay: rebuild the fold state (history, penalties, best curve)
     // and collect the observations the optimizer already saw.
     let mut replayed = Vec::with_capacity(prior.len().saturating_sub(1));
@@ -604,6 +640,8 @@ pub fn run_session_resumable(
         history.raw_scores.push(t.raw_score);
         history.statuses.push(status);
         history.attempts.push(attempts);
+        cum_failures += u64::from(status.is_failure());
+        cum_attempts += u64::from(attempts);
         if traced {
             // Replayed trials carry no recorded virtual time (it is not
             // persisted); the report still sees a contiguous session.
@@ -701,6 +739,19 @@ pub fn run_session_resumable(
         history.best_curve.push(default_score);
         history.statuses.push(default_status);
         history.attempts.push(default_attempts);
+        cum_failures += u64::from(default_status.is_failure());
+        cum_attempts += u64::from(default_attempts);
+        cum_virtual_ms += default_eval.virtual_ms;
+        emit_progress(
+            0,
+            1,
+            "default",
+            default_score,
+            default_score,
+            cum_failures,
+            cum_attempts,
+            cum_virtual_ms,
+        );
     }
 
     // Initialization design in the optimizer's space: the seeded LHS
@@ -765,10 +816,15 @@ pub fn run_session_resumable(
         // and early stopping are scheduling-independent.
         let mut observations = Vec::with_capacity(results.len());
         let mut stopped = false;
+        let mut round_best = f64::NEG_INFINITY;
         for ((point, trial), eval) in points.into_iter().zip(trials).zip(results) {
             let score = crash_penalty(eval.score, &mut worst_seen);
             let status = normalize_status(eval.status, eval.score);
             let attempts = eval.attempts.max(1);
+            round_best = round_best.max(score);
+            cum_failures += u64::from(status.is_failure());
+            cum_attempts += u64::from(attempts);
+            cum_virtual_ms += eval.virtual_ms;
             if let Some(f) = sink.as_mut() {
                 let persist_start = Instant::now();
                 f(TrialRecord {
@@ -813,6 +869,16 @@ pub fn run_session_resumable(
                 }
             }
         }
+        emit_progress(
+            iter as u64,
+            (history.scores.len() - iter) as u64,
+            if lhs_round { "lhs" } else { "optimizer" },
+            best,
+            round_best,
+            cum_failures,
+            cum_attempts,
+            cum_virtual_ms,
+        );
         let observed = observations.len();
         optimizer.observe_batch(observations);
         if traced {

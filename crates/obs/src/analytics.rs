@@ -1,0 +1,355 @@
+//! Trace analytics: span-tree reconstruction and per-round
+//! virtual-clock critical-path breakdowns.
+//!
+//! The trace format encodes hierarchy in span names and shared fields
+//! rather than parent ids (see [`crate::trace`]); [`span_tree`] makes
+//! that hierarchy explicit — per session, `round` spans own the
+//! iteration-bearing spans their `[iteration, iteration+size)` range
+//! covers, and `trial.attempt` spans nest under the `trial` with the
+//! same iteration. [`critical_path`] walks the trees and reduces each
+//! round to its *virtual-clock* critical path: with a round's trials
+//! evaluated in parallel, the round's makespan is its slowest trial
+//! (`critical_virtual_ms`), while serial cost is the sum
+//! (`total_virtual_ms`) — the gap is the parallelism the executor
+//! actually extracted, deterministic because the virtual clock is.
+//! Wall-clock suggest/evaluate/persist latencies are *metrics*
+//! (`session.*_ms` histograms), rendered alongside by
+//! [`render_analytics`] for the suggest-vs-evaluate-vs-persist view.
+
+use crate::fmt;
+use crate::metrics::MetricsSnapshot;
+use crate::trace::TraceEvent;
+use std::collections::BTreeMap;
+
+/// One span with its structural children.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpanNode {
+    pub event: TraceEvent,
+    pub children: Vec<SpanNode>,
+}
+
+impl SpanNode {
+    fn leaf(event: &TraceEvent) -> SpanNode {
+        SpanNode { event: event.clone(), children: Vec::new() }
+    }
+
+    /// This node plus every descendant.
+    pub fn size(&self) -> usize {
+        1 + self.children.iter().map(SpanNode::size).sum::<usize>()
+    }
+}
+
+/// One session's spans as a forest: `session.start`, the `round` spans
+/// (each owning its covered iteration-bearing spans, with
+/// `trial.attempt` nested under its `trial`), `session.end`, and any
+/// span no round covers, in sequence order.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct SessionTree {
+    pub session: String,
+    pub roots: Vec<SpanNode>,
+}
+
+impl SessionTree {
+    /// Total spans in the tree.
+    pub fn size(&self) -> usize {
+        self.roots.iter().map(SpanNode::size).sum()
+    }
+}
+
+/// Rebuilds per-session span trees from a flat event stream. Input
+/// order within a session must be sequence order (what every exporter
+/// produces); sessions come out sorted by label.
+pub fn span_tree(events: &[TraceEvent]) -> Vec<SessionTree> {
+    let mut per_session: BTreeMap<&str, Vec<&TraceEvent>> = BTreeMap::new();
+    for e in events {
+        per_session.entry(e.session.as_str()).or_default().push(e);
+    }
+    let mut out = Vec::with_capacity(per_session.len());
+    for (session, stream) in per_session {
+        let mut roots: Vec<SpanNode> = Vec::new();
+        // Open rounds by iteration range, newest last; an event with an
+        // `iteration` field belongs to the last round covering it.
+        let mut rounds: Vec<(u64, u64, SpanNode)> = Vec::new();
+        let flush = |rounds: &mut Vec<(u64, u64, SpanNode)>, roots: &mut Vec<SpanNode>| {
+            roots.extend(rounds.drain(..).map(|(_, _, node)| node));
+        };
+        for e in stream {
+            if e.span == "round" {
+                let start = e.get_u64("iteration").unwrap_or(0);
+                let size = e.get_u64("size").unwrap_or(1).max(1);
+                rounds.push((start, start + size, SpanNode::leaf(e)));
+                continue;
+            }
+            let owner = e
+                .get_u64("iteration")
+                .and_then(|it| rounds.iter().rposition(|(lo, hi, _)| (*lo..*hi).contains(&it)));
+            match owner {
+                None => {
+                    // Session boundaries close every open round so the
+                    // forest reads in execution order.
+                    if e.span == "session.end" {
+                        flush(&mut rounds, &mut roots);
+                    }
+                    roots.push(SpanNode::leaf(e));
+                }
+                Some(idx) => {
+                    let round = &mut rounds[idx].2;
+                    if e.span == "trial.attempt" {
+                        let it = e.get_u64("iteration");
+                        if let Some(trial) =
+                            round.children.iter_mut().rev().find(|c| {
+                                c.event.span == "trial" && c.event.get_u64("iteration") == it
+                            })
+                        {
+                            trial.children.push(SpanNode::leaf(e));
+                            continue;
+                        }
+                    }
+                    if e.span == "trial" {
+                        // Attempts are emitted before their trial's fold
+                        // span: adopt the ones already parked in the round.
+                        let it = e.get_u64("iteration");
+                        let mut node = SpanNode::leaf(e);
+                        let mut rest = Vec::with_capacity(round.children.len());
+                        for c in round.children.drain(..) {
+                            if c.event.span == "trial.attempt" && c.event.get_u64("iteration") == it
+                            {
+                                node.children.push(c);
+                            } else {
+                                rest.push(c);
+                            }
+                        }
+                        round.children = rest;
+                        round.children.push(node);
+                        continue;
+                    }
+                    round.children.push(SpanNode::leaf(e));
+                }
+            }
+        }
+        flush(&mut rounds, &mut roots);
+        out.push(SessionTree { session: session.to_string(), roots });
+    }
+    out
+}
+
+/// One round's virtual-clock critical path.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct RoundPath {
+    /// First iteration of the round.
+    pub iteration: u64,
+    /// Suggestion source: `default`, `lhs`, or `optimizer`.
+    pub source: String,
+    /// Trials the round evaluated.
+    pub trials: u64,
+    /// Makespan: the slowest trial's virtual milliseconds (parallel
+    /// batch ⇒ the critical path).
+    pub critical_virtual_ms: f64,
+    /// Serial cost: the sum over the round's trials.
+    pub total_virtual_ms: f64,
+}
+
+/// One session's rounds plus their totals.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct SessionPath {
+    pub session: String,
+    pub rounds: Vec<RoundPath>,
+    /// Sum of round makespans: the session's virtual-clock wall time.
+    pub critical_virtual_ms: f64,
+    /// Sum of all trial virtual time: the serial-execution cost.
+    pub total_virtual_ms: f64,
+}
+
+impl SessionPath {
+    /// `total / critical`: the parallel speedup the executor extracted
+    /// (1.0 for a fully serial session; `None` when nothing ran).
+    pub fn speedup(&self) -> Option<f64> {
+        (self.critical_virtual_ms > 0.0).then(|| self.total_virtual_ms / self.critical_virtual_ms)
+    }
+}
+
+/// Reduces span trees to per-round critical paths (see module docs).
+pub fn critical_path(events: &[TraceEvent]) -> Vec<SessionPath> {
+    let mut out = Vec::new();
+    for tree in span_tree(events) {
+        let mut path = SessionPath { session: tree.session.clone(), ..Default::default() };
+        for root in &tree.roots {
+            if root.event.span != "round" {
+                continue;
+            }
+            let mut round = RoundPath {
+                iteration: root.event.get_u64("iteration").unwrap_or(0),
+                source: root.event.get_str("source").unwrap_or("").to_string(),
+                ..Default::default()
+            };
+            for child in &root.children {
+                if child.event.span != "trial" {
+                    continue;
+                }
+                let ms = child.event.get_f64("virtual_ms").unwrap_or(0.0);
+                round.trials += 1;
+                round.total_virtual_ms += ms;
+                round.critical_virtual_ms = round.critical_virtual_ms.max(ms);
+            }
+            path.critical_virtual_ms += round.critical_virtual_ms;
+            path.total_virtual_ms += round.total_virtual_ms;
+            path.rounds.push(round);
+        }
+        out.push(path);
+    }
+    out
+}
+
+/// Renders the critical-path breakdown, and — when a metrics snapshot
+/// is at hand — the wall-clock suggest / evaluate / persist phase
+/// table next to it.
+pub fn render_analytics(events: &[TraceEvent], metrics: Option<&MetricsSnapshot>) -> String {
+    let mut out = String::new();
+    for path in critical_path(events) {
+        if path.rounds.is_empty() {
+            continue;
+        }
+        out.push_str(&fmt::header(
+            &format!("Virtual-clock critical path: {}", path.session),
+            &format!(
+                "{} rounds; makespan {:.1} ms vs serial {:.1} ms ({}x parallel speedup)",
+                path.rounds.len(),
+                path.critical_virtual_ms,
+                path.total_virtual_ms,
+                path.speedup().map_or("-".to_string(), |s| format!("{s:.2}")),
+            ),
+        ));
+        let rows: Vec<Vec<String>> = path
+            .rounds
+            .iter()
+            .map(|r| {
+                vec![
+                    r.iteration.to_string(),
+                    r.source.clone(),
+                    r.trials.to_string(),
+                    format!("{:.1}", r.critical_virtual_ms),
+                    format!("{:.1}", r.total_virtual_ms),
+                ]
+            })
+            .collect();
+        out.push_str(&fmt::table(
+            &["round@iter", "source", "trials", "critical ms", "serial ms"],
+            &rows,
+        ));
+    }
+    if let Some(m) = metrics {
+        let rows: Vec<Vec<String>> =
+            ["session.suggest_ms", "session.evaluate_ms", "session.persist_ms"]
+                .iter()
+                .filter_map(|name| {
+                    let h = m.hists.get(*name)?;
+                    Some(vec![
+                        name.to_string(),
+                        h.count().to_string(),
+                        h.mean().map_or("-".to_string(), |v| format!("{v:.3}")),
+                        format!("{:.1}", h.sum),
+                    ])
+                })
+                .collect();
+        if !rows.is_empty() {
+            out.push_str(&fmt::header(
+                "Phase wall-clock (suggest vs evaluate vs persist)",
+                "outside the determinism contract; latencies, not logic",
+            ));
+            out.push_str(&fmt::table(&["phase", "count", "mean ms", "total ms"], &rows));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn session_events() -> Vec<TraceEvent> {
+        // One init round of 2 trials (attempts first, fold spans after —
+        // the executor/session emission order), one optimizer round of 1.
+        let s = "w/s1";
+        vec![
+            TraceEvent::new(s, "session.start").field("iterations", 3u64),
+            TraceEvent::new(s, "round")
+                .field("iteration", 0u64)
+                .field("size", 2u64)
+                .field("source", "lhs"),
+            TraceEvent::new(s, "trial.attempt")
+                .field("iteration", 0u64)
+                .field("attempt", 0u64)
+                .field("virtual_ms", 10.0),
+            TraceEvent::new(s, "trial.attempt")
+                .field("iteration", 1u64)
+                .field("attempt", 0u64)
+                .field("virtual_ms", 30.0),
+            TraceEvent::new(s, "trial")
+                .field("iteration", 0u64)
+                .field("score", 1.0)
+                .field("virtual_ms", 10.0),
+            TraceEvent::new(s, "trial")
+                .field("iteration", 1u64)
+                .field("score", 2.0)
+                .field("virtual_ms", 30.0),
+            TraceEvent::new(s, "round")
+                .field("iteration", 2u64)
+                .field("size", 1u64)
+                .field("source", "optimizer"),
+            TraceEvent::new(s, "optimizer.suggest").field("iteration", 2u64).field("q", 1u64),
+            TraceEvent::new(s, "trial")
+                .field("iteration", 2u64)
+                .field("score", 3.0)
+                .field("virtual_ms", 20.0),
+            TraceEvent::new(s, "session.end").field("iterations_run", 3u64),
+        ]
+    }
+
+    #[test]
+    fn span_tree_nests_trials_under_rounds_and_attempts_under_trials() {
+        let trees = span_tree(&session_events());
+        assert_eq!(trees.len(), 1);
+        let tree = &trees[0];
+        assert_eq!(tree.size(), 10, "every event lands in the tree exactly once");
+        let spans: Vec<&str> = tree.roots.iter().map(|r| r.event.span.as_str()).collect();
+        assert_eq!(spans, ["session.start", "round", "round", "session.end"]);
+        let init = &tree.roots[1];
+        assert_eq!(init.children.len(), 2, "two trials: {init:?}");
+        assert_eq!(init.children[0].children.len(), 1, "attempt nested under trial 0");
+        let opt = &tree.roots[2];
+        let child_spans: Vec<&str> = opt.children.iter().map(|c| c.event.span.as_str()).collect();
+        assert_eq!(child_spans, ["optimizer.suggest", "trial"]);
+    }
+
+    #[test]
+    fn critical_path_takes_round_max_and_session_sum() {
+        let paths = critical_path(&session_events());
+        assert_eq!(paths.len(), 1);
+        let p = &paths[0];
+        assert_eq!(p.rounds.len(), 2);
+        // Round 0: trials of 10 and 30 virtual ms in parallel.
+        assert_eq!(p.rounds[0].critical_virtual_ms, 30.0);
+        assert_eq!(p.rounds[0].total_virtual_ms, 40.0);
+        assert_eq!(p.rounds[0].source, "lhs");
+        // Round 1: one 20 ms trial.
+        assert_eq!(p.rounds[1].critical_virtual_ms, 20.0);
+        // Session: makespan 50, serial 60, speedup 1.2.
+        assert_eq!(p.critical_virtual_ms, 50.0);
+        assert_eq!(p.total_virtual_ms, 60.0);
+        assert!((p.speedup().unwrap() - 1.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn render_includes_breakdown_and_wall_clock_phases() {
+        let m = crate::metrics::MetricsRegistry::new();
+        m.observe("session.suggest_ms", 1.0);
+        m.observe("session.evaluate_ms", 5.0);
+        let text = render_analytics(&session_events(), Some(&m.snapshot()));
+        assert!(text.contains("Virtual-clock critical path: w/s1"));
+        assert!(text.contains("1.20x parallel speedup"));
+        assert!(text.contains("session.suggest_ms"));
+        assert!(text.contains("session.evaluate_ms"));
+
+        assert_eq!(render_analytics(&[], None), "", "no events, no output");
+    }
+}

@@ -1,0 +1,270 @@
+//! Telemetry regression diffing: compare two stored telemetry sets of
+//! the same campaign shape and flag what got meaningfully worse.
+//!
+//! The comparison mirrors the bench gate's philosophy (see
+//! `crates/bench/src/gate.rs`): a regression needs *both* a ratio
+//! breach and an absolute one, so microsecond noise on near-zero
+//! baselines never trips the gate, and identity mismatches are hard
+//! errors rather than silent passes — if the two sets do not describe
+//! the same sessions running the same trial counts, latency deltas are
+//! meaningless and the diff refuses to produce them.
+//!
+//! Two regression classes:
+//!
+//! * **phase latency** — for every wall-clock histogram present in both
+//!   snapshots (`session.*_ms`, `optim.*_ms`), the new mean must stay
+//!   under `old × `[`LATENCY_FACTOR`]` + `[`LATENCY_SLACK_MS`].
+//! * **fault counts** — for every deterministic `policy.*` counter, the
+//!   new total must stay under `old × `[`FAULT_FACTOR`]` +
+//!   `[`FAULT_SLACK`]. `store.cas_retries` is deliberately excluded:
+//!   CAS races are scheduling contention, not behavior.
+
+use crate::fmt;
+use crate::metrics::MetricsSnapshot;
+use crate::trace::TraceEvent;
+use std::collections::BTreeMap;
+
+/// A phase-latency regression trips at `new > old * 2` …
+pub const LATENCY_FACTOR: f64 = 2.0;
+/// … and only when also above the old mean by this absolute slack
+/// (milliseconds), so sub-noise baselines cannot trip the gate.
+pub const LATENCY_SLACK_MS: f64 = 0.25;
+/// A fault-count regression trips at `new > old * 2` …
+pub const FAULT_FACTOR: f64 = 2.0;
+/// … and at least this many counts above the old total.
+pub const FAULT_SLACK: u64 = 1;
+
+/// One flagged regression.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Regression {
+    /// `phase-latency` or `fault-count`.
+    pub kind: &'static str,
+    /// Metric name (`session.evaluate_ms`, `policy.timeouts`, …).
+    pub name: String,
+    pub old: f64,
+    pub new: f64,
+}
+
+impl Regression {
+    /// `new / old` (infinite when the baseline was zero).
+    pub fn ratio(&self) -> f64 {
+        if self.old == 0.0 {
+            f64::INFINITY
+        } else {
+            self.new / self.old
+        }
+    }
+}
+
+/// The outcome of comparing two telemetry sets.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct TelemetryDiff {
+    pub regressions: Vec<Regression>,
+    /// Non-gating observations (improvements, metrics present on one
+    /// side only), for the rendered report.
+    pub notes: Vec<String>,
+}
+
+impl TelemetryDiff {
+    /// Whether the gate should fail.
+    pub fn has_regressions(&self) -> bool {
+        !self.regressions.is_empty()
+    }
+}
+
+/// Per-session trial counts — the identity the two sets must share.
+fn trial_shape(events: &[TraceEvent]) -> BTreeMap<&str, u64> {
+    let mut shape = BTreeMap::new();
+    for e in events.iter().filter(|e| e.span == "trial") {
+        *shape.entry(e.session.as_str()).or_insert(0) += 1;
+    }
+    shape
+}
+
+/// Compares a baseline telemetry set against a fresh one. Errors when
+/// the sets are not comparable: different session labels or per-session
+/// trial counts (different workload, config, or a truncated run —
+/// latency ratios over different work are meaningless).
+pub fn diff_telemetry(
+    old_events: &[TraceEvent],
+    old_metrics: &MetricsSnapshot,
+    new_events: &[TraceEvent],
+    new_metrics: &MetricsSnapshot,
+) -> Result<TelemetryDiff, String> {
+    let (old_shape, new_shape) = (trial_shape(old_events), trial_shape(new_events));
+    if old_shape != new_shape {
+        let describe = |shape: &BTreeMap<&str, u64>| {
+            shape.iter().map(|(s, n)| format!("{s}×{n}")).collect::<Vec<_>>().join(", ")
+        };
+        return Err(format!(
+            "telemetry sets are not comparable: baseline ran [{}], candidate ran [{}]",
+            describe(&old_shape),
+            describe(&new_shape)
+        ));
+    }
+    let mut diff = TelemetryDiff::default();
+
+    for (name, new_h) in &new_metrics.hists {
+        if !name.ends_with("_ms") {
+            continue;
+        }
+        let Some(old_h) = old_metrics.hists.get(name) else {
+            diff.notes.push(format!("{name}: no baseline histogram (skipped)"));
+            continue;
+        };
+        let (Some(old_mean), Some(new_mean)) = (old_h.mean(), new_h.mean()) else {
+            continue;
+        };
+        if new_mean > old_mean * LATENCY_FACTOR && new_mean > old_mean + LATENCY_SLACK_MS {
+            diff.regressions.push(Regression {
+                kind: "phase-latency",
+                name: name.clone(),
+                old: old_mean,
+                new: new_mean,
+            });
+        } else if new_mean < old_mean / LATENCY_FACTOR {
+            diff.notes.push(format!("{name}: improved {old_mean:.3} → {new_mean:.3} ms mean"));
+        }
+    }
+
+    let fault_names: std::collections::BTreeSet<&String> = old_metrics
+        .counters
+        .keys()
+        .chain(new_metrics.counters.keys())
+        .filter(|n| n.starts_with("policy."))
+        .collect();
+    for name in fault_names {
+        let (old, new) = (old_metrics.counter(name), new_metrics.counter(name));
+        if new as f64 > old as f64 * FAULT_FACTOR && new > old + FAULT_SLACK {
+            diff.regressions.push(Regression {
+                kind: "fault-count",
+                name: name.clone(),
+                old: old as f64,
+                new: new as f64,
+            });
+        } else if new < old {
+            diff.notes.push(format!("{name}: improved {old} → {new}"));
+        }
+    }
+    diff.regressions.sort_by(|a, b| a.kind.cmp(b.kind).then(a.name.cmp(&b.name)));
+    Ok(diff)
+}
+
+/// Renders the diff as text: the regression table when the gate fails,
+/// the notes either way.
+pub fn render_diff(diff: &TelemetryDiff) -> String {
+    let mut out = String::new();
+    if diff.has_regressions() {
+        out.push_str(&fmt::header(
+            "Telemetry regressions",
+            &format!("{} metric(s) past the {LATENCY_FACTOR}x gate", diff.regressions.len()),
+        ));
+        let rows: Vec<Vec<String>> = diff
+            .regressions
+            .iter()
+            .map(|r| {
+                vec![
+                    r.kind.to_string(),
+                    r.name.clone(),
+                    format!("{:.3}", r.old),
+                    format!("{:.3}", r.new),
+                    if r.ratio().is_finite() {
+                        format!("{:.2}x", r.ratio())
+                    } else {
+                        "∞".to_string()
+                    },
+                ]
+            })
+            .collect();
+        out.push_str(&fmt::table(&["kind", "metric", "baseline", "candidate", "ratio"], &rows));
+    } else {
+        out.push_str(&fmt::header("Telemetry diff", "no regressions past the gate"));
+    }
+    for note in &diff.notes {
+        out.push_str(&format!("note: {note}\n"));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::MetricsRegistry;
+
+    fn trials(n: u64) -> Vec<TraceEvent> {
+        (0..n)
+            .map(|i| TraceEvent::new("s", "trial").field("iteration", i).field("score", 1.0))
+            .collect()
+    }
+
+    fn snap(evaluate_ms: f64, timeouts: u64) -> MetricsSnapshot {
+        let m = MetricsRegistry::new();
+        m.observe("session.evaluate_ms", evaluate_ms);
+        if timeouts > 0 {
+            m.incr("policy.timeouts", timeouts);
+        }
+        m.snapshot()
+    }
+
+    #[test]
+    fn identical_sets_diff_clean() {
+        let events = trials(4);
+        let metrics = snap(5.0, 2);
+        let diff = diff_telemetry(&events, &metrics, &events, &metrics).unwrap();
+        assert!(!diff.has_regressions(), "{diff:?}");
+    }
+
+    #[test]
+    fn a_2x_phase_latency_breach_is_flagged() {
+        let events = trials(4);
+        let diff = diff_telemetry(&events, &snap(5.0, 0), &events, &snap(10.5, 0)).unwrap();
+        assert_eq!(diff.regressions.len(), 1);
+        let r = &diff.regressions[0];
+        assert_eq!((r.kind, r.name.as_str()), ("phase-latency", "session.evaluate_ms"));
+        assert!(render_diff(&diff).contains("session.evaluate_ms"));
+        // Exactly 2x is within the gate; the breach must exceed it.
+        let diff = diff_telemetry(&events, &snap(5.0, 0), &events, &snap(10.0, 0)).unwrap();
+        assert!(!diff.has_regressions());
+    }
+
+    #[test]
+    fn near_zero_baselines_are_protected_by_absolute_slack() {
+        let events = trials(2);
+        // 0.01 → 0.05 ms is 5x but far below the 0.25 ms slack.
+        let diff = diff_telemetry(&events, &snap(0.01, 0), &events, &snap(0.05, 0)).unwrap();
+        assert!(!diff.has_regressions(), "{diff:?}");
+    }
+
+    #[test]
+    fn fault_count_regressions_gate_and_single_steps_do_not() {
+        let events = trials(2);
+        let diff = diff_telemetry(&events, &snap(1.0, 1), &events, &snap(1.0, 3)).unwrap();
+        assert_eq!(diff.regressions.len(), 1);
+        assert_eq!(diff.regressions[0].kind, "fault-count");
+        assert!(diff.regressions[0].ratio() > 2.0);
+        // 0 → 1 is a single new fault: above any ratio but within slack.
+        let diff = diff_telemetry(&events, &snap(1.0, 0), &events, &snap(1.0, 1)).unwrap();
+        assert!(!diff.has_regressions(), "{diff:?}");
+    }
+
+    #[test]
+    fn mismatched_session_shapes_are_incomparable() {
+        let m = snap(1.0, 0);
+        let err = diff_telemetry(&trials(4), &m, &trials(3), &m).unwrap_err();
+        assert!(err.contains("not comparable"), "{err}");
+        let other: Vec<TraceEvent> =
+            (0..4).map(|i| TraceEvent::new("t", "trial").field("iteration", i as u64)).collect();
+        assert!(diff_telemetry(&trials(4), &m, &other, &m).is_err());
+    }
+
+    #[test]
+    fn improvements_are_noted_not_gated() {
+        let events = trials(2);
+        let diff = diff_telemetry(&events, &snap(10.0, 4), &events, &snap(1.0, 1)).unwrap();
+        assert!(!diff.has_regressions());
+        assert_eq!(diff.notes.len(), 2, "{diff:?}");
+        let text = render_diff(&diff);
+        assert!(text.contains("no regressions"));
+        assert!(text.contains("improved"));
+    }
+}

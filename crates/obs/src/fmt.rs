@@ -129,4 +129,50 @@ mod tests {
         assert!(h.contains("Title\ndetail\n"));
         assert!(header("Title", "").lines().filter(|l| l.contains("====")).count() == 2);
     }
+
+    #[test]
+    fn empty_inputs_render_without_panicking() {
+        assert_eq!(table(&[], &[]), "");
+        let headers_only = table(&["a", "b"], &[]);
+        assert_eq!(headers_only.lines().count(), 1);
+        // No series at all, and a labelled series with no points.
+        let empty = curve_table(&[], &[], 5);
+        assert_eq!(empty.lines().count(), 1, "header row only");
+        let empty_series = curve_table(&["a"], &[vec![]], 5);
+        assert_eq!(empty_series.lines().count(), 1, "no data rows for an empty series");
+        assert_eq!(curve_table(&["a"], &[vec![]], 0).lines().count(), 1, "step 0 clamps to 1");
+    }
+
+    #[test]
+    fn single_point_series_renders_one_closing_row() {
+        let text = curve_table(&["a"], &[vec![7.0]], 5);
+        let rows: Vec<&str> = text.lines().skip(1).collect();
+        assert_eq!(rows.len(), 1);
+        assert!(rows[0].contains("7.0"));
+    }
+
+    #[test]
+    fn constant_score_series_repeats_the_value() {
+        let text = curve_table(&["flat"], &[vec![3.0; 6]], 2);
+        for line in text.lines().skip(1) {
+            assert!(line.ends_with("3.0"), "constant series row changed: {line}");
+        }
+    }
+
+    #[test]
+    fn non_finite_values_render_as_text_not_panics() {
+        let text = curve_table(&["a"], &[vec![f64::NAN, f64::INFINITY, f64::NEG_INFINITY, 1.0]], 1);
+        assert!(text.contains("NaN"));
+        assert!(text.contains("inf"));
+        // Tables with NaN-bearing cells align like any other.
+        let rows = vec![vec!["x".to_string(), format!("{}", f64::NAN)]];
+        assert!(table(&["k", "v"], &rows).contains("NaN"));
+    }
+
+    #[test]
+    fn ragged_series_pad_with_their_last_value() {
+        let text = curve_table(&["long", "short"], &[vec![1.0, 2.0, 3.0], vec![9.0]], 1);
+        let last = text.lines().last().unwrap();
+        assert!(last.contains("3.0") && last.contains("9.0"), "short series held last value");
+    }
 }

@@ -24,6 +24,18 @@
 //!   reports, and the `llamatune-report` binary, which rebuilds
 //!   best-so-far and regret curves plus fault and hot-path totals from
 //!   a stored session's telemetry alone.
+//! * **Fleet aggregation** ([`aggregate`]) — merges the per-writer
+//!   telemetry pairs a fleet campaign persists into one campaign view:
+//!   traces in stable `(session, seq)` order (byte-identical at every
+//!   worker count), metrics snapshots folded additively.
+//! * **Live exposition** ([`export`]) — [`MetricsExporter`] renders
+//!   Prometheus text-format scrape bodies from registry snapshots, and
+//!   [`ProgressSink`] receives per-round JSONL summaries while a
+//!   campaign runs.
+//! * **Analytics and diffing** ([`analytics`], [`diff`]) — span-tree
+//!   reconstruction, per-round virtual-clock critical paths, and
+//!   `llamatune-report diff`, which gates >2x phase-latency or
+//!   fault-count regressions between two stored telemetry sets.
 //!
 //! Instrumentation is strictly out-of-band: with tracing enabled or
 //! disabled, recorded histories and checkpoints are bit-identical
@@ -31,14 +43,26 @@
 //! [`NoopTracer`] costs one virtual call returning a constant on the
 //! hot path.
 
+pub mod aggregate;
+pub mod analytics;
+pub mod diff;
+pub mod export;
 pub mod fmt;
 pub mod json;
 pub mod metrics;
 pub mod report;
 pub mod trace;
 
+pub use aggregate::{merge_metrics, merge_traces, TelemetrySet, WriterTelemetry};
+pub use analytics::{critical_path, render_analytics, span_tree, SessionPath, SessionTree};
+pub use diff::{diff_telemetry, render_diff, Regression, TelemetryDiff};
+pub use export::{
+    prometheus_text, JsonlProgressSink, MemoryProgressSink, MetricsExporter, ProgressSink,
+    ProgressUpdate,
+};
 pub use metrics::{global, HistSnapshot, MetricsRegistry, MetricsSnapshot};
 pub use report::{build_report, render_report, Report, SessionCurves};
 pub use trace::{
-    parse_trace_jsonl, FieldValue, NoopTracer, RecordingTracer, TraceEvent, Tracer, SPAN_TAXONOMY,
+    parse_trace_jsonl, FanoutTracer, FieldValue, NoopTracer, RecordingTracer, TraceEvent, Tracer,
+    SPAN_TAXONOMY,
 };

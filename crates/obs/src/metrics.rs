@@ -73,6 +73,9 @@ pub struct MetricsRegistry {
     counters: Mutex<BTreeMap<String, u64>>,
     gauges: Mutex<BTreeMap<String, f64>>,
     hists: Mutex<BTreeMap<String, Hist>>,
+    /// Every write is forwarded here too (live campaign-wide registry
+    /// behind per-session registries; see [`MetricsRegistry::with_parent`]).
+    parent: Option<std::sync::Arc<MetricsRegistry>>,
 }
 
 impl MetricsRegistry {
@@ -80,9 +83,23 @@ impl MetricsRegistry {
         MetricsRegistry::default()
     }
 
+    /// A registry that *forwards* every write to `parent` as well as
+    /// recording it locally. The campaign driver hands each session a
+    /// forwarding registry over the shared live registry: per-session
+    /// snapshots stay scoped to their session, while a
+    /// [`crate::MetricsExporter`] scraping the parent sees the whole
+    /// campaign accumulate in real time. Snapshots never read through
+    /// to the parent.
+    pub fn with_parent(parent: std::sync::Arc<MetricsRegistry>) -> MetricsRegistry {
+        MetricsRegistry { parent: Some(parent), ..MetricsRegistry::default() }
+    }
+
     /// Adds `delta` to the named counter (created at zero).
     pub fn incr(&self, name: &str, delta: u64) {
         *lock(&self.counters).entry(name.to_string()).or_insert(0) += delta;
+        if let Some(p) = &self.parent {
+            p.incr(name, delta);
+        }
     }
 
     /// Reads a counter (zero when never incremented).
@@ -93,6 +110,9 @@ impl MetricsRegistry {
     /// Sets the named gauge to `value`.
     pub fn gauge_set(&self, name: &str, value: f64) {
         lock(&self.gauges).insert(name.to_string(), value);
+        if let Some(p) = &self.parent {
+            p.gauge_set(name, value);
+        }
     }
 
     /// Records one observation into the named histogram (created with
@@ -108,6 +128,9 @@ impl MetricsRegistry {
             .entry(name.to_string())
             .or_insert_with(|| Hist::new(bounds))
             .observe(value);
+        if let Some(p) = &self.parent {
+            p.observe_with(name, bounds, value);
+        }
     }
 
     /// A point-in-time copy of every metric.
@@ -372,6 +395,27 @@ mod tests {
         ] {
             assert!(MetricsSnapshot::from_json(bad).is_err(), "{bad} must be rejected");
         }
+    }
+
+    #[test]
+    fn forwarding_registries_mirror_writes_into_the_parent() {
+        let live = std::sync::Arc::new(MetricsRegistry::new());
+        let s1 = MetricsRegistry::with_parent(live.clone());
+        let s2 = MetricsRegistry::with_parent(live.clone());
+        s1.incr("policy.retries", 2);
+        s2.incr("policy.retries", 1);
+        s1.observe("session.suggest_ms", 0.5);
+        s2.gauge_set("quarantine.len", 3.0);
+        // Sessions stay scoped; the parent sees the campaign-wide sum.
+        assert_eq!(s1.counter("policy.retries"), 2);
+        assert_eq!(s2.counter("policy.retries"), 1);
+        assert_eq!(live.counter("policy.retries"), 3);
+        let snap = live.snapshot();
+        assert_eq!(snap.hists["session.suggest_ms"].count(), 1);
+        assert_eq!(snap.gauges["quarantine.len"], 3.0);
+        // Parent writes do not leak back down.
+        live.incr("policy.retries", 10);
+        assert_eq!(s1.counter("policy.retries"), 2);
     }
 
     #[test]

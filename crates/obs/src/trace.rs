@@ -20,7 +20,7 @@
 
 use crate::json::{self, JsonValue};
 use std::collections::BTreeMap;
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 
 /// Every span name the stack emits, one row per taxonomy entry:
 ///
@@ -204,6 +204,39 @@ pub struct NoopTracer;
 
 impl Tracer for NoopTracer {}
 
+/// Tees every event into two tracers. The fleet campaign driver uses
+/// this to record each worker's spans into a private per-writer
+/// [`RecordingTracer`] (persisted as that writer's telemetry) while the
+/// caller's shared tracer keeps seeing the whole campaign live.
+/// `export_jsonl` delegates to the *primary* (first) tracer — the
+/// secondary is a pass-through sink, not a source.
+#[derive(Debug)]
+pub struct FanoutTracer {
+    primary: Arc<dyn Tracer>,
+    secondary: Arc<dyn Tracer>,
+}
+
+impl FanoutTracer {
+    pub fn new(primary: Arc<dyn Tracer>, secondary: Arc<dyn Tracer>) -> FanoutTracer {
+        FanoutTracer { primary, secondary }
+    }
+}
+
+impl Tracer for FanoutTracer {
+    fn enabled(&self) -> bool {
+        self.primary.enabled() || self.secondary.enabled()
+    }
+
+    fn record(&self, event: TraceEvent) {
+        self.primary.record(event.clone());
+        self.secondary.record(event);
+    }
+
+    fn export_jsonl(&self) -> Option<String> {
+        self.primary.export_jsonl()
+    }
+}
+
 #[derive(Debug, Default)]
 struct RecordingState {
     /// Next sequence number per session label.
@@ -258,9 +291,25 @@ impl Tracer for RecordingTracer {
     }
 }
 
+/// Truncates a malformed payload line for an error message: long lines
+/// are cut (on a character boundary) so a megabyte of corruption does
+/// not flood a CI log, but enough survives to diagnose the line without
+/// re-downloading the telemetry.
+fn payload_snippet(line: &str) -> String {
+    const MAX_CHARS: usize = 120;
+    let mut out: String = line.chars().take(MAX_CHARS).collect();
+    if out.len() < line.len() {
+        out.push_str("… <truncated>");
+    }
+    out
+}
+
 /// Parses trace JSONL, validating each line against the schema: the
 /// required `session`/`seq`/`span`/`fields` keys with their types, a
 /// span name from [`SPAN_TAXONOMY`], and scalar-only field values.
+/// Errors carry the 1-based line number and a truncated copy of the
+/// offending payload, so malformed telemetry is diagnosable from the
+/// error alone (a CI log, say) without the original file at hand.
 pub fn parse_trace_jsonl(text: &str) -> Result<Vec<TraceEvent>, String> {
     let mut events = Vec::new();
     for (lineno, line) in text.lines().enumerate() {
@@ -268,8 +317,10 @@ pub fn parse_trace_jsonl(text: &str) -> Result<Vec<TraceEvent>, String> {
         if line.is_empty() {
             continue;
         }
-        let doc = json::parse(line).map_err(|e| format!("line {}: {e}", lineno + 1))?;
-        events.push(event_from_json(&doc).map_err(|e| format!("line {}: {e}", lineno + 1))?);
+        let fail =
+            |e: String| format!("line {}: {e} — payload: {}", lineno + 1, payload_snippet(line));
+        let doc = json::parse(line).map_err(fail)?;
+        events.push(event_from_json(&doc).map_err(fail)?);
     }
     Ok(events)
 }
@@ -361,6 +412,38 @@ mod tests {
         ] {
             assert!(parse_trace_jsonl(bad).is_err(), "{bad} must be rejected");
         }
+    }
+
+    #[test]
+    fn parse_errors_carry_line_number_and_payload_snippet() {
+        let good = r#"{"session":"s","seq":0,"span":"trial","fields":{}}"#;
+        let bad = r#"{"session":"s","seq":1,"span":"not.a.span","fields":{}}"#;
+        let err = parse_trace_jsonl(&format!("{good}\n{bad}\n")).unwrap_err();
+        assert!(err.starts_with("line 2:"), "{err}");
+        assert!(err.contains("not.a.span"), "error must quote the span: {err}");
+        assert!(err.contains("payload:"), "{err}");
+        assert!(err.contains(bad), "short payloads are quoted whole: {err}");
+
+        // A long corrupt line is truncated, not dumped wholesale.
+        let long = format!("{{\"session\":\"{}\",\"seq\":0", "x".repeat(4000));
+        let err = parse_trace_jsonl(&long).unwrap_err();
+        assert!(err.contains("<truncated>"), "{err}");
+        assert!(err.len() < 400, "snippet must stay short: {} bytes", err.len());
+    }
+
+    #[test]
+    fn fanout_tracer_records_into_both_sinks() {
+        let a = Arc::new(RecordingTracer::new());
+        let b = Arc::new(RecordingTracer::new());
+        let tee = FanoutTracer::new(a.clone(), b.clone());
+        assert!(tee.enabled());
+        tee.record(TraceEvent::new("s", "trial").field("iteration", 0u64));
+        assert_eq!(a.events(), b.events());
+        assert_eq!(a.events().len(), 1);
+        assert_eq!(tee.export_jsonl(), a.export_jsonl(), "export delegates to the primary");
+
+        let silent = FanoutTracer::new(Arc::new(NoopTracer), Arc::new(NoopTracer));
+        assert!(!silent.enabled());
     }
 
     #[test]

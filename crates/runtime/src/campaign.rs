@@ -28,8 +28,8 @@ use llamatune::session::{
     run_session_parallel, run_session_resumable, SessionHistory, SessionOptions, TrialRecord,
 };
 use llamatune_engine::RunOptions;
-use llamatune_obs::trace::{NoopTracer, Tracer};
-use llamatune_obs::{MetricsRegistry, MetricsSnapshot};
+use llamatune_obs::trace::{FanoutTracer, NoopTracer, RecordingTracer, Tracer};
+use llamatune_obs::{MetricsRegistry, MetricsSnapshot, ProgressSink};
 use llamatune_optim::{GuardFactory, GuardedOptimizer, Optimizer, SearchSpec};
 use llamatune_space::{Config, ConfigSpace};
 use llamatune_store::{
@@ -181,6 +181,19 @@ pub struct CampaignOptions {
     /// Strictly out-of-band: recorded histories and checkpoints are
     /// byte-identical with tracing on or off.
     pub tracer: Arc<dyn Tracer>,
+    /// Live progress sink shared by every session: one
+    /// [`llamatune_obs::ProgressUpdate`] per completed round, emitted
+    /// from the session fold path while the campaign runs. `None` (the
+    /// default) emits nothing. Like the tracer, strictly out-of-band.
+    pub progress: Option<Arc<dyn ProgressSink>>,
+    /// Campaign-wide live metrics registry: when set, every session's
+    /// private registry forwards its writes here
+    /// ([`MetricsRegistry::with_parent`]), so a
+    /// [`llamatune_obs::MetricsExporter`] scraping this registry sees
+    /// the whole campaign accumulate in real time. Per-session
+    /// snapshots in [`CampaignResult::metrics`] stay session-scoped
+    /// either way.
+    pub live_metrics: Option<Arc<MetricsRegistry>>,
 }
 
 impl Default for CampaignOptions {
@@ -199,6 +212,8 @@ impl Default for CampaignOptions {
             policy: ExecutionPolicy::default(),
             guard: true,
             tracer: Arc::new(NoopTracer),
+            progress: None,
+            live_metrics: None,
         }
     }
 }
@@ -333,7 +348,7 @@ impl Campaign {
         // seed exactly as the sequential harness does.
         let eval_seed = cell.seed ^ 0x5EED;
         let cache = self.opts.cache.then(|| Arc::new(self.build_cache()));
-        let metrics = Arc::new(MetricsRegistry::new());
+        let metrics = self.session_metrics();
         let mut executor = self.build_executor(&runner, eval_seed).with_observability(
             metrics.clone(),
             self.opts.tracer.clone(),
@@ -348,6 +363,7 @@ impl Campaign {
             tracer: self.opts.tracer.clone(),
             trace_label: cell.label.clone(),
             metrics: metrics.clone(),
+            progress: self.opts.progress.clone(),
             ..self.opts.session.clone()
         };
         let history = run_session_parallel(
@@ -408,7 +424,7 @@ impl Campaign {
             (0..cells.len()).map(|_| None).collect();
         if lanes <= 1 {
             for (slot, cell) in results.iter_mut().zip(&cells) {
-                *slot = Some(self.run_session_cell_store(cell, store));
+                *slot = Some(self.run_session_cell_store(cell, store, &self.opts.tracer));
             }
         } else {
             let chunk = cells.len().div_ceil(lanes);
@@ -416,7 +432,8 @@ impl Campaign {
                 for (slots, cell_chunk) in results.chunks_mut(chunk).zip(cells.chunks(chunk)) {
                     scope.spawn(move || {
                         for (slot, cell) in slots.iter_mut().zip(cell_chunk) {
-                            *slot = Some(self.run_session_cell_store(cell, store));
+                            *slot =
+                                Some(self.run_session_cell_store(cell, store, &self.opts.tracer));
                         }
                     });
                 }
@@ -472,19 +489,18 @@ impl Campaign {
         let results: Vec<Mutex<Option<std::io::Result<CampaignResult>>>> =
             (0..cells.len()).map(|_| Mutex::new(None)).collect();
         let open_failure: Mutex<Option<String>> = Mutex::new(None);
+        let telemetry_failure: Mutex<Option<std::io::Error>> = Mutex::new(None);
         std::thread::scope(|scope| {
             for w in 0..workers {
                 let tag = format!("w{w}");
                 let (next, results, cells) = (&next, &results, &cells);
                 let open_failure = &open_failure;
+                let telemetry_failure = &telemetry_failure;
                 let backend = backend.clone();
                 let store_opts = store_opts.clone();
                 scope.spawn(move || {
                     let store = match TrialStore::open_shared(backend, &tag, store_opts) {
-                        Ok(store) => {
-                            store.set_tracer(self.opts.tracer.clone());
-                            store
-                        }
+                        Ok(store) => store,
                         Err(e) => {
                             // Step aside: the healthy workers drain the
                             // whole queue; this error only surfaces for
@@ -493,15 +509,38 @@ impl Campaign {
                             return;
                         }
                     };
+                    // Tee this worker's spans into a private recorder:
+                    // the shared tracer keeps the campaign-wide stream
+                    // (exported as `telemetry-fleet.*`), the recorder
+                    // becomes the per-writer `telemetry-<tag>.*` pair.
+                    let traced = self.opts.tracer.enabled();
+                    let recorder = Arc::new(RecordingTracer::new());
+                    let tracer: Arc<dyn Tracer> = if traced {
+                        Arc::new(FanoutTracer::new(recorder.clone(), self.opts.tracer.clone()))
+                    } else {
+                        self.opts.tracer.clone()
+                    };
+                    store.set_tracer(tracer.clone());
+                    let mut worker_metrics: Vec<MetricsSnapshot> = Vec::new();
                     loop {
                         let i = next.fetch_add(1, Ordering::SeqCst);
                         if i >= cells.len() {
-                            return;
+                            break;
                         }
                         let res = store
                             .refresh()
-                            .and_then(|()| self.run_session_cell_store(&cells[i], &store));
+                            .and_then(|()| self.run_session_cell_store(&cells[i], &store, &tracer));
+                        if let Ok(r) = &res {
+                            worker_metrics.push(r.metrics.clone());
+                        }
                         *lock_recover(&results[i]) = Some(res);
+                    }
+                    if traced {
+                        if let Err(e) =
+                            persist_worker_telemetry(&store, &tag, &recorder, &worker_metrics)
+                        {
+                            lock_recover(telemetry_failure).get_or_insert(e);
+                        }
                     }
                 });
             }
@@ -524,6 +563,9 @@ impl Campaign {
                 })
             })
             .collect::<std::io::Result<_>>()?;
+        if let Some(e) = telemetry_failure.into_inner().unwrap_or_else(|e| e.into_inner()) {
+            return Err(e);
+        }
         self.persist_telemetry(backend.as_ref(), "fleet", &results)?;
         Ok(results)
     }
@@ -558,6 +600,7 @@ impl Campaign {
         &self,
         cell: &Cell,
         store: &TrialStore,
+        tracer: &Arc<dyn Tracer>,
     ) -> std::io::Result<CampaignResult> {
         let result =
             |history: SessionHistory, cache: Option<CacheStats>, metrics: MetricsSnapshot| {
@@ -634,7 +677,7 @@ impl Campaign {
 
         let eval_seed = cell.seed ^ 0x5EED;
         let cache = self.opts.cache.then(|| Arc::new(self.build_cache()));
-        let metrics = Arc::new(MetricsRegistry::new());
+        let metrics = self.session_metrics();
         if let Some(c) = &cache {
             // The persistent half of the evaluation cache: every trial
             // already recorded for this session is a measurement already
@@ -656,7 +699,7 @@ impl Campaign {
         }
         let mut executor = self.build_executor(&runner, eval_seed).with_observability(
             metrics.clone(),
-            self.opts.tracer.clone(),
+            tracer.clone(),
             cell.label.clone(),
         );
         if let Some(c) = &cache {
@@ -666,9 +709,10 @@ impl Campaign {
         let session_opts = SessionOptions {
             seed: cell.seed,
             warm_points: meta.warm_points.clone(),
-            tracer: self.opts.tracer.clone(),
+            tracer: tracer.clone(),
             trace_label: cell.label.clone(),
             metrics: metrics.clone(),
+            progress: self.opts.progress.clone(),
             ..self.opts.session.clone()
         };
         let prior = store.prior_trials(&cell.label);
@@ -777,6 +821,15 @@ impl Campaign {
         .with_policy(self.opts.policy)
     }
 
+    /// One session's metrics registry: private, but forwarding into the
+    /// campaign-wide live registry when one is configured.
+    fn session_metrics(&self) -> Arc<MetricsRegistry> {
+        match &self.opts.live_metrics {
+            Some(live) => Arc::new(MetricsRegistry::with_parent(live.clone())),
+            None => Arc::new(MetricsRegistry::new()),
+        }
+    }
+
     fn build_cache(&self) -> EvalCache {
         match self.opts.cache_capacity {
             Some(cap) => EvalCache::with_capacity(cap),
@@ -830,6 +883,27 @@ impl Campaign {
         }
         results.into_iter().map(|r| r.expect("session ran")).collect()
     }
+}
+
+/// Persists one fleet worker's private telemetry pair
+/// (`telemetry-<tag>.trace.jsonl` / `telemetry-<tag>.metrics.json`)
+/// through its shared store handle. The trace holds exactly the spans
+/// this worker recorded; the metrics snapshot folds the sessions it ran
+/// — deliberately *without* the process-global registry, which is
+/// shared across workers and belongs to the fleet-level pair only
+/// (counting it per worker would multiply it by the worker count in
+/// the merged view).
+fn persist_worker_telemetry(
+    store: &TrialStore,
+    tag: &str,
+    recorder: &RecordingTracer,
+    worker_metrics: &[MetricsSnapshot],
+) -> std::io::Result<()> {
+    if let Some(jsonl) = recorder.export_jsonl() {
+        store.put_telemetry(&format!("{tag}.trace.jsonl"), jsonl.as_bytes())?;
+    }
+    let merged = MetricsSnapshot::merged(worker_metrics.iter());
+    store.put_telemetry(&format!("{tag}.metrics.json"), merged.to_json().as_bytes())
 }
 
 #[cfg(test)]

@@ -6,13 +6,17 @@
 use llamatune::pipeline::LlamaTuneConfig;
 use llamatune::session::SessionOptions;
 use llamatune_engine::RunOptions;
+use llamatune_obs::aggregate::events_to_jsonl;
 use llamatune_obs::trace::{parse_trace_jsonl, RecordingTracer, Tracer};
-use llamatune_obs::{build_report, MetricsSnapshot};
+use llamatune_obs::{
+    build_report, MemoryProgressSink, MetricsExporter, MetricsRegistry, MetricsSnapshot,
+    TelemetrySet,
+};
 use llamatune_runtime::{
     AdapterKind, Campaign, CampaignOptions, CampaignResult, CampaignSpec, OptimizerKind,
 };
 use llamatune_space::catalog::postgres_v9_6;
-use llamatune_store::TrialStore;
+use llamatune_store::{LocalDirBackend, StoreBackend, StoreOptions, TrialStore};
 use std::collections::BTreeMap;
 use std::path::Path;
 use std::sync::Arc;
@@ -184,4 +188,124 @@ fn report_is_reproducible_from_stored_telemetry_alone() {
     assert_eq!(totals.counter("policy.quarantine_hits"), expected);
     let expected: u64 = results.iter().map(|r| r.faults.retries).sum();
     assert_eq!(totals.counter("policy.retries"), expected);
+}
+
+/// A traced fleet persists one `telemetry-<tag>.*` pair per registered
+/// writer, and the aggregate module's merged view of those pairs is
+/// byte-identical at every worker count — and identical to the merged
+/// view of a single-writer store of the same campaign.
+#[test]
+fn fleet_persists_per_writer_telemetry_and_merge_is_worker_count_invariant() {
+    let catalog = postgres_v9_6();
+    let run_fleet = |workers: usize, tag: &str| {
+        let dir = tmp_dir(tag);
+        let backend: Arc<dyn StoreBackend> = Arc::new(LocalDirBackend::create(&dir).unwrap());
+        let tracer = Arc::new(RecordingTracer::new());
+        Campaign::new(catalog.clone(), spec(), opts(2, Some(tracer)))
+            .run_shared(backend, workers, StoreOptions::default())
+            .unwrap();
+        dir
+    };
+    let dir1 = run_fleet(1, "fleet_w1");
+    let dir2 = run_fleet(2, "fleet_w2");
+
+    for (dir, workers) in [(&dir1, 1usize), (&dir2, 2)] {
+        for w in 0..workers {
+            for suffix in ["trace.jsonl", "metrics.json"] {
+                let name = format!("telemetry-w{w}.{suffix}");
+                assert!(dir.join(&name).exists(), "{workers}-worker fleet missing {name}");
+            }
+        }
+        // The derived fleet pair rides along either way.
+        assert!(dir.join("telemetry-fleet.trace.jsonl").exists());
+    }
+
+    let merged = |dir: &Path| {
+        let set = TelemetrySet::load_dir(dir).unwrap();
+        (events_to_jsonl(&set.merged_events()), set.merged_metrics())
+    };
+    let (trace1, metrics1) = merged(&dir1);
+    let (trace2, metrics2) = merged(&dir2);
+    assert!(!trace1.is_empty());
+    assert_eq!(trace1, trace2, "merged fleet trace diverged across worker counts");
+    assert_eq!(
+        metrics1.counter("policy.retries"),
+        metrics2.counter("policy.retries"),
+        "merged fault counters diverged across worker counts"
+    );
+
+    // A single-writer store of the same campaign merges to the same
+    // bytes: the fleet changes who records, never what is recorded.
+    let single = tmp_dir("fleet_single");
+    let store = TrialStore::open(&single).unwrap();
+    let tracer = Arc::new(RecordingTracer::new());
+    Campaign::new(catalog, spec(), opts(2, Some(tracer))).run_with_store(&store).unwrap();
+    let (trace_single, _) = merged(&single);
+    assert_eq!(trace1, trace_single, "fleet merge diverged from the single-writer store");
+}
+
+/// The progress sink receives one update per completed round, and the
+/// stream is deterministic: same values at every trial-worker count,
+/// with cumulative counters and a monotone best-so-far.
+#[test]
+fn progress_stream_is_per_round_and_worker_count_invariant() {
+    let catalog = postgres_v9_6();
+    let run = |trial_workers: usize| {
+        let sink = Arc::new(MemoryProgressSink::new());
+        let mut o = opts(trial_workers, None);
+        o.progress = Some(sink.clone());
+        let results = Campaign::new(catalog.clone(), spec(), o).run();
+        (sink.updates(), results)
+    };
+    let (updates, results) = run(1);
+    let (updates4, _) = run(4);
+    assert_eq!(updates, updates4, "progress updates diverged across trial-worker counts");
+
+    for r in &results {
+        let mine: Vec<_> = updates.iter().filter(|u| u.session == r.label).collect();
+        assert!(!mine.is_empty(), "{}: no progress updates", r.label);
+        assert_eq!(mine[0].iteration, 0, "{}: first update is the default round", r.label);
+        assert_eq!(mine[0].phase, "default");
+        let evaluated: u64 = mine.iter().map(|u| u.round_size).sum();
+        assert_eq!(evaluated as usize, r.history.scores.len(), "{}: rounds ≠ trials", r.label);
+        let mut best = f64::NEG_INFINITY;
+        for u in &mine {
+            assert!(u.best_so_far >= best, "{}: best-so-far regressed", r.label);
+            best = u.best_so_far;
+            assert!(u.regret >= 0.0);
+            assert!(u.attempts >= u.round_size || u.iteration == 0);
+        }
+        let last = mine.last().unwrap();
+        assert_eq!(last.best_so_far, *r.history.best_curve.last().unwrap());
+    }
+}
+
+/// A campaign-wide live registry sees every session's writes as they
+/// happen (via registry forwarding) and renders as a Prometheus scrape
+/// body — while each session's own snapshot stays session-scoped.
+#[test]
+fn live_metrics_registry_aggregates_the_campaign_and_renders_prometheus() {
+    let catalog = postgres_v9_6();
+    let live = Arc::new(MetricsRegistry::new());
+    let mut o = opts(2, None);
+    o.live_metrics = Some(live.clone());
+    let results = Campaign::new(catalog, spec(), o).run();
+
+    let scraped = live.snapshot();
+    for name in ["cache.misses", "policy.retries"] {
+        let expected: u64 = results.iter().map(|r| r.metrics.counter(name)).sum();
+        assert_eq!(scraped.counter(name), expected, "live {name} ≠ sum of session snapshots");
+    }
+    // Per-session snapshots stayed session-scoped: each strictly below
+    // the campaign-wide total (two sessions both evaluate trials).
+    let total = scraped.counter("cache.misses");
+    assert!(total > 0);
+    for r in &results {
+        assert!(r.metrics.counter("cache.misses") < total, "{}: snapshot not scoped", r.label);
+    }
+
+    let body = MetricsExporter::new(live).render();
+    assert!(body.contains("# TYPE llamatune_cache_misses_total counter\n"));
+    assert!(body.contains(&format!("llamatune_cache_misses_total {total}\n")));
+    assert!(body.contains("# TYPE llamatune_session_evaluate_ms histogram\n"));
 }

@@ -750,6 +750,21 @@ impl TrialStore {
         self.backend.get(&format!("telemetry-{name}"))
     }
 
+    /// Every telemetry object in the store, sorted, without the
+    /// `telemetry-` prefix (e.g. `w0.trace.jsonl`, `fleet.metrics.json`).
+    /// A fleet run leaves one `.trace.jsonl`/`.metrics.json` pair per
+    /// writer tag plus the merged `fleet` pair.
+    pub fn list_telemetry(&self) -> io::Result<Vec<String>> {
+        let mut names: Vec<String> = self
+            .backend
+            .list()?
+            .into_iter()
+            .filter_map(|n| n.strip_prefix("telemetry-").map(str::to_string))
+            .collect();
+        names.sort();
+        Ok(names)
+    }
+
     /// Appends one trial record (one backend `append` per record; the
     /// record is durable to the backend's append contract on return).
     pub fn append_trial(&self, trial: &StoredTrial) -> io::Result<()> {
