@@ -14,8 +14,15 @@
 //! * **SMAC suggest** — forest cold (history changed, must fit) vs warm
 //!   (cached fit reused across a batch round).
 //! * **Constant-liar retract, q = 8** — `BatchSuggest::observe_batch`
-//!   after a fantasized round under snapshot-restore retraction vs
-//!   rebuild-and-replay (`RetractionMode::Rebuild`).
+//!   after a fantasized round under the default auto mode (the
+//!   per-optimizer cost hint), snapshot-restore, and rebuild-and-replay
+//!   (`RetractionMode::Rebuild`).
+//! * **Sparse GP scaling** — observe and full-refit latency of the
+//!   inducing-point surrogate (`GpConfig::sparse_default()`) at
+//!   n = 2000 and 10000, where the exact path's O(n²) appends and
+//!   O(n³) refits are no longer viable; plus a regret-parity check
+//!   pinning the sparse path within tolerance of the exact GP on a
+//!   paper-scale session.
 //!
 //! Results are printed as a table and recorded in
 //! `BENCH_optimizer.json` (in the working directory) so later PRs have
@@ -120,12 +127,14 @@ struct RetractRow {
     optimizer: &'static str,
     n: usize,
     q: usize,
+    auto_us: f64,
     snapshot_us: f64,
     rebuild_us: f64,
 }
 
 /// Times the lie-retracting `observe_batch` of a q-wide constant-liar
-/// round, under snapshot-restore vs rebuild-and-replay retraction.
+/// round, under the default auto mode (per-optimizer cost hint),
+/// forced snapshot-restore, and forced rebuild-and-replay.
 fn retract_row(
     optimizer: &'static str,
     factory: fn() -> Box<dyn Optimizer>,
@@ -133,8 +142,10 @@ fn retract_row(
     q: usize,
     rounds: usize,
 ) -> RetractRow {
-    let mut medians = [0.0, 0.0];
-    for (slot, mode) in [(0, RetractionMode::Snapshot), (1, RetractionMode::Rebuild)] {
+    let mut medians = [0.0, 0.0, 0.0];
+    let modes =
+        [(0, RetractionMode::Auto), (1, RetractionMode::Snapshot), (2, RetractionMode::Rebuild)];
+    for (slot, mode) in modes {
         let mut wrapped = BatchSuggest::new(Box::new(factory)).with_retraction(mode);
         wrapped.observe_batch(synthetic_history(n));
         let mut times = Vec::new();
@@ -153,7 +164,85 @@ fn retract_row(
         }
         medians[slot] = median_us(times);
     }
-    RetractRow { optimizer, n, q, snapshot_us: medians[0], rebuild_us: medians[1] }
+    RetractRow {
+        optimizer,
+        n,
+        q,
+        auto_us: medians[0],
+        snapshot_us: medians[1],
+        rebuild_us: medians[2],
+    }
+}
+
+struct SparseRow {
+    n: usize,
+    observe_us: f64,
+    refit_us: f64,
+    inducing: usize,
+}
+
+/// Times one sparse-path observation and one forced full refit at
+/// exactly history size `n`, rewinding through snapshot/restore like
+/// [`gp_observe_row`]. The observation is a rank-1 accumulator update
+/// whose cost must not grow with n; the refit is the bounded
+/// subsample-MLE plus the O(n·m²) inducing rebuild.
+fn gp_sparse_row(n: usize, reps: usize) -> SparseRow {
+    let history = synthetic_history(n + 1);
+    let (prefill, probe) = history.split_at(n);
+    let mut gp = GpBo::new(SearchSpec::continuous(DIMS), GpConfig::sparse_default(), SEED);
+    gp.observe_batch(prefill.to_vec());
+    let snap = gp.snapshot().expect("GP supports snapshots");
+    let (mut observe_t, mut refit_t) = (Vec::new(), Vec::new());
+    for _ in 0..reps {
+        assert!(gp.restore(snap.as_ref()));
+        let t = Instant::now();
+        gp.observe(probe[0].clone());
+        observe_t.push(t.elapsed().as_secs_f64() * 1e6);
+        let t = Instant::now();
+        gp.refit_now();
+        refit_t.push(t.elapsed().as_secs_f64() * 1e6);
+    }
+    SparseRow {
+        n,
+        observe_us: median_us(observe_t),
+        refit_us: median_us(refit_t),
+        inducing: gp.inducing_points().unwrap_or(0),
+    }
+}
+
+struct ParityResult {
+    iters: usize,
+    exact_best: f64,
+    sparse_best: f64,
+}
+
+/// Drives the exact and sparse GPs through identical paper-scale
+/// sessions and compares their best objective values, averaged over
+/// three fixed seeds (single-seed best values in 16 dimensions are
+/// dominated by acquisition luck, not surrogate quality). Fully
+/// deterministic, so the tolerance assert is a hard gate, not a flake.
+fn regret_parity(iters: usize) -> ParityResult {
+    const SEEDS: [u64; 3] = [7, 11, 23];
+    let run = |config: &GpConfig, seed: u64| {
+        let mut gp = GpBo::new(SearchSpec::continuous(DIMS), config.clone(), seed);
+        let mut best = f64::NEG_INFINITY;
+        for _ in 0..iters {
+            let x = gp.suggest();
+            let y = -x.iter().map(|v| (v - 0.5) * (v - 0.5)).sum::<f64>();
+            best = best.max(y);
+            gp.observe(Observation { x, y, metrics: vec![] });
+        }
+        best
+    };
+    let mean =
+        |config: GpConfig| SEEDS.iter().map(|&s| run(&config, s)).sum::<f64>() / SEEDS.len() as f64;
+    let exact_best = mean(GpConfig::default());
+    let sparse_best = mean(GpConfig::sparse_default());
+    assert!(
+        sparse_best >= exact_best - 0.15,
+        "sparse path lost regret parity: mean best {sparse_best} vs exact {exact_best}"
+    );
+    ParityResult { iters, exact_best, sparse_best }
 }
 
 fn ratio(slow: f64, fast: f64) -> f64 {
@@ -166,10 +255,17 @@ fn ratio(slow: f64, fast: f64) -> f64 {
 
 fn main() {
     let quick = std::env::var("LLAMATUNE_QUICK").is_ok_and(|v| v == "1");
+    // Match the runtime default (`CampaignOptions::trial_workers = 4`)
+    // so the blocked factorization and batch solves run at the
+    // parallelism a real campaign would see. Results are bit-identical
+    // at any worker count; only the timings move.
+    llamatune_math::set_worker_budget(4);
     // History sizes are chosen so the probing observation does not land
     // on a refit boundary (refit_every = 5), which both paths pay alike.
     let (ns, reps, q, rounds): (&[usize], usize, usize, usize) =
         if quick { (&[12, 26], 5, 4, 2) } else { (&[50, 100, 200], 9, 8, 3) };
+    let sparse_ns: &[usize] = if quick { &[2000] } else { &[2000, 10000] };
+    let parity_iters = if quick { 40 } else { 60 };
 
     print_header(
         "Optimizer hot path",
@@ -225,19 +321,35 @@ fn main() {
     }
     println!("\nConstant-liar retract (observe_batch of a q = {q} round):");
     println!(
-        "{:>8} {:>6} {:>16} {:>18} {:>10}",
-        "opt", "n", "snapshot", "rebuild+replay", "speedup"
+        "{:>8} {:>6} {:>12} {:>14} {:>16} {:>10}",
+        "opt", "n", "auto", "snapshot", "rebuild+replay", "speedup"
     );
     for r in &retract_rows {
         println!(
-            "{:>8} {:>6} {:>14.1}us {:>16.1}us {:>9.1}x",
+            "{:>8} {:>6} {:>10.1}us {:>12.1}us {:>14.1}us {:>9.1}x",
             r.optimizer,
             r.n,
+            r.auto_us,
             r.snapshot_us,
             r.rebuild_us,
             ratio(r.rebuild_us, r.snapshot_us)
         );
     }
+
+    let sparse_reps = if quick { 3 } else { 5 };
+    let sparse_rows: Vec<SparseRow> =
+        sparse_ns.iter().map(|&n| gp_sparse_row(n, sparse_reps)).collect();
+    println!("\nSparse GP scaling (inducing-point surrogate, medians over {sparse_reps} reps):");
+    println!("{:>8} {:>10} {:>16} {:>16}", "n", "inducing", "observe", "full refit");
+    for r in &sparse_rows {
+        println!("{:>8} {:>10} {:>14.1}us {:>14.1}us", r.n, r.inducing, r.observe_us, r.refit_us);
+    }
+
+    let parity = regret_parity(parity_iters);
+    println!(
+        "\nRegret parity ({} iters, 3-seed mean): exact best {:.4}, sparse best {:.4}",
+        parity.iters, parity.exact_best, parity.sparse_best
+    );
 
     // The regression artifact.
     let mut json = String::from("{\n");
@@ -271,18 +383,35 @@ fn main() {
     json.push_str("  ],\n  \"retract\": [\n");
     for (i, r) in retract_rows.iter().enumerate() {
         json.push_str(&format!(
-            "    {{\"optimizer\": \"{}\", \"n\": {}, \"q\": {}, \"snapshot_us\": {:.2}, \
-             \"rebuild_us\": {:.2}, \"speedup\": {:.2}}}{}\n",
+            "    {{\"optimizer\": \"{}\", \"n\": {}, \"q\": {}, \"auto_us\": {:.2}, \
+             \"snapshot_us\": {:.2}, \"rebuild_us\": {:.2}, \"speedup\": {:.2}}}{}\n",
             r.optimizer,
             r.n,
             r.q,
+            r.auto_us,
             r.snapshot_us,
             r.rebuild_us,
             ratio(r.rebuild_us, r.snapshot_us),
             if i + 1 < retract_rows.len() { "," } else { "" }
         ));
     }
-    json.push_str("  ]\n}\n");
+    json.push_str("  ],\n  \"gp_sparse\": [\n");
+    for (i, r) in sparse_rows.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"n\": {}, \"inducing\": {}, \"observe_us\": {:.2}, \"refit_us\": {:.2}}}{}\n",
+            r.n,
+            r.inducing,
+            r.observe_us,
+            r.refit_us,
+            if i + 1 < sparse_rows.len() { "," } else { "" }
+        ));
+    }
+    json.push_str(&format!(
+        "  ],\n  \"regret_parity\": {{\"iters\": {}, \"exact_best\": {:.4}, \
+         \"sparse_best\": {:.4}}}\n",
+        parity.iters, parity.exact_best, parity.sparse_best
+    ));
+    json.push_str("}\n");
     // Anchor the artifact at the workspace root regardless of the
     // working directory cargo launches the bench from.
     let path =

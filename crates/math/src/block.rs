@@ -1,0 +1,359 @@
+//! Blocked and parallel dense linear algebra for large surrogate models.
+//!
+//! [`Matrix::cholesky`] is a textbook scalar three-loop factorization —
+//! perfect at the n ≤ 200 histories of a paper-scale tuning session,
+//! hopeless at the n = 10k histories a long-lived tuning service
+//! replays. This module adds a right-looking *blocked* factorization
+//! ([`Matrix::cholesky_blocked`]) whose panel and trailing-update
+//! steps stream cache-sized tiles and optionally fan out across scoped
+//! worker threads, plus a column-parallel multi-RHS triangular solve
+//! ([`Matrix::solve_lower_batch_par`]).
+//!
+//! # The determinism contract
+//!
+//! Every routine here is **bit-identical** to its scalar counterpart,
+//! at every block size and every worker count. That is not an accident
+//! of f64 but a design rule the implementations follow:
+//!
+//! * each output element's floating-point reduction chain visits terms
+//!   in exactly the order the scalar loop does (`k` ascending, one
+//!   accumulator, jitter folded in first), and intermediate stores to
+//!   memory are lossless for `f64`;
+//! * parallelism only ever partitions *independent* chains (rows of a
+//!   panel or trailing update, columns of a multi-RHS solve) across
+//!   threads — it never splits a single chain into per-thread partial
+//!   sums.
+//!
+//! The GP surrogate's recorded suggestion streams are compared
+//! bitwise across worker counts and across checkpoint/resume, so this
+//! contract is load-bearing and pinned by tests below.
+
+use crate::matrix::{CholeskyError, Matrix};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Process-global default worker count for blocked kernels, installed
+/// by whoever owns the thread budget (the runtime's campaign driver
+/// sets it to its trial-worker count). Purely a performance hint:
+/// results are bit-identical at any value.
+static WORKER_BUDGET: AtomicUsize = AtomicUsize::new(1);
+
+/// Installs the process-global worker budget for blocked kernels
+/// (clamped to at least 1).
+pub fn set_worker_budget(workers: usize) {
+    WORKER_BUDGET.store(workers.max(1), Ordering::Relaxed);
+}
+
+/// The process-global worker budget for blocked kernels.
+pub fn worker_budget() -> usize {
+    WORKER_BUDGET.load(Ordering::Relaxed)
+}
+
+/// Shape of a blocked factorization: tile width and worker fan-out.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BlockSchedule {
+    /// Panel/tile width in columns. 64 keeps a tile pair comfortably
+    /// in L1/L2 for f64.
+    pub block: usize,
+    /// Scoped worker threads for the panel and trailing updates. 1
+    /// means fully sequential; any value yields identical bits.
+    pub workers: usize,
+}
+
+impl Default for BlockSchedule {
+    fn default() -> Self {
+        BlockSchedule { block: 64, workers: 1 }
+    }
+}
+
+impl BlockSchedule {
+    /// A schedule that spends the process-global [`worker_budget`].
+    pub fn auto() -> Self {
+        BlockSchedule { block: 64, workers: worker_budget() }
+    }
+}
+
+/// Applies `f(global_row_index, row)` to each row of `tail` (whose
+/// first row has global index `row0`), contiguously chunked across up
+/// to `workers` scoped threads. Each row is an independent reduction
+/// chain, so the partitioning cannot affect results.
+fn for_rows_parallel<F>(tail: &mut [f64], cols: usize, row0: usize, workers: usize, f: F)
+where
+    F: Fn(usize, &mut [f64]) + Sync,
+{
+    let rows = tail.len() / cols;
+    let workers = workers.clamp(1, rows.max(1));
+    if workers <= 1 {
+        for (r, row) in tail.chunks_mut(cols).enumerate() {
+            f(row0 + r, row);
+        }
+        return;
+    }
+    let per = rows.div_ceil(workers);
+    std::thread::scope(|scope| {
+        for (w, chunk) in tail.chunks_mut(per * cols).enumerate() {
+            let f = &f;
+            scope.spawn(move || {
+                for (r, row) in chunk.chunks_mut(cols).enumerate() {
+                    f(row0 + w * per + r, row);
+                }
+            });
+        }
+    });
+}
+
+impl Matrix {
+    /// Blocked (and optionally parallel) Cholesky factorization:
+    /// returns lower-triangular `L` with `self + jitter·I = L·Lᵀ`,
+    /// **bit-identical** to [`Matrix::cholesky`] for every block size
+    /// and worker count (see the module docs for why, and the tests
+    /// for the pin).
+    ///
+    /// Per block column `[c0, c1)` the factorization runs three steps:
+    /// factor the diagonal tile (scalar, tiny), forward-substitute the
+    /// panel below it (row-parallel), then subtract the panel's outer
+    /// product from the trailing submatrix (row-parallel, the O(n³)
+    /// bulk). The panel is staged into a contiguous side buffer before
+    /// the trailing update so worker threads only ever read shared
+    /// finalized data while writing their own rows.
+    ///
+    /// # Errors
+    /// [`CholeskyError`] with the same pivot index the scalar
+    /// factorization would report, if the input is not (numerically)
+    /// positive definite.
+    ///
+    /// # Panics
+    /// Panics if `self` is not square.
+    pub fn cholesky_blocked(
+        &self,
+        jitter: f64,
+        sched: BlockSchedule,
+    ) -> Result<Matrix, CholeskyError> {
+        assert_eq!(self.rows(), self.cols(), "cholesky requires a square matrix");
+        let n = self.rows();
+        let block = sched.block.max(1);
+        let workers = sched.workers.max(1);
+        let mut l = Matrix::zeros(n, n);
+        // Working copy: lower triangle only, jitter folded into the
+        // diagonal up front — the scalar loop's accumulator also
+        // starts from `A[i][i] + jitter` before any subtraction.
+        for i in 0..n {
+            let (dst, src) = (l.row_mut(i), self.row(i));
+            dst[..=i].copy_from_slice(&src[..=i]);
+            dst[i] += jitter;
+        }
+        let mut panel = Vec::new();
+        let mut c0 = 0;
+        while c0 < n {
+            let c1 = (c0 + block).min(n);
+            let bw = c1 - c0;
+            // 1. Diagonal tile, scalar: earlier blocks already
+            // subtracted their terms via trailing updates, so only
+            // k ∈ [c0, j) remains of each entry's chain.
+            for i in c0..c1 {
+                for j in c0..=i {
+                    let mut sum = l[(i, j)];
+                    for k in c0..j {
+                        sum -= l[(i, k)] * l[(j, k)];
+                    }
+                    if i == j {
+                        if sum <= 0.0 || !sum.is_finite() {
+                            return Err(CholeskyError { pivot: i });
+                        }
+                        l[(i, j)] = sum.sqrt();
+                    } else {
+                        l[(i, j)] = sum / l[(j, j)];
+                    }
+                }
+            }
+            if c1 == n {
+                break;
+            }
+            // 2. Panel: rows below the tile, columns of the tile.
+            // Workers write their own rows and read the finalized tile
+            // rows through a shared borrow.
+            let (head, tail) = l.data_split_at_mut(c1 * n);
+            let head: &[f64] = head;
+            for_rows_parallel(tail, n, c1, workers, |_, row| {
+                for j in c0..c1 {
+                    let lj = &head[j * n..j * n + j + 1];
+                    let mut sum = row[j];
+                    for k in c0..j {
+                        sum -= row[k] * lj[k];
+                    }
+                    row[j] = sum / lj[j];
+                }
+            });
+            // 3. Stage the finished panel contiguously, then subtract
+            // its outer product from the trailing rows. Each trailing
+            // entry subtracts its `bw` terms k-ascending into a single
+            // accumulator — the same chain order as the scalar loop.
+            let rows_below = n - c1;
+            panel.clear();
+            panel.reserve(rows_below * bw);
+            {
+                let (_, tail) = l.data_split_at_mut(c1 * n);
+                for r in 0..rows_below {
+                    panel.extend_from_slice(&tail[r * n + c0..r * n + c1]);
+                }
+            }
+            let panel_ref: &[f64] = &panel;
+            let (_, tail) = l.data_split_at_mut(c1 * n);
+            for_rows_parallel(tail, n, c1, workers, |i, row| {
+                let pi = &panel_ref[(i - c1) * bw..(i - c1) * bw + bw];
+                for j in c1..=i {
+                    let pj = &panel_ref[(j - c1) * bw..(j - c1) * bw + bw];
+                    let mut sum = row[j];
+                    for (a, b) in pi.iter().zip(pj) {
+                        sum -= a * b;
+                    }
+                    row[j] = sum;
+                }
+            });
+            c0 = c1;
+        }
+        Ok(l)
+    }
+
+    /// Column-parallel variant of [`Matrix::solve_lower_batch`]:
+    /// solves `L · X = B` for many right-hand sides, contiguous column
+    /// chunks fanned out across up to `workers` scoped threads. Every
+    /// column is an independent forward substitution with the exact
+    /// arithmetic order of [`Matrix::solve_lower`], so the result is
+    /// bit-identical to the sequential batch solve at any worker
+    /// count.
+    ///
+    /// # Panics
+    /// Panics if `self` is not square or `b.rows() != self.rows()`.
+    pub fn solve_lower_batch_par(&self, b: &Matrix, workers: usize) -> Matrix {
+        let (n, m) = (self.rows(), b.cols());
+        assert_eq!(self.rows(), self.cols());
+        assert_eq!(b.rows(), n, "RHS row count must match the factor dimension");
+        let workers = workers.clamp(1, m.max(1));
+        if workers <= 1 || m <= 1 {
+            return self.solve_lower_batch(b);
+        }
+        let per = m.div_ceil(workers);
+        let chunks: Vec<Matrix> = {
+            let starts: Vec<usize> = (0..workers).map(|w| w * per).filter(|&s| s < m).collect();
+            let solve_chunk = |a: usize| {
+                let w = (a + per).min(m) - a;
+                let mut sub = Matrix::zeros(n, w);
+                for i in 0..n {
+                    let (dst, src) = (sub.row_mut(i), &b.row(i)[a..a + w]);
+                    dst.copy_from_slice(src);
+                }
+                self.solve_lower_batch(&sub)
+            };
+            std::thread::scope(|scope| {
+                let handles: Vec<_> =
+                    starts.iter().map(|&a| scope.spawn(move || solve_chunk(a))).collect();
+                handles.into_iter().map(|h| h.join().expect("solver thread panicked")).collect()
+            })
+        };
+        let mut x = Matrix::zeros(n, m);
+        for (w, sub) in chunks.iter().enumerate() {
+            let a = w * per;
+            for i in 0..n {
+                x.row_mut(i)[a..a + sub.cols()].copy_from_slice(sub.row(i));
+            }
+        }
+        x
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{RngExt, SeedableRng};
+
+    /// Random SPD matrix (B·Bᵀ + n·I) of size n.
+    fn random_spd(n: usize, seed: u64) -> Matrix {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let b = Matrix::from_vec(n, n, (0..n * n).map(|_| rng.random_range(-2.0..2.0)).collect());
+        let mut a = Matrix::zeros(n, n);
+        for i in 0..n {
+            for j in 0..n {
+                let mut s = 0.0;
+                for k in 0..n {
+                    s += b[(i, k)] * b[(j, k)];
+                }
+                a[(i, j)] = s + if i == j { n as f64 } else { 0.0 };
+            }
+        }
+        a
+    }
+
+    #[test]
+    fn blocked_matches_scalar_bitwise_across_blocks_and_workers() {
+        // The whole point of the module: every (size, block, workers)
+        // combination reproduces the scalar factor to the last bit.
+        for (n, seed) in [(1usize, 0u64), (5, 1), (12, 2), (33, 3), (64, 4), (97, 5)] {
+            let a = random_spd(n, seed);
+            let reference = a.cholesky(1e-8).unwrap();
+            for block in [1usize, 7, 16, 64, 128] {
+                for workers in [1usize, 2, 4] {
+                    let l = a.cholesky_blocked(1e-8, BlockSchedule { block, workers }).unwrap();
+                    for i in 0..n {
+                        for j in 0..n {
+                            assert_eq!(
+                                l[(i, j)].to_bits(),
+                                reference[(i, j)].to_bits(),
+                                "entry ({i},{j}) diverged at n={n} block={block} \
+                                 workers={workers}"
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn blocked_reports_the_same_failure_pivot_as_scalar() {
+        // Indefinite input: both paths must reject at the same pivot.
+        let mut a = random_spd(20, 9);
+        a[(13, 13)] = -50.0; // poison one diagonal entry
+        let scalar = a.cholesky(0.0).unwrap_err();
+        for block in [4usize, 8, 64] {
+            for workers in [1usize, 3] {
+                let blocked =
+                    a.cholesky_blocked(0.0, BlockSchedule { block, workers }).unwrap_err();
+                assert_eq!(blocked.pivot, scalar.pivot, "block={block} workers={workers}");
+            }
+        }
+    }
+
+    #[test]
+    fn batch_solve_par_matches_sequential_bitwise() {
+        let a = random_spd(31, 7);
+        let l = a.cholesky(1e-8).unwrap();
+        let mut rng = StdRng::seed_from_u64(23);
+        let m = 13;
+        let b = Matrix::from_vec(31, m, (0..31 * m).map(|_| rng.random_range(-5.0..5.0)).collect());
+        let reference = l.solve_lower_batch(&b);
+        for workers in [1usize, 2, 4, 16] {
+            let x = l.solve_lower_batch_par(&b, workers);
+            for i in 0..31 {
+                for j in 0..m {
+                    assert_eq!(
+                        x[(i, j)].to_bits(),
+                        reference[(i, j)].to_bits(),
+                        "entry ({i},{j}) diverged at workers={workers}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn worker_budget_roundtrips_and_clamps() {
+        let before = worker_budget();
+        set_worker_budget(6);
+        assert_eq!(worker_budget(), 6);
+        assert_eq!(BlockSchedule::auto().workers, 6);
+        set_worker_budget(0);
+        assert_eq!(worker_budget(), 1, "budget clamps to at least one worker");
+        set_worker_budget(before);
+    }
+}

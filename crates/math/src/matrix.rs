@@ -84,6 +84,19 @@ impl Matrix {
         &self.data[i * self.cols..(i + 1) * self.cols]
     }
 
+    /// Mutably borrows row `i` as a slice.
+    pub fn row_mut(&mut self, i: usize) -> &mut [f64] {
+        &mut self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Splits the backing row-major storage at flat index `mid` — the
+    /// aliasing seam the blocked kernels in [`crate::block`] use to
+    /// hand finalized rows to reader threads while writer threads own
+    /// the rows below.
+    pub(crate) fn data_split_at_mut(&mut self, mid: usize) -> (&mut [f64], &mut [f64]) {
+        self.data.split_at_mut(mid)
+    }
+
     /// Matrix-vector product `self * v`.
     ///
     /// # Panics

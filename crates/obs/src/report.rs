@@ -120,6 +120,7 @@ pub fn render_report(report: &Report) -> String {
             "policy.hedges",
             "cache.hits",
             "cache.misses",
+            "optim.gp.append_fallback",
             "store.cas_retries",
         ]
         .iter()

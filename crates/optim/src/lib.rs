@@ -21,6 +21,7 @@ pub mod guard;
 pub mod nn;
 pub mod rf;
 pub mod smac;
+pub mod sparse;
 pub mod spec;
 
 pub use ddpg::{Ddpg, DdpgConfig};
@@ -28,6 +29,7 @@ pub use gp::{GpBo, GpConfig};
 pub use guard::{DegradationEvent, GuardFactory, GuardedOptimizer};
 pub use rf::{RandomForest, RandomForestConfig, Tree, TreeNode};
 pub use smac::{Smac, SmacConfig};
+pub use sparse::{select_inducing, subsample_indices, SparseGpConfig};
 pub use spec::{
     warm_start, Observation, Optimizer, OptimizerKind, ParamKind, RandomSearch, SearchSpec,
     DEFAULT_METRIC_DIM,

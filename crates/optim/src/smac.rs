@@ -194,6 +194,17 @@ impl Optimizer for Smac {
         "smac"
     }
 
+    /// SMAC's snapshot clones the cached random forest (tens of trees),
+    /// while rebuild-and-replay only pushes observations and lets the
+    /// forest re-fit lazily on the next suggest — measurably cheaper
+    /// (BENCH_optimizer.json: snapshot retraction was 0.92x of rebuild
+    /// at n=100). The forest cannot be dropped from the snapshot
+    /// instead: its fit seed depends on the suggestion counter at fit
+    /// time, so a post-restore re-fit would not be bit-identical.
+    fn snapshot_beats_replay(&self) -> bool {
+        false
+    }
+
     fn snapshot(&self) -> Option<Box<dyn std::any::Any + Send>> {
         Some(Box::new(SmacSnapshot {
             rng: self.rng.clone(),

@@ -1,0 +1,525 @@
+//! The scalable GP surrogate: a subset-of-regressors / DTC
+//! inducing-point approximation plus the history-subsampling policy
+//! that bounds hyperparameter-refit cost.
+//!
+//! The exact GP in [`crate::gp`] costs O(n²) per incremental observe
+//! and O(n³) per MLE refit — fine for the paper's 100-trial sessions,
+//! fatal for a long-lived tuning service replaying fleet histories
+//! with n in the thousands. This module trades a controlled amount of
+//! posterior fidelity for cost that is bounded in `n`:
+//!
+//! * **Inducing points.** m ≪ n observations (farthest-point selected,
+//!   seeded at the incumbent) act as regressors Z. With
+//!   `G = σ²·K_mm + K_mn·K_nm`, the subset-of-regressors posterior
+//!   mean is `k_*mᵀ G⁻¹ K_mn y` and the DTC variance
+//!   `k_** − k_*mᵀ K_mm⁻¹ k_*m + σ²·k_*mᵀ G⁻¹ k_*m` (Quiñonero-
+//!   Candela & Rasmussen 2005). Everything the model needs between
+//!   refits — `A = K_mn·K_nm`, `b = K_mn y`, `s = K_mn 1` — updates
+//!   rank-1 per observation in O(m·d + m²), so observe cost no longer
+//!   grows with n at all. Target standardization folds in analytically
+//!   (`K_mn y_std = (b − μ·s)/σ_y`), so re-standardizing is O(m).
+//! * **Refit subsampling.** Hyperparameter MLE runs on a bounded
+//!   subsample of the history — incumbents (the model must stay sharp
+//!   near the optimum), a recency tail (the region the optimizer is
+//!   currently probing), and a strided diversity fill — so each refit
+//!   is O(cap³) instead of O(n³).
+//!
+//! When n ≤ m every observation is an inducing point and subset-of-
+//! regressors degenerates to the exact GP posterior mean, which is
+//! what keeps the sparse path regret-competitive on paper-scale
+//! sessions (pinned by the parity test and the
+//! `optimizer_hot_path` bench).
+//!
+//! Determinism: selection, subsampling, and the chunked parallel build
+//! below are pure functions of the history (fixed chunk width, ordered
+//! reduction), so suggestion streams are bit-identical across worker
+//! counts and across checkpoint/resume replay.
+
+use llamatune_math::Matrix;
+
+/// Configuration of the sparse surrogate path
+/// ([`crate::GpConfig::sparse`]).
+#[derive(Debug, Clone)]
+pub struct SparseGpConfig {
+    /// Maximum number of inducing points m. Observe cost is
+    /// O(m·d + m²) and suggest cost O(m²·candidates); 64 keeps both
+    /// comfortably under the service budget while matching the exact
+    /// GP on paper-scale histories.
+    pub max_inducing: usize,
+    /// History cap for each MLE hyperparameter refit (incumbents +
+    /// recency + diversity, see [`subsample_indices`]).
+    pub refit_subsample: usize,
+    /// Refit when the history has grown by this factor since the last
+    /// refit (geometric schedule; the gap never shrinks below the
+    /// exact path's `refit_every`). Bounds total refit work over a
+    /// whole campaign to O(log n) refits.
+    pub refit_growth: f64,
+    /// Best-scoring observations always kept in the refit subsample.
+    pub retain_incumbents: usize,
+    /// Newest observations always kept in the refit subsample.
+    pub retain_recent: usize,
+}
+
+impl Default for SparseGpConfig {
+    fn default() -> Self {
+        SparseGpConfig {
+            max_inducing: 64,
+            refit_subsample: 128,
+            refit_growth: 1.25,
+            retain_incumbents: 8,
+            retain_recent: 32,
+        }
+    }
+}
+
+/// The refit-subsampling policy: which observation indices participate
+/// in an MLE hyperparameter search capped at `cap` points.
+///
+/// Deterministic composition (duplicates collapse, output sorted):
+/// the `retain_incumbents` best scores (ties broken by lower index),
+/// the `retain_recent` newest observations, and an evenly strided
+/// diversity sample over the rest until `cap` is reached. Returns all
+/// indices when the history fits the cap.
+pub fn subsample_indices(
+    ys: &[f64],
+    cap: usize,
+    retain_incumbents: usize,
+    retain_recent: usize,
+) -> Vec<usize> {
+    let n = ys.len();
+    let cap = cap.max(2);
+    if n <= cap {
+        return (0..n).collect();
+    }
+    let mut picked = vec![false; n];
+    let mut remaining = cap;
+    // Incumbents: stable sort by (-y, index) keeps ties deterministic.
+    let mut by_score: Vec<usize> = (0..n).collect();
+    by_score.sort_by(|&a, &b| ys[b].partial_cmp(&ys[a]).unwrap_or(std::cmp::Ordering::Equal));
+    for &i in by_score.iter().take(retain_incumbents.min(remaining)) {
+        picked[i] = true;
+    }
+    remaining = cap - picked.iter().filter(|&&p| p).count();
+    // Recency tail.
+    for i in (0..n).rev().take(retain_recent) {
+        if remaining == 0 {
+            break;
+        }
+        if !picked[i] {
+            picked[i] = true;
+            remaining -= 1;
+        }
+    }
+    // Diversity: evenly strided over the still-unpicked indices.
+    if remaining > 0 {
+        let pool: Vec<usize> = (0..n).filter(|&i| !picked[i]).collect();
+        let take = remaining.min(pool.len());
+        for t in 0..take {
+            // Even stride over the pool, first and last included.
+            let pos = if take == 1 { 0 } else { t * (pool.len() - 1) / (take - 1) };
+            picked[pool[pos]] = true;
+        }
+    }
+    (0..n).filter(|&i| picked[i]).collect()
+}
+
+/// Farthest-point inducing selection: the incumbent first, then
+/// greedily the observation farthest (unit-space Euclidean) from the
+/// chosen set, ties broken by lower index. Returns at most `m` sorted
+/// indices. O(n·m·d), run only at refit boundaries.
+pub fn select_inducing(xs: &[Vec<f64>], ys: &[f64], m: usize) -> Vec<usize> {
+    let n = xs.len();
+    let m = m.min(n);
+    if m == 0 {
+        return Vec::new();
+    }
+    let mut best = 0usize;
+    for (i, y) in ys.iter().enumerate() {
+        if *y > ys[best] {
+            best = i;
+        }
+    }
+    let dist2 = |a: &[f64], b: &[f64]| -> f64 {
+        a.iter().zip(b).map(|(u, v)| (u - v) * (u - v)).sum::<f64>()
+    };
+    let mut chosen = Vec::with_capacity(m);
+    chosen.push(best);
+    // min squared distance of every point to the chosen set.
+    let mut min_d2: Vec<f64> = xs.iter().map(|x| dist2(x, &xs[best])).collect();
+    while chosen.len() < m {
+        let mut far = 0usize;
+        for (i, d) in min_d2.iter().enumerate() {
+            if *d > min_d2[far] {
+                far = i;
+            }
+        }
+        chosen.push(far);
+        for (i, d) in min_d2.iter_mut().enumerate() {
+            let nd = dist2(&xs[i], &xs[far]);
+            if nd < *d {
+                *d = nd;
+            }
+        }
+    }
+    chosen.sort_unstable();
+    chosen.dedup();
+    chosen
+}
+
+/// The sparse surrogate's mutable state between hyperparameter refits:
+/// the inducing set and factors that are fixed until the next refit,
+/// and the rank-1-updatable data accumulators.
+#[derive(Clone)]
+pub(crate) struct SparseModel {
+    /// Inducing inputs Z (copies; m is small).
+    pub z: Vec<Vec<f64>>,
+    /// K_mm (with the factorization jitter on its diagonal).
+    kmm: Matrix,
+    /// chol(K_mm), for the DTC variance term.
+    lk: Matrix,
+    /// Data term A = K_mn·K_nm, rank-1 updated per observation.
+    a: Matrix,
+    /// b = K_mn·y (raw targets).
+    b_raw: Vec<f64>,
+    /// s = K_mn·1 (per-inducing kernel row sums over observations).
+    s: Vec<f64>,
+    /// chol(σ²·K_mm + A); rebuilt by [`SparseModel::refresh`].
+    lg: Matrix,
+    /// G⁻¹·K_mn·y_std, the posterior-mean weights.
+    alpha: Vec<f64>,
+    /// Accumulators have advanced past the factor; `refresh` before
+    /// predicting. Purely lazy — the refreshed values are a function
+    /// of the accumulators alone, so timing cannot affect results.
+    stale: bool,
+    /// History length at the last refit (drives the growth schedule).
+    pub last_refit_n: usize,
+}
+
+/// Rows per parallel build chunk. Fixed (never derived from the worker
+/// count) so the ordered partial-sum reduction is bit-identical at any
+/// parallelism.
+const BUILD_CHUNK: usize = 512;
+
+/// Jitter ladder for the G factorization: ill-conditioned data terms
+/// get progressively heavier regularization instead of an abort.
+const G_JITTERS: [f64; 4] = [1e-8, 1e-6, 1e-4, 1e-2];
+
+impl SparseModel {
+    /// Builds the model from scratch over the full history: selects
+    /// nothing (the caller chose `z`), computes K_mm and streams the
+    /// O(n·m²) data term in fixed-width chunks fanned out across
+    /// `workers` threads, partial sums reduced in chunk order.
+    /// Returns `None` if K_mm cannot be factored even with the jitter
+    /// ladder.
+    pub fn build(
+        kernel: &(dyn Fn(&[f64], &[f64]) -> f64 + Sync),
+        xs: &[Vec<f64>],
+        ys: &[f64],
+        z_idx: &[usize],
+        workers: usize,
+    ) -> Option<SparseModel> {
+        let m = z_idx.len();
+        let z: Vec<Vec<f64>> = z_idx.iter().map(|&i| xs[i].clone()).collect();
+        let kmm = Matrix::from_symmetric_fn(m, |i, j| kernel(&z[i], &z[j]));
+        let lk = G_JITTERS.iter().find_map(|&j| kmm.cholesky(j).ok())?;
+
+        // One (A, b, s) partial per fixed-width chunk of observations.
+        struct Partial {
+            a: Matrix,
+            b: Vec<f64>,
+            s: Vec<f64>,
+        }
+        let chunk_of = |range: std::ops::Range<usize>| -> Partial {
+            let mut p = Partial { a: Matrix::zeros(m, m), b: vec![0.0; m], s: vec![0.0; m] };
+            let mut k = vec![0.0; m];
+            for i in range {
+                for (kj, zj) in k.iter_mut().zip(&z) {
+                    *kj = kernel(&xs[i], zj);
+                }
+                for r in 0..m {
+                    let kr = k[r];
+                    let row = p.a.row_mut(r);
+                    for (dst, kc) in row[..=r].iter_mut().zip(&k) {
+                        *dst += kr * kc;
+                    }
+                }
+                for ((b, s), kv) in p.b.iter_mut().zip(p.s.iter_mut()).zip(&k) {
+                    *b += kv * ys[i];
+                    *s += kv;
+                }
+            }
+            p
+        };
+        let n = xs.len();
+        let ranges: Vec<std::ops::Range<usize>> =
+            (0..n).step_by(BUILD_CHUNK).map(|a| a..(a + BUILD_CHUNK).min(n)).collect();
+        let workers = workers.clamp(1, ranges.len().max(1));
+        let partials: Vec<Partial> = if workers <= 1 {
+            ranges.into_iter().map(chunk_of).collect()
+        } else {
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = ranges
+                    .into_iter()
+                    .map(|r| {
+                        let chunk_of = &chunk_of;
+                        scope.spawn(move || chunk_of(r))
+                    })
+                    .collect();
+                handles.into_iter().map(|h| h.join().expect("build chunk panicked")).collect()
+            })
+        };
+        // Ordered reduction: chunk 0, then 1, ... — identical chains
+        // for every worker count.
+        let mut a = Matrix::zeros(m, m);
+        let mut b_raw = vec![0.0; m];
+        let mut s = vec![0.0; m];
+        for p in &partials {
+            for r in 0..m {
+                let (dst, src) = (a.row_mut(r), p.a.row(r));
+                for (d, v) in dst[..=r].iter_mut().zip(&src[..=r]) {
+                    *d += v;
+                }
+            }
+            for ((db, ds), (sb, ss)) in b_raw.iter_mut().zip(s.iter_mut()).zip(p.b.iter().zip(&p.s))
+            {
+                *db += sb;
+                *ds += ss;
+            }
+        }
+        // Mirror the lower triangle.
+        for r in 0..m {
+            for c in 0..r {
+                a[(c, r)] = a[(r, c)];
+            }
+        }
+        Some(SparseModel {
+            z,
+            kmm,
+            lk,
+            a,
+            b_raw,
+            s,
+            lg: Matrix::zeros(0, 0),
+            alpha: Vec::new(),
+            stale: true,
+            last_refit_n: n,
+        })
+    }
+
+    /// Number of inducing points.
+    pub fn inducing(&self) -> usize {
+        self.z.len()
+    }
+
+    /// Whether the model has ever produced a usable posterior (a
+    /// successful [`SparseModel::refresh`]). When `false` the caller
+    /// serves the prior instead.
+    pub fn ready(&self) -> bool {
+        !self.alpha.is_empty()
+    }
+
+    /// Folds one new observation into the data accumulators:
+    /// O(m·d + m²). The factor goes stale; it is rebuilt lazily by
+    /// [`SparseModel::refresh`] before the next prediction.
+    pub fn append(&mut self, kernel: &(dyn Fn(&[f64], &[f64]) -> f64 + Sync), x: &[f64], y: f64) {
+        let m = self.z.len();
+        let k: Vec<f64> = self.z.iter().map(|zj| kernel(x, zj)).collect();
+        for r in 0..m {
+            let kr = k[r];
+            let row = self.a.row_mut(r);
+            for (dst, kc) in row.iter_mut().zip(&k) {
+                *dst += kr * kc;
+            }
+        }
+        for ((b, s), kv) in self.b_raw.iter_mut().zip(self.s.iter_mut()).zip(&k) {
+            *b += kv * y;
+            *s += kv;
+        }
+        self.stale = true;
+    }
+
+    /// Rebuilds the G factor and posterior weights from the current
+    /// accumulators and target standardization: O(m³). Returns `false`
+    /// (leaving the previous factor in place) if G resists the whole
+    /// jitter ladder; the caller counts that and keeps serving the
+    /// stale-but-valid posterior.
+    pub fn refresh(&mut self, noise_var: f64, y_mean: f64, y_std: f64) -> bool {
+        if !self.stale && !self.alpha.is_empty() {
+            return true;
+        }
+        let m = self.z.len();
+        let mut g = Matrix::zeros(m, m);
+        for r in 0..m {
+            let (dst, (ar, kr)) = (g.row_mut(r), (self.a.row(r), self.kmm.row(r)));
+            for ((d, a), k) in dst.iter_mut().zip(ar).zip(kr) {
+                *d = noise_var * k + a;
+            }
+        }
+        let Some(lg) = G_JITTERS.iter().find_map(|&j| g.cholesky(j).ok()) else {
+            return false;
+        };
+        let b_std: Vec<f64> =
+            self.b_raw.iter().zip(&self.s).map(|(b, s)| (b - y_mean * s) / y_std).collect();
+        self.alpha = lg.cholesky_solve(&b_std);
+        self.lg = lg;
+        self.stale = false;
+        true
+    }
+
+    /// Posterior mean and variance (standardized units) for a batch of
+    /// candidates, via two column-blocked triangular solves against the
+    /// m×m factors. `kss` is the prior variance at a point (signal +
+    /// noise, matching the exact path) and `noise_var` scales the DTC
+    /// G-term. Requires a fresh factor ([`SparseModel::refresh`]).
+    pub fn predict_batch(
+        &self,
+        kernel: &(dyn Fn(&[f64], &[f64]) -> f64 + Sync),
+        candidates: &[Vec<f64>],
+        kss: f64,
+        noise_var: f64,
+        workers: usize,
+    ) -> Vec<(f64, f64)> {
+        debug_assert!(!self.alpha.is_empty(), "predict_batch requires a refreshed factor");
+        let (m, q) = (self.z.len(), candidates.len());
+        let mut kzc = Matrix::zeros(m, q);
+        for (j, x) in candidates.iter().enumerate() {
+            for (i, zi) in self.z.iter().enumerate() {
+                kzc[(i, j)] = kernel(x, zi);
+            }
+        }
+        let vk = self.lk.solve_lower_batch_par(&kzc, workers);
+        let vg = self.lg.solve_lower_batch_par(&kzc, workers);
+        (0..q)
+            .map(|j| {
+                let mean: f64 = (0..m).map(|i| kzc[(i, j)] * self.alpha[i]).sum();
+                let qff: f64 = (0..m).map(|i| vk[(i, j)] * vk[(i, j)]).sum();
+                let gff: f64 = (0..m).map(|i| vg[(i, j)] * vg[(i, j)]).sum();
+                let var = (kss - qff + noise_var * gff).max(1e-12);
+                (mean, var)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn subsample_returns_everything_under_the_cap() {
+        let ys: Vec<f64> = (0..10).map(|i| i as f64).collect();
+        assert_eq!(subsample_indices(&ys, 16, 4, 4), (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn subsample_keeps_incumbents_and_recent_and_is_deterministic() {
+        // Best scores sit early in a 100-long history; the tail is
+        // mediocre. Both must survive subsampling.
+        let ys: Vec<f64> =
+            (0..100).map(|i| if i < 5 { 100.0 + i as f64 } else { -(i as f64) }).collect();
+        let idx = subsample_indices(&ys, 20, 5, 8);
+        assert_eq!(idx.len(), 20);
+        for incumbent in 0..5 {
+            assert!(idx.contains(&incumbent), "incumbent {incumbent} dropped");
+        }
+        for recent in 92..100 {
+            assert!(idx.contains(&recent), "recent {recent} dropped");
+        }
+        assert_eq!(idx, subsample_indices(&ys, 20, 5, 8), "must be deterministic");
+        let mut sorted = idx.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted, idx, "sorted and duplicate-free");
+    }
+
+    #[test]
+    fn subsample_diversity_fill_spans_the_middle() {
+        let ys: Vec<f64> = vec![0.0; 1000];
+        let idx = subsample_indices(&ys, 50, 4, 4);
+        assert_eq!(idx.len(), 50);
+        // The strided fill must reach deep into the middle of the
+        // history, not cluster at the ends.
+        assert!(idx.iter().any(|&i| (300..700).contains(&i)));
+    }
+
+    #[test]
+    fn inducing_selection_starts_at_the_incumbent_and_spreads() {
+        let xs: Vec<Vec<f64>> = (0..50).map(|i| vec![i as f64 / 49.0, 0.5]).collect();
+        let mut ys = vec![0.0; 50];
+        ys[20] = 10.0; // incumbent in the middle
+        let idx = select_inducing(&xs, &ys, 5);
+        assert!(idx.contains(&20), "incumbent must be an inducing point");
+        assert_eq!(idx.len(), 5);
+        // Farthest-point must cover both extremes of the line.
+        assert!(idx.contains(&0) && idx.contains(&49), "{idx:?}");
+        assert_eq!(idx, select_inducing(&xs, &ys, 5), "deterministic");
+    }
+
+    #[test]
+    fn inducing_selection_caps_at_history_size() {
+        let xs: Vec<Vec<f64>> = (0..3).map(|i| vec![i as f64]).collect();
+        let ys = vec![0.0, 1.0, 2.0];
+        assert_eq!(select_inducing(&xs, &ys, 10), vec![0, 1, 2]);
+    }
+
+    /// With Z = X (every observation inducing), the SoR mean at an
+    /// observed point reproduces the exact GP posterior mean.
+    #[test]
+    fn degenerate_model_matches_the_exact_gp_mean() {
+        let kernel = |a: &[f64], b: &[f64]| -> f64 {
+            let d2: f64 = a.iter().zip(b).map(|(u, v)| (u - v) * (u - v)).sum();
+            (-d2 / 0.32).exp()
+        };
+        let xs: Vec<Vec<f64>> = (0..12).map(|i| vec![i as f64 / 11.0]).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| (6.0 * x[0]).sin()).collect();
+        let noise = 1e-3;
+        let z: Vec<usize> = (0..12).collect();
+        let mut model = SparseModel::build(&kernel, &xs, &ys, &z, 1).unwrap();
+        assert!(model.refresh(noise, 0.0, 1.0));
+        let preds = model.predict_batch(&kernel, &xs, 1.0 + noise, noise, 1);
+
+        // Exact GP: alpha = (K + noise I)^-1 y.
+        let k = Matrix::from_symmetric_fn(12, |i, j| {
+            kernel(&xs[i], &xs[j]) + if i == j { noise } else { 0.0 }
+        });
+        let l = k.cholesky(1e-8).unwrap();
+        let alpha = l.cholesky_solve(&ys);
+        for (i, (mean, var)) in preds.iter().enumerate() {
+            let exact: f64 = xs.iter().zip(&alpha).map(|(xj, a)| kernel(&xs[i], xj) * a).sum();
+            assert!((mean - exact).abs() < 1e-4, "point {i}: sparse mean {mean} vs exact {exact}");
+            assert!(*var > 0.0 && *var < 0.1, "observed point should be confident: {var}");
+        }
+    }
+
+    /// Incremental appends land on the same accumulators as a from-
+    /// scratch build (up to the ordered-chunk reduction), and the
+    /// chunked build itself is worker-count invariant bitwise.
+    #[test]
+    fn build_is_worker_count_invariant_bitwise() {
+        let kernel = |a: &[f64], b: &[f64]| -> f64 {
+            let d2: f64 = a.iter().zip(b).map(|(u, v)| (u - v) * (u - v)).sum();
+            (-d2).exp()
+        };
+        let xs: Vec<Vec<f64>> =
+            (0..700).map(|i| vec![(i as f64 * 0.37).fract(), (i as f64 * 0.71).fract()]).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| x[0] - x[1]).collect();
+        let z = select_inducing(&xs, &ys, 16);
+        let reference = SparseModel::build(&kernel, &xs, &ys, &z, 1).unwrap();
+        for workers in [2usize, 4, 8] {
+            let model = SparseModel::build(&kernel, &xs, &ys, &z, workers).unwrap();
+            for r in 0..reference.a.rows() {
+                for c in 0..reference.a.cols() {
+                    assert_eq!(
+                        model.a[(r, c)].to_bits(),
+                        reference.a[(r, c)].to_bits(),
+                        "A[{r}][{c}] diverged at workers={workers}"
+                    );
+                }
+            }
+            for i in 0..reference.b_raw.len() {
+                assert_eq!(model.b_raw[i].to_bits(), reference.b_raw[i].to_bits());
+                assert_eq!(model.s[i].to_bits(), reference.s[i].to_bits());
+            }
+        }
+    }
+}

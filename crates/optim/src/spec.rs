@@ -141,6 +141,19 @@ pub trait Optimizer: Send {
         None
     }
 
+    /// Whether retracting fantasized observations via
+    /// [`Optimizer::snapshot`]/[`Optimizer::restore`] is cheaper than
+    /// rebuilding a fresh instance and replaying the true history.
+    /// Purely a performance hint — both retraction strategies produce
+    /// bit-identical suggestion streams (pinned by the runtime's batch
+    /// tests). `true` for optimizers whose snapshot is a small state
+    /// copy (GP factor, RNG); overridden to `false` where the snapshot
+    /// clones a heavyweight model that replay would simply not build
+    /// (SMAC's cached forest).
+    fn snapshot_beats_replay(&self) -> bool {
+        true
+    }
+
     /// Restores state previously captured by [`Optimizer::snapshot`].
     /// Returns `false` (leaving the optimizer untouched) when the
     /// snapshot is of a foreign type or the optimizer does not support
@@ -173,6 +186,10 @@ pub enum OptimizerKind {
     Random,
     Smac,
     GpBo,
+    /// GP-BO with the sparse inducing-point surrogate
+    /// ([`crate::sparse`]) — the scalable path for histories in the
+    /// thousands.
+    GpBoSparse,
     Ddpg,
 }
 
@@ -183,6 +200,7 @@ impl OptimizerKind {
             OptimizerKind::Random => "random",
             OptimizerKind::Smac => "smac",
             OptimizerKind::GpBo => "gp_bo",
+            OptimizerKind::GpBoSparse => "gp_bo_sparse",
             OptimizerKind::Ddpg => "ddpg",
         }
     }
@@ -196,6 +214,9 @@ impl OptimizerKind {
             }
             OptimizerKind::GpBo => {
                 Box::new(crate::GpBo::new(spec.clone(), crate::GpConfig::default(), seed))
+            }
+            OptimizerKind::GpBoSparse => {
+                Box::new(crate::GpBo::new(spec.clone(), crate::GpConfig::sparse_default(), seed))
             }
             OptimizerKind::Ddpg => Box::new(crate::Ddpg::new(
                 spec.clone(),

@@ -15,19 +15,24 @@
 //!
 //! Retraction has two implementations:
 //!
-//! * **Snapshot-restore** (the default, [`RetractionMode::Snapshot`]):
-//!   before fantasizing, the wrapper captures the inner optimizer's
-//!   state via [`Optimizer::snapshot`]; retracting restores it and feeds
-//!   only the real observations that arrived since — O(state copy)
-//!   instead of O(rebuild + full-history replay). Restoration is exact
-//!   by contract (bit-identical state), so this path preserves the
-//!   reproducibility guarantees unchanged.
+//! * **Snapshot-restore** ([`RetractionMode::Snapshot`]): before
+//!   fantasizing, the wrapper captures the inner optimizer's state via
+//!   [`Optimizer::snapshot`]; retracting restores it and feeds only the
+//!   real observations that arrived since — O(state copy) instead of
+//!   O(rebuild + full-history replay). Restoration is exact by contract
+//!   (bit-identical state), so this path preserves the reproducibility
+//!   guarantees unchanged.
 //! * **Rebuild-and-replay** ([`RetractionMode::Rebuild`], and the
 //!   automatic fallback whenever `snapshot()` returns `None`): rebuild
 //!   the optimizer from its factory and replay every real observation in
 //!   iteration order. This is how retraction stays exact for optimizers
 //!   whose state cannot be copied out (DDPG's replay buffer and target
 //!   networks).
+//!
+//! The default ([`RetractionMode::Auto`]) defers the choice to the
+//! optimizer's own [`Optimizer::snapshot_beats_replay`] hint, so the
+//! wrapper is never a pessimization: GP-BO retracts by snapshot, SMAC —
+//! whose snapshot clones its cached forest — by replay.
 //!
 //! For campaigns driven entirely through `suggest_batch`/`observe_batch`
 //! rounds — the only way the session loops use the wrapper — the two
@@ -48,10 +53,18 @@ use llamatune_optim::{Observation, Optimizer};
 /// How [`BatchSuggest`] retracts fantasized observations.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum RetractionMode {
-    /// Restore the optimizer's pre-batch snapshot and feed it the real
-    /// results (falls back to [`RetractionMode::Rebuild`] when the
-    /// optimizer does not support snapshots).
+    /// Ask the wrapped optimizer which strategy is cheaper for it
+    /// ([`Optimizer::snapshot_beats_replay`]) and use that. Both
+    /// strategies produce bit-identical suggestion streams (pinned by
+    /// `retraction_modes_produce_identical_streams` below), so the hint
+    /// is purely about cost: snapshotting is O(state copy) for the GP's
+    /// factor but *slower* than replay for SMAC, whose snapshot clones
+    /// the cached forest that replay would simply not rebuild.
     #[default]
+    Auto,
+    /// Always restore the optimizer's pre-batch snapshot and feed it
+    /// the real results (falls back to [`RetractionMode::Rebuild`] when
+    /// the optimizer does not support snapshots).
     Snapshot,
     /// Always rebuild from the factory and replay the full real history
     /// (the pre-snapshot behavior, kept for benchmarking and as the
@@ -196,9 +209,15 @@ impl Optimizer for BatchSuggest {
         // Capture the pre-fantasy state so retraction is an O(copy)
         // restore instead of a rebuild; optimizers that cannot snapshot
         // (DDPG) return None here and keep the rebuild fallback.
-        self.snapshot = match self.mode {
-            RetractionMode::Snapshot => self.inner.snapshot().map(|snap| (snap, self.real.len())),
-            RetractionMode::Rebuild => None,
+        let use_snapshot = match self.mode {
+            RetractionMode::Auto => self.inner.snapshot_beats_replay(),
+            RetractionMode::Snapshot => true,
+            RetractionMode::Rebuild => false,
+        };
+        self.snapshot = if use_snapshot {
+            self.inner.snapshot().map(|snap| (snap, self.real.len()))
+        } else {
+            None
         };
         let lie = self.strategy.lie(&self.real);
         let mut batch = Vec::with_capacity(q);
@@ -355,17 +374,22 @@ mod tests {
             ("ddpg", || OptimizerKind::Ddpg.build(&SearchSpec::continuous(2), 5)),
         ];
         for (name, factory) in factories {
-            let fast = BatchSuggest::new(Box::new(factory));
+            let auto = BatchSuggest::new(Box::new(factory));
+            let fast =
+                BatchSuggest::new(Box::new(factory)).with_retraction(RetractionMode::Snapshot);
             let slow =
                 BatchSuggest::new(Box::new(factory)).with_retraction(RetractionMode::Rebuild);
+            let reference = drive(auto, 3, 5);
             let a = drive(fast, 3, 5);
             let b = drive(slow, 3, 5);
+            assert_eq!(reference, a, "{name}: snapshot mode changed the suggestion stream");
             assert_eq!(a, b, "{name}: retraction mode changed the suggestion stream");
         }
     }
 
     /// A snapshot-capable optimizer retracts without touching the
-    /// factory; one that cannot snapshot (DDPG) falls back to it.
+    /// factory when snapshot mode is forced; one that cannot snapshot
+    /// (DDPG) falls back to it.
     #[test]
     fn snapshot_retraction_skips_the_factory_rebuild() {
         use std::sync::atomic::{AtomicUsize, Ordering};
@@ -375,13 +399,49 @@ mod tests {
         let mut opt = BatchSuggest::new(Box::new(move || -> Box<dyn Optimizer> {
             counter.fetch_add(1, Ordering::SeqCst);
             Box::new(Smac::new(SearchSpec::continuous(2), SmacConfig::default(), 3))
-        }));
+        }))
+        .with_retraction(RetractionMode::Snapshot);
         assert_eq!(rebuilds.load(Ordering::SeqCst), 1, "one build at construction");
         drop(drive_mut(&mut opt, 3, 4));
         assert_eq!(
             rebuilds.load(Ordering::SeqCst),
             1,
             "snapshot retraction must never rebuild a snapshot-capable optimizer"
+        );
+    }
+
+    /// The default mode follows each optimizer's cost hint: SMAC (whose
+    /// snapshot clones the cached forest) retracts by rebuild-and-
+    /// replay, GP-BO by snapshot-restore.
+    #[test]
+    fn auto_mode_follows_the_optimizer_cost_hint() {
+        use llamatune_optim::{GpBo, GpConfig};
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        use std::sync::Arc;
+
+        let rebuilds = Arc::new(AtomicUsize::new(0));
+        let counter = rebuilds.clone();
+        let mut smac = BatchSuggest::new(Box::new(move || -> Box<dyn Optimizer> {
+            counter.fetch_add(1, Ordering::SeqCst);
+            Box::new(Smac::new(SearchSpec::continuous(2), SmacConfig::default(), 3))
+        }));
+        drop(drive_mut(&mut smac, 3, 4));
+        assert!(
+            rebuilds.load(Ordering::SeqCst) > 1,
+            "auto mode must retract SMAC via rebuild-and-replay"
+        );
+
+        let rebuilds = Arc::new(AtomicUsize::new(0));
+        let counter = rebuilds.clone();
+        let mut gp = BatchSuggest::new(Box::new(move || -> Box<dyn Optimizer> {
+            counter.fetch_add(1, Ordering::SeqCst);
+            Box::new(GpBo::new(SearchSpec::continuous(2), GpConfig::default(), 3))
+        }));
+        drop(drive_mut(&mut gp, 3, 4));
+        assert_eq!(
+            rebuilds.load(Ordering::SeqCst),
+            1,
+            "auto mode must retract GP-BO via snapshot-restore"
         );
     }
 

@@ -417,6 +417,7 @@ impl Campaign {
     /// in the session's metadata — a resume reuses them verbatim even
     /// if the store has since learned better candidates.
     pub fn run_with_store(&self, store: &TrialStore) -> std::io::Result<Vec<CampaignResult>> {
+        self.publish_worker_budget();
         store.set_tracer(self.opts.tracer.clone());
         let cells = self.cells();
         let lanes = self.opts.session_parallelism.clamp(1, cells.len().max(1));
@@ -483,6 +484,7 @@ impl Campaign {
         workers: usize,
         store_opts: StoreOptions,
     ) -> std::io::Result<Vec<CampaignResult>> {
+        self.publish_worker_budget();
         let cells = self.cells();
         let workers = workers.clamp(1, cells.len().max(1));
         let next = AtomicUsize::new(0);
@@ -861,7 +863,17 @@ impl Campaign {
         points.into_iter().filter(|p| p.len() == dims).collect()
     }
 
+    /// Publishes the campaign's trial-worker count as the process-global
+    /// budget for blocked factorizations and sparse-surrogate builds
+    /// ([`llamatune_math::set_worker_budget`]). Those kernels are
+    /// bit-identical at any worker count, so sharing one global across
+    /// concurrent campaigns only affects speed, never results.
+    fn publish_worker_budget(&self) {
+        llamatune_math::set_worker_budget(self.opts.trial_workers);
+    }
+
     fn run_inner(&self, log: Option<&LogSink<'_>>) -> Vec<CampaignResult> {
+        self.publish_worker_budget();
         let cells = self.cells();
         let lanes = self.opts.session_parallelism.clamp(1, cells.len().max(1));
         let mut results: Vec<Option<CampaignResult>> = (0..cells.len()).map(|_| None).collect();
