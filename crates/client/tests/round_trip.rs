@@ -1,0 +1,214 @@
+//! The acceptance contract of tuning-as-a-service: a session served
+//! over the wire exports a history byte-identical to the same cell run
+//! in-process through [`SessionDriver`], and a client killed mid-session
+//! (or a daemon restarted mid-session) resumes without re-evaluating a
+//! single completed trial.
+
+use llamatune::history_io::{events_to_jsonl, history_to_events};
+use llamatune::pipeline::LlamaTuneConfig;
+use llamatune::session::{Trial, TrialExecutor};
+use llamatune_client::{run_remote_session, Client, RemoteSessionOptions};
+use llamatune_engine::RunOptions;
+use llamatune_runtime::{
+    AdapterKind, CampaignOptions, CellSpec, OptimizerKind, SessionDriver, WorkloadExecutor,
+};
+use llamatune_server::wire::{CreateSession, Report, SuggestReply, WireResult};
+use llamatune_server::{Server, ServerConfig, ServerHandle, SessionRegistry};
+use llamatune_space::catalog::postgres_v9_6;
+use llamatune_space::ConfigSpace;
+use llamatune_store::{ObjectStoreBackend, StoreBackend, StoreOptions};
+use llamatune_workloads::{workload_by_name, TrialRunner, WorkloadRunner};
+use std::sync::Arc;
+use std::time::Duration;
+
+const ITERATIONS: usize = 8;
+const N_INIT: usize = 3;
+const BATCH: usize = 3;
+const TOTAL_TRIALS: usize = ITERATIONS + 1; // + the iteration-0 default
+
+fn run_opts() -> RunOptions {
+    RunOptions { duration_s: 0.2, warmup_s: 0.05, max_txns: 20_000, ..Default::default() }
+}
+
+fn quick_opts() -> CampaignOptions {
+    CampaignOptions {
+        session: llamatune::session::SessionOptions {
+            iterations: ITERATIONS,
+            n_init: N_INIT,
+            ..Default::default()
+        },
+        batch_size: BATCH,
+        trial_workers: 2,
+        run_options: Some(run_opts()),
+        ..Default::default()
+    }
+}
+
+fn spec(seed: u64) -> CreateSession {
+    CreateSession {
+        workload: "ycsb_b".to_string(),
+        adapter: AdapterKind::LlamaTune(LlamaTuneConfig::default()),
+        optimizer: "smac".to_string(),
+        seed,
+        iterations: ITERATIONS,
+        n_init: N_INIT,
+        batch_size: BATCH,
+    }
+}
+
+fn client_opts() -> RemoteSessionOptions {
+    RemoteSessionOptions { trial_workers: 2, run_options: Some(run_opts()), ..Default::default() }
+}
+
+/// The reference: the same cell driven in-process by [`SessionDriver`],
+/// rendered through the identical event path.
+fn in_process_jsonl(catalog: &ConfigSpace, seed: u64) -> String {
+    let opts = quick_opts();
+    let cell = CellSpec::new(
+        "ycsb_b",
+        AdapterKind::LlamaTune(LlamaTuneConfig::default()),
+        OptimizerKind::Smac,
+        seed,
+    );
+    let result = SessionDriver::new(catalog, &opts, cell).run().unwrap();
+    events_to_jsonl(&history_to_events(&result.label, &result.history))
+}
+
+fn start_daemon(
+    backend: Arc<dyn StoreBackend>,
+) -> (ServerHandle, std::thread::JoinHandle<()>, String) {
+    let registry = Arc::new(SessionRegistry::new(
+        backend,
+        postgres_v9_6(),
+        quick_opts(),
+        StoreOptions::default(),
+    ));
+    let cfg = ServerConfig { suggest_timeout: Duration::from_secs(30), ..Default::default() };
+    let server = Server::bind("127.0.0.1:0", registry, cfg).unwrap();
+    let handle = server.handle().unwrap();
+    let addr = server.local_addr().unwrap().to_string();
+    let join = std::thread::spawn(move || server.serve().unwrap());
+    (handle, join, addr)
+}
+
+#[test]
+fn served_session_exports_byte_identical_history() {
+    let catalog = postgres_v9_6();
+    let expected = in_process_jsonl(&catalog, 7);
+
+    let (handle, join, addr) = start_daemon(Arc::new(ObjectStoreBackend::default()));
+    let outcome = run_remote_session(&addr, &catalog, &spec(7), &client_opts()).unwrap();
+    assert_eq!(outcome.trials_evaluated, TOTAL_TRIALS);
+    assert!(outcome.rounds_evaluated >= 3, "default round + batched rounds");
+    assert_eq!(outcome.jsonl, expected, "wire round trip must be byte-identical");
+
+    // Re-attaching to the finished session re-evaluates nothing and
+    // exports the same bytes.
+    let again = run_remote_session(&addr, &catalog, &spec(7), &client_opts()).unwrap();
+    assert_eq!(again.trials_evaluated, 0, "attach to a finished session runs nothing");
+    assert_eq!(again.jsonl, expected);
+
+    handle.shutdown();
+    join.join().unwrap();
+}
+
+/// A hand-rolled client evaluating exactly like the library loop does,
+/// so tests can stop ("kill") it between arbitrary rounds.
+fn evaluate_rounds(
+    client: &mut Client,
+    catalog: &ConfigSpace,
+    session: &str,
+    seed: u64,
+    rounds: usize,
+) -> usize {
+    let runner: Arc<dyn TrialRunner> = Arc::new(
+        WorkloadRunner::new(workload_by_name("ycsb_b").unwrap(), catalog.clone())
+            .with_options(run_opts()),
+    );
+    let mut executor =
+        WorkloadExecutor::from_trial_runner(runner, catalog.clone(), seed ^ 0x5EED, 2);
+    let mut evaluated = 0;
+    for _ in 0..rounds {
+        match client.suggest_batch(session).unwrap() {
+            SuggestReply::Done => panic!("session finished before the kill point"),
+            SuggestReply::Round { round, trials } => {
+                let batch: Vec<Trial> = trials
+                    .iter()
+                    .map(|t| Trial { iteration: t.iteration, config: t.to_config().unwrap() })
+                    .collect();
+                let results = executor.run_batch(&batch);
+                evaluated += results.len();
+                client
+                    .report(&Report {
+                        session: session.to_string(),
+                        round,
+                        results: results.iter().map(WireResult::from_eval).collect(),
+                    })
+                    .unwrap();
+            }
+        }
+    }
+    evaluated
+}
+
+#[test]
+fn killed_client_resumes_without_reevaluating() {
+    let catalog = postgres_v9_6();
+    let expected = in_process_jsonl(&catalog, 11);
+    let (handle, join, addr) = start_daemon(Arc::new(ObjectStoreBackend::default()));
+
+    // Client A: attach, evaluate two rounds, then die without a word.
+    let evaluated_by_a;
+    {
+        let mut a = Client::connect(&addr).unwrap();
+        let attached = a.create_session(&spec(11)).unwrap();
+        assert!(!attached.done);
+        evaluated_by_a = evaluate_rounds(&mut a, &catalog, &attached.session, 11, 2);
+        // dropped here: the TCP connection dies mid-session
+    }
+    assert!(evaluated_by_a > 0 && evaluated_by_a < TOTAL_TRIALS);
+
+    // Client B: re-attach and finish. Every trial A reported is already
+    // recorded server-side; B must evaluate exactly the remainder.
+    let outcome = run_remote_session(&addr, &catalog, &spec(11), &client_opts()).unwrap();
+    assert_eq!(
+        outcome.trials_evaluated,
+        TOTAL_TRIALS - evaluated_by_a,
+        "resume must not re-evaluate completed trials"
+    );
+    assert_eq!(outcome.jsonl, expected, "kill + resume must stay byte-identical");
+
+    handle.shutdown();
+    join.join().unwrap();
+}
+
+#[test]
+fn daemon_restart_resumes_from_the_store() {
+    let catalog = postgres_v9_6();
+    let expected = in_process_jsonl(&catalog, 23);
+    let backend: Arc<dyn StoreBackend> = Arc::new(ObjectStoreBackend::default());
+
+    // Daemon 1: evaluate two rounds, kill the client, stop the daemon
+    // mid-session. Nothing unreported is recorded; the session stays
+    // Running in the store.
+    let evaluated_first;
+    {
+        let (handle, join, addr) = start_daemon(backend.clone());
+        let mut a = Client::connect(&addr).unwrap();
+        let attached = a.create_session(&spec(23)).unwrap();
+        evaluated_first = evaluate_rounds(&mut a, &catalog, &attached.session, 23, 2);
+        drop(a);
+        handle.shutdown();
+        join.join().unwrap();
+    }
+
+    // Daemon 2, same backend: the session resumes from its recorded
+    // round boundary and completes byte-identically.
+    let (handle, join, addr) = start_daemon(backend);
+    let outcome = run_remote_session(&addr, &catalog, &spec(23), &client_opts()).unwrap();
+    assert_eq!(outcome.trials_evaluated, TOTAL_TRIALS - evaluated_first);
+    assert_eq!(outcome.jsonl, expected, "daemon restart must stay byte-identical");
+
+    handle.shutdown();
+    join.join().unwrap();
+}

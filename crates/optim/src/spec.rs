@@ -205,6 +205,19 @@ impl OptimizerKind {
         }
     }
 
+    /// Parses a [`OptimizerKind::label`] back into the kind — the
+    /// inverse used by wire protocols and CLI flags.
+    pub fn parse(label: &str) -> Option<OptimizerKind> {
+        match label {
+            "random" => Some(OptimizerKind::Random),
+            "smac" => Some(OptimizerKind::Smac),
+            "gp_bo" => Some(OptimizerKind::GpBo),
+            "gp_bo_sparse" => Some(OptimizerKind::GpBoSparse),
+            "ddpg" => Some(OptimizerKind::Ddpg),
+            _ => None,
+        }
+    }
+
     /// Builds a fresh optimizer instance over `spec`.
     pub fn build(self, spec: &SearchSpec, seed: u64) -> Box<dyn Optimizer> {
         match self {

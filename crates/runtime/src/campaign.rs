@@ -1,45 +1,34 @@
-//! The campaign driver: fans a grid of tuning sessions across a thread
-//! pool.
+//! The campaign scheduler: fans a grid of tuning sessions across a
+//! thread pool.
 //!
 //! A campaign is the cross product (workload × adapter × optimizer ×
-//! seed). Sessions are distributed over `session_parallelism` scoped
-//! threads; inside each session, trials are batched
-//! (`run_session_parallel`) and evaluated by a [`WorkloadExecutor`] with
-//! `trial_workers` workers — two independent levers on the same pool.
-//! Per-trial [`TrialEvent`]s are appended to a JSONL log whose format
-//! lives in `llamatune::history_io`, so the sequential tooling (curve
-//! rebuilding, early-stopping replay) reads campaign transcripts
-//! unchanged.
+//! seed). Each cell runs through one [`SessionDriver`] — the single
+//! execution path shared with the `llamatune-server` daemon — and the
+//! campaign layer only decides *where* drivers run: inline, across
+//! `session_parallelism` scoped threads, or pulled from a queue by a
+//! fleet of shared-store writers. Attachments ([`CampaignAttachments`])
+//! compose the durability and observability seams: a JSONL event log, a
+//! persistent [`TrialStore`], or a fleet of shared writers over one
+//! [`StoreBackend`].
 //!
 //! Determinism: every session's history is a pure function of
 //! (workload, adapter, optimizer, session seed, batch size). Neither
-//! `trial_workers` nor `session_parallelism` influences any recorded
-//! number — they only change wall-clock time.
+//! `trial_workers` nor `session_parallelism` nor fleet worker counts
+//! influence any recorded number — they only change wall-clock time.
 
-use crate::batch::BatchSuggest;
-use crate::cache::{lock_recover, CacheStats, EvalCache};
-use crate::executor::WorkloadExecutor;
+use crate::cache::{lock_recover, CacheStats};
+use crate::driver::{CellSpec, EventSink, LogSink, SessionDriver};
 use crate::policy::{ExecutionPolicy, FaultStatsSnapshot};
-use llamatune::history_io::{events_to_jsonl, history_to_events, TrialEvent};
 use llamatune::pipeline::{
     IdentityAdapter, LlamaTuneConfig, LlamaTunePipeline, SearchSpaceAdapter,
 };
-use llamatune::session::{
-    run_session_parallel, run_session_resumable, SessionHistory, SessionOptions, TrialRecord,
-};
+use llamatune::session::{SessionHistory, SessionOptions};
 use llamatune_engine::RunOptions;
 use llamatune_obs::trace::{FanoutTracer, NoopTracer, RecordingTracer, Tracer};
 use llamatune_obs::{MetricsRegistry, MetricsSnapshot, ProgressSink};
-use llamatune_optim::{GuardFactory, GuardedOptimizer, Optimizer, SearchSpec};
-use llamatune_space::{Config, ConfigSpace};
-use llamatune_store::{
-    rebuild_history, SessionMeta, SessionStatus, StoreBackend, StoreOptions, StoredTrial,
-    TrialStore,
-};
-use llamatune_workloads::{
-    workload_by_name, workload_fingerprint, FaultPlan, FaultyRunner, TrialRunner, WorkloadRunner,
-    FINGERPRINT_PROBE_SEED,
-};
+use llamatune_space::ConfigSpace;
+use llamatune_store::{StoreBackend, StoreOptions, TrialStore};
+use llamatune_workloads::FaultPlan;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 
@@ -130,7 +119,10 @@ impl Default for WarmStartOptions {
     }
 }
 
-/// Execution knobs of a campaign.
+/// Execution knobs of a campaign. Construct directly (every field is
+/// public, `Default` is sensible) or through the validating
+/// [`CampaignOptions::builder`], which rejects nonsensical
+/// combinations at build time instead of mid-campaign.
 #[derive(Debug, Clone)]
 pub struct CampaignOptions {
     /// Per-session loop parameters (iterations, n_init, early stop; the
@@ -148,8 +140,11 @@ pub struct CampaignOptions {
     /// this is set, regardless of batch size: the wrapper's
     /// rebuild-and-replay state model is what makes resumed optimizer
     /// state bit-identical.
+    ///
+    /// [`BatchSuggest`]: crate::BatchSuggest
     pub constant_liar: bool,
-    /// Deduplicate evaluations through a per-session [`EvalCache`].
+    /// Deduplicate evaluations through a per-session
+    /// [`EvalCache`](crate::EvalCache).
     pub cache: bool,
     /// Capacity bound of the per-session cache (`None` = unbounded).
     pub cache_capacity: Option<usize>,
@@ -160,9 +155,10 @@ pub struct CampaignOptions {
     /// shorter windows than the per-workload defaults).
     pub run_options: Option<RunOptions>,
     /// Deterministic fault injection: wrap every session's runner in a
-    /// [`FaultyRunner`] with this plan (`None` = faults off). Chaos
-    /// testing only; the plan's seed is part of the determinism
-    /// contract, exactly like the session seed.
+    /// [`FaultyRunner`](llamatune_workloads::FaultyRunner) with this
+    /// plan (`None` = faults off). Chaos testing only; the plan's seed
+    /// is part of the determinism contract, exactly like the session
+    /// seed.
     pub fault_plan: Option<FaultPlan>,
     /// Trial-level fault-tolerance policy (watchdog, retry, hedging,
     /// quarantine). The default is inert on healthy evaluations.
@@ -218,6 +214,14 @@ impl Default for CampaignOptions {
     }
 }
 
+impl CampaignOptions {
+    /// A validating builder over these options — see
+    /// [`CampaignOptionsBuilder`](crate::CampaignOptionsBuilder).
+    pub fn builder() -> crate::options::CampaignOptionsBuilder {
+        crate::options::CampaignOptionsBuilder::new()
+    }
+}
+
 /// One finished session of a campaign.
 #[derive(Debug, Clone)]
 pub struct CampaignResult {
@@ -248,38 +252,82 @@ pub struct CampaignResult {
     pub metrics: MetricsSnapshot,
 }
 
+/// Where a campaign's sessions persist and report — the composable
+/// attachment set of [`Campaign::run_attached`]. All attachments are
+/// optional; the default runs fully in memory.
+///
+/// * `with_log` — per-trial JSONL events appended (and flushed) as each
+///   session finishes, readable by `llamatune::history_io`.
+/// * `with_store` — every trial checkpointed to a [`TrialStore`];
+///   finished sessions rebuild for free, interrupted ones resume
+///   byte-identically.
+/// * `with_fleet` — N workers register as shared writers on one
+///   [`StoreBackend`] and pull sessions from a shared queue. Mutually
+///   exclusive with the other two (fleet transcripts live in the
+///   store).
+#[derive(Default)]
+pub struct CampaignAttachments<'a> {
+    log: Option<&'a mut (dyn std::io::Write + Send)>,
+    store: Option<&'a TrialStore>,
+    fleet: Option<FleetAttachment>,
+}
+
+/// Fleet parameters of [`CampaignAttachments::with_fleet`].
+struct FleetAttachment {
+    backend: Arc<dyn StoreBackend>,
+    workers: usize,
+    store_opts: StoreOptions,
+}
+
+impl<'a> CampaignAttachments<'a> {
+    /// No attachments: run in memory, discard the event stream.
+    pub fn new() -> Self {
+        CampaignAttachments::default()
+    }
+
+    /// Appends per-trial JSONL events to `sink` as each session
+    /// finishes (flushing after each append), so a campaign killed
+    /// partway keeps the transcript of every completed session. Events
+    /// of concurrent sessions interleave at session granularity;
+    /// `llamatune::history_io::session_curves` regroups them. The first
+    /// write error aborts no sessions but is returned at the end.
+    pub fn with_log(mut self, sink: &'a mut (dyn std::io::Write + Send)) -> Self {
+        self.log = Some(sink);
+        self
+    }
+
+    /// Checkpoints every session into a persistent [`TrialStore`]:
+    /// finished sessions are rebuilt without re-running anything,
+    /// interrupted sessions resume from their last recorded round
+    /// boundary, and fresh sessions can warm-start from
+    /// fingerprint-similar past campaigns
+    /// ([`CampaignOptions::warm_start`]).
+    pub fn with_store(mut self, store: &'a TrialStore) -> Self {
+        self.store = Some(store);
+        self
+    }
+
+    /// Runs the campaign as a *fleet*: `workers` threads each register
+    /// as a shared writer on `backend` (tags `w0..`, via
+    /// [`TrialStore::open_shared`]) and pull sessions from a shared
+    /// queue, so N workers append into one knowledge base — local
+    /// directory or object store alike.
+    pub fn with_fleet(
+        mut self,
+        backend: Arc<dyn StoreBackend>,
+        workers: usize,
+        store_opts: StoreOptions,
+    ) -> Self {
+        self.fleet = Some(FleetAttachment { backend, workers, store_opts });
+        self
+    }
+}
+
 /// A configured campaign, ready to run.
 pub struct Campaign {
     catalog: ConfigSpace,
     spec: CampaignSpec,
     opts: CampaignOptions,
-}
-
-struct Cell {
-    label: String,
-    workload: String,
-    adapter: AdapterKind,
-    optimizer: OptimizerKind,
-    seed: u64,
-}
-
-/// Shared append-and-flush handle over the caller's log writer; the
-/// first write error is kept and surfaced after the campaign finishes.
-struct LogSink<'a> {
-    sink: Mutex<&'a mut (dyn std::io::Write + Send)>,
-    error: Mutex<Option<std::io::Error>>,
-}
-
-impl LogSink<'_> {
-    fn append(&self, chunk: &str) {
-        // Poison-recovering locks: a panicked session thread must not
-        // silence every other session's log appends.
-        let mut sink = lock_recover(&self.sink);
-        let outcome = sink.write_all(chunk.as_bytes()).and_then(|()| sink.flush());
-        if let Err(e) = outcome {
-            lock_recover(&self.error).get_or_insert(e);
-        }
-    }
 }
 
 impl Campaign {
@@ -288,19 +336,16 @@ impl Campaign {
         Campaign { catalog, spec, opts }
     }
 
-    fn cells(&self) -> Vec<Cell> {
+    /// The campaign's session grid in run order — one [`CellSpec`] per
+    /// (workload × adapter × optimizer × seed) combination, each
+    /// directly runnable through a [`SessionDriver`].
+    pub fn cells(&self) -> Vec<CellSpec> {
         let mut cells = Vec::new();
         for w in &self.spec.workloads {
             for a in &self.spec.adapters {
                 for o in &self.spec.optimizers {
                     for &seed in &self.spec.seeds {
-                        cells.push(Cell {
-                            label: format!("{w}/{}/{}/s{seed}", a.label(), o.label()),
-                            workload: w.clone(),
-                            adapter: a.clone(),
-                            optimizer: *o,
-                            seed,
-                        });
+                        cells.push(CellSpec::new(w.clone(), a.clone(), *o, seed));
                     }
                 }
             }
@@ -308,99 +353,111 @@ impl Campaign {
         cells
     }
 
-    /// Runs every session of the grid, discarding the event stream.
+    /// Runs every session of the grid in memory, discarding the event
+    /// stream.
     pub fn run(&self) -> Vec<CampaignResult> {
-        self.run_inner(None)
+        self.run_attached(CampaignAttachments::new())
+            .expect("in-memory campaign performs no fallible I/O")
     }
 
-    /// Runs every session, appending per-trial JSONL events to `sink` as
-    /// each session finishes (and flushing after each append), so a
-    /// campaign killed partway keeps the transcript of every completed
-    /// session. Events of concurrent sessions interleave at session
-    /// granularity; `llamatune::history_io::session_curves` regroups
-    /// them. The first write error aborts no sessions but is returned at
-    /// the end.
+    /// Runs every session of the grid with the given attachment set —
+    /// the single entry point behind [`Campaign::run`], the
+    /// deprecated `run_with_*` shims, and [`Campaign::resume`].
+    pub fn run_attached(
+        &self,
+        attachments: CampaignAttachments<'_>,
+    ) -> std::io::Result<Vec<CampaignResult>> {
+        let CampaignAttachments { log, store, fleet } = attachments;
+        if let Some(fleet) = fleet {
+            if store.is_some() || log.is_some() {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::InvalidInput,
+                    "a fleet campaign persists through its shared store; \
+                     store/log attachments cannot be combined with it",
+                ));
+            }
+            return self.run_fleet(fleet.backend, fleet.workers, fleet.store_opts);
+        }
+        self.publish_worker_budget();
+        if let Some(store) = store {
+            store.set_tracer(self.opts.tracer.clone());
+        }
+        let log = log.map(LogSink::new);
+        let events: Option<&dyn EventSink> = log.as_ref().map(|l| l as &dyn EventSink);
+        let results = self.run_lanes(&self.cells(), |cell| {
+            let mut driver = SessionDriver::new(&self.catalog, &self.opts, cell.clone());
+            if let Some(store) = store {
+                driver = driver.with_store(store);
+            }
+            if let Some(events) = events {
+                driver = driver.with_events(events);
+            }
+            driver.run()
+        })?;
+        if let Some(store) = store {
+            self.persist_telemetry(store.backend().as_ref(), "local", &results)?;
+        }
+        if let Some(log) = log {
+            if let Some(e) = log.take_error() {
+                return Err(e);
+            }
+        }
+        Ok(results)
+    }
+
+    /// Distributes `cells` over `session_parallelism` scoped threads in
+    /// contiguous chunks, preserving grid order in the result.
+    fn run_lanes(
+        &self,
+        cells: &[CellSpec],
+        run_cell: impl Fn(&CellSpec) -> std::io::Result<CampaignResult> + Sync,
+    ) -> std::io::Result<Vec<CampaignResult>> {
+        let lanes = self.opts.session_parallelism.clamp(1, cells.len().max(1));
+        let mut results: Vec<Option<std::io::Result<CampaignResult>>> =
+            (0..cells.len()).map(|_| None).collect();
+        if lanes <= 1 {
+            for (slot, cell) in results.iter_mut().zip(cells) {
+                *slot = Some(run_cell(cell));
+            }
+        } else {
+            let chunk = cells.len().div_ceil(lanes);
+            std::thread::scope(|scope| {
+                for (slots, cell_chunk) in results.chunks_mut(chunk).zip(cells.chunks(chunk)) {
+                    let run_cell = &run_cell;
+                    scope.spawn(move || {
+                        for (slot, cell) in slots.iter_mut().zip(cell_chunk) {
+                            *slot = Some(run_cell(cell));
+                        }
+                    });
+                }
+            });
+        }
+        results.into_iter().map(|r| r.expect("session ran")).collect()
+    }
+
+    /// Runs every session, appending per-trial JSONL events to `sink`.
+    #[doc(hidden)]
     pub fn run_with_log(
         &self,
         sink: &mut (dyn std::io::Write + Send),
     ) -> std::io::Result<Vec<CampaignResult>> {
-        let log = LogSink { sink: Mutex::new(sink), error: Mutex::new(None) };
-        let results = self.run_inner(Some(&log));
-        match log.error.into_inner().unwrap_or_else(|e| e.into_inner()) {
-            Some(e) => Err(e),
-            None => Ok(results),
-        }
+        self.run_attached(CampaignAttachments::new().with_log(sink))
     }
 
-    fn run_session_cell(&self, cell: &Cell, log: Option<&LogSink<'_>>) -> CampaignResult {
-        let spec = workload_by_name(&cell.workload)
-            .unwrap_or_else(|| panic!("unknown workload {:?}", cell.workload));
-        let mut runner = WorkloadRunner::new(spec, self.catalog.clone());
-        if let Some(run_opts) = self.opts.run_options.clone() {
-            runner = runner.with_options(run_opts);
-        }
-        let adapter = cell.adapter.build(&self.catalog, cell.seed);
-
-        let optimizer =
-            self.build_optimizer(adapter.optimizer_spec().clone(), cell, self.opts.batch_size > 1);
-
-        // Evaluation seed: fixed per session, derived from the session
-        // seed exactly as the sequential harness does.
-        let eval_seed = cell.seed ^ 0x5EED;
-        let cache = self.opts.cache.then(|| Arc::new(self.build_cache()));
-        let metrics = self.session_metrics();
-        let mut executor = self.build_executor(&runner, eval_seed).with_observability(
-            metrics.clone(),
-            self.opts.tracer.clone(),
-            cell.label.clone(),
-        );
-        if let Some(c) = &cache {
-            executor = executor.with_cache(c.clone());
-        }
-
-        let session_opts = SessionOptions {
-            seed: cell.seed,
-            tracer: self.opts.tracer.clone(),
-            trace_label: cell.label.clone(),
-            metrics: metrics.clone(),
-            progress: self.opts.progress.clone(),
-            ..self.opts.session.clone()
-        };
-        let history = run_session_parallel(
-            adapter.as_ref(),
-            optimizer,
-            &mut executor,
-            &session_opts,
-            self.opts.batch_size,
-        );
-
-        if let Some(log) = log {
-            let events: Vec<TrialEvent> = history_to_events(&cell.label, &history);
-            log.append(&events_to_jsonl(&events));
-        }
-
-        let metrics = metrics.snapshot();
-        CampaignResult {
-            label: cell.label.clone(),
-            workload: cell.workload.clone(),
-            adapter: cell.adapter.label().to_string(),
-            optimizer: cell.optimizer.label().to_string(),
-            seed: cell.seed,
-            history,
-            cache: cache.map(|c| c.stats()),
-            faults: FaultStatsSnapshot::from_metrics(&metrics),
-            metrics,
-        }
+    /// Runs the campaign against a persistent [`TrialStore`].
+    #[doc(hidden)]
+    pub fn run_with_store(&self, store: &TrialStore) -> std::io::Result<Vec<CampaignResult>> {
+        self.run_attached(CampaignAttachments::new().with_store(store))
     }
 
-    /// Runs the campaign against a persistent [`TrialStore`]: every
+    /// Resumes (or starts) the campaign from a persistent store: every
     /// completed trial is flushed to the store before the next round is
     /// suggested, sessions already recorded as finished are
     /// reconstructed without re-running anything, and interrupted
     /// sessions resume from their last recorded round boundary. Calling
-    /// this on an empty store is simply a checkpointed run — so
-    /// [`Campaign::resume`] is the same method under the name that
-    /// matches the restart workflow.
+    /// this on an empty store is simply a checkpointed run — open the
+    /// store a crashed process left behind, call `resume`, and the
+    /// campaign continues where it stopped.
     ///
     /// Determinism: a campaign checkpointed into a store, killed at any
     /// trial boundary, and resumed produces a byte-identical exported
@@ -416,69 +473,44 @@ impl Campaign {
     /// points decode identically). The chosen warm points are persisted
     /// in the session's metadata — a resume reuses them verbatim even
     /// if the store has since learned better candidates.
-    pub fn run_with_store(&self, store: &TrialStore) -> std::io::Result<Vec<CampaignResult>> {
-        self.publish_worker_budget();
-        store.set_tracer(self.opts.tracer.clone());
-        let cells = self.cells();
-        let lanes = self.opts.session_parallelism.clamp(1, cells.len().max(1));
-        let mut results: Vec<Option<std::io::Result<CampaignResult>>> =
-            (0..cells.len()).map(|_| None).collect();
-        if lanes <= 1 {
-            for (slot, cell) in results.iter_mut().zip(&cells) {
-                *slot = Some(self.run_session_cell_store(cell, store, &self.opts.tracer));
-            }
-        } else {
-            let chunk = cells.len().div_ceil(lanes);
-            std::thread::scope(|scope| {
-                for (slots, cell_chunk) in results.chunks_mut(chunk).zip(cells.chunks(chunk)) {
-                    scope.spawn(move || {
-                        for (slot, cell) in slots.iter_mut().zip(cell_chunk) {
-                            *slot =
-                                Some(self.run_session_cell_store(cell, store, &self.opts.tracer));
-                        }
-                    });
-                }
-            });
-        }
-        let results: Vec<CampaignResult> =
-            results.into_iter().map(|r| r.expect("session ran")).collect::<std::io::Result<_>>()?;
-        self.persist_telemetry(store.backend().as_ref(), "local", &results)?;
-        Ok(results)
-    }
-
-    /// Resumes (or starts) the campaign from a persistent store — an
-    /// alias of [`Campaign::run_with_store`] named for the restart
-    /// workflow: open the store a crashed process left behind, call
-    /// `resume`, and the campaign continues where it stopped.
     pub fn resume(&self, store: &TrialStore) -> std::io::Result<Vec<CampaignResult>> {
-        self.run_with_store(store)
+        self.run_attached(CampaignAttachments::new().with_store(store))
     }
 
-    /// Runs the campaign as a *fleet*: `workers` threads each register
-    /// as a shared writer on `backend` (tags `w0..`, via
-    /// [`TrialStore::open_shared`]) and pull sessions from a shared
-    /// queue, so N workers append into one knowledge base — local
-    /// directory or object store alike. Each worker leases the sessions
-    /// it runs through [`SessionMeta::lease`], refreshes its merged
+    /// Runs the campaign as a fleet of shared-store writers.
+    #[doc(hidden)]
+    pub fn run_shared(
+        &self,
+        backend: Arc<dyn StoreBackend>,
+        workers: usize,
+        store_opts: StoreOptions,
+    ) -> std::io::Result<Vec<CampaignResult>> {
+        self.run_attached(CampaignAttachments::new().with_fleet(backend, workers, store_opts))
+    }
+
+    /// The fleet path: `workers` threads each register as a shared
+    /// writer on `backend` and pull sessions from a shared queue. Each
+    /// worker leases the sessions it runs through
+    /// [`llamatune_store::SessionMeta::lease`], refreshes its merged
     /// view of the store before every claim (finished sessions are
     /// rebuilt without re-evaluation, and warm-start transfer sees what
     /// the whole fleet has learned so far), and checkpoints per trial
-    /// exactly like [`Campaign::run_with_store`].
+    /// exactly like the single-store path.
     ///
     /// Crash/resume semantics are the fleet generalization of the
     /// single-store contract: kill any worker (or the whole fleet) at
-    /// any point, call `run_shared` again with any worker count, and
-    /// the store's exported event history converges to the
-    /// uninterrupted run's, byte for byte — sessions are pure functions
-    /// of their recorded history, dead workers' partial rounds are
-    /// re-run deterministically, and dead workers' registered active
-    /// segments are reclaimed by the next fleet. A worker that fails to
-    /// open the store steps aside — its error surfaces only for
-    /// sessions no healthy worker ended up running. A worker that hits
-    /// a storage error mid-session reports it for that session and
-    /// moves on; the first error is returned after every queued session
-    /// has been attempted.
-    pub fn run_shared(
+    /// any point, run the fleet again with any worker count, and the
+    /// store's exported event history converges to the uninterrupted
+    /// run's, byte for byte — sessions are pure functions of their
+    /// recorded history, dead workers' partial rounds are re-run
+    /// deterministically, and dead workers' registered active segments
+    /// are reclaimed by the next fleet. A worker that fails to open the
+    /// store steps aside — its error surfaces only for sessions no
+    /// healthy worker ended up running. A worker that hits a storage
+    /// error mid-session reports it for that session and moves on; the
+    /// first error is returned after every queued session has been
+    /// attempted.
+    fn run_fleet(
         &self,
         backend: Arc<dyn StoreBackend>,
         workers: usize,
@@ -529,9 +561,12 @@ impl Campaign {
                         if i >= cells.len() {
                             break;
                         }
-                        let res = store
-                            .refresh()
-                            .and_then(|()| self.run_session_cell_store(&cells[i], &store, &tracer));
+                        let res = store.refresh().and_then(|()| {
+                            SessionDriver::new(&self.catalog, &self.opts, cells[i].clone())
+                                .with_store(&store)
+                                .with_tracer(tracer.clone())
+                                .run()
+                        });
                         if let Ok(r) = &res {
                             worker_metrics.push(r.metrics.clone());
                         }
@@ -598,271 +633,6 @@ impl Campaign {
         backend.put(&format!("telemetry-{tag}.metrics.json"), merged.to_json().as_bytes())
     }
 
-    fn run_session_cell_store(
-        &self,
-        cell: &Cell,
-        store: &TrialStore,
-        tracer: &Arc<dyn Tracer>,
-    ) -> std::io::Result<CampaignResult> {
-        let result =
-            |history: SessionHistory, cache: Option<CacheStats>, metrics: MetricsSnapshot| {
-                CampaignResult {
-                    label: cell.label.clone(),
-                    workload: cell.workload.clone(),
-                    adapter: cell.adapter.label().to_string(),
-                    optimizer: cell.optimizer.label().to_string(),
-                    seed: cell.seed,
-                    history,
-                    cache,
-                    faults: FaultStatsSnapshot::from_metrics(&metrics),
-                    metrics,
-                }
-            };
-
-        // A session the store knows is finished is rebuilt from its
-        // records — zero evaluations.
-        let meta = store.session_meta(&cell.label);
-        if let Some(m) = &meta {
-            if m.status == SessionStatus::Done {
-                let history = rebuild_history(&store.trials_for(&cell.label), m.stopped_at);
-                // Rebuilt without an executor: nothing ran, no faults.
-                return Ok(result(history, None, MetricsSnapshot::default()));
-            }
-        }
-
-        let spec = workload_by_name(&cell.workload)
-            .unwrap_or_else(|| panic!("unknown workload {:?}", cell.workload));
-        let mut runner = WorkloadRunner::new(spec, self.catalog.clone());
-        if let Some(run_opts) = self.opts.run_options.clone() {
-            runner = runner.with_options(run_opts);
-        }
-        let adapter = cell.adapter.build(&self.catalog, cell.seed);
-
-        // Session metadata: reuse the recorded fingerprint and warm
-        // points (determinism across resumes), or probe and match afresh.
-        let meta = match meta {
-            Some(mut m) => {
-                // Fleet takeover: a resumed running session is re-leased
-                // to the worker that now owns it (the previous holder is
-                // dead — live fleet workers never contend for a cell).
-                if let Some(w) = store.writer() {
-                    if m.lease.as_deref() != Some(w) {
-                        m.lease = Some(w.to_string());
-                        store.append_session(&m)?;
-                    }
-                }
-                m
-            }
-            None => {
-                let fingerprint = workload_fingerprint(&runner, FINGERPRINT_PROBE_SEED);
-                let warm_points = self.transfer_warm_points(store, cell, &*adapter, &fingerprint);
-                let m = SessionMeta {
-                    session: cell.label.clone(),
-                    workload: cell.workload.clone(),
-                    adapter: cell.adapter.identity_tag(cell.seed),
-                    status: SessionStatus::Running,
-                    stopped_at: None,
-                    fingerprint,
-                    warm_points,
-                    lease: store.writer().map(str::to_string),
-                };
-                store.append_session(&m)?;
-                m
-            }
-        };
-
-        // Always wrap under `constant_liar`, even at batch size 1: the
-        // wrapper's rebuild-and-replay makes optimizer state a pure
-        // function of the recorded history, which is what lets a resume
-        // continue bit-identically.
-        let optimizer = self.build_optimizer(adapter.optimizer_spec().clone(), cell, true);
-
-        let eval_seed = cell.seed ^ 0x5EED;
-        let cache = self.opts.cache.then(|| Arc::new(self.build_cache()));
-        let metrics = self.session_metrics();
-        if let Some(c) = &cache {
-            // The persistent half of the evaluation cache: every trial
-            // already recorded for this session is a measurement already
-            // paid for — a resumed partial round replays from here
-            // instead of re-running the DBMS. (Failed trials are refused
-            // by the cache; quarantine preloading below covers them.)
-            for t in store.trials_for(&cell.label) {
-                c.insert(
-                    &Config::new(t.config.clone()),
-                    llamatune::session::EvalResult {
-                        score: t.raw_score,
-                        metrics: t.metrics,
-                        status: t.status,
-                        attempts: t.attempts,
-                        virtual_ms: 0.0,
-                    },
-                );
-            }
-        }
-        let mut executor = self.build_executor(&runner, eval_seed).with_observability(
-            metrics.clone(),
-            tracer.clone(),
-            cell.label.clone(),
-        );
-        if let Some(c) = &cache {
-            executor = executor.with_cache(c.clone());
-        }
-
-        let session_opts = SessionOptions {
-            seed: cell.seed,
-            warm_points: meta.warm_points.clone(),
-            tracer: tracer.clone(),
-            trace_label: cell.label.clone(),
-            metrics: metrics.clone(),
-            progress: self.opts.progress.clone(),
-            ..self.opts.session.clone()
-        };
-        let prior = store.prior_trials(&cell.label);
-        if self.opts.policy.quarantine {
-            // Quarantine preload, replayed prefix only: configurations
-            // whose recorded trials failed terminally must enter
-            // quarantine before the first live round — the uninterrupted
-            // run would answer their re-encounters from quarantine, and
-            // a byte-identical resume must do the same. Trials past the
-            // round boundary are re-run, and re-quarantine themselves.
-            let cut =
-                llamatune::session::replay_cutoff(prior.len(), &session_opts, self.opts.batch_size);
-            executor.preload_quarantine(
-                prior[..cut].iter().filter(|t| t.status.is_failure()).map(|t| &t.config),
-            );
-        }
-        let mut sink_err: Option<std::io::Error> = None;
-        let mut sink = |t: TrialRecord<'_>| {
-            if sink_err.is_some() {
-                return;
-            }
-            let rec = StoredTrial {
-                session: cell.label.clone(),
-                iteration: t.iteration,
-                raw_score: t.raw_score,
-                score: t.score,
-                point: t.point.to_vec(),
-                config: t.config.values().to_vec(),
-                metrics: t.metrics.to_vec(),
-                status: t.status,
-                attempts: t.attempts,
-            };
-            if let Err(e) = store.append_trial(&rec) {
-                sink_err = Some(e);
-            }
-        };
-        let history = run_session_resumable(
-            adapter.as_ref(),
-            optimizer,
-            &mut executor,
-            &session_opts,
-            self.opts.batch_size,
-            &prior,
-            Some(&mut sink),
-        )
-        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?;
-        if let Some(e) = sink_err {
-            return Err(e);
-        }
-        store.append_session(&SessionMeta {
-            status: SessionStatus::Done,
-            stopped_at: history.stopped_at,
-            lease: None, // released on completion
-            ..meta
-        })?;
-        Ok(result(history, cache.map(|c| c.stats()), metrics.snapshot()))
-    }
-
-    /// Builds the session optimizer stack. Inside out: the raw
-    /// optimizer, under constant-liar [`BatchSuggest`] when `wrap_liar`,
-    /// under [`GuardedOptimizer`] when `opts.guard`. The guard sits
-    /// outermost so its rebuild-and-replay recovery reconstructs the
-    /// same batch wrapper the session loop drives.
-    fn build_optimizer(
-        &self,
-        spec: SearchSpec,
-        cell: &Cell,
-        wrap_liar: bool,
-    ) -> Box<dyn Optimizer> {
-        let kind = cell.optimizer;
-        let seed = cell.seed;
-        let liar = self.opts.constant_liar && wrap_liar;
-        let make: GuardFactory = {
-            let spec = spec.clone();
-            Box::new(move || -> Box<dyn Optimizer> {
-                if liar {
-                    let spec = spec.clone();
-                    Box::new(BatchSuggest::new(Box::new(move || kind.build(&spec, seed))))
-                } else {
-                    kind.build(&spec, seed)
-                }
-            })
-        };
-        if self.opts.guard {
-            Box::new(GuardedOptimizer::new(make, spec, seed))
-        } else {
-            make()
-        }
-    }
-
-    /// Builds the trial executor: the workload runner — wrapped for
-    /// seeded fault injection when a plan is set — under the campaign's
-    /// execution policy.
-    fn build_executor(&self, runner: &WorkloadRunner, eval_seed: u64) -> WorkloadExecutor {
-        let base: Arc<dyn TrialRunner> = Arc::new(runner.clone());
-        let trial_runner: Arc<dyn TrialRunner> = match &self.opts.fault_plan {
-            Some(plan) => Arc::new(FaultyRunner::new(base, *plan)),
-            None => base,
-        };
-        WorkloadExecutor::from_trial_runner(
-            trial_runner,
-            self.catalog.clone(),
-            eval_seed,
-            self.opts.trial_workers,
-        )
-        .with_policy(self.opts.policy)
-    }
-
-    /// One session's metrics registry: private, but forwarding into the
-    /// campaign-wide live registry when one is configured.
-    fn session_metrics(&self) -> Arc<MetricsRegistry> {
-        match &self.opts.live_metrics {
-            Some(live) => Arc::new(MetricsRegistry::with_parent(live.clone())),
-            None => Arc::new(MetricsRegistry::new()),
-        }
-    }
-
-    fn build_cache(&self) -> EvalCache {
-        match self.opts.cache_capacity {
-            Some(cap) => EvalCache::with_capacity(cap),
-            None => EvalCache::new(),
-        }
-    }
-
-    /// Picks warm-start points for a fresh session: the top
-    /// configurations of the store's most similar finished session with
-    /// an *identical* adapter identity (kind, hyperparameters, and
-    /// projection seed — [`AdapterKind::identity_tag`]), so its
-    /// optimizer-space points decode through this session's adapter
-    /// unchanged.
-    fn transfer_warm_points(
-        &self,
-        store: &TrialStore,
-        cell: &Cell,
-        adapter: &dyn SearchSpaceAdapter,
-        fingerprint: &[f64],
-    ) -> Vec<Vec<f64>> {
-        let Some(ws) = &self.opts.warm_start else {
-            return Vec::new();
-        };
-        let dims = adapter.optimizer_spec().len();
-        let identity = cell.adapter.identity_tag(cell.seed);
-        let points = store.warm_points(fingerprint, ws.k, ws.max_distance, |m| {
-            m.session != cell.label && m.status == SessionStatus::Done && m.adapter == identity
-        });
-        points.into_iter().filter(|p| p.len() == dims).collect()
-    }
-
     /// Publishes the campaign's trial-worker count as the process-global
     /// budget for blocked factorizations and sparse-surrogate builds
     /// ([`llamatune_math::set_worker_budget`]). Those kernels are
@@ -870,30 +640,6 @@ impl Campaign {
     /// concurrent campaigns only affects speed, never results.
     fn publish_worker_budget(&self) {
         llamatune_math::set_worker_budget(self.opts.trial_workers);
-    }
-
-    fn run_inner(&self, log: Option<&LogSink<'_>>) -> Vec<CampaignResult> {
-        self.publish_worker_budget();
-        let cells = self.cells();
-        let lanes = self.opts.session_parallelism.clamp(1, cells.len().max(1));
-        let mut results: Vec<Option<CampaignResult>> = (0..cells.len()).map(|_| None).collect();
-        if lanes <= 1 {
-            for (slot, cell) in results.iter_mut().zip(&cells) {
-                *slot = Some(self.run_session_cell(cell, log));
-            }
-        } else {
-            let chunk = cells.len().div_ceil(lanes);
-            std::thread::scope(|scope| {
-                for (slots, cell_chunk) in results.chunks_mut(chunk).zip(cells.chunks(chunk)) {
-                    scope.spawn(move || {
-                        for (slot, cell) in slots.iter_mut().zip(cell_chunk) {
-                            *slot = Some(self.run_session_cell(cell, log));
-                        }
-                    });
-                }
-            });
-        }
-        results.into_iter().map(|r| r.expect("session ran")).collect()
     }
 }
 
@@ -922,6 +668,7 @@ fn persist_worker_telemetry(
 mod tests {
     use super::*;
     use llamatune_space::catalog::postgres_v9_6;
+    use llamatune_store::SessionStatus;
 
     fn quick_opts() -> CampaignOptions {
         let run_opts =
@@ -1164,6 +911,22 @@ mod tests {
         for (a, b) in sequential.iter().zip(&parallel) {
             assert_eq!(a.label, b.label);
             assert_eq!(a.history.scores, b.history.scores);
+        }
+    }
+
+    #[test]
+    fn session_driver_matches_the_campaign_cell() {
+        // One driver run per cell reproduces Campaign::run exactly —
+        // the campaign is nothing but a scheduler over drivers.
+        let catalog = postgres_v9_6();
+        let opts = quick_opts();
+        let campaign = Campaign::new(catalog.clone(), small_spec(), opts.clone());
+        let grid = campaign.run();
+        for (cell, expect) in campaign.cells().into_iter().zip(&grid) {
+            let solo = SessionDriver::new(&catalog, &opts, cell).run().unwrap();
+            assert_eq!(solo.label, expect.label);
+            assert_eq!(solo.history.scores, expect.history.scores);
+            assert_eq!(solo.history.points, expect.history.points);
         }
     }
 }

@@ -1,0 +1,536 @@
+//! The session driver: one tuning session, from spec to history.
+//!
+//! [`SessionDriver`] is the single execution path behind every way a
+//! session can run — the in-process library surface ([`Campaign`]
+//! schedules a grid of drivers), the persistent/checkpointed path (a
+//! [`TrialStore`] attachment turns on durability seams: per-trial
+//! flushes, resume-from-round-boundary, warm-start transfer, lease
+//! takeover), and the tuning-as-a-service path (`llamatune-server`
+//! drives the same loop through [`SessionDriver::run_with_executor`],
+//! with trial evaluation delegated to a remote client). Because all
+//! three surfaces share this one fold, the byte-identity contract —
+//! history is a pure function of (adapter seed, optimizer seed, session
+//! seed, batch size) — holds across them by construction.
+//!
+//! Attachments compose builder-style and are all optional:
+//!
+//! ```no_run
+//! use llamatune_runtime::{AdapterKind, CampaignOptions, CellSpec, OptimizerKind, SessionDriver};
+//! use llamatune_space::catalog::postgres_v9_6;
+//!
+//! let catalog = postgres_v9_6();
+//! let opts = CampaignOptions::default();
+//! let cell = CellSpec::new("ycsb_a", AdapterKind::Identity, OptimizerKind::Smac, 7);
+//! let result = SessionDriver::new(&catalog, &opts, cell).run().unwrap();
+//! assert!(result.history.best_score().is_some());
+//! ```
+//!
+//! [`Campaign`]: crate::Campaign
+
+use crate::batch::BatchSuggest;
+use crate::cache::{lock_recover, CacheStats, EvalCache};
+use crate::campaign::{AdapterKind, CampaignOptions, CampaignResult};
+use crate::executor::WorkloadExecutor;
+use crate::policy::FaultStatsSnapshot;
+use llamatune::history_io::{events_to_jsonl, history_to_events, TrialEvent};
+use llamatune::pipeline::SearchSpaceAdapter;
+use llamatune::session::{
+    replay_cutoff, run_session_resumable, SessionHistory, SessionOptions, TrialExecutor,
+    TrialRecord,
+};
+use llamatune_obs::trace::Tracer;
+use llamatune_obs::{MetricsRegistry, MetricsSnapshot};
+use llamatune_optim::{GuardFactory, GuardedOptimizer, Optimizer, OptimizerKind, SearchSpec};
+use llamatune_space::{Config, ConfigSpace};
+use llamatune_store::{rebuild_history, SessionMeta, SessionStatus, StoredTrial, TrialStore};
+use llamatune_workloads::{
+    workload_by_name, workload_fingerprint, FaultyRunner, TrialRunner, WorkloadRunner,
+    FINGERPRINT_PROBE_SEED,
+};
+use std::sync::{Arc, Mutex};
+
+/// One cell of a campaign grid: the full identity of a tuning session.
+/// The label (`workload/adapter/optimizer/s<seed>`) is the session's
+/// name everywhere — trace spans, store records, wire protocol.
+#[derive(Debug, Clone)]
+pub struct CellSpec {
+    /// `workload/adapter/optimizer/s<seed>`.
+    pub label: String,
+    /// Workload name (must resolve via `workload_by_name`).
+    pub workload: String,
+    /// Search-space adapter arm.
+    pub adapter: AdapterKind,
+    /// Optimizer arm.
+    pub optimizer: OptimizerKind,
+    /// Session seed (also seeds the adapter's projection).
+    pub seed: u64,
+}
+
+impl CellSpec {
+    /// Builds a cell with the canonical label.
+    pub fn new(
+        workload: impl Into<String>,
+        adapter: AdapterKind,
+        optimizer: OptimizerKind,
+        seed: u64,
+    ) -> Self {
+        let workload = workload.into();
+        let label = format!("{workload}/{}/{}/s{seed}", adapter.label(), optimizer.label());
+        CellSpec { label, workload, adapter, optimizer, seed }
+    }
+}
+
+/// Receives each finished session's per-trial JSONL event block.
+/// Implementations must tolerate concurrent appends (sessions finish on
+/// different lanes); blocks arrive whole, so events of concurrent
+/// sessions interleave at session granularity only.
+pub trait EventSink: Sync {
+    /// Appends one session's JSONL block (newline-terminated).
+    fn append(&self, chunk: &str);
+}
+
+/// Shared append-and-flush handle over a caller's log writer; the first
+/// write error is kept and surfaced after the campaign finishes.
+pub(crate) struct LogSink<'a> {
+    pub(crate) sink: Mutex<&'a mut (dyn std::io::Write + Send)>,
+    pub(crate) error: Mutex<Option<std::io::Error>>,
+}
+
+impl<'a> LogSink<'a> {
+    pub(crate) fn new(sink: &'a mut (dyn std::io::Write + Send)) -> Self {
+        LogSink { sink: Mutex::new(sink), error: Mutex::new(None) }
+    }
+
+    pub(crate) fn take_error(self) -> Option<std::io::Error> {
+        self.error.into_inner().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+impl EventSink for LogSink<'_> {
+    fn append(&self, chunk: &str) {
+        // Poison-recovering locks: a panicked session thread must not
+        // silence every other session's log appends.
+        let mut sink = lock_recover(&self.sink);
+        let outcome = sink.write_all(chunk.as_bytes()).and_then(|()| sink.flush());
+        if let Err(e) = outcome {
+            lock_recover(&self.error).get_or_insert(e);
+        }
+    }
+}
+
+/// Drives one tuning session to completion. Construct with
+/// [`SessionDriver::new`], compose attachments (`with_store`,
+/// `with_events`, `with_tracer`), then call [`SessionDriver::run`] (the
+/// driver owns evaluation: a local [`WorkloadExecutor`] with cache,
+/// policy, and fault wiring) or [`SessionDriver::run_with_executor`]
+/// (the caller owns evaluation — the server's remote-trial seam).
+pub struct SessionDriver<'a> {
+    catalog: &'a ConfigSpace,
+    opts: &'a CampaignOptions,
+    cell: CellSpec,
+    store: Option<&'a TrialStore>,
+    events: Option<&'a dyn EventSink>,
+    tracer: Option<Arc<dyn Tracer>>,
+}
+
+impl<'a> SessionDriver<'a> {
+    /// A driver for one session of `catalog`, with no attachments.
+    pub fn new(catalog: &'a ConfigSpace, opts: &'a CampaignOptions, cell: CellSpec) -> Self {
+        SessionDriver { catalog, opts, cell, store: None, events: None, tracer: None }
+    }
+
+    /// Attaches a persistent store: every completed trial is flushed
+    /// before the next round is suggested, a session the store records
+    /// as finished is rebuilt without re-running anything, and an
+    /// interrupted session resumes from its last recorded round
+    /// boundary — byte-identical to the uninterrupted run. Also turns
+    /// on warm-start transfer (when [`CampaignOptions::warm_start`] is
+    /// set) and fleet lease takeover for shared stores.
+    pub fn with_store(mut self, store: &'a TrialStore) -> Self {
+        self.store = Some(store);
+        self
+    }
+
+    /// Attaches an event sink receiving the session's per-trial JSONL
+    /// block when it finishes.
+    pub fn with_events(mut self, events: &'a dyn EventSink) -> Self {
+        self.events = Some(events);
+        self
+    }
+
+    /// Overrides the campaign tracer for this session — fleet workers
+    /// pass their private [`llamatune_obs::trace::FanoutTracer`] tee
+    /// here so per-writer telemetry separates from the campaign stream.
+    pub fn with_tracer(mut self, tracer: Arc<dyn Tracer>) -> Self {
+        self.tracer = Some(tracer);
+        self
+    }
+
+    /// The session's label (`workload/adapter/optimizer/s<seed>`).
+    pub fn label(&self) -> &str {
+        &self.cell.label
+    }
+
+    /// The cell this driver runs.
+    pub fn cell(&self) -> &CellSpec {
+        &self.cell
+    }
+
+    fn tracer(&self) -> Arc<dyn Tracer> {
+        self.tracer.clone().unwrap_or_else(|| self.opts.tracer.clone())
+    }
+
+    /// Builds this session's search-space adapter (seeded projection).
+    pub fn build_adapter(&self) -> Box<dyn SearchSpaceAdapter> {
+        self.cell.adapter.build(self.catalog, self.cell.seed)
+    }
+
+    /// The failed-terminally configurations of the session's replayed
+    /// prefix — what a resuming executor must preload into quarantine so
+    /// re-encounters answer from quarantine exactly like the
+    /// uninterrupted run. Empty without a store attachment or when the
+    /// policy has quarantine off. The server ships these to clients on
+    /// session attach; [`SessionDriver::run`] preloads them itself.
+    pub fn quarantine_preload(&self) -> Vec<Config> {
+        let Some(store) = self.store else { return Vec::new() };
+        if !self.opts.policy.quarantine {
+            return Vec::new();
+        }
+        let session_opts = self.session_options(Vec::new());
+        let prior = store.prior_trials(&self.cell.label);
+        let cut = replay_cutoff(prior.len(), &session_opts, self.opts.batch_size);
+        prior[..cut].iter().filter(|t| t.status.is_failure()).map(|t| t.config.clone()).collect()
+    }
+
+    /// Runs the session with a driver-owned local executor: the
+    /// workload runner (wrapped for seeded fault injection when a plan
+    /// is set) under the campaign's execution policy, evaluation cache,
+    /// and observability wiring.
+    pub fn run(&self) -> std::io::Result<CampaignResult> {
+        self.run_internal(None)
+    }
+
+    /// Runs the session through a caller-owned executor — the seam the
+    /// server uses to delegate evaluation to a remote client. All store
+    /// seams (resume, per-trial flush, warm start, lease, completion
+    /// metadata) stay active; cache and quarantine preloading are the
+    /// caller's responsibility (see
+    /// [`SessionDriver::quarantine_preload`]), since the driver cannot
+    /// see inside an arbitrary [`TrialExecutor`].
+    pub fn run_with_executor(
+        &self,
+        executor: &mut dyn TrialExecutor,
+    ) -> std::io::Result<CampaignResult> {
+        self.run_internal(Some(executor))
+    }
+
+    fn result(
+        &self,
+        history: SessionHistory,
+        cache: Option<CacheStats>,
+        metrics: MetricsSnapshot,
+    ) -> CampaignResult {
+        CampaignResult {
+            label: self.cell.label.clone(),
+            workload: self.cell.workload.clone(),
+            adapter: self.cell.adapter.label().to_string(),
+            optimizer: self.cell.optimizer.label().to_string(),
+            seed: self.cell.seed,
+            history,
+            cache,
+            faults: FaultStatsSnapshot::from_metrics(&metrics),
+            metrics,
+        }
+    }
+
+    fn session_options(&self, warm_points: Vec<Vec<f64>>) -> SessionOptions {
+        let mut opts = SessionOptions {
+            seed: self.cell.seed,
+            tracer: self.tracer(),
+            trace_label: self.cell.label.clone(),
+            progress: self.opts.progress.clone(),
+            ..self.opts.session.clone()
+        };
+        if self.store.is_some() {
+            // Store-backed sessions take their warm points from session
+            // metadata (recorded once, reused verbatim on resume);
+            // plain sessions keep whatever the caller put in
+            // `opts.session.warm_points`.
+            opts.warm_points = warm_points;
+        }
+        opts
+    }
+
+    fn run_internal(
+        &self,
+        external: Option<&mut dyn TrialExecutor>,
+    ) -> std::io::Result<CampaignResult> {
+        let cell = &self.cell;
+        let tracer = self.tracer();
+
+        // A session the store knows is finished is rebuilt from its
+        // records — zero evaluations.
+        let meta = self.store.and_then(|s| s.session_meta(&cell.label));
+        if let (Some(store), Some(m)) = (self.store, &meta) {
+            if m.status == SessionStatus::Done {
+                let history = rebuild_history(&store.trials_for(&cell.label), m.stopped_at);
+                // Rebuilt without an executor: nothing ran, no faults.
+                return Ok(self.result(history, None, MetricsSnapshot::default()));
+            }
+        }
+
+        let spec = workload_by_name(&cell.workload)
+            .unwrap_or_else(|| panic!("unknown workload {:?}", cell.workload));
+        let mut runner = WorkloadRunner::new(spec, self.catalog.clone());
+        if let Some(run_opts) = self.opts.run_options.clone() {
+            runner = runner.with_options(run_opts);
+        }
+        let adapter = self.build_adapter();
+
+        // Session metadata (store only): reuse the recorded fingerprint
+        // and warm points (determinism across resumes), or probe and
+        // match afresh.
+        let meta = match self.store {
+            None => None,
+            Some(store) => Some(match meta {
+                Some(mut m) => {
+                    // Fleet takeover: a resumed running session is
+                    // re-leased to the worker that now owns it (the
+                    // previous holder is dead — live fleet workers never
+                    // contend for a cell).
+                    if let Some(w) = store.writer() {
+                        if m.lease.as_deref() != Some(w) {
+                            m.lease = Some(w.to_string());
+                            store.append_session(&m)?;
+                        }
+                    }
+                    m
+                }
+                None => {
+                    let fingerprint = workload_fingerprint(&runner, FINGERPRINT_PROBE_SEED);
+                    let warm_points = self.transfer_warm_points(store, &*adapter, &fingerprint);
+                    let m = SessionMeta {
+                        session: cell.label.clone(),
+                        workload: cell.workload.clone(),
+                        adapter: cell.adapter.identity_tag(cell.seed),
+                        status: SessionStatus::Running,
+                        stopped_at: None,
+                        fingerprint,
+                        warm_points,
+                        lease: store.writer().map(str::to_string),
+                    };
+                    store.append_session(&m)?;
+                    m
+                }
+            }),
+        };
+
+        // Store-backed sessions always wrap under `constant_liar`, even
+        // at batch size 1: the wrapper's rebuild-and-replay makes
+        // optimizer state a pure function of the recorded history,
+        // which is what lets a resume continue bit-identically. Plain
+        // sessions wrap only when batching actually happens.
+        let wrap_liar = self.store.is_some() || self.opts.batch_size > 1;
+        let optimizer = self.build_optimizer(adapter.optimizer_spec().clone(), wrap_liar);
+
+        let metrics = self.session_metrics();
+        let session_opts =
+            self.session_options(meta.as_ref().map(|m| m.warm_points.clone()).unwrap_or_default());
+        let session_opts = SessionOptions { metrics: metrics.clone(), ..session_opts };
+        let prior = self.store.map(|s| s.prior_trials(&cell.label)).unwrap_or_default();
+
+        // Local-executor construction, skipped entirely when the caller
+        // brought their own (the server's remote-evaluation seam).
+        let mut cache: Option<Arc<EvalCache>> = None;
+        let mut local: Option<WorkloadExecutor> = None;
+        if external.is_none() {
+            // Evaluation seed: fixed per session, derived from the
+            // session seed exactly as the sequential harness does.
+            let eval_seed = cell.seed ^ 0x5EED;
+            cache = self.opts.cache.then(|| Arc::new(self.build_cache()));
+            let mut executor = self.build_executor(&runner, eval_seed).with_observability(
+                metrics.clone(),
+                tracer.clone(),
+                cell.label.clone(),
+            );
+            if let (Some(c), Some(store)) = (&cache, self.store) {
+                // The persistent half of the evaluation cache: every
+                // trial already recorded for this session is a
+                // measurement already paid for — a resumed partial round
+                // replays from here instead of re-running the DBMS.
+                // (Failed trials are refused by the cache; quarantine
+                // preloading below covers them.)
+                for t in store.trials_for(&cell.label) {
+                    c.insert(
+                        &Config::new(t.config.clone()),
+                        llamatune::session::EvalResult {
+                            score: t.raw_score,
+                            metrics: t.metrics,
+                            status: t.status,
+                            attempts: t.attempts,
+                            virtual_ms: 0.0,
+                        },
+                    );
+                }
+            }
+            if let Some(c) = &cache {
+                executor = executor.with_cache(c.clone());
+            }
+            if self.store.is_some() && self.opts.policy.quarantine {
+                // Quarantine preload, replayed prefix only:
+                // configurations whose recorded trials failed terminally
+                // must enter quarantine before the first live round — the
+                // uninterrupted run would answer their re-encounters from
+                // quarantine, and a byte-identical resume must do the
+                // same. Trials past the round boundary are re-run, and
+                // re-quarantine themselves.
+                let cut = replay_cutoff(prior.len(), &session_opts, self.opts.batch_size);
+                executor.preload_quarantine(
+                    prior[..cut].iter().filter(|t| t.status.is_failure()).map(|t| &t.config),
+                );
+            }
+            local = Some(executor);
+        }
+
+        let mut sink_err: Option<std::io::Error> = None;
+        let mut sink = self.store.map(|store| {
+            let sink_err = &mut sink_err;
+            move |t: TrialRecord<'_>| {
+                if sink_err.is_some() {
+                    return;
+                }
+                let rec = StoredTrial {
+                    session: cell.label.clone(),
+                    iteration: t.iteration,
+                    raw_score: t.raw_score,
+                    score: t.score,
+                    point: t.point.to_vec(),
+                    config: t.config.values().to_vec(),
+                    metrics: t.metrics.to_vec(),
+                    status: t.status,
+                    attempts: t.attempts,
+                };
+                if let Err(e) = store.append_trial(&rec) {
+                    *sink_err = Some(e);
+                }
+            }
+        });
+
+        let executor: &mut dyn TrialExecutor = match external {
+            Some(e) => e,
+            None => local.as_mut().expect("local executor built"),
+        };
+        let history = run_session_resumable(
+            adapter.as_ref(),
+            optimizer,
+            executor,
+            &session_opts,
+            self.opts.batch_size,
+            &prior,
+            sink.as_mut().map(|s| s as &mut dyn FnMut(TrialRecord<'_>)),
+        )
+        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?;
+        if let Some(e) = sink_err {
+            return Err(e);
+        }
+        if let (Some(store), Some(meta)) = (self.store, meta) {
+            store.append_session(&SessionMeta {
+                status: SessionStatus::Done,
+                stopped_at: history.stopped_at,
+                lease: None, // released on completion
+                ..meta
+            })?;
+        }
+
+        if let Some(events) = self.events {
+            let evs: Vec<TrialEvent> = history_to_events(&cell.label, &history);
+            events.append(&events_to_jsonl(&evs));
+        }
+
+        Ok(self.result(history, cache.map(|c| c.stats()), metrics.snapshot()))
+    }
+
+    /// Builds the session optimizer stack. Inside out: the raw
+    /// optimizer, under constant-liar [`BatchSuggest`] when `wrap_liar`,
+    /// under [`GuardedOptimizer`] when `opts.guard`. The guard sits
+    /// outermost so its rebuild-and-replay recovery reconstructs the
+    /// same batch wrapper the session loop drives.
+    fn build_optimizer(&self, spec: SearchSpec, wrap_liar: bool) -> Box<dyn Optimizer> {
+        let kind = self.cell.optimizer;
+        let seed = self.cell.seed;
+        let liar = self.opts.constant_liar && wrap_liar;
+        let make: GuardFactory = {
+            let spec = spec.clone();
+            Box::new(move || -> Box<dyn Optimizer> {
+                if liar {
+                    let spec = spec.clone();
+                    Box::new(BatchSuggest::new(Box::new(move || kind.build(&spec, seed))))
+                } else {
+                    kind.build(&spec, seed)
+                }
+            })
+        };
+        if self.opts.guard {
+            Box::new(GuardedOptimizer::new(make, spec, seed))
+        } else {
+            make()
+        }
+    }
+
+    /// Builds the trial executor: the workload runner — wrapped for
+    /// seeded fault injection when a plan is set — under the campaign's
+    /// execution policy.
+    fn build_executor(&self, runner: &WorkloadRunner, eval_seed: u64) -> WorkloadExecutor {
+        let base: Arc<dyn TrialRunner> = Arc::new(runner.clone());
+        let trial_runner: Arc<dyn TrialRunner> = match &self.opts.fault_plan {
+            Some(plan) => Arc::new(FaultyRunner::new(base, *plan)),
+            None => base,
+        };
+        WorkloadExecutor::from_trial_runner(
+            trial_runner,
+            self.catalog.clone(),
+            eval_seed,
+            self.opts.trial_workers,
+        )
+        .with_policy(self.opts.policy)
+    }
+
+    /// One session's metrics registry: private, but forwarding into the
+    /// campaign-wide live registry when one is configured.
+    fn session_metrics(&self) -> Arc<MetricsRegistry> {
+        match &self.opts.live_metrics {
+            Some(live) => Arc::new(MetricsRegistry::with_parent(live.clone())),
+            None => Arc::new(MetricsRegistry::new()),
+        }
+    }
+
+    fn build_cache(&self) -> EvalCache {
+        match self.opts.cache_capacity {
+            Some(cap) => EvalCache::with_capacity(cap),
+            None => EvalCache::new(),
+        }
+    }
+
+    /// Picks warm-start points for a fresh session: the top
+    /// configurations of the store's most similar finished session with
+    /// an *identical* adapter identity (kind, hyperparameters, and
+    /// projection seed — [`AdapterKind::identity_tag`]), so its
+    /// optimizer-space points decode through this session's adapter
+    /// unchanged.
+    fn transfer_warm_points(
+        &self,
+        store: &TrialStore,
+        adapter: &dyn SearchSpaceAdapter,
+        fingerprint: &[f64],
+    ) -> Vec<Vec<f64>> {
+        let Some(ws) = &self.opts.warm_start else {
+            return Vec::new();
+        };
+        let dims = adapter.optimizer_spec().len();
+        let identity = self.cell.adapter.identity_tag(self.cell.seed);
+        let points = store.warm_points(fingerprint, ws.k, ws.max_distance, |m| {
+            m.session != self.cell.label && m.status == SessionStatus::Done && m.adapter == identity
+        });
+        points.into_iter().filter(|p| p.len() == dims).collect()
+    }
+}

@@ -30,21 +30,29 @@
 //!   `TrialStatus`/attempt count, and `GuardedOptimizer` (optim crate)
 //!   degrades suggestion to random search if the optimizer itself
 //!   fails.
+//! * [`SessionDriver`] — drives ONE (workload, adapter, optimizer,
+//!   seed) cell through the whole trial loop: warm start, quarantine
+//!   preload, batched suggestion, evaluation via any `TrialExecutor`,
+//!   per-trial checkpointing, and resume from a recorded round
+//!   boundary. Every higher-level entry point — `Campaign`, the
+//!   `llamatune-server` daemon, the bench bins — is a thin loop over
+//!   this one driver, which is what makes their histories comparable
+//!   byte for byte.
 //! * [`Campaign`] — fans a (workload × adapter × optimizer × seed) grid
-//!   across the pool, appends per-trial events to a JSONL log (flushed
-//!   as each session completes, so partial campaigns keep their
-//!   transcript) readable by `llamatune::history_io`, and yields the
-//!   same [`SessionHistory`] per session that the sequential path
-//!   produces. Backed by a persistent `llamatune_store::TrialStore`
-//!   (`Campaign::run_with_store` / `Campaign::resume`), a campaign
-//!   checkpoints every trial as it completes, survives crashes
-//!   (resuming bit-identically from the last recorded round boundary),
-//!   and can warm-start new sessions from the best configurations of
-//!   fingerprint-similar past campaigns. `Campaign::run_shared` scales
-//!   the same contract to a *fleet*: N workers register as shared
-//!   writers on one store backend (local directory or S3-style object
-//!   store — `llamatune_store::backend`), lease sessions, and append
-//!   into one common knowledge base; killing any worker and re-running
+//!   across the pool and yields the same [`SessionHistory`] per session
+//!   that the sequential path produces. `Campaign::run_attached` is the
+//!   single entry point; [`CampaignAttachments`] selects what the run
+//!   persists: `with_log` appends per-trial events to a JSONL sink
+//!   (flushed as each session completes, so partial campaigns keep
+//!   their transcript), `with_store` checkpoints every trial into a
+//!   persistent `llamatune_store::TrialStore` (crash-survivable —
+//!   `Campaign::resume` continues bit-identically from the last
+//!   recorded round boundary — and warm-startable from
+//!   fingerprint-similar past campaigns), and `with_fleet` scales the
+//!   same contract to N workers registered as shared writers on one
+//!   store backend (local directory or S3-style object store —
+//!   `llamatune_store::backend`), leasing sessions and appending into
+//!   one common knowledge base; killing any worker and re-running
 //!   converges to the identical exported history.
 //!
 //! [`WorkloadRunner`]: llamatune_workloads::WorkloadRunner
@@ -63,14 +71,18 @@
 pub mod batch;
 pub mod cache;
 pub mod campaign;
+pub mod driver;
 pub mod executor;
+pub mod options;
 pub mod policy;
 
 pub use batch::{BatchSuggest, LiarStrategy, OptimizerFactory, RetractionMode};
 pub use cache::{config_key, CacheStats, EvalCache};
 pub use campaign::{
-    AdapterKind, Campaign, CampaignOptions, CampaignResult, CampaignSpec, OptimizerKind,
-    WarmStartOptions,
+    AdapterKind, Campaign, CampaignAttachments, CampaignOptions, CampaignResult, CampaignSpec,
+    OptimizerKind, WarmStartOptions,
 };
+pub use driver::{CellSpec, EventSink, SessionDriver};
 pub use executor::{ParallelExecutor, WorkloadExecutor};
+pub use options::{CampaignOptionsBuilder, OptionsError};
 pub use policy::{ExecutionPolicy, FaultStatsSnapshot};

@@ -1,0 +1,329 @@
+//! Validating builder for [`CampaignOptions`]: nonsensical option
+//! combinations fail at construction, not ten minutes into a campaign.
+//!
+//! Every field keeps its [`CampaignOptions::default`] value unless set,
+//! so the builder reads like a diff against the defaults:
+//!
+//! ```
+//! use llamatune_runtime::CampaignOptions;
+//!
+//! let opts = CampaignOptions::builder()
+//!     .batch_size(8)
+//!     .trial_workers(8)
+//!     .session_parallelism(2)
+//!     .build()
+//!     .unwrap();
+//! assert_eq!(opts.batch_size, 8);
+//! assert!(CampaignOptions::builder().trial_workers(0).build().is_err());
+//! ```
+
+use crate::campaign::{CampaignOptions, WarmStartOptions};
+use crate::policy::ExecutionPolicy;
+use llamatune::session::SessionOptions;
+use llamatune_engine::RunOptions;
+use llamatune_obs::trace::Tracer;
+use llamatune_obs::{MetricsRegistry, ProgressSink};
+use llamatune_workloads::FaultPlan;
+use std::fmt;
+use std::sync::Arc;
+
+/// Why a [`CampaignOptionsBuilder::build`] was rejected.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum OptionsError {
+    /// `trial_workers == 0`: no thread would ever evaluate a trial.
+    ZeroTrialWorkers,
+    /// `batch_size == 0`: no round could ever suggest anything.
+    ZeroBatchSize,
+    /// `session_parallelism == 0`: no lane would ever run a session.
+    ZeroSessionParallelism,
+    /// `cache_capacity == Some(0)`: a zero-entry cache can never hold
+    /// a result, so every lookup misses — disable the cache instead.
+    ZeroCacheCapacity,
+    /// A cache capacity was given while the cache itself is disabled.
+    CacheCapacityWithoutCache,
+    /// A fault plan was set under a policy with no failure response at
+    /// all (one attempt, no watchdog, no hedging, no quarantine):
+    /// injected faults would be recorded but nothing would ever react,
+    /// which is never what a chaos run means to test.
+    FaultPlanWithInertPolicy,
+    /// `warm_start.k == 0`: transfer enabled but zero points requested.
+    ZeroWarmStartPoints,
+    /// `warm_start.max_distance` is negative or not finite — no
+    /// fingerprint could ever match.
+    InvalidWarmStartDistance,
+}
+
+impl fmt::Display for OptionsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OptionsError::ZeroTrialWorkers => {
+                write!(f, "trial_workers must be >= 1 (no thread would evaluate trials)")
+            }
+            OptionsError::ZeroBatchSize => {
+                write!(f, "batch_size must be >= 1 (no round could suggest anything)")
+            }
+            OptionsError::ZeroSessionParallelism => {
+                write!(f, "session_parallelism must be >= 1 (no lane would run sessions)")
+            }
+            OptionsError::ZeroCacheCapacity => {
+                write!(f, "cache_capacity 0 can never hold a result; disable the cache instead")
+            }
+            OptionsError::CacheCapacityWithoutCache => {
+                write!(f, "cache_capacity was set but the cache is disabled")
+            }
+            OptionsError::FaultPlanWithInertPolicy => {
+                write!(
+                    f,
+                    "a fault_plan under a fully inert policy (one attempt, no watchdog, \
+                     no hedging, no quarantine) injects faults nothing responds to"
+                )
+            }
+            OptionsError::ZeroWarmStartPoints => {
+                write!(f, "warm_start.k must be >= 1 (transfer enabled but zero points)")
+            }
+            OptionsError::InvalidWarmStartDistance => {
+                write!(f, "warm_start.max_distance must be finite and >= 0")
+            }
+        }
+    }
+}
+
+impl std::error::Error for OptionsError {}
+
+/// Builder behind [`CampaignOptions::builder`]. Setters mirror the
+/// [`CampaignOptions`] fields one to one; [`CampaignOptionsBuilder::build`]
+/// validates the combination.
+#[derive(Default)]
+pub struct CampaignOptionsBuilder {
+    opts: CampaignOptions,
+}
+
+impl CampaignOptionsBuilder {
+    pub(crate) fn new() -> Self {
+        CampaignOptionsBuilder::default()
+    }
+
+    /// Per-session loop parameters (iterations, n_init, early stop).
+    pub fn session(mut self, session: SessionOptions) -> Self {
+        self.opts.session = session;
+        self
+    }
+
+    /// Trials per suggest→evaluate round.
+    pub fn batch_size(mut self, batch_size: usize) -> Self {
+        self.opts.batch_size = batch_size;
+        self
+    }
+
+    /// Worker threads evaluating one session's batch.
+    pub fn trial_workers(mut self, trial_workers: usize) -> Self {
+        self.opts.trial_workers = trial_workers;
+        self
+    }
+
+    /// Sessions running concurrently.
+    pub fn session_parallelism(mut self, session_parallelism: usize) -> Self {
+        self.opts.session_parallelism = session_parallelism;
+        self
+    }
+
+    /// Constant-liar batch wrapping (see
+    /// [`CampaignOptions::constant_liar`]).
+    pub fn constant_liar(mut self, constant_liar: bool) -> Self {
+        self.opts.constant_liar = constant_liar;
+        self
+    }
+
+    /// Per-session evaluation dedup cache.
+    pub fn cache(mut self, cache: bool) -> Self {
+        self.opts.cache = cache;
+        self
+    }
+
+    /// Capacity bound of the per-session cache.
+    pub fn cache_capacity(mut self, cache_capacity: usize) -> Self {
+        self.opts.cache_capacity = Some(cache_capacity);
+        self
+    }
+
+    /// Warm-start transfer from similar stored campaigns.
+    pub fn warm_start(mut self, warm_start: WarmStartOptions) -> Self {
+        self.opts.warm_start = Some(warm_start);
+        self
+    }
+
+    /// Simulation-window override for the workload runner.
+    pub fn run_options(mut self, run_options: RunOptions) -> Self {
+        self.opts.run_options = Some(run_options);
+        self
+    }
+
+    /// Deterministic fault injection plan (chaos testing).
+    pub fn fault_plan(mut self, fault_plan: FaultPlan) -> Self {
+        self.opts.fault_plan = Some(fault_plan);
+        self
+    }
+
+    /// Trial-level fault-tolerance policy.
+    pub fn policy(mut self, policy: ExecutionPolicy) -> Self {
+        self.opts.policy = policy;
+        self
+    }
+
+    /// Optimizer guarding (degrade to random search on optimizer
+    /// failure instead of killing the session).
+    pub fn guard(mut self, guard: bool) -> Self {
+        self.opts.guard = guard;
+        self
+    }
+
+    /// Structured-trace sink shared by every session.
+    pub fn tracer(mut self, tracer: Arc<dyn Tracer>) -> Self {
+        self.opts.tracer = tracer;
+        self
+    }
+
+    /// Live progress sink shared by every session.
+    pub fn progress(mut self, progress: Arc<dyn ProgressSink>) -> Self {
+        self.opts.progress = Some(progress);
+        self
+    }
+
+    /// Campaign-wide live metrics registry.
+    pub fn live_metrics(mut self, live_metrics: Arc<MetricsRegistry>) -> Self {
+        self.opts.live_metrics = Some(live_metrics);
+        self
+    }
+
+    /// Validates the combination and yields the options.
+    pub fn build(self) -> Result<CampaignOptions, OptionsError> {
+        let o = &self.opts;
+        if o.trial_workers == 0 {
+            return Err(OptionsError::ZeroTrialWorkers);
+        }
+        if o.batch_size == 0 {
+            return Err(OptionsError::ZeroBatchSize);
+        }
+        if o.session_parallelism == 0 {
+            return Err(OptionsError::ZeroSessionParallelism);
+        }
+        match (o.cache, o.cache_capacity) {
+            (_, Some(0)) => return Err(OptionsError::ZeroCacheCapacity),
+            (false, Some(_)) => return Err(OptionsError::CacheCapacityWithoutCache),
+            _ => {}
+        }
+        if o.fault_plan.is_some() && policy_is_inert(&o.policy) {
+            return Err(OptionsError::FaultPlanWithInertPolicy);
+        }
+        if let Some(ws) = &o.warm_start {
+            if ws.k == 0 {
+                return Err(OptionsError::ZeroWarmStartPoints);
+            }
+            if !ws.max_distance.is_finite() || ws.max_distance < 0.0 {
+                return Err(OptionsError::InvalidWarmStartDistance);
+            }
+        }
+        Ok(self.opts)
+    }
+}
+
+/// A policy with no failure response whatsoever: single attempt, no
+/// watchdog, no hedging, no quarantine. (The *default* policy is not
+/// inert in this sense — quarantine is on, so crashed configurations
+/// are at least penalty-scored without re-running.)
+fn policy_is_inert(p: &ExecutionPolicy) -> bool {
+    p.max_attempts <= 1 && !p.timeout_ms.is_finite() && !p.hedge_ms.is_finite() && !p.quarantine
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_build_clean() {
+        let opts = CampaignOptions::builder().build().unwrap();
+        let d = CampaignOptions::default();
+        assert_eq!(opts.batch_size, d.batch_size);
+        assert_eq!(opts.trial_workers, d.trial_workers);
+        assert_eq!(opts.cache, d.cache);
+    }
+
+    #[test]
+    fn zero_knobs_are_rejected() {
+        assert_eq!(
+            CampaignOptions::builder().trial_workers(0).build().unwrap_err(),
+            OptionsError::ZeroTrialWorkers
+        );
+        assert_eq!(
+            CampaignOptions::builder().batch_size(0).build().unwrap_err(),
+            OptionsError::ZeroBatchSize
+        );
+        assert_eq!(
+            CampaignOptions::builder().session_parallelism(0).build().unwrap_err(),
+            OptionsError::ZeroSessionParallelism
+        );
+        assert_eq!(
+            CampaignOptions::builder().cache_capacity(0).build().unwrap_err(),
+            OptionsError::ZeroCacheCapacity
+        );
+    }
+
+    #[test]
+    fn cache_capacity_requires_the_cache() {
+        assert_eq!(
+            CampaignOptions::builder().cache(false).cache_capacity(128).build().unwrap_err(),
+            OptionsError::CacheCapacityWithoutCache
+        );
+        assert!(CampaignOptions::builder().cache(true).cache_capacity(128).build().is_ok());
+    }
+
+    #[test]
+    fn fault_plan_needs_a_responsive_policy() {
+        let inert = ExecutionPolicy { quarantine: false, ..ExecutionPolicy::default() };
+        let err = CampaignOptions::builder()
+            .fault_plan(FaultPlan::default())
+            .policy(inert)
+            .build()
+            .unwrap_err();
+        assert_eq!(err, OptionsError::FaultPlanWithInertPolicy);
+        // The default policy responds (quarantine), as does a hardened one.
+        assert!(CampaignOptions::builder().fault_plan(FaultPlan::default()).build().is_ok());
+        assert!(CampaignOptions::builder()
+            .fault_plan(FaultPlan::default())
+            .policy(ExecutionPolicy::hardened())
+            .build()
+            .is_ok());
+    }
+
+    #[test]
+    fn warm_start_bounds_are_validated() {
+        assert_eq!(
+            CampaignOptions::builder()
+                .warm_start(WarmStartOptions { k: 0, max_distance: 0.5 })
+                .build()
+                .unwrap_err(),
+            OptionsError::ZeroWarmStartPoints
+        );
+        assert_eq!(
+            CampaignOptions::builder()
+                .warm_start(WarmStartOptions { k: 3, max_distance: f64::NAN })
+                .build()
+                .unwrap_err(),
+            OptionsError::InvalidWarmStartDistance
+        );
+        assert_eq!(
+            CampaignOptions::builder()
+                .warm_start(WarmStartOptions { k: 3, max_distance: -0.1 })
+                .build()
+                .unwrap_err(),
+            OptionsError::InvalidWarmStartDistance
+        );
+        assert!(CampaignOptions::builder().warm_start(WarmStartOptions::default()).build().is_ok());
+    }
+
+    #[test]
+    fn errors_render_a_reason() {
+        let msg = OptionsError::ZeroTrialWorkers.to_string();
+        assert!(msg.contains("trial_workers"), "{msg}");
+    }
+}

@@ -1,0 +1,266 @@
+//! The TCP daemon: accept loop, per-connection worker threads, and
+//! request dispatch into the [`SessionRegistry`].
+//!
+//! No async runtime: the protocol is request/response over long-lived
+//! connections, session multiplexing lives in the registry (driver
+//! threads + condvar round slots), so a plain thread-per-connection
+//! loop over [`std::net::TcpListener`] carries hundreds of concurrent
+//! clients — each connection thread spends its life blocked on either
+//! a socket read or a round condvar, both cheap to park.
+
+use crate::session::{Attach, SessionRegistry};
+use crate::wire::{
+    self, encode_err, encode_ok, read_frame, write_frame, CreateSession, FrameError, Report,
+    Request, SessionAttached, WireError,
+};
+use llamatune_obs::json::{self, JsonValue};
+use std::io::{BufReader, BufWriter};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Daemon tuning knobs.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Largest frame body accepted from a client, in bytes.
+    pub max_frame: usize,
+    /// Socket read timeout per connection; `None` blocks forever. An
+    /// idle timeout closes the connection cleanly (clients reconnect
+    /// and re-attach — attachment is idempotent by design).
+    pub read_timeout: Option<Duration>,
+    /// Longest a `suggest_batch` call blocks waiting for a round before
+    /// answering with a `timeout` error (the client simply re-asks).
+    pub suggest_timeout: Duration,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            max_frame: wire::MAX_FRAME,
+            read_timeout: None,
+            suggest_timeout: Duration::from_secs(60),
+        }
+    }
+}
+
+/// A remote handle onto a bound daemon: address + shutdown trigger.
+#[derive(Clone)]
+pub struct ServerHandle {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+}
+
+impl ServerHandle {
+    /// The daemon's bound address.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Asks the accept loop to stop. The loop notices on its next
+    /// wakeup: a throwaway self-connection unblocks a parked `accept`.
+    pub fn shutdown(&self) {
+        self.stop.store(true, Ordering::SeqCst);
+        let _ = TcpStream::connect(self.addr);
+    }
+
+    /// Whether shutdown has been requested.
+    pub fn is_stopped(&self) -> bool {
+        self.stop.load(Ordering::SeqCst)
+    }
+}
+
+/// The daemon: a bound listener plus the session registry it serves.
+pub struct Server {
+    listener: TcpListener,
+    registry: Arc<SessionRegistry>,
+    cfg: ServerConfig,
+    stop: Arc<AtomicBool>,
+}
+
+impl Server {
+    /// Binds `addr` (use port 0 for an ephemeral port) over `registry`.
+    pub fn bind(
+        addr: &str,
+        registry: Arc<SessionRegistry>,
+        cfg: ServerConfig,
+    ) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        Ok(Server { listener, registry, cfg, stop: Arc::new(AtomicBool::new(false)) })
+    }
+
+    /// The bound address (the ephemeral port, after `bind("…:0")`).
+    pub fn local_addr(&self) -> std::io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// A handle that can stop this daemon from any thread.
+    pub fn handle(&self) -> std::io::Result<ServerHandle> {
+        Ok(ServerHandle { addr: self.local_addr()?, stop: self.stop.clone() })
+    }
+
+    /// Runs the accept loop until a handle (or a `shutdown` request)
+    /// stops it, then winds down every session thread. Sessions stopped
+    /// mid-round stay `Running` in the store and resume under the next
+    /// daemon over the same backend.
+    pub fn serve(self) -> std::io::Result<()> {
+        let mut workers = Vec::new();
+        for conn in self.listener.incoming() {
+            if self.stop.load(Ordering::SeqCst) {
+                break;
+            }
+            let stream = match conn {
+                Ok(s) => s,
+                // A failed accept (peer vanished between SYN and
+                // accept) is the peer's problem, not the daemon's.
+                Err(_) => continue,
+            };
+            let registry = self.registry.clone();
+            let cfg = self.cfg.clone();
+            let stop = self.stop.clone();
+            let addr = self.listener.local_addr()?;
+            workers.push(std::thread::spawn(move || {
+                serve_connection(stream, &registry, &cfg, &ServerHandle { addr, stop });
+            }));
+        }
+        self.registry.shutdown_all();
+        for w in workers {
+            let _ = w.join();
+        }
+        Ok(())
+    }
+}
+
+/// One connection's request loop. Close conditions: clean peer close,
+/// transport error, or a frame so damaged resynchronization is
+/// impossible (truncated/oversized). Malformed JSON inside a
+/// well-formed frame keeps the connection: framing still delimits the
+/// next request, so the daemon answers a structured error and reads on.
+fn serve_connection(
+    stream: TcpStream,
+    registry: &SessionRegistry,
+    cfg: &ServerConfig,
+    handle: &ServerHandle,
+) {
+    // Between frames the socket wakes every poll interval so the thread
+    // notices daemon shutdown (and the configured idle limit) even with
+    // a silent peer. Within a frame, a timeout is a truncation.
+    const STOP_POLL: Duration = Duration::from_millis(200);
+    let poll = cfg.read_timeout.map_or(STOP_POLL, |t| t.min(STOP_POLL));
+    let _ = stream.set_read_timeout(Some(poll));
+    let _ = stream.set_nodelay(true);
+    let Ok(write_half) = stream.try_clone() else { return };
+    let mut reader = BufReader::new(stream);
+    let mut writer = BufWriter::new(write_half);
+    let mut idle = Duration::ZERO;
+
+    loop {
+        if handle.is_stopped() {
+            return;
+        }
+        let body = match read_frame(&mut reader, cfg.max_frame) {
+            Ok(body) => {
+                idle = Duration::ZERO;
+                body
+            }
+            Err(FrameError::TimedOut) => {
+                idle += poll;
+                if cfg.read_timeout.is_some_and(|limit| idle >= limit) {
+                    // Idle past the configured limit: close cleanly.
+                    // The client reconnects and re-attaches (attach is
+                    // idempotent), losing nothing.
+                    return;
+                }
+                continue;
+            }
+            Err(FrameError::Closed) => return,
+            Err(e @ (FrameError::Truncated | FrameError::Oversized(_))) => {
+                // The stream position is unknowable now — answer once,
+                // structured, and hang up.
+                let err = WireError::new(wire::code::BAD_FRAME, e.to_string());
+                let _ = write_frame(&mut writer, &encode_err(None, &err));
+                return;
+            }
+            Err(FrameError::Io(_)) => return,
+        };
+        let req = match Request::decode(&body) {
+            Ok(req) => req,
+            Err(err) => {
+                if write_frame(&mut writer, &encode_err(None, &err)).is_err() {
+                    return;
+                }
+                continue;
+            }
+        };
+        let id = req.id;
+        let shutdown_requested = req.method == "shutdown";
+        let reply = match dispatch(registry, cfg, &req) {
+            Ok(ok) => encode_ok(id, &ok),
+            Err(err) => encode_err(Some(id), &err),
+        };
+        if write_frame(&mut writer, &reply).is_err() {
+            return;
+        }
+        if shutdown_requested {
+            handle.shutdown();
+            return;
+        }
+    }
+}
+
+fn param_str<'p>(params: &'p JsonValue, key: &str) -> Result<&'p str, WireError> {
+    params
+        .get(key)
+        .and_then(JsonValue::as_str)
+        .ok_or_else(|| WireError::new(wire::code::BAD_PARAMS, format!("missing \"{key}\"")))
+}
+
+/// Routes one request into the registry and renders the `ok` body.
+fn dispatch(
+    registry: &SessionRegistry,
+    cfg: &ServerConfig,
+    req: &Request,
+) -> Result<String, WireError> {
+    match req.method.as_str() {
+        "ping" => Ok("{}".to_string()),
+        "create_session" => {
+            let create = CreateSession::decode(&req.params)?;
+            let reply = match registry.attach(&create)? {
+                Attach::Done { label } => {
+                    SessionAttached { session: label, done: true, quarantine: Vec::new() }
+                }
+                Attach::Live { label, quarantine } => {
+                    SessionAttached { session: label, done: false, quarantine }
+                }
+            };
+            Ok(reply.encode())
+        }
+        "suggest_batch" => {
+            let session = param_str(&req.params, "session")?;
+            Ok(registry.suggest(session, cfg.suggest_timeout)?.encode())
+        }
+        "report" => {
+            let report = Report::decode(&req.params)?;
+            registry.report(&report)?;
+            Ok("{}".to_string())
+        }
+        "warm_start_query" => {
+            let session = param_str(&req.params, "session")?;
+            let points = registry.warm_points(session)?;
+            Ok(wire::WarmStartReply { points }.encode())
+        }
+        "session_status" => {
+            let session = param_str(&req.params, "session")?;
+            Ok(registry.status(session)?.encode())
+        }
+        "export_history" => {
+            let session = param_str(&req.params, "session")?;
+            let jsonl = registry.export(session)?;
+            Ok(format!("{{\"jsonl\":\"{}\"}}", json::escape(&jsonl)))
+        }
+        "shutdown" => Ok("{}".to_string()),
+        other => {
+            Err(WireError::new(wire::code::UNKNOWN_METHOD, format!("unknown method {other:?}")))
+        }
+    }
+}

@@ -1,0 +1,835 @@
+//! The wire protocol shared by `llamatune-server` and
+//! `llamatune-client`: length-prefixed JSON frames carrying typed
+//! request/response payloads.
+//!
+//! ## Framing
+//!
+//! Every message is one frame: a 4-byte big-endian length prefix
+//! followed by exactly that many bytes of UTF-8 JSON (one document, no
+//! trailing newline). Frames larger than the receiver's limit are
+//! rejected with a structured error before the body is read. A clean
+//! close between frames is an ordinary end of conversation; a close
+//! (or read timeout) *inside* a frame is a truncated frame.
+//!
+//! ## Envelopes
+//!
+//! Requests: `{"id": <u64>, "method": "<name>", "params": {...}}`.
+//! Responses echo the id: `{"id": <u64>, "ok": {...}}` on success,
+//! `{"id": <u64|null>, "err": {"code": "...", "message": "..."}}` on
+//! failure (the id is `null` when the request was too mangled to carry
+//! one). Scores and points ride as JSON numbers through the
+//! shortest-roundtrip `f64` formatter (`llamatune_obs::json`), so every
+//! value survives the wire bit-exactly; configurations ride as the
+//! store's compact knob tokens (`i<int>`, `f<float>`, `c<choice>`).
+
+use llamatune::pipeline::{LlamaTuneConfig, ProjectionKind};
+use llamatune::session::{EvalResult, TrialStatus};
+use llamatune_obs::json::{self, JsonValue};
+use llamatune_runtime::AdapterKind;
+use llamatune_space::{Config, KnobValue};
+use llamatune_store::{knob_value_from_token, knob_value_to_token};
+use std::io::{Read, Write};
+
+/// Default cap on one frame's body, in bytes. A full session export of
+/// a few thousand trials fits comfortably; anything larger is a
+/// protocol violation, not a workload.
+pub const MAX_FRAME: usize = 4 * 1024 * 1024;
+
+/// How reading a frame can fail.
+#[derive(Debug)]
+pub enum FrameError {
+    /// Clean close between frames — the peer is simply done.
+    Closed,
+    /// The stream ended (or timed out) inside a frame.
+    Truncated,
+    /// The announced body length exceeds the receiver's limit.
+    Oversized(usize),
+    /// A socket read timeout elapsed between frames (no bytes of the
+    /// next frame had arrived). The stream is still synchronized; the
+    /// caller may keep reading.
+    TimedOut,
+    /// Transport failure.
+    Io(std::io::Error),
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::Closed => write!(f, "connection closed"),
+            FrameError::Truncated => write!(f, "truncated frame"),
+            FrameError::Oversized(n) => write!(f, "oversized frame ({n} bytes)"),
+            FrameError::TimedOut => write!(f, "read timed out between frames"),
+            FrameError::Io(e) => write!(f, "transport error: {e}"),
+        }
+    }
+}
+
+/// Reads one frame, enforcing `max_frame` on the announced length.
+pub fn read_frame(r: &mut dyn Read, max_frame: usize) -> Result<String, FrameError> {
+    let mut header = [0u8; 4];
+    let mut got = 0usize;
+    while got < 4 {
+        match r.read(&mut header[got..]) {
+            Ok(0) if got == 0 => return Err(FrameError::Closed),
+            Ok(0) => return Err(FrameError::Truncated),
+            Ok(n) => got += n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) =>
+            {
+                // A read timeout with nothing read yet is an idle
+                // connection, not a wire fault; partway through the
+                // header it is a truncated frame.
+                return if got == 0 {
+                    Err(FrameError::TimedOut)
+                } else {
+                    Err(FrameError::Truncated)
+                };
+            }
+            Err(e) => return Err(FrameError::Io(e)),
+        }
+    }
+    let len = u32::from_be_bytes(header) as usize;
+    if len > max_frame {
+        return Err(FrameError::Oversized(len));
+    }
+    let mut body = vec![0u8; len];
+    let mut got = 0usize;
+    while got < len {
+        match r.read(&mut body[got..]) {
+            Ok(0) => return Err(FrameError::Truncated),
+            Ok(n) => got += n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) =>
+            {
+                return Err(FrameError::Truncated)
+            }
+            Err(e) => return Err(FrameError::Io(e)),
+        }
+    }
+    String::from_utf8(body).map_err(|_| FrameError::Truncated)
+}
+
+/// Writes one frame.
+pub fn write_frame(w: &mut dyn Write, body: &str) -> std::io::Result<()> {
+    let len = u32::try_from(body.len())
+        .map_err(|_| std::io::Error::new(std::io::ErrorKind::InvalidInput, "frame too large"))?;
+    w.write_all(&len.to_be_bytes())?;
+    w.write_all(body.as_bytes())?;
+    w.flush()
+}
+
+/// Structured error codes of the protocol. Stable strings — clients
+/// match on them.
+pub mod code {
+    /// The frame body was not a valid JSON document.
+    pub const BAD_JSON: &str = "bad_json";
+    /// The frame was truncated or oversized.
+    pub const BAD_FRAME: &str = "bad_frame";
+    /// The request envelope was malformed (missing id/method).
+    pub const BAD_REQUEST: &str = "bad_request";
+    /// The method name is not part of the protocol.
+    pub const UNKNOWN_METHOD: &str = "unknown_method";
+    /// The params were missing a field or carried a bad value.
+    pub const BAD_PARAMS: &str = "bad_params";
+    /// The named session does not exist on this daemon.
+    pub const UNKNOWN_SESSION: &str = "unknown_session";
+    /// The session's driver thread failed.
+    pub const SESSION_FAILED: &str = "session_failed";
+    /// A report did not match the pending round.
+    pub const ROUND_CONFLICT: &str = "round_conflict";
+    /// The daemon is shutting down.
+    pub const SHUTTING_DOWN: &str = "shutting_down";
+    /// A blocking call (suggest_batch) hit its server-side wait limit.
+    pub const TIMEOUT: &str = "timeout";
+    /// Storage failure while serving the request.
+    pub const STORE_ERROR: &str = "store_error";
+}
+
+/// A structured protocol error (`err` half of a response).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WireError {
+    pub code: String,
+    pub message: String,
+}
+
+impl WireError {
+    pub fn new(code: &str, message: impl Into<String>) -> Self {
+        WireError { code: code.to_string(), message: message.into() }
+    }
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}: {}", self.code, self.message)
+    }
+}
+
+/// A parsed request envelope.
+#[derive(Debug, Clone)]
+pub struct Request {
+    pub id: u64,
+    pub method: String,
+    pub params: JsonValue,
+}
+
+impl Request {
+    /// Serializes the envelope (`params` must already be a JSON
+    /// object source string).
+    pub fn encode(id: u64, method: &str, params: &str) -> String {
+        format!("{{\"id\":{id},\"method\":\"{}\",\"params\":{params}}}", json::escape(method))
+    }
+
+    /// Parses an envelope out of a frame body.
+    pub fn decode(body: &str) -> Result<Request, WireError> {
+        let doc = json::parse(body).map_err(|e| WireError::new(code::BAD_JSON, e))?;
+        let id = doc
+            .get("id")
+            .and_then(JsonValue::as_u64)
+            .ok_or_else(|| WireError::new(code::BAD_REQUEST, "missing numeric \"id\""))?;
+        let method = doc
+            .get("method")
+            .and_then(JsonValue::as_str)
+            .ok_or_else(|| WireError::new(code::BAD_REQUEST, "missing \"method\""))?
+            .to_string();
+        let params = doc.get("params").cloned().unwrap_or(JsonValue::Obj(Vec::new()));
+        Ok(Request { id, method, params })
+    }
+}
+
+/// Serializes a success response.
+pub fn encode_ok(id: u64, body: &str) -> String {
+    format!("{{\"id\":{id},\"ok\":{body}}}")
+}
+
+/// Serializes an error response; `id` is `None` when the request was
+/// too mangled to carry one.
+pub fn encode_err(id: Option<u64>, err: &WireError) -> String {
+    let id = match id {
+        Some(id) => id.to_string(),
+        None => "null".to_string(),
+    };
+    format!(
+        "{{\"id\":{id},\"err\":{{\"code\":\"{}\",\"message\":\"{}\"}}}}",
+        json::escape(&err.code),
+        json::escape(&err.message)
+    )
+}
+
+/// A decoded response: the echoed id plus the ok body or the error.
+#[derive(Debug, Clone)]
+pub struct Response {
+    pub id: Option<u64>,
+    pub result: Result<JsonValue, WireError>,
+}
+
+impl Response {
+    pub fn decode(body: &str) -> Result<Response, WireError> {
+        let doc = json::parse(body).map_err(|e| WireError::new(code::BAD_JSON, e))?;
+        let id = doc.get("id").and_then(JsonValue::as_u64);
+        if let Some(ok) = doc.get("ok") {
+            return Ok(Response { id, result: Ok(ok.clone()) });
+        }
+        let err = doc
+            .get("err")
+            .ok_or_else(|| WireError::new(code::BAD_JSON, "response carries neither ok nor err"))?;
+        let code = err.get("code").and_then(JsonValue::as_str).unwrap_or("unknown").to_string();
+        let message = err.get("message").and_then(JsonValue::as_str).unwrap_or("").to_string();
+        Ok(Response { id, result: Err(WireError { code, message }) })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Typed payloads
+// ---------------------------------------------------------------------------
+
+/// `create_session` request payload: the full identity of a session
+/// plus its loop bounds. `create_session` is an idempotent *attach* —
+/// re-sending it for a live or finished session re-attaches instead of
+/// erroring, which is what lets a killed client reconnect and resume.
+#[derive(Debug, Clone)]
+pub struct CreateSession {
+    pub workload: String,
+    pub adapter: AdapterKind,
+    pub optimizer: String,
+    pub seed: u64,
+    pub iterations: usize,
+    pub n_init: usize,
+    pub batch_size: usize,
+}
+
+fn encode_adapter(adapter: &AdapterKind) -> String {
+    match adapter {
+        AdapterKind::Identity => "{\"kind\":\"identity\"}".to_string(),
+        AdapterKind::LlamaTune(cfg) => {
+            let projection = match cfg.projection {
+                ProjectionKind::Hesbo => "hesbo",
+                ProjectionKind::Rembo => "rembo",
+            };
+            let bias = match cfg.special_value_bias {
+                Some(p) => json::format_f64(p),
+                None => "null".to_string(),
+            };
+            let buckets = match cfg.bucket_count {
+                Some(k) => k.to_string(),
+                None => "null".to_string(),
+            };
+            format!(
+                "{{\"kind\":\"llamatune\",\"target_dim\":{},\"projection\":\"{projection}\",\
+                 \"special_value_bias\":{bias},\"bucket_count\":{buckets}}}",
+                cfg.target_dim
+            )
+        }
+    }
+}
+
+fn decode_adapter(v: &JsonValue) -> Result<AdapterKind, WireError> {
+    let bad = |m: &str| WireError::new(code::BAD_PARAMS, format!("adapter: {m}"));
+    match v.get("kind").and_then(JsonValue::as_str) {
+        Some("identity") => Ok(AdapterKind::Identity),
+        Some("llamatune") => {
+            let target_dim = v
+                .get("target_dim")
+                .and_then(JsonValue::as_u64)
+                .ok_or_else(|| bad("missing target_dim"))? as usize;
+            let projection = match v.get("projection").and_then(JsonValue::as_str) {
+                Some("hesbo") => ProjectionKind::Hesbo,
+                Some("rembo") => ProjectionKind::Rembo,
+                other => return Err(bad(&format!("unknown projection {other:?}"))),
+            };
+            let special_value_bias = match v.get("special_value_bias") {
+                None | Some(JsonValue::Null) => None,
+                Some(b) => Some(b.as_f64().ok_or_else(|| bad("bad special_value_bias"))?),
+            };
+            let bucket_count = match v.get("bucket_count") {
+                None | Some(JsonValue::Null) => None,
+                Some(b) => Some(b.as_u64().ok_or_else(|| bad("bad bucket_count"))?),
+            };
+            Ok(AdapterKind::LlamaTune(LlamaTuneConfig {
+                target_dim,
+                projection,
+                special_value_bias,
+                bucket_count,
+            }))
+        }
+        other => Err(bad(&format!("unknown kind {other:?}"))),
+    }
+}
+
+impl CreateSession {
+    pub fn encode(&self) -> String {
+        format!(
+            "{{\"workload\":\"{}\",\"adapter\":{},\"optimizer\":\"{}\",\"seed\":{},\
+             \"iterations\":{},\"n_init\":{},\"batch_size\":{}}}",
+            json::escape(&self.workload),
+            encode_adapter(&self.adapter),
+            json::escape(&self.optimizer),
+            self.seed,
+            self.iterations,
+            self.n_init,
+            self.batch_size,
+        )
+    }
+
+    pub fn decode(params: &JsonValue) -> Result<CreateSession, WireError> {
+        let missing = |f: &str| WireError::new(code::BAD_PARAMS, format!("missing \"{f}\""));
+        let workload = params
+            .get("workload")
+            .and_then(JsonValue::as_str)
+            .ok_or_else(|| missing("workload"))?
+            .to_string();
+        let adapter = decode_adapter(params.get("adapter").ok_or_else(|| missing("adapter"))?)?;
+        let optimizer = params
+            .get("optimizer")
+            .and_then(JsonValue::as_str)
+            .ok_or_else(|| missing("optimizer"))?
+            .to_string();
+        let seed = params.get("seed").and_then(JsonValue::as_u64).ok_or_else(|| missing("seed"))?;
+        let iterations = params
+            .get("iterations")
+            .and_then(JsonValue::as_u64)
+            .ok_or_else(|| missing("iterations"))? as usize;
+        let n_init =
+            params.get("n_init").and_then(JsonValue::as_u64).ok_or_else(|| missing("n_init"))?
+                as usize;
+        let batch_size = params
+            .get("batch_size")
+            .and_then(JsonValue::as_u64)
+            .ok_or_else(|| missing("batch_size"))? as usize;
+        if batch_size == 0 {
+            return Err(WireError::new(code::BAD_PARAMS, "batch_size must be >= 1"));
+        }
+        Ok(CreateSession { workload, adapter, optimizer, seed, iterations, n_init, batch_size })
+    }
+}
+
+/// `create_session` reply: the canonical session label, whether the
+/// session is already finished, and the quarantine preload — the
+/// configurations (as knob-token lists) whose recorded trials failed
+/// terminally in the replayed prefix, which a resuming client must
+/// preload into its local executor before evaluating anything.
+#[derive(Debug, Clone)]
+pub struct SessionAttached {
+    pub session: String,
+    pub done: bool,
+    pub quarantine: Vec<Vec<String>>,
+}
+
+impl SessionAttached {
+    pub fn encode(&self) -> String {
+        let quarantine: Vec<String> = self
+            .quarantine
+            .iter()
+            .map(|cfg| {
+                let toks: Vec<String> =
+                    cfg.iter().map(|t| format!("\"{}\"", json::escape(t))).collect();
+                format!("[{}]", toks.join(","))
+            })
+            .collect();
+        format!(
+            "{{\"session\":\"{}\",\"done\":{},\"quarantine\":[{}]}}",
+            json::escape(&self.session),
+            self.done,
+            quarantine.join(",")
+        )
+    }
+
+    pub fn decode(body: &JsonValue) -> Result<SessionAttached, WireError> {
+        let bad = |m: &str| WireError::new(code::BAD_JSON, m.to_string());
+        let session = body
+            .get("session")
+            .and_then(JsonValue::as_str)
+            .ok_or_else(|| bad("missing session"))?
+            .to_string();
+        let done = match body.get("done") {
+            Some(JsonValue::Bool(b)) => *b,
+            _ => return Err(bad("missing done")),
+        };
+        let mut quarantine = Vec::new();
+        if let Some(JsonValue::Arr(items)) = body.get("quarantine") {
+            for item in items {
+                let JsonValue::Arr(toks) = item else { return Err(bad("bad quarantine entry")) };
+                let mut cfg = Vec::new();
+                for t in toks {
+                    cfg.push(t.as_str().ok_or_else(|| bad("bad quarantine token"))?.to_string());
+                }
+                quarantine.push(cfg);
+            }
+        }
+        Ok(SessionAttached { session, done, quarantine })
+    }
+
+    /// Decodes the quarantine token lists into configurations.
+    pub fn quarantine_configs(&self) -> Result<Vec<Config>, WireError> {
+        self.quarantine
+            .iter()
+            .map(|toks| {
+                toks.iter()
+                    .map(|t| {
+                        knob_value_from_token(t).map_err(|e| WireError::new(code::BAD_JSON, e))
+                    })
+                    .collect::<Result<Vec<KnobValue>, WireError>>()
+                    .map(Config::new)
+            })
+            .collect()
+    }
+}
+
+/// One trial of a suggested round: the iteration index and the decoded
+/// configuration as knob tokens.
+#[derive(Debug, Clone)]
+pub struct WireTrial {
+    pub iteration: usize,
+    pub config: Vec<String>,
+}
+
+/// `suggest_batch` reply: either the pending round or the news that the
+/// session has finished. The round id is the iteration index of the
+/// round's first trial — stable across redelivery, which is what makes
+/// `report` idempotent.
+#[derive(Debug, Clone)]
+pub enum SuggestReply {
+    Round { round: usize, trials: Vec<WireTrial> },
+    Done,
+}
+
+impl SuggestReply {
+    /// Builds the round form out of the session loop's trials.
+    pub fn from_trials(round: usize, trials: &[(usize, Vec<KnobValue>)]) -> SuggestReply {
+        SuggestReply::Round {
+            round,
+            trials: trials
+                .iter()
+                .map(|(iteration, config)| WireTrial {
+                    iteration: *iteration,
+                    config: config.iter().map(knob_value_to_token).collect(),
+                })
+                .collect(),
+        }
+    }
+
+    pub fn encode(&self) -> String {
+        match self {
+            SuggestReply::Done => "{\"done\":true}".to_string(),
+            SuggestReply::Round { round, trials } => {
+                let trials: Vec<String> = trials
+                    .iter()
+                    .map(|t| {
+                        let toks: Vec<String> =
+                            t.config.iter().map(|k| format!("\"{}\"", json::escape(k))).collect();
+                        format!("{{\"iteration\":{},\"config\":[{}]}}", t.iteration, toks.join(","))
+                    })
+                    .collect();
+                format!("{{\"round\":{round},\"trials\":[{}]}}", trials.join(","))
+            }
+        }
+    }
+
+    pub fn decode(body: &JsonValue) -> Result<SuggestReply, WireError> {
+        let bad = |m: &str| WireError::new(code::BAD_JSON, m.to_string());
+        if let Some(JsonValue::Bool(true)) = body.get("done") {
+            return Ok(SuggestReply::Done);
+        }
+        let round =
+            body.get("round").and_then(JsonValue::as_u64).ok_or_else(|| bad("missing round"))?
+                as usize;
+        let JsonValue::Arr(items) = body.get("trials").ok_or_else(|| bad("missing trials"))? else {
+            return Err(bad("trials is not an array"));
+        };
+        let mut trials = Vec::with_capacity(items.len());
+        for item in items {
+            let iteration = item
+                .get("iteration")
+                .and_then(JsonValue::as_u64)
+                .ok_or_else(|| bad("missing iteration"))? as usize;
+            let JsonValue::Arr(toks) = item.get("config").ok_or_else(|| bad("missing config"))?
+            else {
+                return Err(bad("config is not an array"));
+            };
+            let mut config = Vec::with_capacity(toks.len());
+            for t in toks {
+                config.push(t.as_str().ok_or_else(|| bad("bad config token"))?.to_string());
+            }
+            trials.push(WireTrial { iteration, config });
+        }
+        Ok(SuggestReply::Round { round, trials })
+    }
+}
+
+impl WireTrial {
+    /// Decodes the knob tokens into a configuration.
+    pub fn to_config(&self) -> Result<Config, WireError> {
+        let values: Result<Vec<KnobValue>, WireError> = self
+            .config
+            .iter()
+            .map(|t| knob_value_from_token(t).map_err(|e| WireError::new(code::BAD_JSON, e)))
+            .collect();
+        Ok(Config::new(values?))
+    }
+}
+
+/// One evaluated trial result riding back to the daemon. Mirrors
+/// [`EvalResult`]; `virtual_ms` is observability-only (never folded
+/// into recorded history).
+#[derive(Debug, Clone)]
+pub struct WireResult {
+    pub score: Option<f64>,
+    pub metrics: Vec<f64>,
+    pub status: TrialStatus,
+    pub attempts: u32,
+    pub virtual_ms: f64,
+}
+
+impl WireResult {
+    pub fn from_eval(r: &EvalResult) -> WireResult {
+        WireResult {
+            score: r.score,
+            metrics: r.metrics.clone(),
+            status: r.status,
+            attempts: r.attempts,
+            virtual_ms: r.virtual_ms,
+        }
+    }
+
+    pub fn to_eval(&self) -> EvalResult {
+        EvalResult {
+            score: self.score,
+            metrics: self.metrics.clone(),
+            status: self.status,
+            attempts: self.attempts,
+            virtual_ms: self.virtual_ms,
+        }
+    }
+
+    fn encode(&self) -> String {
+        let score = match self.score {
+            Some(s) => json::format_f64(s),
+            None => "null".to_string(),
+        };
+        format!(
+            "{{\"score\":{score},\"metrics\":{},\"status\":\"{}\",\"attempts\":{},\
+             \"virtual_ms\":{}}}",
+            json::format_f64_array(&self.metrics),
+            self.status.as_str(),
+            self.attempts,
+            json::format_f64(self.virtual_ms),
+        )
+    }
+
+    fn decode(v: &JsonValue) -> Result<WireResult, WireError> {
+        let bad = |m: String| WireError::new(code::BAD_PARAMS, m);
+        let score = match v.get("score") {
+            None | Some(JsonValue::Null) => None,
+            Some(s) => Some(s.as_f64().ok_or_else(|| bad("bad score".into()))?),
+        };
+        let metrics = match v.get("metrics") {
+            Some(JsonValue::Arr(items)) => items
+                .iter()
+                .map(|m| m.as_f64().ok_or_else(|| bad("bad metric".into())))
+                .collect::<Result<Vec<f64>, WireError>>()?,
+            _ => Vec::new(),
+        };
+        let status = match v.get("status").and_then(JsonValue::as_str) {
+            Some(s) => TrialStatus::parse(s).map_err(bad)?,
+            None => TrialStatus::derived(score),
+        };
+        let attempts =
+            v.get("attempts").and_then(JsonValue::as_u64).unwrap_or(1).min(u32::MAX as u64) as u32;
+        let virtual_ms = v.get("virtual_ms").and_then(JsonValue::as_f64).unwrap_or(0.0);
+        Ok(WireResult { score, metrics, status, attempts, virtual_ms })
+    }
+}
+
+/// `report` request payload: the evaluated results of one round,
+/// positionally aligned with the round's trials.
+#[derive(Debug, Clone)]
+pub struct Report {
+    pub session: String,
+    pub round: usize,
+    pub results: Vec<WireResult>,
+}
+
+impl Report {
+    pub fn encode(&self) -> String {
+        let results: Vec<String> = self.results.iter().map(WireResult::encode).collect();
+        format!(
+            "{{\"session\":\"{}\",\"round\":{},\"results\":[{}]}}",
+            json::escape(&self.session),
+            self.round,
+            results.join(",")
+        )
+    }
+
+    pub fn decode(params: &JsonValue) -> Result<Report, WireError> {
+        let missing = |f: &str| WireError::new(code::BAD_PARAMS, format!("missing \"{f}\""));
+        let session = params
+            .get("session")
+            .and_then(JsonValue::as_str)
+            .ok_or_else(|| missing("session"))?
+            .to_string();
+        let round =
+            params.get("round").and_then(JsonValue::as_u64).ok_or_else(|| missing("round"))?
+                as usize;
+        let JsonValue::Arr(items) = params.get("results").ok_or_else(|| missing("results"))? else {
+            return Err(WireError::new(code::BAD_PARAMS, "results is not an array"));
+        };
+        let results: Result<Vec<WireResult>, WireError> =
+            items.iter().map(WireResult::decode).collect();
+        Ok(Report { session, round, results: results? })
+    }
+}
+
+/// `session_status` reply.
+#[derive(Debug, Clone)]
+pub struct SessionStatusReply {
+    /// `"running"`, `"done"`, or `"failed"`.
+    pub status: String,
+    /// Trials recorded in the store so far.
+    pub trials: usize,
+    /// Best penalized score recorded so far.
+    pub best_score: Option<f64>,
+    /// Failure message, for failed sessions.
+    pub error: Option<String>,
+}
+
+impl SessionStatusReply {
+    pub fn encode(&self) -> String {
+        let best = match self.best_score {
+            Some(s) => json::format_f64(s),
+            None => "null".to_string(),
+        };
+        let error = match &self.error {
+            Some(e) => format!("\"{}\"", json::escape(e)),
+            None => "null".to_string(),
+        };
+        format!(
+            "{{\"status\":\"{}\",\"trials\":{},\"best_score\":{best},\"error\":{error}}}",
+            json::escape(&self.status),
+            self.trials
+        )
+    }
+
+    pub fn decode(body: &JsonValue) -> Result<SessionStatusReply, WireError> {
+        let status = body
+            .get("status")
+            .and_then(JsonValue::as_str)
+            .ok_or_else(|| WireError::new(code::BAD_JSON, "missing status"))?
+            .to_string();
+        let trials = body.get("trials").and_then(JsonValue::as_u64).unwrap_or(0) as usize;
+        let best_score = body.get("best_score").and_then(JsonValue::as_f64);
+        let error = body
+            .get("error")
+            .and_then(JsonValue::as_str)
+            .map(str::to_string)
+            .filter(|e| !e.is_empty());
+        Ok(SessionStatusReply { status, trials, best_score, error })
+    }
+}
+
+/// `warm_start_query` reply: the optimizer-space points recorded in the
+/// session's metadata (empty when transfer found nothing or the
+/// session is unknown to the store yet).
+#[derive(Debug, Clone)]
+pub struct WarmStartReply {
+    pub points: Vec<Vec<f64>>,
+}
+
+impl WarmStartReply {
+    pub fn encode(&self) -> String {
+        let points: Vec<String> = self.points.iter().map(|p| json::format_f64_array(p)).collect();
+        format!("{{\"points\":[{}]}}", points.join(","))
+    }
+
+    pub fn decode(body: &JsonValue) -> Result<WarmStartReply, WireError> {
+        let bad = || WireError::new(code::BAD_JSON, "bad warm-start points");
+        let mut points = Vec::new();
+        if let Some(JsonValue::Arr(items)) = body.get("points") {
+            for item in items {
+                let JsonValue::Arr(coords) = item else { return Err(bad()) };
+                let p: Result<Vec<f64>, WireError> =
+                    coords.iter().map(|c| c.as_f64().ok_or_else(bad)).collect();
+                points.push(p?);
+            }
+        }
+        Ok(WarmStartReply { points })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frames_round_trip() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, "{\"id\":1}").unwrap();
+        write_frame(&mut buf, "{\"id\":2}").unwrap();
+        let mut r = std::io::Cursor::new(buf);
+        assert_eq!(read_frame(&mut r, MAX_FRAME).unwrap(), "{\"id\":1}");
+        assert_eq!(read_frame(&mut r, MAX_FRAME).unwrap(), "{\"id\":2}");
+        assert!(matches!(read_frame(&mut r, MAX_FRAME), Err(FrameError::Closed)));
+    }
+
+    #[test]
+    fn truncated_and_oversized_frames_are_detected() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, "{\"id\":1}").unwrap();
+        buf.truncate(buf.len() - 3);
+        let mut r = std::io::Cursor::new(buf);
+        assert!(matches!(read_frame(&mut r, MAX_FRAME), Err(FrameError::Truncated)));
+
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&(MAX_FRAME as u32 + 1).to_be_bytes());
+        let mut r = std::io::Cursor::new(buf);
+        assert!(matches!(read_frame(&mut r, MAX_FRAME), Err(FrameError::Oversized(_))));
+    }
+
+    #[test]
+    fn request_envelopes_round_trip() {
+        let body = Request::encode(7, "suggest_batch", "{\"session\":\"a/b/c/s1\"}");
+        let req = Request::decode(&body).unwrap();
+        assert_eq!(req.id, 7);
+        assert_eq!(req.method, "suggest_batch");
+        assert_eq!(req.params.get("session").unwrap().as_str(), Some("a/b/c/s1"));
+    }
+
+    #[test]
+    fn create_session_round_trips_every_adapter_form() {
+        for adapter in [
+            AdapterKind::Identity,
+            AdapterKind::LlamaTune(LlamaTuneConfig::default()),
+            AdapterKind::LlamaTune(LlamaTuneConfig {
+                target_dim: 8,
+                projection: ProjectionKind::Rembo,
+                special_value_bias: None,
+                bucket_count: None,
+            }),
+        ] {
+            let req = CreateSession {
+                workload: "ycsb_a".into(),
+                adapter: adapter.clone(),
+                optimizer: "smac".into(),
+                seed: 11,
+                iterations: 20,
+                n_init: 5,
+                batch_size: 3,
+            };
+            let decoded = CreateSession::decode(&json::parse(&req.encode()).unwrap()).unwrap();
+            assert_eq!(decoded.workload, req.workload);
+            assert_eq!(decoded.optimizer, req.optimizer);
+            assert_eq!(decoded.seed, req.seed);
+            assert_eq!(
+                decoded.adapter.identity_tag(req.seed),
+                adapter.identity_tag(req.seed),
+                "adapter identity must survive the wire"
+            );
+        }
+    }
+
+    #[test]
+    fn results_round_trip_bit_exactly() {
+        let report = Report {
+            session: "w/a/o/s1".into(),
+            round: 4,
+            results: vec![
+                WireResult {
+                    score: Some(1234.5678901234567),
+                    metrics: vec![0.1, 2.0e-9],
+                    status: TrialStatus::Ok,
+                    attempts: 1,
+                    virtual_ms: 12.5,
+                },
+                WireResult {
+                    score: None,
+                    metrics: vec![],
+                    status: TrialStatus::Crashed,
+                    attempts: 3,
+                    virtual_ms: 0.0,
+                },
+            ],
+        };
+        let decoded = Report::decode(&json::parse(&report.encode()).unwrap()).unwrap();
+        assert_eq!(decoded.round, 4);
+        assert_eq!(decoded.results[0].score, report.results[0].score);
+        assert_eq!(decoded.results[0].metrics, report.results[0].metrics);
+        assert_eq!(decoded.results[1].status, TrialStatus::Crashed);
+        assert_eq!(decoded.results[1].attempts, 3);
+    }
+
+    #[test]
+    fn error_responses_carry_code_and_message() {
+        let body = encode_err(Some(9), &WireError::new(code::BAD_PARAMS, "missing \"seed\""));
+        let resp = Response::decode(&body).unwrap();
+        assert_eq!(resp.id, Some(9));
+        let err = resp.result.unwrap_err();
+        assert_eq!(err.code, code::BAD_PARAMS);
+        assert!(err.message.contains("seed"));
+    }
+}

@@ -9,7 +9,9 @@
 use llamatune::history_io::{events_from_jsonl, session_curves};
 use llamatune::pipeline::LlamaTuneConfig;
 use llamatune::session::SessionOptions;
-use llamatune_runtime::{AdapterKind, Campaign, CampaignOptions, CampaignSpec, OptimizerKind};
+use llamatune_runtime::{
+    AdapterKind, Campaign, CampaignAttachments, CampaignOptions, CampaignSpec, OptimizerKind,
+};
 use llamatune_space::catalog::postgres_v9_6;
 use std::time::Instant;
 
@@ -39,7 +41,9 @@ fn main() {
     let log_path = std::env::temp_dir().join("llamatune_parallel_campaign.jsonl");
     let mut log = Vec::new();
     let t = Instant::now();
-    let results = campaign.run_with_log(&mut log).expect("in-memory log");
+    let results = campaign
+        .run_attached(CampaignAttachments::new().with_log(&mut log))
+        .expect("in-memory log");
     let elapsed = t.elapsed();
     std::fs::write(&log_path, &log).expect("write JSONL log");
 

@@ -11,7 +11,8 @@
 use llamatune::pipeline::LlamaTuneConfig;
 use llamatune::session::SessionOptions;
 use llamatune_runtime::{
-    AdapterKind, Campaign, CampaignOptions, CampaignSpec, OptimizerKind, WarmStartOptions,
+    AdapterKind, Campaign, CampaignAttachments, CampaignOptions, CampaignSpec, OptimizerKind,
+    WarmStartOptions,
 };
 use llamatune_space::catalog::postgres_v9_6;
 use llamatune_store::TrialStore;
@@ -38,7 +39,8 @@ fn main() {
     let _ = std::fs::remove_dir_all(&truth_dir);
     let store = TrialStore::open(&truth_dir).expect("open store");
     let t = Instant::now();
-    let results = campaign.run_with_store(&store).expect("campaign");
+    let results =
+        campaign.run_attached(CampaignAttachments::new().with_store(&store)).expect("campaign");
     println!(
         "uninterrupted: {} trials checkpointed in {:.1}s, best = {:.1}",
         store.trial_count(),
@@ -90,7 +92,7 @@ fn main() {
     };
     let warm_opts = CampaignOptions { warm_start: Some(WarmStartOptions::default()), ..opts };
     let warm = Campaign::new(catalog, target, warm_opts)
-        .run_with_store(&recovered)
+        .run_attached(CampaignAttachments::new().with_store(&recovered))
         .expect("warm campaign");
     let meta = recovered.session_meta(&warm[0].label).expect("meta");
     println!(
